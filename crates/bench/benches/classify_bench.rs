@@ -1,0 +1,44 @@
+//! Feature extraction and classification cost (exact vs PWL — the
+//! paper's "vastly simplified computational requirements").
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wbsn_classify::features::{BeatFeatureExtractor, FeatureConfig};
+use wbsn_classify::fuzzy::{FuzzyClassifier, MembershipMode};
+use wbsn_ecg_synth::suite::ectopy_suite;
+
+fn bench_classify(c: &mut Criterion) {
+    let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+    let recs = ectopy_suite(1, 9);
+    let rec = &recs[0];
+    let lead = rec.lead(0).to_vec();
+    let beats = rec.beats();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 1..beats.len() - 1 {
+        let r = beats[i].r_sample;
+        if let Some(f) = fe.extract(
+            &lead,
+            r,
+            r - beats[i - 1].r_sample,
+            beats[i + 1].r_sample - r,
+        ) {
+            xs.push(f);
+            ys.push(beats[i].beat_type.index().min(2));
+        }
+    }
+    let exact = FuzzyClassifier::train(&xs, &ys, MembershipMode::ExactGaussian).unwrap();
+    let pwl = exact.with_mode(MembershipMode::PiecewiseLinear);
+    let r_mid = beats[beats.len() / 2].r_sample;
+    let mut g = c.benchmark_group("classify");
+    g.sample_size(30);
+    g.bench_function("extract_features_1beat", |b| {
+        b.iter(|| fe.extract(black_box(&lead), r_mid, 200, 200).unwrap())
+    });
+    let x = &xs[0];
+    g.bench_function("fuzzy_exact_1beat", |b| b.iter(|| exact.predict(black_box(x))));
+    g.bench_function("fuzzy_pwl_1beat", |b| b.iter(|| pwl.predict(black_box(x))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! QRS detection and delineation throughput (samples/s of ECG).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wbsn_delineation::mmd::MmdConfig;
+use wbsn_delineation::qrs::QrsConfig;
+use wbsn_delineation::wavelet::WaveletConfig;
+use wbsn_delineation::{MmdDelineator, QrsDetector, WaveletDelineator};
+use wbsn_ecg_synth::noise::NoiseConfig;
+use wbsn_ecg_synth::RecordBuilder;
+
+fn bench_delineation(c: &mut Criterion) {
+    let rec = RecordBuilder::new(1)
+        .duration_s(30.0)
+        .noise(NoiseConfig::ambulatory(20.0))
+        .build();
+    let lead = rec.lead(0).to_vec();
+    let mut g = c.benchmark_group("delineation");
+    g.sample_size(20);
+    g.bench_function("qrs_detect_30s", |b| {
+        b.iter(|| QrsDetector::detect(black_box(&lead), QrsConfig::default()).unwrap())
+    });
+    let rs = QrsDetector::detect(&lead, QrsConfig::default()).unwrap();
+    let wd = WaveletDelineator::new(WaveletConfig::default()).unwrap();
+    g.bench_function("wavelet_delineate_30s", |b| {
+        b.iter(|| wd.delineate(black_box(&lead), black_box(&rs)))
+    });
+    let md = MmdDelineator::new(MmdConfig::default()).unwrap();
+    g.bench_function("mmd_delineate_30s", |b| {
+        b.iter(|| md.delineate(black_box(&lead), black_box(&rs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_delineation);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Multi-core simulator throughput (simulated cycles per host second).
+use criterion::{criterion_group, criterion_main, Criterion};
+use wbsn_multicore::power::{run_app, App};
+
+fn bench_multicore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multicore_sim");
+    g.sample_size(10);
+    for app in App::ALL {
+        g.bench_function(format!("{}_3core", app.label()), |b| {
+            b.iter(|| run_app(app, 3, true).unwrap())
+        });
+    }
+    g.bench_function("3L-MF_1core", |b| {
+        b.iter(|| run_app(App::ThreeLeadMf, 1, true).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_multicore);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Node model pricing and payload codec costs.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wbsn_core::payload::Payload;
+use wbsn_platform::node::{NodeModel, WorkloadProfile};
+
+fn bench_platform(c: &mut Criterion) {
+    let node = NodeModel::default();
+    let w = WorkloadProfile::raw_streaming(3, 250.0);
+    let mut g = c.benchmark_group("platform");
+    g.sample_size(30);
+    g.bench_function("node_breakdown", |b| {
+        b.iter(|| node.breakdown(black_box(&w)))
+    });
+    let p = Payload::RawChunk {
+        lead: 0,
+        samples: (0..250).map(|i| (i % 100) as i16).collect(),
+    };
+    g.bench_function("payload_encode_250", |b| b.iter(|| black_box(&p).encode()));
+    let bytes = p.encode();
+    g.bench_function("payload_decode_250", |b| {
+        b.iter(|| Payload::decode(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_platform);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Figure 7: average power decomposition of the synchronized
+//! multi-core (MC) system vs the equivalent single-core (SC)
+//! architecture, for the three applications 3L-MF, 3L-MMD, RP-CLASS.
+//!
+//! Paper: the multi-core platform reduces global power consumption "up
+//! to 40%" at iso-throughput, via voltage-frequency scaling plus the
+//! broadcast instruction-fetch merging of the synchronized cores.
+//!
+//! `--no-merge-ablation` skips the mechanism ablation.
+
+use wbsn_bench::{bar, fmt_power, header};
+use wbsn_multicore::energy::EnergyParams;
+use wbsn_multicore::power::{compare, default_timing, run_app, App};
+
+fn main() {
+    header(
+        "Figure 7",
+        "SC vs MC power decomposition for 3L-MF / 3L-MMD / RP-CLASS",
+        "MC saves up to ≈40% total power at iso-throughput",
+    );
+    let e = EnergyParams::default();
+    let mut max_total = 0.0f64;
+    let mut rows = Vec::new();
+    for app in App::ALL {
+        let (window, deadline) = default_timing(app);
+        let cmp = compare(app, 3, window, deadline, &e).expect("comparison");
+        max_total = max_total.max(cmp.sc.power.total_w());
+        rows.push((app, cmp));
+    }
+
+    println!(
+        "\n{:<10} {:>4} {:>9} {:>10} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "app", "cfg", "f [MHz]", "Vdd [V]", "core dyn", "core leak", "imem", "dmem", "total"
+    );
+    for (app, cmp) in &rows {
+        for (tag, cfgr) in [("SC", &cmp.sc), ("MC", &cmp.mc)] {
+            let p = cfgr.power;
+            println!(
+                "{:<10} {:>4} {:>9.2} {:>10.2} {:>11} {:>11} {:>11} {:>11} {:>11}",
+                app.label(),
+                tag,
+                cfgr.op.f_hz / 1e6,
+                cfgr.op.vdd_v,
+                fmt_power(p.core_dynamic_w),
+                fmt_power(p.core_leakage_w),
+                fmt_power(p.imem_w),
+                fmt_power(p.dmem_w),
+                fmt_power(p.total_w()),
+            );
+        }
+        println!(
+            "{:<10}      power saving: {:.1}%  (paper: up to ≈40%)   merge fraction (MC): {:.0}%",
+            "",
+            cmp.saving() * 100.0,
+            cmp.mc.stats.merge_fraction() * 100.0
+        );
+    }
+
+    println!("\ntotal power (bar ∝ power):");
+    for (app, cmp) in &rows {
+        println!(
+            "{:<10} SC |{}| {}",
+            app.label(),
+            bar(cmp.sc.power.total_w(), max_total, 36),
+            fmt_power(cmp.sc.power.total_w())
+        );
+        println!(
+            "{:<10} MC |{}| {}",
+            "",
+            bar(cmp.mc.power.total_w(), max_total, 36),
+            fmt_power(cmp.mc.power.total_w())
+        );
+    }
+
+    if !std::env::args().any(|a| a == "--no-merge-ablation") {
+        println!("\nablation: broadcast fetch merging (3-core 3L-MF):");
+        let with = run_app(App::ThreeLeadMf, 3, true).expect("run");
+        let without = run_app(App::ThreeLeadMf, 3, false).expect("run");
+        println!(
+            "  merging ON : {:>9} IM reads, {:>8} cycles, merge fraction {:.0}%",
+            with.im_reads,
+            with.cycles,
+            with.merge_fraction() * 100.0
+        );
+        println!(
+            "  merging OFF: {:>9} IM reads, {:>8} cycles  (reads ×{:.2}, cycles ×{:.2})",
+            without.im_reads,
+            without.cycles,
+            without.im_reads as f64 / with.im_reads as f64,
+            without.cycles as f64 / with.cycles as f64
+        );
+        println!("\nbarrier activity (RP-CLASS, 3 cores):");
+        let rp = run_app(App::RpClass, 3, true).expect("run");
+        println!(
+            "  barrier wait cycles: {}  (divergent PWL memberships re-synchronized)",
+            rp.barrier_wait_cycles
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Text claim T3 (Section IV-A): the four-segment piecewise-linear
+//! membership approximation "achieves close-to-optimal results …
+//! while vastly simplifying the computational requirements", and the
+//! random-projection dimensionality can be small (Section III-D).
+//!
+//! Compares exact-Gaussian vs PWL fuzzy classification vs a kNN
+//! baseline, and sweeps the projected feature dimensionality.
+
+use wbsn_bench::header;
+use wbsn_classify::eval::ConfusionMatrix;
+use wbsn_classify::features::{BeatFeatureExtractor, FeatureConfig};
+use wbsn_classify::fuzzy::{FuzzyClassifier, MembershipMode};
+use wbsn_classify::knn::KnnClassifier;
+use wbsn_ecg_synth::suite::ectopy_suite;
+use wbsn_ecg_synth::{BeatType, Record};
+
+fn label_of(t: BeatType) -> usize {
+    match t {
+        BeatType::Normal | BeatType::AfConducted => 0,
+        BeatType::Pvc => 1,
+        BeatType::Apc => 2,
+    }
+}
+
+fn dataset(recs: &[Record], fe: &BeatFeatureExtractor) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for rec in recs {
+        let lead = rec.lead(0);
+        let beats = rec.beats();
+        for i in 1..beats.len().saturating_sub(1) {
+            let r = beats[i].r_sample;
+            let rr_prev = r - beats[i - 1].r_sample;
+            let rr_next = beats[i + 1].r_sample - r;
+            if let Some(f) = fe.extract(lead, r, rr_prev, rr_next) {
+                xs.push(f);
+                ys.push(label_of(beats[i].beat_type));
+            }
+        }
+    }
+    (xs, ys)
+}
+
+fn accuracy(
+    clf_predict: impl Fn(&[f64]) -> usize,
+    xs: &[Vec<f64>],
+    ys: &[usize],
+) -> (f64, ConfusionMatrix) {
+    let mut cm = ConfusionMatrix::new(3);
+    for (x, &y) in xs.iter().zip(ys) {
+        cm.record(y, clf_predict(x));
+    }
+    (cm.accuracy(), cm)
+}
+
+fn main() {
+    header(
+        "T3 (text, §IV-A)",
+        "classifier ablation: exact Gaussian vs 4-segment PWL vs kNN; RP dims",
+        "PWL ≈ exact ('close-to-optimal'); few RP dims suffice",
+    );
+    let train_recs = ectopy_suite(4, 0xC1A);
+    let test_recs = ectopy_suite(3, 0x7E5);
+
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "dims", "exact [%]", "PWL [%]", "kNN(5) [%]", "agree [%]", "proj bytes"
+    );
+    for dims in [4usize, 8, 16, 32, 64] {
+        let fe = BeatFeatureExtractor::new(FeatureConfig {
+            projected_dims: dims,
+            ..FeatureConfig::default()
+        })
+        .unwrap();
+        let (train_x, train_y) = dataset(&train_recs, &fe);
+        let (test_x, test_y) = dataset(&test_recs, &fe);
+        let exact =
+            FuzzyClassifier::train(&train_x, &train_y, MembershipMode::ExactGaussian).unwrap();
+        let pwl = exact.with_mode(MembershipMode::PiecewiseLinear);
+        let knn = KnnClassifier::train(&train_x, &train_y, 5).unwrap();
+        let (acc_e, _) = accuracy(|x| exact.predict(x), &test_x, &test_y);
+        let (acc_p, _) = accuracy(|x| pwl.predict(x), &test_x, &test_y);
+        let (acc_k, _) = accuracy(|x| knn.predict(x), &test_x, &test_y);
+        let agree = test_x
+            .iter()
+            .filter(|x| exact.predict(x) == pwl.predict(x))
+            .count() as f64
+            / test_x.len() as f64;
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>14}",
+            dims,
+            acc_e * 100.0,
+            acc_p * 100.0,
+            acc_k * 100.0,
+            agree * 100.0,
+            fe.projection_memory_bytes()
+        );
+    }
+
+    // Detailed confusion at the default dimensionality.
+    let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+    let (train_x, train_y) = dataset(&train_recs, &fe);
+    let (test_x, test_y) = dataset(&test_recs, &fe);
+    let pwl = FuzzyClassifier::train(&train_x, &train_y, MembershipMode::PiecewiseLinear).unwrap();
+    let (_, cm) = accuracy(|x| pwl.predict(x), &test_x, &test_y);
+    println!("\nPWL fuzzy classifier at 16 dims (classes: 0=N, 1=PVC, 2=APC):");
+    println!("{cm}");
+    for (c, name) in [(0, "Normal"), (1, "PVC"), (2, "APC")] {
+        println!(
+            "  {:<7} Se {:5.1}%  Sp {:5.1}%  P+ {:5.1}%",
+            name,
+            cm.sensitivity(c) * 100.0,
+            cm.specificity(c) * 100.0,
+            cm.ppv(c) * 100.0
+        );
+    }
+    let knn = KnnClassifier::train(&train_x, &train_y, 5).unwrap();
+    println!(
+        "\nmemory: fuzzy model ≈ {} B vs kNN training set {} B — the RP+fuzzy\npath is what fits the node.",
+        3 * fe.dims() * 8 * 2,
+        knn.memory_bytes()
+    );
+    println!(
+        "ops/beat: projection {} adds + memberships {} ops",
+        fe.adds_per_beat(),
+        pwl.ops_per_beat()
+    );
+}

@@ -1,0 +1,191 @@
+//! Classification scoring: confusion matrices, sensitivity/specificity.
+
+/// A square confusion matrix over `n` classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n: usize,
+    /// `counts[truth * n + predicted]`.
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix over `n` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one class");
+        ConfusionMatrix {
+            n,
+            counts: vec![0; n * n],
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n
+    }
+
+    /// Records one `(truth, predicted)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either label is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.n && predicted < self.n, "label out of range");
+        self.counts[truth * self.n + predicted] += 1;
+    }
+
+    /// Count at `(truth, predicted)`.
+    pub fn at(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth * self.n + predicted]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.n).map(|c| self.at(c, c)).sum();
+        if self.total() == 0 {
+            0.0
+        } else {
+            correct as f64 / self.total() as f64
+        }
+    }
+
+    /// Per-class sensitivity (recall): `TP_c / (row c sum)`.
+    pub fn sensitivity(&self, class: usize) -> f64 {
+        let row: usize = (0..self.n).map(|p| self.at(class, p)).sum();
+        if row == 0 {
+            1.0
+        } else {
+            self.at(class, class) as f64 / row as f64
+        }
+    }
+
+    /// Per-class specificity: `TN_c / (TN_c + FP_c)`.
+    pub fn specificity(&self, class: usize) -> f64 {
+        let fp: usize = (0..self.n)
+            .filter(|&t| t != class)
+            .map(|t| self.at(t, class))
+            .sum();
+        let tn: usize = (0..self.n)
+            .filter(|&t| t != class)
+            .map(|t| {
+                (0..self.n)
+                    .filter(|&p| p != class)
+                    .map(|p| self.at(t, p))
+                    .sum::<usize>()
+            })
+            .sum();
+        if tn + fp == 0 {
+            1.0
+        } else {
+            tn as f64 / (tn + fp) as f64
+        }
+    }
+
+    /// Per-class positive predictive value: `TP_c / (column c sum)`.
+    pub fn ppv(&self, class: usize) -> f64 {
+        let col: usize = (0..self.n).map(|t| self.at(t, class)).sum();
+        if col == 0 {
+            1.0
+        } else {
+            self.at(class, class) as f64 / col as f64
+        }
+    }
+
+    /// Merges another matrix of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.n, other.n, "class count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+impl core::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "confusion matrix ({} classes, rows=truth):", self.n)?;
+        for t in 0..self.n {
+            for p in 0..self.n {
+                write!(f, "{:>7}", self.at(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new(2);
+        // truth 0: 8 correct, 2 as class 1; truth 1: 9 correct, 1 as 0.
+        for _ in 0..8 {
+            m.record(0, 0);
+        }
+        for _ in 0..2 {
+            m.record(0, 1);
+        }
+        for _ in 0..9 {
+            m.record(1, 1);
+        }
+        m.record(1, 0);
+        m
+    }
+
+    #[test]
+    fn accuracy_and_counts() {
+        let m = sample();
+        assert_eq!(m.total(), 20);
+        assert!((m.accuracy() - 17.0 / 20.0).abs() < 1e-12);
+        assert_eq!(m.at(0, 1), 2);
+    }
+
+    #[test]
+    fn sensitivity_specificity_ppv() {
+        let m = sample();
+        assert!((m.sensitivity(0) - 0.8).abs() < 1e-12);
+        assert!((m.sensitivity(1) - 0.9).abs() < 1e-12);
+        // Specificity of class 1 = TN/(TN+FP) = 8/(8+2).
+        assert!((m.specificity(1) - 0.8).abs() < 1e-12);
+        // PPV of class 1 = 9/11.
+        assert!((m.ppv(1) - 9.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total(), 40);
+        assert_eq!(a.at(1, 1), 18);
+    }
+
+    #[test]
+    fn empty_matrix_is_benign() {
+        let m = ConfusionMatrix::new(3);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.sensitivity(0), 1.0);
+        assert_eq!(m.specificity(2), 1.0);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = sample();
+        let s = format!("{m}");
+        assert!(s.contains("rows=truth"));
+        assert!(s.lines().count() >= 3);
+    }
+}

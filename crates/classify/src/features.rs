@@ -1,0 +1,232 @@
+//! Random-projection beat features.
+//!
+//! Each beat is summarized by projecting a fixed morphology window
+//! around its R peak through a ternary Achlioptas matrix (2-bit packed,
+//! Section IV-A of the paper), then appending two RR-interval ratios.
+//! Projection costs one signed addition per non-zero matrix element —
+//! no multiplications — and the Johnson–Lindenstrauss lemma guarantees
+//! inter-class distances are approximately preserved.
+
+use crate::{ClassifyError, Result};
+use wbsn_sigproc::matrix::PackedTernaryMatrix;
+
+/// Feature-extraction configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureConfig {
+    /// Sampling rate in Hz.
+    pub fs_hz: u32,
+    /// Samples taken before the R peak.
+    pub pre_samples: usize,
+    /// Samples taken after the R peak.
+    pub post_samples: usize,
+    /// Projected dimensionality.
+    pub projected_dims: usize,
+    /// Seed for the projection matrix (shared by train/infer).
+    pub seed: u64,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            fs_hz: 250,
+            pre_samples: 62,  // 250 ms: includes the P region
+            post_samples: 88, // 350 ms: includes the T onset
+            projected_dims: 16,
+            seed: 0xBEA7,
+        }
+    }
+}
+
+/// Extracts projected features for beats.
+#[derive(Debug, Clone)]
+pub struct BeatFeatureExtractor {
+    cfg: FeatureConfig,
+    projection: PackedTernaryMatrix,
+}
+
+impl BeatFeatureExtractor {
+    /// Creates an extractor (generates the packed ternary projection).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the window or projection dimensions are zero.
+    pub fn new(cfg: FeatureConfig) -> Result<Self> {
+        if cfg.pre_samples + cfg.post_samples == 0 {
+            return Err(ClassifyError::InvalidParameter {
+                what: "window",
+                detail: "pre+post must be non-zero".into(),
+            });
+        }
+        if cfg.projected_dims == 0 {
+            return Err(ClassifyError::InvalidParameter {
+                what: "projected_dims",
+                detail: "must be non-zero".into(),
+            });
+        }
+        let projection = PackedTernaryMatrix::random_achlioptas(
+            cfg.projected_dims,
+            cfg.pre_samples + cfg.post_samples,
+            cfg.seed,
+        )
+        .map_err(|e| ClassifyError::InvalidParameter {
+            what: "projection",
+            detail: e.to_string(),
+        })?;
+        Ok(BeatFeatureExtractor { cfg, projection })
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.cfg
+    }
+
+    /// Total feature dimensionality (projection + 2 RR ratios).
+    pub fn dims(&self) -> usize {
+        self.cfg.projected_dims + 2
+    }
+
+    /// Flash bytes used by the packed projection matrix — the paper's
+    /// 2-bit-per-element memory optimization.
+    pub fn projection_memory_bytes(&self) -> usize {
+        self.projection.memory_bytes()
+    }
+
+    /// Signed additions per classified beat (the energy-model cost of
+    /// the projection).
+    pub fn adds_per_beat(&self) -> usize {
+        self.projection.nnz()
+    }
+
+    /// Extracts features for the beat whose R peak is at `r`.
+    ///
+    /// `rr_prev` / `rr_next` are the neighbouring RR intervals in
+    /// samples (used as rhythm context); the morphology window is
+    /// amplitude-normalized so electrode gain cancels.
+    ///
+    /// Returns `None` when the window does not fit inside `x`.
+    pub fn extract(&self, x: &[i32], r: usize, rr_prev: usize, rr_next: usize) -> Option<Vec<f64>> {
+        if r < self.cfg.pre_samples || r + self.cfg.post_samples > x.len() {
+            return None;
+        }
+        let window = &x[r - self.cfg.pre_samples..r + self.cfg.post_samples];
+        // Remove window mean and normalize by peak magnitude.
+        let mean = window.iter().map(|&v| v as i64).sum::<i64>() / window.len() as i64;
+        let centered: Vec<i32> = window.iter().map(|&v| (v as i64 - mean) as i32).collect();
+        let peak = centered.iter().map(|v| v.unsigned_abs()).max().unwrap_or(1).max(1);
+        let y = self.projection.apply_i32(&centered);
+        let mut features: Vec<f64> = y.iter().map(|&v| v as f64 / peak as f64).collect();
+        // RR context, normalized to ~1 at a resting rate.
+        let rr_ref = 0.8 * self.cfg.fs_hz as f64;
+        features.push(rr_prev as f64 / rr_ref);
+        features.push(rr_next as f64 / rr_ref);
+        Some(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beat_signal(n: usize, r: usize, wide: bool) -> Vec<i32> {
+        let mut x = vec![0i32; n];
+        let sig = if wide { 8.0 } else { 3.0 };
+        for (i, xi) in x.iter_mut().enumerate() {
+            let d = (i as f64 - r as f64) / sig;
+            *xi = (900.0 * (-0.5 * d * d).exp()) as i32;
+        }
+        x
+    }
+
+    #[test]
+    fn features_have_expected_shape() {
+        let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let x = beat_signal(500, 250, false);
+        let f = fe.extract(&x, 250, 200, 200).unwrap();
+        assert_eq!(f.len(), fe.dims());
+        assert_eq!(f.len(), 18);
+    }
+
+    #[test]
+    fn window_bounds_are_enforced() {
+        let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let x = beat_signal(500, 250, false);
+        assert!(fe.extract(&x, 30, 200, 200).is_none());
+        assert!(fe.extract(&x, 490, 200, 200).is_none());
+    }
+
+    #[test]
+    fn amplitude_invariance() {
+        let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let x = beat_signal(500, 250, false);
+        let x2: Vec<i32> = x.iter().map(|&v| v * 2).collect();
+        let f1 = fe.extract(&x, 250, 200, 200).unwrap();
+        let f2 = fe.extract(&x2, 250, 200, 200).unwrap();
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!((a - b).abs() < 0.02, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn wide_and_narrow_beats_separate() {
+        let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let narrow = fe
+            .extract(&beat_signal(500, 250, false), 250, 200, 200)
+            .unwrap();
+        let wide = fe
+            .extract(&beat_signal(500, 250, true), 250, 200, 200)
+            .unwrap();
+        let dist: f64 = narrow
+            .iter()
+            .zip(&wide)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 0.5, "projected distance {dist}");
+    }
+
+    #[test]
+    fn rr_features_reflect_prematurity() {
+        let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let x = beat_signal(500, 250, false);
+        let normal = fe.extract(&x, 250, 200, 200).unwrap();
+        let premature = fe.extract(&x, 250, 120, 260).unwrap();
+        let d = fe.dims();
+        assert!(premature[d - 2] < normal[d - 2]);
+        assert!(premature[d - 1] > normal[d - 1]);
+    }
+
+    #[test]
+    fn projection_memory_is_two_bits_per_element() {
+        let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let elems: usize = 16 * (62 + 88);
+        assert_eq!(fe.projection_memory_bytes(), elems.div_ceil(4));
+        // 600 bytes of flash for the whole projection.
+        assert!(fe.projection_memory_bytes() <= 600);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let b = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let x = beat_signal(400, 200, false);
+        assert_eq!(
+            a.extract(&x, 200, 200, 200),
+            b.extract(&x, 200, 200, 200)
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_config() {
+        assert!(BeatFeatureExtractor::new(FeatureConfig {
+            pre_samples: 0,
+            post_samples: 0,
+            ..FeatureConfig::default()
+        })
+        .is_err());
+        assert!(BeatFeatureExtractor::new(FeatureConfig {
+            projected_dims: 0,
+            ..FeatureConfig::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! The on-node processing abstraction ladder (Figure 1 of the paper).
+
+/// How much intelligence the node applies before transmitting.
+///
+/// Higher levels transmit less data at the cost of more on-node
+/// computation — the central energy trade-off of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessingLevel {
+    /// Stream every sample (the unsustainable baseline).
+    RawStreaming,
+    /// Compressively sense each lead independently ("Single-Lead CS").
+    CompressedSingleLead,
+    /// Compressively sense with joint multi-lead reconstruction in
+    /// mind ("Multi-Lead CS": per-lead matrices, joint decoder).
+    CompressedMultiLead,
+    /// Filter + delineate on-node; transmit fiducial points per beat.
+    Delineated,
+    /// Delineate + classify on-node; transmit beat classes and
+    /// rhythm events (AF episodes) only.
+    Classified,
+}
+
+impl ProcessingLevel {
+    /// All levels, in ascending abstraction order.
+    pub const ALL: [ProcessingLevel; 5] = [
+        ProcessingLevel::RawStreaming,
+        ProcessingLevel::CompressedSingleLead,
+        ProcessingLevel::CompressedMultiLead,
+        ProcessingLevel::Delineated,
+        ProcessingLevel::Classified,
+    ];
+
+    /// Human-readable label matching the paper's terminology.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProcessingLevel::RawStreaming => "raw streaming",
+            ProcessingLevel::CompressedSingleLead => "single-lead CS",
+            ProcessingLevel::CompressedMultiLead => "multi-lead CS",
+            ProcessingLevel::Delineated => "delineated",
+            ProcessingLevel::Classified => "classified",
+        }
+    }
+
+    /// True when the level runs the delineation pipeline.
+    pub fn delineates(self) -> bool {
+        matches!(
+            self,
+            ProcessingLevel::Delineated | ProcessingLevel::Classified
+        )
+    }
+
+    /// True when the level runs the CS encoder.
+    pub fn compresses(self) -> bool {
+        matches!(
+            self,
+            ProcessingLevel::CompressedSingleLead | ProcessingLevel::CompressedMultiLead
+        )
+    }
+}
+
+impl core::fmt::Display for ProcessingLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_properties() {
+        assert_eq!(ProcessingLevel::ALL.len(), 5);
+        assert!(ProcessingLevel::Delineated.delineates());
+        assert!(ProcessingLevel::Classified.delineates());
+        assert!(!ProcessingLevel::RawStreaming.delineates());
+        assert!(ProcessingLevel::CompressedSingleLead.compresses());
+        assert!(!ProcessingLevel::Classified.compresses());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for l in ProcessingLevel::ALL {
+            assert!(seen.insert(l.label()), "{l}");
+        }
+    }
+}

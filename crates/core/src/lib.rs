@@ -1,0 +1,92 @@
+//! # wbsn-core
+//!
+//! The integrated ultra-low-power wearable cardiac monitoring node —
+//! the system-level architecture the DAC'14 paper presents.
+//!
+//! The central idea (Figure 1 of the paper): **on-node digital signal
+//! processing raises the abstraction level of the transmitted data and
+//! thereby shrinks the energy-dominant radio traffic.** A node can
+//! stream raw samples, stream compressively-sensed windows, transmit
+//! delineated fiducial points, or transmit only classified events —
+//! each step trades MCU cycles for (much more expensive) radio bytes.
+//!
+//! * [`level`] — the abstraction ladder ([`ProcessingLevel`]).
+//! * [`payload`] — the on-air payload formats with exact byte costs.
+//! * [`monitor`] — [`CardiacMonitor`]: the streaming engine that runs
+//!   the configured pipeline (morphological filtering, RMS lead
+//!   combination, QRS detection + wavelet delineation, random-
+//!   projection fuzzy classification, AF detection, CS encoding) and
+//!   emits payloads.
+//! * [`energy`] — per-stage cycle accounting composed with the
+//!   `wbsn-platform` node model into Figure 6-style breakdowns and
+//!   battery lifetimes.
+//! * [`apps`] — the application layer the paper motivates: arrhythmia
+//!   /AF monitoring, sleep/HRV analysis, and PAT-based blood-pressure
+//!   trending.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wbsn_core::monitor::{CardiacMonitor, MonitorConfig};
+//! use wbsn_core::level::ProcessingLevel;
+//! use wbsn_ecg_synth::RecordBuilder;
+//!
+//! let record = RecordBuilder::new(1).duration_s(12.0).n_leads(3).build();
+//! let cfg = MonitorConfig {
+//!     level: ProcessingLevel::Delineated,
+//!     ..MonitorConfig::default()
+//! };
+//! let mut node = CardiacMonitor::new(cfg).unwrap();
+//! let payloads = node.process_record(&record);
+//! assert!(!payloads.is_empty());
+//! let report = node.energy_report();
+//! assert!(report.breakdown.avg_power_mw() < 5.0);
+//! ```
+
+pub mod apps;
+pub mod energy;
+pub mod level;
+pub mod monitor;
+pub mod payload;
+
+pub use energy::EnergyReport;
+pub use level::ProcessingLevel;
+pub use monitor::{CardiacMonitor, MonitorConfig};
+pub use payload::Payload;
+
+/// Errors from node configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Parameter outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Explanation.
+        detail: String,
+    },
+    /// A substrate component rejected its configuration.
+    Component {
+        /// Which component.
+        which: &'static str,
+        /// Underlying message.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CoreError::InvalidParameter { what, detail } => {
+                write!(f, "invalid parameter {what}: {detail}")
+            }
+            CoreError::Component { which, detail } => {
+                write!(f, "component {which} failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, CoreError>;

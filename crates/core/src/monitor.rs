@@ -1,0 +1,628 @@
+//! The streaming cardiac-monitor engine.
+//!
+//! [`CardiacMonitor`] consumes multi-lead samples and produces radio
+//! payloads according to its [`ProcessingLevel`], while keeping the
+//! per-stage activity counters the energy model prices afterwards:
+//!
+//! * **Raw** — pack and forward every sample.
+//! * **Compressed** — window each lead and run the integer CS encoder.
+//! * **Delineated** — RMS-combine the leads, run the streaming QRS +
+//!   wavelet delineator, transmit fiducials.
+//! * **Classified** — additionally extract random-projection features,
+//!   classify each beat with the PWL fuzzy classifier, slide the AF
+//!   detector over the beat stream and transmit periodic event
+//!   summaries (plus immediate payloads when an AF episode starts).
+
+use crate::level::ProcessingLevel;
+use crate::payload::Payload;
+use crate::{CoreError, Result};
+use wbsn_classify::af::{AfBeat, AfConfig, AfDetector};
+use wbsn_classify::features::{BeatFeatureExtractor, FeatureConfig};
+use wbsn_classify::fuzzy::FuzzyClassifier;
+use wbsn_cs::encoder::CsEncoder;
+use wbsn_cs::measurements_for_cr;
+use wbsn_delineation::realtime::{StreamingConfig, StreamingDelineator};
+use wbsn_delineation::BeatFiducials;
+use wbsn_ecg_synth::Record;
+use wbsn_sigproc::combine::RmsCombiner;
+
+/// Node configuration.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Sampling rate per lead, Hz.
+    pub fs_hz: u32,
+    /// Number of ECG leads.
+    pub n_leads: usize,
+    /// Processing level.
+    pub level: ProcessingLevel,
+    /// CS window length (samples).
+    pub cs_window: usize,
+    /// CS compression ratio in percent.
+    pub cs_cr_percent: f64,
+    /// CS sensing-matrix column density.
+    pub cs_d_per_col: usize,
+    /// Shared matrix seed.
+    pub seed: u64,
+    /// Beats per transmitted `Beats` payload.
+    pub beats_per_payload: usize,
+    /// Seconds between `Events` payloads at the classified level.
+    pub event_interval_s: f64,
+    /// Optional trained beat classifier (classified level). When
+    /// absent, beats are counted as class 0.
+    pub classifier: Option<FuzzyClassifier>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            fs_hz: 250,
+            n_leads: 3,
+            level: ProcessingLevel::Delineated,
+            cs_window: 512,
+            cs_cr_percent: 65.9,
+            cs_d_per_col: 4,
+            seed: 0xCAFE,
+            beats_per_payload: 8,
+            event_interval_s: 10.0,
+            classifier: None,
+        }
+    }
+}
+
+/// Per-stage activity counters accumulated while processing; the raw
+/// material of the energy report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ActivityCounters {
+    /// Samples acquired (per-lead samples summed).
+    pub samples_in: u64,
+    /// Seconds of signal processed.
+    pub seconds: f64,
+    /// Payload bytes produced.
+    pub payload_bytes: u64,
+    /// Payloads produced (radio bursts).
+    pub payloads: u64,
+    /// CS windows encoded.
+    pub cs_windows: u64,
+    /// Integer additions spent in CS encoding.
+    pub cs_adds: u64,
+    /// Beats delineated.
+    pub beats: u64,
+    /// Beats classified.
+    pub classified_beats: u64,
+    /// AF windows evaluated.
+    pub af_windows: u64,
+}
+
+/// The streaming engine.
+#[derive(Debug)]
+pub struct CardiacMonitor {
+    cfg: MonitorConfig,
+    // Compressed path.
+    encoders: Vec<CsEncoder>,
+    lead_buffers: Vec<Vec<i32>>,
+    window_seq: u32,
+    // Delineation path.
+    combiner: RmsCombiner,
+    delineator: StreamingDelineator,
+    beat_queue: Vec<BeatFiducials>,
+    // Classification path.
+    features: BeatFeatureExtractor,
+    af: AfDetector,
+    af_beats: Vec<AfBeat>,
+    combined_ring: Vec<i32>,
+    n_pushed: usize,
+    last_beat_r: Option<usize>,
+    af_active: bool,
+    event_class_counts: [u32; 4],
+    event_beats: u32,
+    event_rr_sum_s: f64,
+    last_event_at: f64,
+    // Raw path.
+    raw_buffers: Vec<Vec<i16>>,
+    counters: ActivityCounters,
+}
+
+impl CardiacMonitor {
+    /// Builds the node.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the configuration is inconsistent (zero leads,
+    /// non-dyadic CS window, …).
+    pub fn new(cfg: MonitorConfig) -> Result<Self> {
+        if cfg.n_leads == 0 {
+            return Err(CoreError::InvalidParameter {
+                what: "n_leads",
+                detail: "must be at least 1".into(),
+            });
+        }
+        let m = measurements_for_cr(cfg.cs_window, cfg.cs_cr_percent);
+        let encoders = (0..cfg.n_leads)
+            .map(|l| {
+                CsEncoder::new(
+                    cfg.cs_window,
+                    m,
+                    cfg.cs_d_per_col,
+                    cfg.seed.wrapping_add(l as u64),
+                )
+            })
+            .collect::<core::result::Result<Vec<_>, _>>()
+            .map_err(|e| CoreError::Component {
+                which: "cs encoder",
+                detail: e.to_string(),
+            })?;
+        let combiner = RmsCombiner::new(cfg.n_leads).map_err(|e| CoreError::Component {
+            which: "rms combiner",
+            detail: e.to_string(),
+        })?;
+        let delineator = StreamingDelineator::new(StreamingConfig {
+            fs_hz: cfg.fs_hz,
+            ..StreamingConfig::default()
+        })
+        .map_err(|e| CoreError::Component {
+            which: "delineator",
+            detail: e.to_string(),
+        })?;
+        let features = BeatFeatureExtractor::new(FeatureConfig {
+            fs_hz: cfg.fs_hz,
+            ..FeatureConfig::default()
+        })
+        .map_err(|e| CoreError::Component {
+            which: "feature extractor",
+            detail: e.to_string(),
+        })?;
+        let af = AfDetector::new(AfConfig {
+            fs_hz: cfg.fs_hz,
+            ..AfConfig::default()
+        })
+        .map_err(|e| CoreError::Component {
+            which: "af detector",
+            detail: e.to_string(),
+        })?;
+        let ring_len = (cfg.fs_hz as usize) * 3;
+        Ok(CardiacMonitor {
+            lead_buffers: vec![Vec::with_capacity(cfg.cs_window); cfg.n_leads],
+            raw_buffers: vec![Vec::with_capacity(cfg.fs_hz as usize); cfg.n_leads],
+            encoders,
+            window_seq: 0,
+            combiner,
+            delineator,
+            beat_queue: Vec::new(),
+            features,
+            af,
+            af_beats: Vec::new(),
+            combined_ring: vec![0; ring_len],
+            n_pushed: 0,
+            last_beat_r: None,
+            af_active: false,
+            event_class_counts: [0; 4],
+            event_beats: 0,
+            event_rr_sum_s: 0.0,
+            last_event_at: 0.0,
+            cfg,
+            counters: ActivityCounters::default(),
+        })
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// Activity counters accumulated so far.
+    pub fn counters(&self) -> &ActivityCounters {
+        &self.counters
+    }
+
+    /// Pushes one simultaneous sample per lead; returns any payloads
+    /// that became ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples.len() != n_leads`.
+    pub fn push(&mut self, samples: &[i32]) -> Vec<Payload> {
+        assert_eq!(samples.len(), self.cfg.n_leads, "lead count");
+        self.counters.samples_in += samples.len() as u64;
+        self.counters.seconds = self.n_pushed as f64 / self.cfg.fs_hz as f64;
+        let mut out = Vec::new();
+        match self.cfg.level {
+            ProcessingLevel::RawStreaming => self.push_raw(samples, &mut out),
+            ProcessingLevel::CompressedSingleLead | ProcessingLevel::CompressedMultiLead => {
+                self.push_compressed(samples, &mut out)
+            }
+            ProcessingLevel::Delineated => self.push_delineated(samples, &mut out),
+            ProcessingLevel::Classified => self.push_classified(samples, &mut out),
+        }
+        self.n_pushed += 1;
+        for p in &out {
+            self.counters.payload_bytes += p.byte_len() as u64;
+            self.counters.payloads += 1;
+        }
+        out
+    }
+
+    /// Convenience: processes an entire synthetic record.
+    pub fn process_record(&mut self, record: &Record) -> Vec<Payload> {
+        let n = record.n_samples();
+        let mut payloads = Vec::new();
+        let mut frame = vec![0i32; self.cfg.n_leads];
+        for i in 0..n {
+            for (l, f) in frame.iter_mut().enumerate() {
+                *f = record.lead(l.min(record.n_leads() - 1))[i];
+            }
+            payloads.extend(self.push(&frame));
+        }
+        payloads.extend(self.flush());
+        payloads
+    }
+
+    /// Flushes any buffered partial state (end of session).
+    pub fn flush(&mut self) -> Vec<Payload> {
+        let mut out = Vec::new();
+        match self.cfg.level {
+            ProcessingLevel::RawStreaming => {
+                for lead in 0..self.cfg.n_leads {
+                    if !self.raw_buffers[lead].is_empty() {
+                        let samples = core::mem::take(&mut self.raw_buffers[lead]);
+                        out.push(Payload::RawChunk {
+                            lead: lead as u8,
+                            samples,
+                        });
+                    }
+                }
+            }
+            ProcessingLevel::Delineated => {
+                let tail = self.delineator.flush();
+                self.counters.beats += tail.len() as u64;
+                self.beat_queue.extend(tail);
+                if !self.beat_queue.is_empty() {
+                    out.push(Payload::Beats {
+                        beats: core::mem::take(&mut self.beat_queue),
+                    });
+                }
+            }
+            ProcessingLevel::Classified => {
+                let tail = self.delineator.flush();
+                for b in tail {
+                    self.handle_classified_beat(b);
+                }
+                out.push(self.emit_events());
+            }
+            _ => {}
+        }
+        for p in &out {
+            self.counters.payload_bytes += p.byte_len() as u64;
+            self.counters.payloads += 1;
+        }
+        out
+    }
+
+    fn push_raw(&mut self, samples: &[i32], out: &mut Vec<Payload>) {
+        let chunk = self.cfg.fs_hz as usize; // 1 s chunks
+        for (lead, &s) in samples.iter().enumerate() {
+            self.raw_buffers[lead].push(s.clamp(-2048, 2047) as i16);
+            if self.raw_buffers[lead].len() >= chunk {
+                let samples = core::mem::take(&mut self.raw_buffers[lead]);
+                out.push(Payload::RawChunk {
+                    lead: lead as u8,
+                    samples,
+                });
+            }
+        }
+    }
+
+    fn push_compressed(&mut self, samples: &[i32], out: &mut Vec<Payload>) {
+        for (lead, &s) in samples.iter().enumerate() {
+            self.lead_buffers[lead].push(s);
+        }
+        if self.lead_buffers[0].len() >= self.cfg.cs_window {
+            for lead in 0..self.cfg.n_leads {
+                let window: Vec<i32> = self.lead_buffers[lead].drain(..).collect();
+                let y = self.encoders[lead]
+                    .encode(&window)
+                    .expect("window length enforced by construction");
+                self.counters.cs_windows += 1;
+                self.counters.cs_adds += self.encoders[lead].adds_per_window() as u64;
+                out.push(Payload::CsWindow {
+                    lead: lead as u8,
+                    window_seq: self.window_seq,
+                    measurements: y
+                        .iter()
+                        .map(|&v| v.clamp(i16::MIN as i64, i16::MAX as i64) as i16)
+                        .collect(),
+                });
+            }
+            self.window_seq += 1;
+        }
+    }
+
+    fn combined_push(&mut self, samples: &[i32]) -> i32 {
+        let combined = self.combiner.push(samples);
+        let ring_len = self.combined_ring.len();
+        self.combined_ring[self.n_pushed % ring_len] = combined;
+        combined
+    }
+
+    fn push_delineated(&mut self, samples: &[i32], out: &mut Vec<Payload>) {
+        let combined = self.combined_push(samples);
+        if let Some(beat) = self.delineator.push(combined) {
+            self.counters.beats += 1;
+            self.beat_queue.push(beat);
+            if self.beat_queue.len() >= self.cfg.beats_per_payload {
+                out.push(Payload::Beats {
+                    beats: core::mem::take(&mut self.beat_queue),
+                });
+            }
+        }
+    }
+
+    fn push_classified(&mut self, samples: &[i32], out: &mut Vec<Payload>) {
+        let combined = self.combined_push(samples);
+        if let Some(beat) = self.delineator.push(combined) {
+            self.counters.beats += 1;
+            let af_started = self.handle_classified_beat(beat);
+            if af_started {
+                out.push(self.emit_events());
+            }
+        }
+        let t = self.n_pushed as f64 / self.cfg.fs_hz as f64;
+        if t - self.last_event_at >= self.cfg.event_interval_s && self.event_beats > 0 {
+            out.push(self.emit_events());
+        }
+    }
+
+    /// Classifies one beat, updates AF tracking; returns true when an
+    /// AF episode just started (alert condition).
+    fn handle_classified_beat(&mut self, beat: BeatFiducials) -> bool {
+        // Classify from the combined-signal ring.
+        let ring_len = self.combined_ring.len();
+        let r = beat.r_peak;
+        let class = if let Some(clf) = &self.cfg.classifier {
+            let fc = self.features.config();
+            let oldest = self.n_pushed.saturating_sub(ring_len);
+            if r >= fc.pre_samples + oldest && r + fc.post_samples <= self.n_pushed {
+                // Materialize the window from the ring.
+                let lo = r - fc.pre_samples;
+                let hi = r + fc.post_samples;
+                let window: Vec<i32> =
+                    (lo..hi).map(|i| self.combined_ring[i % ring_len]).collect();
+                let rr_prev = self
+                    .last_beat_r
+                    .map(|p| r.saturating_sub(p))
+                    .unwrap_or((0.8 * self.cfg.fs_hz as f64) as usize);
+                // Streaming node has no rr_next yet; reuse rr_prev.
+                let fe = BeatFeatureExtractor::new(FeatureConfig {
+                    pre_samples: 0,
+                    post_samples: window.len(),
+                    ..*fc
+                });
+                let _ = fe; // window already materialized; extract directly
+                self.counters.classified_beats += 1;
+                self.features
+                    .extract(&window, fc.pre_samples, rr_prev, rr_prev)
+                    .map(|f| clf.predict(&f))
+                    .unwrap_or(0)
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+        self.event_class_counts[class.min(3)] += 1;
+        self.event_beats += 1;
+        if let Some(prev) = self.last_beat_r {
+            if r > prev {
+                self.event_rr_sum_s += (r - prev) as f64 / self.cfg.fs_hz as f64;
+            }
+        }
+        self.last_beat_r = Some(r);
+        // AF tracking.
+        self.af_beats.push(AfBeat {
+            r_sample: r,
+            has_p: beat.has_p(),
+        });
+        if self.af_beats.len() > 512 {
+            self.af_beats.drain(..256);
+        }
+        let windows = self.af.analyze(&self.af_beats);
+        self.counters.af_windows = windows.len() as u64;
+        let now_active = windows.last().map(|w| w.is_af).unwrap_or(false);
+        let started = now_active && !self.af_active;
+        self.af_active = now_active;
+        started
+    }
+
+    fn emit_events(&mut self) -> Payload {
+        let n = self.event_beats.max(1);
+        let mean_rr = self.event_rr_sum_s / n as f64;
+        let mean_hr_x10 = if mean_rr > 0.0 {
+            (600.0 / mean_rr) as u16
+        } else {
+            0
+        };
+        let windows = self.af.analyze(&self.af_beats);
+        let burden = AfDetector::af_burden(&windows);
+        let p = Payload::Events {
+            n_beats: self.event_beats,
+            class_counts: self.event_class_counts,
+            mean_hr_x10,
+            af_burden_pct: (burden * 100.0) as u8,
+            af_active: self.af_active,
+        };
+        self.event_class_counts = [0; 4];
+        self.event_beats = 0;
+        self.event_rr_sum_s = 0.0;
+        self.last_event_at = self.n_pushed as f64 / self.cfg.fs_hz as f64;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsn_ecg_synth::noise::NoiseConfig;
+    use wbsn_ecg_synth::{RecordBuilder, Rhythm};
+
+    fn record(seed: u64, secs: f64) -> Record {
+        RecordBuilder::new(seed)
+            .duration_s(secs)
+            .n_leads(3)
+            .noise(NoiseConfig::ambulatory(22.0))
+            .build()
+    }
+
+    fn run_level(level: ProcessingLevel, secs: f64) -> (Vec<Payload>, ActivityCounters) {
+        let rec = record(42, secs);
+        let mut m = CardiacMonitor::new(MonitorConfig {
+            level,
+            ..MonitorConfig::default()
+        })
+        .unwrap();
+        let p = m.process_record(&rec);
+        (p, *m.counters())
+    }
+
+    #[test]
+    fn raw_streaming_emits_all_samples() {
+        let (payloads, c) = run_level(ProcessingLevel::RawStreaming, 5.0);
+        let total: usize = payloads
+            .iter()
+            .map(|p| match p {
+                Payload::RawChunk { samples, .. } => samples.len(),
+                _ => panic!("unexpected payload"),
+            })
+            .sum();
+        assert_eq!(total, 3 * 1250);
+        assert!(c.payload_bytes > 5000);
+    }
+
+    #[test]
+    fn compressed_emits_windows_with_fewer_bytes_than_raw() {
+        let (raw, _) = run_level(ProcessingLevel::RawStreaming, 10.0);
+        let (cs, c) = run_level(ProcessingLevel::CompressedSingleLead, 10.0);
+        let raw_bytes: usize = raw.iter().map(Payload::byte_len).sum();
+        let cs_bytes: usize = cs.iter().map(Payload::byte_len).sum();
+        assert!(
+            (cs_bytes as f64) < 0.55 * raw_bytes as f64,
+            "cs {cs_bytes} raw {raw_bytes}"
+        );
+        assert!(c.cs_windows >= 12, "windows {}", c.cs_windows);
+        assert!(c.cs_adds > 0);
+    }
+
+    #[test]
+    fn delineated_emits_beats() {
+        let (payloads, c) = run_level(ProcessingLevel::Delineated, 20.0);
+        let beats: usize = payloads
+            .iter()
+            .map(|p| match p {
+                Payload::Beats { beats } => beats.len(),
+                _ => 0,
+            })
+            .sum();
+        // ~23 beats at 70 bpm in 20 s minus warm-up.
+        assert!(beats >= 15, "beats {beats}");
+        assert_eq!(c.beats as usize, beats);
+        // Far fewer bytes than compressed.
+        assert!(c.payload_bytes < 1000, "bytes {}", c.payload_bytes);
+    }
+
+    #[test]
+    fn classified_emits_event_summaries() {
+        let (payloads, c) = run_level(ProcessingLevel::Classified, 30.0);
+        let events: Vec<_> = payloads
+            .iter()
+            .filter_map(|p| match p {
+                Payload::Events { n_beats, .. } => Some(*n_beats),
+                _ => None,
+            })
+            .collect();
+        assert!(!events.is_empty());
+        let total_beats: u32 = events.iter().sum();
+        assert!(total_beats >= 20, "beats {total_beats}");
+        assert!(c.payload_bytes < 200, "bytes {}", c.payload_bytes);
+    }
+
+    #[test]
+    fn bytes_decrease_with_abstraction_level() {
+        let mut last = u64::MAX;
+        for level in [
+            ProcessingLevel::RawStreaming,
+            ProcessingLevel::CompressedSingleLead,
+            ProcessingLevel::Delineated,
+            ProcessingLevel::Classified,
+        ] {
+            let (_, c) = run_level(level, 20.0);
+            assert!(
+                c.payload_bytes < last,
+                "{level}: {} not below {last}",
+                c.payload_bytes
+            );
+            last = c.payload_bytes;
+        }
+    }
+
+    #[test]
+    fn af_alert_fires_on_af_record() {
+        let rec = RecordBuilder::new(7)
+            .duration_s(60.0)
+            .n_leads(3)
+            .rhythm(Rhythm::AtrialFibrillation { mean_hr_bpm: 95.0 })
+            .noise(NoiseConfig::ambulatory(20.0))
+            .build();
+        let mut m = CardiacMonitor::new(MonitorConfig {
+            level: ProcessingLevel::Classified,
+            ..MonitorConfig::default()
+        })
+        .unwrap();
+        let payloads = m.process_record(&rec);
+        let af_seen = payloads.iter().any(|p| match p {
+            Payload::Events {
+                af_active,
+                af_burden_pct,
+                ..
+            } => *af_active || *af_burden_pct > 50,
+            _ => false,
+        });
+        assert!(af_seen, "AF should be reported");
+    }
+
+    #[test]
+    fn classifier_is_used_when_provided() {
+        use wbsn_classify::fuzzy::MembershipMode;
+        // Trivial 2-class classifier (features all near zero -> class 0).
+        let dims = BeatFeatureExtractor::new(FeatureConfig::default())
+            .unwrap()
+            .dims();
+        let xs: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![if i < 4 { 0.0 } else { 5.0 }; dims])
+            .collect();
+        let ys = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let clf = FuzzyClassifier::train(&xs, &ys, MembershipMode::PiecewiseLinear).unwrap();
+        let rec = record(9, 20.0);
+        let mut m = CardiacMonitor::new(MonitorConfig {
+            level: ProcessingLevel::Classified,
+            classifier: Some(clf),
+            ..MonitorConfig::default()
+        })
+        .unwrap();
+        let _ = m.process_record(&rec);
+        assert!(m.counters().classified_beats > 10);
+    }
+
+    #[test]
+    fn rejects_zero_leads() {
+        assert!(CardiacMonitor::new(MonitorConfig {
+            n_leads: 0,
+            ..MonitorConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn counters_track_seconds() {
+        let (_, c) = run_level(ProcessingLevel::Delineated, 10.0);
+        assert!((c.seconds - 10.0).abs() < 0.1, "seconds {}", c.seconds);
+        assert_eq!(c.samples_in, 3 * 2500);
+    }
+}

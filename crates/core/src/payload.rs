@@ -1,0 +1,343 @@
+//! On-air payload formats with exact byte costs.
+//!
+//! The energy model charges the radio by the byte, so payload encoding
+//! *is* part of the system model. Formats use explicit little-endian
+//! byte codecs (what the node firmware would do) rather than a serde
+//! dependency; every format round-trips through `encode`/`decode` in
+//! tests.
+
+use wbsn_delineation::BeatFiducials;
+
+/// A unit of data handed to the radio.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Raw sample chunk of one lead (12-bit samples packed 2-per-3-bytes).
+    RawChunk {
+        /// Lead index.
+        lead: u8,
+        /// Samples in ADC counts.
+        samples: Vec<i16>,
+    },
+    /// One compressively-sensed window of one lead.
+    CsWindow {
+        /// Lead index.
+        lead: u8,
+        /// Window sequence number (decoder regenerates Φ from this +
+        /// the shared seed).
+        window_seq: u32,
+        /// Measurements, 16-bit saturated.
+        measurements: Vec<i16>,
+    },
+    /// A batch of delineated beats.
+    Beats {
+        /// Delineated fiducials, absolute sample indices.
+        beats: Vec<BeatFiducials>,
+    },
+    /// Aggregated events (classification + rhythm).
+    Events {
+        /// Beats observed since the last event payload.
+        n_beats: u32,
+        /// Count per class index.
+        class_counts: [u32; 4],
+        /// Mean heart rate (bpm, ×10 fixed point).
+        mean_hr_x10: u16,
+        /// AF burden of the reporting interval (%, 0–100).
+        af_burden_pct: u8,
+        /// True when an AF episode is ongoing.
+        af_active: bool,
+    },
+}
+
+impl Payload {
+    /// Serialized size in bytes — what the radio model is charged.
+    pub fn byte_len(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Encodes to the on-air byte format (1 tag byte + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Payload::RawChunk { lead, samples } => {
+                out.push(0x01);
+                out.push(*lead);
+                out.extend((samples.len() as u16).to_le_bytes());
+                // Pack two 12-bit samples into 3 bytes.
+                let mut it = samples.chunks(2);
+                for pair in &mut it {
+                    let a = (pair[0].clamp(-2048, 2047) + 2048) as u16;
+                    let b = pair
+                        .get(1)
+                        .map(|&v| (v.clamp(-2048, 2047) + 2048) as u16)
+                        .unwrap_or(0);
+                    out.push((a & 0xFF) as u8);
+                    out.push(((a >> 8) as u8 & 0x0F) | (((b & 0x0F) as u8) << 4));
+                    out.push((b >> 4) as u8);
+                }
+            }
+            Payload::CsWindow {
+                lead,
+                window_seq,
+                measurements,
+            } => {
+                out.push(0x02);
+                out.push(*lead);
+                out.extend(window_seq.to_le_bytes());
+                out.extend((measurements.len() as u16).to_le_bytes());
+                for m in measurements {
+                    out.extend(m.to_le_bytes());
+                }
+            }
+            Payload::Beats { beats } => {
+                out.push(0x03);
+                out.extend((beats.len() as u16).to_le_bytes());
+                for b in beats {
+                    out.extend((b.r_peak as u32).to_le_bytes());
+                    // Eight optional fiducials as signed 8-bit offsets
+                    // from R in 4-sample units; -128 = absent.
+                    for f in [
+                        b.p_on, b.p_peak, b.p_off, b.qrs_on, b.qrs_off, b.t_on, b.t_peak,
+                        b.t_off,
+                    ] {
+                        let code = match f {
+                            None => -128i8,
+                            Some(s) => {
+                                let off = (s as i64 - b.r_peak as i64) / 4;
+                                off.clamp(-127, 127) as i8
+                            }
+                        };
+                        out.push(code as u8);
+                    }
+                }
+            }
+            Payload::Events {
+                n_beats,
+                class_counts,
+                mean_hr_x10,
+                af_burden_pct,
+                af_active,
+            } => {
+                out.push(0x04);
+                out.extend(n_beats.to_le_bytes());
+                for c in class_counts {
+                    out.extend(c.to_le_bytes());
+                }
+                out.extend(mean_hr_x10.to_le_bytes());
+                out.push(*af_burden_pct);
+                out.push(u8::from(*af_active));
+            }
+        }
+        out
+    }
+
+    /// Decodes an encoded payload (base-station side; lossy fields —
+    /// the quantized fiducial offsets — come back quantized).
+    ///
+    /// Returns `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<Payload> {
+        let (&tag, rest) = bytes.split_first()?;
+        match tag {
+            0x01 => {
+                let lead = *rest.first()?;
+                let n = u16::from_le_bytes([*rest.get(1)?, *rest.get(2)?]) as usize;
+                let body = &rest[3..];
+                let mut samples = Vec::with_capacity(n);
+                for chunk in body.chunks(3) {
+                    if samples.len() >= n {
+                        break;
+                    }
+                    if chunk.len() < 3 {
+                        return None;
+                    }
+                    let a = (chunk[0] as u16 | ((chunk[1] as u16 & 0x0F) << 8)) as i16 - 2048;
+                    samples.push(a);
+                    if samples.len() < n {
+                        let b =
+                            (((chunk[1] as u16) >> 4) | ((chunk[2] as u16) << 4)) as i16 - 2048;
+                        samples.push(b);
+                    }
+                }
+                (samples.len() == n).then_some(Payload::RawChunk { lead, samples })
+            }
+            0x02 => {
+                let lead = *rest.first()?;
+                let window_seq =
+                    u32::from_le_bytes([*rest.get(1)?, *rest.get(2)?, *rest.get(3)?, *rest.get(4)?]);
+                let n = u16::from_le_bytes([*rest.get(5)?, *rest.get(6)?]) as usize;
+                let body = &rest[7..];
+                if body.len() < 2 * n {
+                    return None;
+                }
+                let measurements = body[..2 * n]
+                    .chunks(2)
+                    .map(|c| i16::from_le_bytes([c[0], c[1]]))
+                    .collect();
+                Some(Payload::CsWindow {
+                    lead,
+                    window_seq,
+                    measurements,
+                })
+            }
+            0x03 => {
+                let n = u16::from_le_bytes([*rest.first()?, *rest.get(1)?]) as usize;
+                let mut body = &rest[2..];
+                let mut beats = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if body.len() < 12 {
+                        return None;
+                    }
+                    let r = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
+                    let mut b = BeatFiducials::new(r);
+                    let fields: [&mut Option<usize>; 8] = [
+                        &mut b.p_on,
+                        &mut b.p_peak,
+                        &mut b.p_off,
+                        &mut b.qrs_on,
+                        &mut b.qrs_off,
+                        &mut b.t_on,
+                        &mut b.t_peak,
+                        &mut b.t_off,
+                    ];
+                    for (i, slot) in fields.into_iter().enumerate() {
+                        let code = body[4 + i] as i8;
+                        if code != -128 {
+                            let s = r as i64 + code as i64 * 4;
+                            if s >= 0 {
+                                *slot = Some(s as usize);
+                            }
+                        }
+                    }
+                    beats.push(b);
+                    body = &body[12..];
+                }
+                Some(Payload::Beats { beats })
+            }
+            0x04 => {
+                if rest.len() < 4 + 16 + 2 + 2 {
+                    return None;
+                }
+                let n_beats = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+                let mut class_counts = [0u32; 4];
+                for (i, c) in class_counts.iter_mut().enumerate() {
+                    let o = 4 + 4 * i;
+                    *c = u32::from_le_bytes([rest[o], rest[o + 1], rest[o + 2], rest[o + 3]]);
+                }
+                let mean_hr_x10 = u16::from_le_bytes([rest[20], rest[21]]);
+                Some(Payload::Events {
+                    n_beats,
+                    class_counts,
+                    mean_hr_x10,
+                    af_burden_pct: rest[22],
+                    af_active: rest[23] != 0,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_chunk_round_trips() {
+        let samples: Vec<i16> = (-20..21).map(|v| v * 50).collect();
+        let p = Payload::RawChunk {
+            lead: 2,
+            samples: samples.clone(),
+        };
+        let decoded = Payload::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
+        // 41 samples * 1.5 bytes + 4 header ≈ 67.
+        assert!(p.byte_len() <= 4 + 63 + 1, "{}", p.byte_len());
+    }
+
+    #[test]
+    fn raw_chunk_is_twelve_bits_per_sample() {
+        let p = Payload::RawChunk {
+            lead: 0,
+            samples: vec![100; 100],
+        };
+        // 100 samples -> 150 bytes body + 4 header.
+        assert_eq!(p.byte_len(), 154);
+    }
+
+    #[test]
+    fn cs_window_round_trips() {
+        let p = Payload::CsWindow {
+            lead: 1,
+            window_seq: 77,
+            measurements: (0..64).map(|i| (i * 37 - 900) as i16).collect(),
+        };
+        assert_eq!(Payload::decode(&p.encode()).unwrap(), p);
+        assert_eq!(p.byte_len(), 1 + 1 + 4 + 2 + 128);
+    }
+
+    #[test]
+    fn beats_round_trip_with_quantization() {
+        let mut b = BeatFiducials::new(10_000);
+        b.p_peak = Some(10_000 - 44); // -11 units exact
+        b.t_peak = Some(10_000 + 80); // +20 units exact
+        b.qrs_on = Some(10_000 - 13); // -3.25 -> quantized
+        let p = Payload::Beats {
+            beats: vec![b],
+        };
+        let decoded = Payload::decode(&p.encode()).unwrap();
+        let Payload::Beats { beats } = decoded else {
+            panic!("wrong variant");
+        };
+        assert_eq!(beats[0].r_peak, 10_000);
+        assert_eq!(beats[0].p_peak, Some(10_000 - 44));
+        assert_eq!(beats[0].t_peak, Some(10_000 + 80));
+        // Quantized to 4-sample grid.
+        let q = beats[0].qrs_on.unwrap();
+        assert!(q.abs_diff(10_000 - 13) <= 3);
+        // Absent fiducials stay absent.
+        assert!(beats[0].p_on.is_none());
+        // 12 bytes per beat + 3 header.
+        assert_eq!(p.byte_len(), 15);
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let p = Payload::Events {
+            n_beats: 71,
+            class_counts: [60, 8, 3, 0],
+            mean_hr_x10: 724,
+            af_burden_pct: 15,
+            af_active: false,
+        };
+        assert_eq!(Payload::decode(&p.encode()).unwrap(), p);
+        assert_eq!(p.byte_len(), 25);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(Payload::decode(&[]).is_none());
+        assert!(Payload::decode(&[0x99, 1, 2]).is_none());
+        assert!(Payload::decode(&[0x02, 0]).is_none());
+        // Truncated beats payload.
+        let p = Payload::Beats {
+            beats: vec![BeatFiducials::new(5)],
+        };
+        let mut bytes = p.encode();
+        bytes.truncate(bytes.len() - 2);
+        assert!(Payload::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn events_payload_is_tiny_compared_to_raw() {
+        // One second of raw 3-lead data vs one 10 s event summary.
+        let raw_bytes_per_s = 3.0 * 250.0 * 1.5;
+        let events = Payload::Events {
+            n_beats: 12,
+            class_counts: [12, 0, 0, 0],
+            mean_hr_x10: 720,
+            af_burden_pct: 0,
+            af_active: false,
+        };
+        let events_bytes_per_s = events.byte_len() as f64 / 10.0;
+        assert!(raw_bytes_per_s / events_bytes_per_s > 100.0);
+    }
+}

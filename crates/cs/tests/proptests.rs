@@ -1,0 +1,55 @@
+//! Property-based tests on the compressed-sensing stack.
+
+use proptest::prelude::*;
+use wbsn_cs::encoder::CsEncoder;
+use wbsn_cs::solver::soft_threshold;
+use wbsn_cs::{compression_ratio, measurements_for_cr};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn soft_threshold_shrinks_towards_zero(v in -1e6f64..1e6, t in 0.0f64..1e5) {
+        let s = soft_threshold(v, t);
+        // Never overshoots zero and never grows the magnitude.
+        prop_assert!(s.abs() <= v.abs());
+        prop_assert!(s == 0.0 || s.signum() == v.signum());
+        // Shrinks by exactly t outside the dead zone.
+        if v.abs() > t {
+            prop_assert!((s.abs() - (v.abs() - t)).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn cr_measurement_inverse(n in 32usize..2048, cr in 0.0f64..100.0) {
+        let m = measurements_for_cr(n, cr);
+        prop_assert!(m >= 1 && m <= n);
+        let back = compression_ratio(n, m);
+        // Round trip within one measurement of quantization.
+        prop_assert!((back - cr).abs() <= 100.0 / n as f64 + 1e-9);
+    }
+
+    #[test]
+    fn encoder_is_linear(seed in 0u64..500) {
+        let enc = CsEncoder::new(64, 32, 3, seed).unwrap();
+        let x1: Vec<i32> = (0..64).map(|i| ((i * 31 + seed as usize) % 101) as i32 - 50).collect();
+        let x2: Vec<i32> = (0..64).map(|i| ((i * 17 + seed as usize) % 89) as i32 - 44).collect();
+        let sum: Vec<i32> = x1.iter().zip(&x2).map(|(a, b)| a + b).collect();
+        let y1 = enc.encode(&x1).unwrap();
+        let y2 = enc.encode(&x2).unwrap();
+        let ys = enc.encode(&sum).unwrap();
+        for i in 0..32 {
+            prop_assert_eq!(ys[i], y1[i] + y2[i]);
+        }
+    }
+
+    #[test]
+    fn encoder_zero_maps_to_zero(seed in 0u64..100, n_exp in 5u32..9) {
+        let n = 1usize << n_exp;
+        let enc = CsEncoder::new(n, n / 2, 4, seed).unwrap();
+        let y = enc.encode(&vec![0; n]).unwrap();
+        prop_assert!(y.iter().all(|&v| v == 0));
+    }
+}

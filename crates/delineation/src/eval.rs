@@ -1,0 +1,324 @@
+//! Tolerance-window scoring of delineation quality.
+//!
+//! Reproduces the evaluation behind the paper's claim that "the
+//! measured sensitivity and specificity of retrieved fiducial points
+//! are above 90% in all cases". A detected fiducial matches a ground
+//! truth point of the same kind when they fall within a per-kind
+//! tolerance window; sensitivity is `TP/(TP+FN)` and precision
+//! (reported as "specificity" in this literature) is `TP/(TP+FP)`.
+
+use crate::fiducials::{BeatFiducials, FiducialKind};
+
+/// Per-kind matching tolerances in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// R-peak tolerance.
+    pub r_peak_ms: f64,
+    /// P/T peak tolerance.
+    pub wave_peak_ms: f64,
+    /// Onset/offset tolerance.
+    pub boundary_ms: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        // In line with common QT-DB delineation scoring practice.
+        Tolerances {
+            r_peak_ms: 40.0,
+            wave_peak_ms: 60.0,
+            boundary_ms: 80.0,
+        }
+    }
+}
+
+impl Tolerances {
+    /// Tolerance in samples for a given fiducial kind.
+    pub fn samples_for(&self, kind: FiducialKind, fs_hz: u32) -> usize {
+        let ms = match kind {
+            FiducialKind::RPeak => self.r_peak_ms,
+            FiducialKind::PPeak | FiducialKind::TPeak => self.wave_peak_ms,
+            _ => self.boundary_ms,
+        };
+        ((ms / 1000.0) * fs_hz as f64).round() as usize
+    }
+}
+
+/// Counts and error statistics for one fiducial kind.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FiducialScore {
+    /// True positives.
+    pub tp: usize,
+    /// False positives (detected, unmatched).
+    pub fp: usize,
+    /// False negatives (truth, unmatched).
+    pub fn_: usize,
+    /// Sum of |error| in samples over matched pairs.
+    pub abs_err_sum: usize,
+}
+
+impl FiducialScore {
+    /// Sensitivity `TP/(TP+FN)`; 1.0 when there is no truth.
+    pub fn sensitivity(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Precision `TP/(TP+FP)` (the "specificity" of the delineation
+    /// literature); 1.0 when nothing was detected.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Mean absolute timing error in milliseconds of matched pairs.
+    pub fn mean_abs_err_ms(&self, fs_hz: u32) -> f64 {
+        if self.tp == 0 {
+            0.0
+        } else {
+            self.abs_err_sum as f64 / self.tp as f64 / fs_hz as f64 * 1000.0
+        }
+    }
+}
+
+/// Full delineation scorecard: one [`FiducialScore`] per kind.
+#[derive(Debug, Clone, Default)]
+pub struct DelineationReport {
+    scores: Vec<(FiducialKind, FiducialScore)>,
+    fs_hz: u32,
+}
+
+impl DelineationReport {
+    /// Score for one kind.
+    pub fn score(&self, kind: FiducialKind) -> FiducialScore {
+        self.scores
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    /// All `(kind, score)` pairs in temporal order.
+    pub fn scores(&self) -> &[(FiducialKind, FiducialScore)] {
+        &self.scores
+    }
+
+    /// Sampling rate the report was computed at.
+    pub fn fs_hz(&self) -> u32 {
+        self.fs_hz
+    }
+
+    /// Worst sensitivity across kinds that have truth points.
+    pub fn min_sensitivity(&self) -> f64 {
+        self.scores
+            .iter()
+            .filter(|(_, s)| s.tp + s.fn_ > 0)
+            .map(|(_, s)| s.sensitivity())
+            .fold(1.0, f64::min)
+    }
+
+    /// Worst precision across kinds that have detections.
+    pub fn min_precision(&self) -> f64 {
+        self.scores
+            .iter()
+            .filter(|(_, s)| s.tp + s.fp > 0)
+            .map(|(_, s)| s.precision())
+            .fold(1.0, f64::min)
+    }
+
+    /// Merges another report (same fs) into this one (summed counts).
+    pub fn merge(&mut self, other: &DelineationReport) {
+        for (kind, s) in &other.scores {
+            if let Some((_, mine)) = self.scores.iter_mut().find(|(k, _)| k == kind) {
+                mine.tp += s.tp;
+                mine.fp += s.fp;
+                mine.fn_ += s.fn_;
+                mine.abs_err_sum += s.abs_err_sum;
+            } else {
+                self.scores.push((*kind, *s));
+            }
+        }
+        if self.fs_hz == 0 {
+            self.fs_hz = other.fs_hz;
+        }
+    }
+}
+
+/// Evaluates detected fiducials against ground truth.
+///
+/// `skip_edge_s` excludes truth and detections within that many seconds
+/// of the record edges (detectors have warm-up and look-ahead).
+pub fn evaluate(
+    detected: &[BeatFiducials],
+    truth: &[BeatFiducials],
+    fs_hz: u32,
+    n_samples: usize,
+    tol: &Tolerances,
+    skip_edge_s: f64,
+) -> DelineationReport {
+    let lo = (skip_edge_s * fs_hz as f64) as usize;
+    let hi = n_samples.saturating_sub(lo);
+    let mut scores = Vec::new();
+    for kind in FiducialKind::ALL {
+        let t = tol.samples_for(kind, fs_hz);
+        let mut det: Vec<usize> = detected
+            .iter()
+            .filter_map(|b| b.get(kind))
+            .filter(|&s| s >= lo && s < hi)
+            .collect();
+        let mut tru: Vec<usize> = truth
+            .iter()
+            .filter_map(|b| b.get(kind))
+            .filter(|&s| s >= lo && s < hi)
+            .collect();
+        det.sort_unstable();
+        tru.sort_unstable();
+        let mut matched_det = vec![false; det.len()];
+        let mut score = FiducialScore::default();
+        for &ts in &tru {
+            // Closest unmatched detection within tolerance.
+            let best = det
+                .iter()
+                .enumerate()
+                .filter(|&(i, &d)| !matched_det[i] && d.abs_diff(ts) <= t)
+                .min_by_key(|&(_, &d)| d.abs_diff(ts));
+            if let Some((i, &d)) = best {
+                matched_det[i] = true;
+                score.tp += 1;
+                score.abs_err_sum += d.abs_diff(ts);
+            } else {
+                score.fn_ += 1;
+            }
+        }
+        score.fp = matched_det.iter().filter(|&&m| !m).count();
+        scores.push((kind, score));
+    }
+    DelineationReport { scores, fs_hz }
+}
+
+/// Builds ground-truth [`BeatFiducials`] from flat
+/// `(kind, sample, beat_index)` triples (the shape record annotations
+/// arrive in).
+pub fn truth_from_triples(triples: &[(FiducialKind, usize, usize)]) -> Vec<BeatFiducials> {
+    let max_beat = triples.iter().map(|&(_, _, b)| b).max().map_or(0, |m| m + 1);
+    let mut beats = vec![BeatFiducials::default(); max_beat];
+    let mut seen_r = vec![false; max_beat];
+    for &(kind, sample, beat) in triples {
+        beats[beat].set(kind, sample);
+        if kind == FiducialKind::RPeak {
+            seen_r[beat] = true;
+        }
+    }
+    beats
+        .into_iter()
+        .zip(seen_r)
+        .filter(|&(_, has_r)| has_r)
+        .map(|(b, _)| b)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beat(r: usize) -> BeatFiducials {
+        let mut b = BeatFiducials::new(r);
+        b.set(FiducialKind::PPeak, r - 45);
+        b.set(FiducialKind::TPeak, r + 75);
+        b
+    }
+
+    #[test]
+    fn perfect_match_scores_unity() {
+        let truth: Vec<_> = (1..10).map(|k| beat(k * 250)).collect();
+        let rep = evaluate(&truth, &truth, 250, 2600, &Tolerances::default(), 0.0);
+        assert_eq!(rep.min_sensitivity(), 1.0);
+        assert_eq!(rep.min_precision(), 1.0);
+        assert_eq!(rep.score(FiducialKind::RPeak).tp, 9);
+    }
+
+    #[test]
+    fn misses_and_extras_are_counted() {
+        let truth: Vec<_> = (1..=4).map(|k| beat(k * 250)).collect();
+        // Drop one beat, add one spurious.
+        let mut det: Vec<_> = truth[..3].to_vec();
+        det.push(BeatFiducials::new(617)); // spurious R only
+        let rep = evaluate(&det, &truth, 250, 1300, &Tolerances::default(), 0.0);
+        let r = rep.score(FiducialKind::RPeak);
+        assert_eq!(r.tp, 3);
+        assert_eq!(r.fn_, 1);
+        assert_eq!(r.fp, 1);
+        assert!((r.sensitivity() - 0.75).abs() < 1e-12);
+        assert!((r.precision() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_window_controls_matching() {
+        let truth = vec![beat(500)];
+        let mut det = vec![beat(500)];
+        det[0].r_peak = 500 + 15; // 60 ms at 250 Hz
+        let tight = Tolerances {
+            r_peak_ms: 40.0,
+            ..Tolerances::default()
+        };
+        let loose = Tolerances {
+            r_peak_ms: 80.0,
+            ..Tolerances::default()
+        };
+        let rep_tight = evaluate(&det, &truth, 250, 1000, &tight, 0.0);
+        let rep_loose = evaluate(&det, &truth, 250, 1000, &loose, 0.0);
+        assert_eq!(rep_tight.score(FiducialKind::RPeak).tp, 0);
+        assert_eq!(rep_loose.score(FiducialKind::RPeak).tp, 1);
+    }
+
+    #[test]
+    fn edge_skip_excludes_boundary_beats() {
+        let truth: Vec<_> = vec![beat(100), beat(1000)];
+        let det = vec![beat(1000)];
+        // Beat at 100 (0.4 s) is inside the 2 s skip zone => not a FN.
+        let rep = evaluate(&det, &truth, 250, 2000, &Tolerances::default(), 2.0);
+        let r = rep.score(FiducialKind::RPeak);
+        assert_eq!(r.fn_, 0);
+        assert_eq!(r.tp, 1);
+    }
+
+    #[test]
+    fn mean_error_is_reported_in_ms() {
+        let truth = vec![beat(500)];
+        let mut det = vec![beat(500)];
+        det[0].r_peak = 505; // 5 samples = 20 ms at 250 Hz
+        let rep = evaluate(&det, &truth, 250, 1000, &Tolerances::default(), 0.0);
+        assert!((rep.score(FiducialKind::RPeak).mean_abs_err_ms(250) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let truth = vec![beat(500)];
+        let mut a = evaluate(&truth, &truth, 250, 1000, &Tolerances::default(), 0.0);
+        let b = evaluate(&[], &truth, 250, 1000, &Tolerances::default(), 0.0);
+        a.merge(&b);
+        let r = a.score(FiducialKind::RPeak);
+        assert_eq!(r.tp, 1);
+        assert_eq!(r.fn_, 1);
+    }
+
+    #[test]
+    fn truth_from_triples_groups_by_beat() {
+        let triples = vec![
+            (FiducialKind::RPeak, 100, 0),
+            (FiducialKind::TPeak, 160, 0),
+            (FiducialKind::RPeak, 350, 1),
+        ];
+        let beats = truth_from_triples(&triples);
+        assert_eq!(beats.len(), 2);
+        assert_eq!(beats[0].r_peak, 100);
+        assert_eq!(beats[0].t_peak, Some(160));
+        assert_eq!(beats[1].r_peak, 350);
+        assert!(beats[1].t_peak.is_none());
+    }
+}

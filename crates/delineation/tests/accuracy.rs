@@ -1,0 +1,185 @@
+//! End-to-end delineation accuracy on annotated synthetic records —
+//! validation of the paper's ">90% sensitivity and specificity" claim
+//! (Section V) at development time. The full experiment lives in the
+//! bench crate (`text_delineation_quality`).
+
+use wbsn_delineation::eval::{evaluate, truth_from_triples, Tolerances};
+use wbsn_delineation::{
+    FiducialKind, MmdDelineator, QrsDetector, WaveletDelineator,
+};
+use wbsn_delineation::mmd::MmdConfig;
+use wbsn_delineation::qrs::QrsConfig;
+use wbsn_delineation::wavelet::WaveletConfig;
+use wbsn_ecg_synth::{FiducialKind as TruthKind, Record, RecordBuilder, Rhythm};
+use wbsn_ecg_synth::noise::NoiseConfig;
+
+fn truth_of(rec: &Record) -> Vec<wbsn_delineation::BeatFiducials> {
+    let triples: Vec<(FiducialKind, usize, usize)> = rec
+        .annotations()
+        .iter()
+        .map(|a| (map_kind(a.kind), a.sample, a.beat_index))
+        .collect();
+    truth_from_triples(&triples)
+}
+
+fn map_kind(k: TruthKind) -> FiducialKind {
+    match k {
+        TruthKind::POn => FiducialKind::POn,
+        TruthKind::PPeak => FiducialKind::PPeak,
+        TruthKind::POff => FiducialKind::POff,
+        TruthKind::QrsOn => FiducialKind::QrsOn,
+        TruthKind::RPeak => FiducialKind::RPeak,
+        TruthKind::QrsOff => FiducialKind::QrsOff,
+        TruthKind::TOn => FiducialKind::TOn,
+        TruthKind::TPeak => FiducialKind::TPeak,
+        TruthKind::TOff => FiducialKind::TOff,
+    }
+}
+
+fn run_wavelet(rec: &Record) -> Vec<wbsn_delineation::BeatFiducials> {
+    let lead = rec.lead(0);
+    let r = QrsDetector::detect(lead, QrsConfig::default()).unwrap();
+    WaveletDelineator::new(WaveletConfig::default())
+        .unwrap()
+        .delineate(lead, &r)
+}
+
+fn run_mmd(rec: &Record) -> Vec<wbsn_delineation::BeatFiducials> {
+    let lead = rec.lead(0);
+    let r = QrsDetector::detect(lead, QrsConfig::default()).unwrap();
+    MmdDelineator::new(MmdConfig::default())
+        .unwrap()
+        .delineate(lead, &r)
+}
+
+#[test]
+fn wavelet_delineation_above_90_percent_clean() {
+    let rec = RecordBuilder::new(400)
+        .duration_s(60.0)
+        .rhythm(Rhythm::NormalSinus { mean_hr_bpm: 72.0 })
+        .noise(NoiseConfig::ambulatory(25.0))
+        .build();
+    let det = run_wavelet(&rec);
+    let rep = evaluate(
+        &det,
+        &truth_of(&rec),
+        rec.fs(),
+        rec.n_samples(),
+        &Tolerances::default(),
+        3.0,
+    );
+    for (kind, score) in rep.scores() {
+        assert!(
+            score.sensitivity() > 0.90,
+            "{kind}: Se {:.3}",
+            score.sensitivity()
+        );
+        assert!(
+            score.precision() > 0.90,
+            "{kind}: P+ {:.3}",
+            score.precision()
+        );
+    }
+}
+
+#[test]
+fn wavelet_delineation_degrades_gracefully_at_10db() {
+    let rec = RecordBuilder::new(401)
+        .duration_s(60.0)
+        .rhythm(Rhythm::NormalSinus { mean_hr_bpm: 65.0 })
+        .noise(NoiseConfig::ambulatory(10.0))
+        .build();
+    let det = run_wavelet(&rec);
+    let rep = evaluate(
+        &det,
+        &truth_of(&rec),
+        rec.fs(),
+        rec.n_samples(),
+        &Tolerances::default(),
+        3.0,
+    );
+    // R peaks must stay reliable even at 10 dB.
+    let r = rep.score(FiducialKind::RPeak);
+    assert!(r.sensitivity() > 0.90, "R Se {:.3}", r.sensitivity());
+    assert!(r.precision() > 0.90, "R P+ {:.3}", r.precision());
+}
+
+#[test]
+fn mmd_delineation_above_85_percent_clean() {
+    let rec = RecordBuilder::new(402)
+        .duration_s(60.0)
+        .rhythm(Rhythm::NormalSinus { mean_hr_bpm: 80.0 })
+        .noise(NoiseConfig::ambulatory(25.0))
+        .build();
+    let det = run_mmd(&rec);
+    let rep = evaluate(
+        &det,
+        &truth_of(&rec),
+        rec.fs(),
+        rec.n_samples(),
+        &Tolerances::default(),
+        3.0,
+    );
+    let r = rep.score(FiducialKind::RPeak);
+    assert!(r.sensitivity() > 0.90, "R Se {:.3}", r.sensitivity());
+    for kind in [FiducialKind::PPeak, FiducialKind::TPeak] {
+        let s = rep.score(kind);
+        assert!(s.sensitivity() > 0.85, "{kind} Se {:.3}", s.sensitivity());
+        assert!(s.precision() > 0.85, "{kind} P+ {:.3}", s.precision());
+    }
+}
+
+#[test]
+fn pvc_beats_do_not_get_p_waves() {
+    let rec = RecordBuilder::new(403)
+        .duration_s(120.0)
+        .rhythm(Rhythm::SinusWithEctopy {
+            mean_hr_bpm: 70.0,
+            pvc_rate: 0.12,
+            apc_rate: 0.0,
+        })
+        .noise(NoiseConfig::ambulatory(22.0))
+        .build();
+    let det = run_wavelet(&rec);
+    // Count detected P waves near PVC beats (truth: PVC has no P).
+    let fs = rec.fs() as usize;
+    let pvc_rs: Vec<usize> = rec
+        .beats()
+        .iter()
+        .filter(|b| b.beat_type == wbsn_ecg_synth::BeatType::Pvc)
+        .map(|b| b.r_sample)
+        .collect();
+    assert!(pvc_rs.len() >= 5, "need PVCs, got {}", pvc_rs.len());
+    let mut pvc_with_p = 0usize;
+    let mut pvc_matched = 0usize;
+    for &r in &pvc_rs {
+        if let Some(b) = det.iter().find(|b| b.r_peak.abs_diff(r) < fs / 10) {
+            pvc_matched += 1;
+            if b.has_p() {
+                pvc_with_p += 1;
+            }
+        }
+    }
+    assert!(pvc_matched >= 4, "PVCs detected {pvc_matched}");
+    assert!(
+        (pvc_with_p as f64) < 0.4 * pvc_matched as f64,
+        "P invented on {pvc_with_p}/{pvc_matched} PVCs"
+    );
+}
+
+#[test]
+fn af_beats_mostly_lack_p_waves() {
+    let rec = RecordBuilder::new(404)
+        .duration_s(60.0)
+        .rhythm(Rhythm::AtrialFibrillation { mean_hr_bpm: 95.0 })
+        .noise(NoiseConfig::ambulatory(20.0))
+        .build();
+    let det = run_wavelet(&rec);
+    assert!(det.len() > 40, "beats {}", det.len());
+    let with_p = det.iter().filter(|b| b.has_p()).count();
+    assert!(
+        (with_p as f64) < 0.5 * det.len() as f64,
+        "P reported on {with_p}/{} AF beats",
+        det.len()
+    );
+}

@@ -1,0 +1,170 @@
+//! Seeded record suites — the synthetic stand-ins for the evaluation
+//! databases (MIT-BIH Arrhythmia, QT, AF) used by the original paper.
+//!
+//! Every suite is a pure function of `(n, base_seed)`, so experiments
+//! are exactly reproducible and node/base-station pairs can regenerate
+//! identical data.
+
+use crate::generator::RecordBuilder;
+use crate::noise::NoiseConfig;
+use crate::record::Record;
+use crate::rhythm::Rhythm;
+
+/// Normal-sinus-rhythm records with varying heart rate and ambulatory
+/// noise between 15 and 30 dB SNR. Stand-in for "clean" holter data.
+pub fn nsr_suite(n: usize, base_seed: u64) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            let seed = base_seed.wrapping_add(i as u64);
+            let hr = 55.0 + (i as f64 * 7.3) % 45.0;
+            let snr = 15.0 + (i as f64 * 5.1) % 15.0;
+            RecordBuilder::new(seed)
+                .duration_s(30.0)
+                .n_leads(3)
+                .rhythm(Rhythm::NormalSinus { mean_hr_bpm: hr })
+                .noise(NoiseConfig::ambulatory(snr))
+                .build()
+        })
+        .collect()
+}
+
+/// Records with PVC/APC ectopy — the classifier training/eval corpus
+/// (MIT-BIH-arrhythmia stand-in).
+pub fn ectopy_suite(n: usize, base_seed: u64) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            let seed = base_seed.wrapping_add(0x1000 + i as u64);
+            let hr = 60.0 + (i as f64 * 9.7) % 40.0;
+            let snr = 18.0 + (i as f64 * 4.3) % 12.0;
+            RecordBuilder::new(seed)
+                .duration_s(60.0)
+                .n_leads(3)
+                .rhythm(Rhythm::SinusWithEctopy {
+                    mean_hr_bpm: hr,
+                    pvc_rate: 0.10,
+                    apc_rate: 0.06,
+                })
+                .noise(NoiseConfig::ambulatory(snr))
+                .build()
+        })
+        .collect()
+}
+
+/// Mixed AF / NSR record set for detector scoring (AFDB stand-in):
+/// the first `n_af` records are sustained AF, the rest sinus.
+pub fn af_mixed_suite(n_af: usize, n_nsr: usize, base_seed: u64) -> Vec<Record> {
+    let mut out = Vec::with_capacity(n_af + n_nsr);
+    for i in 0..n_af {
+        let seed = base_seed.wrapping_add(0x2000 + i as u64);
+        let hr = 85.0 + (i as f64 * 6.1) % 40.0;
+        let snr = 15.0 + (i as f64 * 3.7) % 15.0;
+        out.push(
+            RecordBuilder::new(seed)
+                .duration_s(60.0)
+                .n_leads(3)
+                .rhythm(Rhythm::AtrialFibrillation { mean_hr_bpm: hr })
+                .noise(NoiseConfig::ambulatory(snr))
+                .build(),
+        );
+    }
+    for i in 0..n_nsr {
+        let seed = base_seed.wrapping_add(0x3000 + i as u64);
+        let hr = 55.0 + (i as f64 * 8.3) % 45.0;
+        let snr = 15.0 + (i as f64 * 4.9) % 15.0;
+        out.push(
+            RecordBuilder::new(seed)
+                .duration_s(60.0)
+                .n_leads(3)
+                .rhythm(Rhythm::NormalSinus { mean_hr_bpm: hr })
+                .noise(NoiseConfig::ambulatory(snr))
+                .build(),
+        );
+    }
+    out
+}
+
+/// Long records with episodic AF for windowed episode detection.
+pub fn episodic_af_suite(n: usize, base_seed: u64) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            let seed = base_seed.wrapping_add(0x4000 + i as u64);
+            RecordBuilder::new(seed)
+                .duration_s(300.0)
+                .n_leads(1)
+                .rhythm(Rhythm::EpisodicAf {
+                    sinus_hr_bpm: 68.0 + (i as f64 * 5.0) % 20.0,
+                    af_hr_bpm: 92.0 + (i as f64 * 7.0) % 30.0,
+                    episode_len_s: 40.0,
+                    gap_len_s: 50.0,
+                })
+                .noise(NoiseConfig::ambulatory(20.0))
+                .build()
+        })
+        .collect()
+}
+
+/// Records for the compressed-sensing SNR-vs-CR sweep (Figure 5):
+/// 3-lead, mildly noisy so that reconstruction quality is dominated by
+/// the compression itself.
+pub fn cs_eval_suite(n: usize, base_seed: u64) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            let seed = base_seed.wrapping_add(0x5000 + i as u64);
+            let hr = 60.0 + (i as f64 * 11.3) % 40.0;
+            RecordBuilder::new(seed)
+                .duration_s(20.0)
+                .n_leads(3)
+                .rhythm(Rhythm::NormalSinus { mean_hr_bpm: hr })
+                .noise(NoiseConfig::ambulatory(40.0))
+                .build()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rhythm::RhythmLabel;
+
+    #[test]
+    fn suites_are_deterministic() {
+        let a = nsr_suite(2, 7);
+        let b = nsr_suite(2, 7);
+        assert_eq!(a[0].lead(0), b[0].lead(0));
+        assert_eq!(a[1].lead(2), b[1].lead(2));
+    }
+
+    #[test]
+    fn suites_vary_across_records() {
+        let s = nsr_suite(3, 7);
+        assert_ne!(s[0].lead(0), s[1].lead(0));
+    }
+
+    #[test]
+    fn af_mixed_has_correct_labels() {
+        let s = af_mixed_suite(2, 2, 3);
+        assert_eq!(s.len(), 4);
+        assert!(s[0].af_fraction() > 0.9);
+        assert!(s[1].af_fraction() > 0.9);
+        assert!(s[2].af_fraction() < 0.05);
+        assert!(s[3].af_fraction() < 0.05);
+    }
+
+    #[test]
+    fn ectopy_suite_contains_ectopic_beats() {
+        let s = ectopy_suite(1, 5);
+        let ectopic = s[0]
+            .beats()
+            .iter()
+            .filter(|b| b.label == RhythmLabel::Sinus && b.beat_type != crate::BeatType::Normal)
+            .count();
+        assert!(ectopic > 3, "ectopic beats: {ectopic}");
+    }
+
+    #[test]
+    fn episodic_suite_mixes_rhythms() {
+        let s = episodic_af_suite(1, 9);
+        let f = s[0].af_fraction();
+        assert!(f > 0.1 && f < 0.9, "af fraction {f}");
+    }
+}

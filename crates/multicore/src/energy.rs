@@ -1,0 +1,214 @@
+//! DVFS energy model for the multi-core fabric.
+//!
+//! Per-event energies scale quadratically with supply voltage
+//! (`E = E₀·(V/V₀)²`) and leakage roughly linearly; parallelizing a
+//! workload over N cores at 1/N the frequency lets the fabric run at a
+//! lower operating point — the voltage-scaling argument behind the
+//! paper's Figure 7 savings. Baseline event energies are 90 nm-class
+//! values for a small in-order core with 32-bit scratchpad memories.
+
+use crate::sim::SimStats;
+use crate::{MulticoreError, Result};
+
+/// An operating point of the multi-core fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MulticoreOperatingPoint {
+    /// Clock frequency in Hz.
+    pub f_hz: f64,
+    /// Supply voltage in volts.
+    pub vdd_v: f64,
+}
+
+/// Energy parameters at the nominal voltage `v0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Nominal voltage the baseline energies are specified at.
+    pub v0: f64,
+    /// Core energy per executed instruction at `v0`, joules.
+    pub e_instr_j: f64,
+    /// Core energy per stalled/idle cycle (clock-gated) at `v0`.
+    pub e_idle_cycle_j: f64,
+    /// Instruction-memory read energy at `v0`.
+    pub e_im_read_j: f64,
+    /// Data-memory access energy at `v0`.
+    pub e_dm_access_j: f64,
+    /// Leakage power per core at `v0`, watts.
+    pub p_leak_core_w: f64,
+    /// Available operating points (ascending frequency).
+    pub points: [MulticoreOperatingPoint; 9],
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            v0: 1.2,
+            e_instr_j: 11e-12,
+            e_idle_cycle_j: 1.6e-12,
+            e_im_read_j: 14e-12,
+            e_dm_access_j: 9e-12,
+            p_leak_core_w: 3e-6,
+            points: [
+                // Near-threshold region: voltage falls steeply with
+                // frequency, which is where parallelization pays.
+                MulticoreOperatingPoint { f_hz: 0.125e6, vdd_v: 0.45 },
+                MulticoreOperatingPoint { f_hz: 0.25e6, vdd_v: 0.50 },
+                MulticoreOperatingPoint { f_hz: 0.5e6, vdd_v: 0.57 },
+                MulticoreOperatingPoint { f_hz: 1e6, vdd_v: 0.65 },
+                MulticoreOperatingPoint { f_hz: 2e6, vdd_v: 0.72 },
+                MulticoreOperatingPoint { f_hz: 4e6, vdd_v: 0.81 },
+                MulticoreOperatingPoint { f_hz: 8e6, vdd_v: 0.92 },
+                MulticoreOperatingPoint { f_hz: 16e6, vdd_v: 1.05 },
+                MulticoreOperatingPoint { f_hz: 24e6, vdd_v: 1.2 },
+            ],
+        }
+    }
+}
+
+/// Power decomposition of a periodic workload (watts).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerDecomposition {
+    /// Core dynamic power (instruction execution + gated idle).
+    pub core_dynamic_w: f64,
+    /// Core leakage power.
+    pub core_leakage_w: f64,
+    /// Instruction-memory power.
+    pub imem_w: f64,
+    /// Data-memory power.
+    pub dmem_w: f64,
+}
+
+impl PowerDecomposition {
+    /// Total power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.core_dynamic_w + self.core_leakage_w + self.imem_w + self.dmem_w
+    }
+}
+
+impl EnergyParams {
+    /// Voltage scaling factor for dynamic energy.
+    fn dyn_scale(&self, v: f64) -> f64 {
+        (v / self.v0) * (v / self.v0)
+    }
+
+    /// The slowest operating point able to execute `cycles` within
+    /// `period_s`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when even the fastest point cannot meet the deadline.
+    pub fn point_for(&self, cycles: u64, period_s: f64) -> Result<MulticoreOperatingPoint> {
+        let f_req = cycles as f64 / period_s;
+        for p in self.points {
+            if p.f_hz >= f_req {
+                return Ok(p);
+            }
+        }
+        Err(MulticoreError::InvalidParameter {
+            what: "throughput",
+            detail: format!(
+                "workload needs {:.2} MHz, above the fastest point",
+                f_req / 1e6
+            ),
+        })
+    }
+
+    /// Prices a simulated workload that must complete once every
+    /// `period_s` seconds on `n_cores`, at operating point `op`.
+    pub fn decompose(
+        &self,
+        stats: &SimStats,
+        n_cores: usize,
+        period_s: f64,
+        op: MulticoreOperatingPoint,
+    ) -> PowerDecomposition {
+        let s = self.dyn_scale(op.vdd_v);
+        let idle_core_cycles =
+            (stats.cycles * n_cores as u64).saturating_sub(stats.instructions);
+        let core_dyn_j = s
+            * (stats.instructions as f64 * self.e_instr_j
+                + idle_core_cycles as f64 * self.e_idle_cycle_j);
+        let imem_j = s * stats.im_reads as f64 * self.e_im_read_j;
+        let dmem_j = s * (stats.dm_reads + stats.dm_writes) as f64 * self.e_dm_access_j;
+        // Leakage: cores are powered for the active window; the fabric
+        // is power-gated while idle within the period. Sub-threshold
+        // leakage falls steeply with Vdd (DIBL); a quadratic proxy is
+        // conservative for the near-threshold points used here.
+        let active_s = stats.cycles as f64 / op.f_hz;
+        let leak_j = self.p_leak_core_w * s * n_cores as f64 * active_s;
+        PowerDecomposition {
+            core_dynamic_w: core_dyn_j / period_s,
+            core_leakage_w: leak_j / period_s,
+            imem_w: imem_j / period_s,
+            dmem_w: dmem_j / period_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SimStats {
+        SimStats {
+            cycles: 100_000,
+            instructions: 270_000, // 3 cores, 90% utilization
+            im_requests: 300_000,
+            im_reads: 110_000,
+            im_conflict_stalls: 0,
+            dm_reads: 50_000,
+            dm_writes: 10_000,
+            dm_conflict_stalls: 0,
+            barrier_wait_cycles: 5_000,
+        }
+    }
+
+    #[test]
+    fn point_selection_meets_deadline() {
+        let p = EnergyParams::default();
+        let op = p.point_for(100_000, 0.1).unwrap(); // 1 MHz needed
+        assert_eq!(op.f_hz, 1e6);
+        let op2 = p.point_for(100_000, 0.01).unwrap(); // 10 MHz needed
+        assert_eq!(op2.f_hz, 16e6);
+        let op3 = p.point_for(10_000, 0.1).unwrap(); // 100 kHz needed
+        assert_eq!(op3.f_hz, 0.125e6);
+        assert!(p.point_for(100_000_000, 0.1).is_err());
+    }
+
+    #[test]
+    fn lower_voltage_scales_power_quadratically() {
+        let p = EnergyParams::default();
+        let s = stats();
+        let hi = p.decompose(&s, 3, 1.0, MulticoreOperatingPoint { f_hz: 8e6, vdd_v: 1.2 });
+        let lo = p.decompose(&s, 3, 1.0, MulticoreOperatingPoint { f_hz: 8e6, vdd_v: 0.6 });
+        let ratio = hi.core_dynamic_w / lo.core_dynamic_w;
+        assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio}");
+        assert!((hi.imem_w / lo.imem_w - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decomposition_components_positive_and_total() {
+        let p = EnergyParams::default();
+        let s = stats();
+        let d = p.decompose(&s, 3, 1.0, p.points[3]);
+        assert!(d.core_dynamic_w > 0.0);
+        assert!(d.core_leakage_w > 0.0);
+        assert!(d.imem_w > 0.0);
+        assert!(d.dmem_w > 0.0);
+        let sum = d.core_dynamic_w + d.core_leakage_w + d.imem_w + d.dmem_w;
+        assert!((d.total_w() - sum).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fewer_im_reads_mean_less_imem_power() {
+        let p = EnergyParams::default();
+        let mut merged = stats();
+        let mut unmerged = stats();
+        unmerged.im_reads = unmerged.im_requests; // no merging
+        let op = p.points[3];
+        let d_m = p.decompose(&merged, 3, 1.0, op);
+        let d_u = p.decompose(&unmerged, 3, 1.0, op);
+        assert!(d_u.imem_w > 2.0 * d_m.imem_w);
+        merged.im_reads = 0;
+        assert_eq!(p.decompose(&merged, 3, 1.0, op).imem_w, 0.0);
+    }
+}

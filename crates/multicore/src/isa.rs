@@ -1,0 +1,125 @@
+//! The WBSN-RISC instruction set.
+//!
+//! A deliberately small in-order ISA that is sufficient to express the
+//! paper's bio-signal kernels: integer ALU with `Min`/`Max` (so
+//! morphology needs no data-dependent branches), loads/stores, compare
+//! branches, `CoreId` for SPMD work partitioning, and the `Bar`
+//! synchronization instruction of the DATE'14 architecture.
+
+/// A register index (16 general-purpose registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Validates the register index at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= 16`.
+    pub fn r(i: u8) -> Reg {
+        assert!(i < 16, "register index {i} out of range");
+        Reg(i)
+    }
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for Reg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Branch comparison conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+/// One instruction. All ALU operations are single-cycle; `Ld`/`St`
+/// additionally arbitrate for a data-memory bank port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `rd ← imm`.
+    Movi(Reg, i32),
+    /// `rd ← ra + rb`.
+    Add(Reg, Reg, Reg),
+    /// `rd ← ra - rb`.
+    Sub(Reg, Reg, Reg),
+    /// `rd ← ra * rb` (low 32 bits).
+    Mul(Reg, Reg, Reg),
+    /// `rd ← min(ra, rb)` — the morphology workhorse.
+    Min(Reg, Reg, Reg),
+    /// `rd ← max(ra, rb)`.
+    Max(Reg, Reg, Reg),
+    /// `rd ← ra + imm`.
+    Addi(Reg, Reg, i32),
+    /// `rd ← ra << sh` (logical).
+    Slli(Reg, Reg, u8),
+    /// `rd ← ra >> sh` (arithmetic).
+    Srai(Reg, Reg, u8),
+    /// `rd ← dmem[ra + off]`.
+    Ld(Reg, Reg, i32),
+    /// `dmem[ra + off] ← rs`.
+    St(Reg, Reg, i32),
+    /// Conditional branch to absolute instruction index.
+    Branch(Cond, Reg, Reg, usize),
+    /// Unconditional jump to absolute instruction index.
+    Jump(usize),
+    /// `rd ← core index` (SPMD partitioning).
+    CoreId(Reg),
+    /// Synchronization barrier with an identifier; all active cores
+    /// must reach the same barrier before any proceeds.
+    Bar(u16),
+    /// Stop this core.
+    Halt,
+}
+
+impl Instr {
+    /// True for instructions that access data memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Instr::Ld(..) | Instr::St(..))
+    }
+
+    /// True for control-flow instructions.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Instr::Branch(..) | Instr::Jump(..))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_constructor_validates() {
+        assert_eq!(Reg::r(3).index(), 3);
+        assert_eq!(format!("{}", Reg::r(7)), "r7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::r(16);
+    }
+
+    #[test]
+    fn instruction_classes() {
+        assert!(Instr::Ld(Reg::r(0), Reg::r(1), 0).is_mem());
+        assert!(Instr::St(Reg::r(0), Reg::r(1), 4).is_mem());
+        assert!(!Instr::Add(Reg::r(0), Reg::r(1), Reg::r(2)).is_mem());
+        assert!(Instr::Jump(0).is_branch());
+        assert!(Instr::Branch(Cond::Eq, Reg::r(0), Reg::r(0), 0).is_branch());
+        assert!(!Instr::Bar(1).is_branch());
+    }
+}

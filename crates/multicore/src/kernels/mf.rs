@@ -1,0 +1,350 @@
+//! 3L-MF: three-lead morphological filtering kernel.
+//!
+//! Per lead: a flat-structuring-element **erosion** (sliding minimum)
+//! followed by a **dilation** (sliding maximum) — an opening, the core
+//! of the Sun et al. conditioning filter. Both passes are valid-mode
+//! sliding scans with fixed trip counts, so the three leads execute in
+//! natural lock-step and every fetch merges (the ideal case for the
+//! broadcast interconnect).
+
+use super::layout;
+use crate::isa::Reg;
+use crate::program::{Program, ProgramBuilder};
+use crate::Result;
+
+/// Kernel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MfParams {
+    /// Samples per lead.
+    pub n: usize,
+    /// Structuring-element length (odd).
+    pub w: usize,
+    /// Number of leads (3 in the paper's application).
+    pub n_leads: usize,
+}
+
+impl Default for MfParams {
+    fn default() -> Self {
+        MfParams {
+            n: 500,
+            w: 31,
+            n_leads: 3,
+        }
+    }
+}
+
+impl MfParams {
+    /// Output length of the opening (two valid-mode passes).
+    pub fn out_len(&self) -> usize {
+        self.n.saturating_sub(2 * (self.w - 1))
+    }
+}
+
+/// Emits the SPMD program for `n_cores` cores.
+///
+/// # Errors
+///
+/// Propagates label-resolution failures (none expected).
+pub fn build_program(p: &MfParams, n_cores: usize) -> Result<Program> {
+    let zero = Reg::r(15);
+    let lead = Reg::r(14);
+    let stride = Reg::r(13);
+    let n_leads = Reg::r(12);
+    let base = Reg::r(10);
+    let i = Reg::r(9);
+    let i_end = Reg::r(8);
+    let ptr = Reg::r(7);
+    let acc = Reg::r(6);
+    let j = Reg::r(5);
+    let w_reg = Reg::r(4);
+    let tmp = Reg::r(3);
+    let val = Reg::r(2);
+
+    let mut b = ProgramBuilder::new();
+    b.movi(zero, 0);
+    b.core_id(lead);
+    b.movi(stride, n_cores as i32);
+    b.movi(n_leads, p.n_leads as i32);
+    b.movi(w_reg, p.w as i32);
+
+    b.label("lead_loop");
+    b.bge_label(lead, n_leads, "end");
+    // base = lead * BANK_SIZE (4096 = << 12)
+    b.slli(base, lead, 12);
+
+    // ---- pass 1: erosion x -> scratch ----
+    emit_sliding_pass(
+        &mut b,
+        PassRegs {
+            base,
+            i,
+            i_end,
+            ptr,
+            acc,
+            j,
+            w_reg,
+            tmp,
+            val,
+            zero,
+        },
+        layout::INPUT as i32,
+        layout::SCRATCH as i32,
+        (p.n - p.w + 1) as i32,
+        true,
+        "eros",
+    );
+    // ---- pass 2: dilation scratch -> output ----
+    emit_sliding_pass(
+        &mut b,
+        PassRegs {
+            base,
+            i,
+            i_end,
+            ptr,
+            acc,
+            j,
+            w_reg,
+            tmp,
+            val,
+            zero,
+        },
+        layout::SCRATCH as i32,
+        layout::OUTPUT as i32,
+        (p.n - 2 * (p.w - 1)) as i32,
+        false,
+        "dila",
+    );
+
+    // next lead
+    b.add(lead, lead, stride);
+    b.jump_label("lead_loop");
+    b.label("end");
+    b.halt();
+    b.build()
+}
+
+struct PassRegs {
+    base: Reg,
+    i: Reg,
+    i_end: Reg,
+    ptr: Reg,
+    acc: Reg,
+    j: Reg,
+    w_reg: Reg,
+    tmp: Reg,
+    val: Reg,
+    zero: Reg,
+}
+
+/// Emits one valid-mode sliding min/max pass
+/// `dst[i] = extreme(src[i..i+w))` for `i in 0..count`.
+fn emit_sliding_pass(
+    b: &mut ProgramBuilder,
+    r: PassRegs,
+    src_off: i32,
+    dst_off: i32,
+    count: i32,
+    is_min: bool,
+    tag: &str,
+) {
+    let l_outer = format!("{tag}_outer");
+    let l_inner = format!("{tag}_inner");
+    let l_inner_done = format!("{tag}_inner_done");
+    let l_done = format!("{tag}_done");
+    b.movi(r.i, 0);
+    b.movi(r.i_end, count.max(0));
+    b.label(&l_outer);
+    b.bge_label(r.i, r.i_end, &l_done);
+    // ptr = base + i; acc = src[ptr]
+    b.add(r.ptr, r.base, r.i);
+    b.ld(r.acc, r.ptr, src_off);
+    b.movi(r.j, 1);
+    b.label(&l_inner);
+    b.bge_label(r.j, r.w_reg, &l_inner_done);
+    b.add(r.tmp, r.ptr, r.j);
+    b.ld(r.val, r.tmp, src_off);
+    if is_min {
+        b.min(r.acc, r.acc, r.val);
+    } else {
+        b.max(r.acc, r.acc, r.val);
+    }
+    b.addi(r.j, r.j, 1);
+    b.jump_label(&l_inner);
+    b.label(&l_inner_done);
+    // dst[base + i] = acc
+    b.add(r.tmp, r.base, r.i);
+    b.st(r.acc, r.tmp, dst_off);
+    b.addi(r.i, r.i, 1);
+    b.jump_label(&l_outer);
+    b.label(&l_done);
+    let _ = r.zero;
+}
+
+/// Host-reference opening (valid mode), bit-exact with the kernel.
+pub fn host_reference(x: &[i32], w: usize) -> Vec<i32> {
+    let n = x.len();
+    if n < w {
+        return Vec::new();
+    }
+    let eroded: Vec<i32> = (0..n - w + 1)
+        .map(|i| *x[i..i + w].iter().min().expect("non-empty window"))
+        .collect();
+    if eroded.len() < w {
+        return Vec::new();
+    }
+    (0..eroded.len() - w + 1)
+        .map(|i| *eroded[i..i + w].iter().max().expect("non-empty window"))
+        .collect()
+}
+
+/// Loads the lead inputs into simulator memory.
+///
+/// # Panics
+///
+/// Panics when shapes exceed the layout regions.
+pub fn init_dmem(dmem: &mut [i32], leads: &[Vec<i32>], p: &MfParams) {
+    assert!(leads.len() == p.n_leads, "lead count");
+    assert!(p.n <= 1200, "signal too long for the bank layout");
+    for (l, lead) in leads.iter().enumerate() {
+        assert!(lead.len() == p.n, "lead length");
+        let base = layout::bank_base(l);
+        dmem[base..base + p.n].copy_from_slice(lead);
+    }
+}
+
+/// Reads the per-lead outputs back.
+pub fn read_outputs(dmem: &[i32], p: &MfParams) -> Vec<Vec<i32>> {
+    (0..p.n_leads)
+        .map(|l| {
+            let base = layout::bank_base(l) + layout::OUTPUT;
+            dmem[base..base + p.out_len()].to_vec()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{MachineConfig, Multicore};
+
+    fn test_leads(p: &MfParams) -> Vec<Vec<i32>> {
+        (0..p.n_leads)
+            .map(|l| {
+                (0..p.n)
+                    .map(|i| {
+                        let spike = if (i + l * 17) % 50 == 25 { 400 } else { 0 };
+                        ((i as i32 * 7) % 83) - 41 + spike
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn run(p: &MfParams, n_cores: usize) -> (Vec<Vec<i32>>, crate::sim::SimStats) {
+        let prog = build_program(p, n_cores).unwrap();
+        let cfg = MachineConfig {
+            n_cores,
+            ..MachineConfig::default()
+        };
+        let mut m = Multicore::new(cfg, prog).unwrap();
+        let leads = test_leads(p);
+        init_dmem(m.dmem_mut(), &leads, p);
+        let stats = m.run().unwrap();
+        (read_outputs(m.dmem(), p), stats)
+    }
+
+    #[test]
+    fn kernel_matches_host_reference_multicore() {
+        let p = MfParams {
+            n: 120,
+            w: 9,
+            n_leads: 3,
+        };
+        let leads = test_leads(&p);
+        let (outs, _) = run(&p, 3);
+        for l in 0..3 {
+            assert_eq!(outs[l], host_reference(&leads[l], p.w), "lead {l}");
+        }
+    }
+
+    #[test]
+    fn kernel_matches_host_reference_single_core() {
+        let p = MfParams {
+            n: 120,
+            w: 9,
+            n_leads: 3,
+        };
+        let leads = test_leads(&p);
+        let (outs, _) = run(&p, 1);
+        for l in 0..3 {
+            assert_eq!(outs[l], host_reference(&leads[l], p.w), "lead {l}");
+        }
+    }
+
+    #[test]
+    fn sc_and_mc_produce_identical_outputs() {
+        let p = MfParams {
+            n: 100,
+            w: 7,
+            n_leads: 3,
+        };
+        let (sc, _) = run(&p, 1);
+        let (mc, _) = run(&p, 3);
+        assert_eq!(sc, mc);
+    }
+
+    #[test]
+    fn mc_runs_in_about_a_third_of_the_cycles() {
+        let p = MfParams {
+            n: 150,
+            w: 9,
+            n_leads: 3,
+        };
+        let (_, sc) = run(&p, 1);
+        let (_, mc) = run(&p, 3);
+        let speedup = sc.cycles as f64 / mc.cycles as f64;
+        assert!(
+            speedup > 2.6 && speedup < 3.2,
+            "speedup {speedup} (sc {} mc {})",
+            sc.cycles,
+            mc.cycles
+        );
+    }
+
+    #[test]
+    fn lockstep_leads_merge_nearly_all_fetches() {
+        let p = MfParams {
+            n: 150,
+            w: 9,
+            n_leads: 3,
+        };
+        let (_, mc) = run(&p, 3);
+        assert!(
+            mc.merge_fraction() > 0.6,
+            "merge fraction {}",
+            mc.merge_fraction()
+        );
+        assert_eq!(mc.dm_conflict_stalls, 0, "banked leads must not conflict");
+    }
+
+    #[test]
+    fn mc_imem_reads_are_about_a_third_of_sc() {
+        let p = MfParams {
+            n: 150,
+            w: 9,
+            n_leads: 3,
+        };
+        let (_, sc) = run(&p, 1);
+        let (_, mc) = run(&p, 3);
+        let ratio = sc.im_reads as f64 / mc.im_reads as f64;
+        assert!(ratio > 2.5, "IM read ratio {ratio}");
+    }
+
+    #[test]
+    fn host_reference_removes_narrow_spikes() {
+        let mut x = vec![10; 60];
+        x[30] = 500;
+        let y = host_reference(&x, 5);
+        assert!(y.iter().all(|&v| v == 10), "{y:?}");
+    }
+}

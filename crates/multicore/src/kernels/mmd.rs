@@ -1,0 +1,262 @@
+//! 3L-MMD: three-lead multiscale-morphological-derivative kernel.
+//!
+//! Per lead, for each valid position: the dilation and erosion over a
+//! `2s+1` window are computed in a single fused scan (one load feeds
+//! both a `Max` and a `Min`), then the transform
+//! `(dil + er − 2·center) >> log2(s)` is stored. Like 3L-MF the control
+//! flow is data-independent, so lock-step holds throughout.
+
+use super::layout;
+use crate::isa::Reg;
+use crate::program::{Program, ProgramBuilder};
+use crate::Result;
+
+/// Kernel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmdParams {
+    /// Samples per lead.
+    pub n: usize,
+    /// Scale `s` (power of two; window is `2s+1`).
+    pub s: usize,
+    /// Number of leads.
+    pub n_leads: usize,
+}
+
+impl Default for MmdParams {
+    fn default() -> Self {
+        MmdParams {
+            n: 500,
+            s: 16,
+            n_leads: 3,
+        }
+    }
+}
+
+impl MmdParams {
+    /// Output length (valid mode).
+    pub fn out_len(&self) -> usize {
+        self.n.saturating_sub(2 * self.s)
+    }
+
+    /// Shift implementing the division by `s`.
+    pub fn shift(&self) -> u8 {
+        debug_assert!(self.s.is_power_of_two(), "s must be a power of two");
+        self.s.trailing_zeros() as u8
+    }
+}
+
+/// Emits the SPMD program for `n_cores` cores.
+///
+/// # Errors
+///
+/// Propagates label-resolution failures (none expected).
+pub fn build_program(p: &MmdParams, n_cores: usize) -> Result<Program> {
+    let zero = Reg::r(15);
+    let lead = Reg::r(14);
+    let stride = Reg::r(13);
+    let n_leads = Reg::r(12);
+    let base = Reg::r(10);
+    let i = Reg::r(9);
+    let i_end = Reg::r(8);
+    let ptr = Reg::r(7);
+    let mx = Reg::r(6);
+    let j = Reg::r(5);
+    let w_reg = Reg::r(4);
+    let tmp = Reg::r(3);
+    let val = Reg::r(2);
+    let mn = Reg::r(1);
+    let ctr = Reg::r(11);
+
+    let window = (2 * p.s + 1) as i32;
+    let mut b = ProgramBuilder::new();
+    b.movi(zero, 0);
+    b.core_id(lead);
+    b.movi(stride, n_cores as i32);
+    b.movi(n_leads, p.n_leads as i32);
+    b.movi(w_reg, window);
+
+    b.label("lead_loop");
+    b.bge_label(lead, n_leads, "end");
+    b.slli(base, lead, 12);
+
+    b.movi(i, 0);
+    b.movi(i_end, p.out_len() as i32);
+    b.label("outer");
+    b.bge_label(i, i_end, "outer_done");
+    b.add(ptr, base, i);
+    // Fused min/max scan over x[i .. i+2s+1).
+    b.ld(mx, ptr, layout::INPUT as i32);
+    b.add(mn, mx, zero);
+    b.movi(j, 1);
+    b.label("inner");
+    b.bge_label(j, w_reg, "inner_done");
+    b.add(tmp, ptr, j);
+    b.ld(val, tmp, layout::INPUT as i32);
+    b.max(mx, mx, val);
+    b.min(mn, mn, val);
+    b.addi(j, j, 1);
+    b.jump_label("inner");
+    b.label("inner_done");
+    // center = x[i + s]; mmd = (mx + mn - 2*center) >> shift
+    b.addi(tmp, ptr, p.s as i32);
+    b.ld(ctr, tmp, layout::INPUT as i32);
+    b.add(val, mx, mn);
+    b.slli(ctr, ctr, 1);
+    b.sub(val, val, ctr);
+    b.srai(val, val, p.shift());
+    b.add(tmp, base, i);
+    b.st(val, tmp, layout::OUTPUT as i32);
+    b.addi(i, i, 1);
+    b.jump_label("outer");
+    b.label("outer_done");
+
+    b.add(lead, lead, stride);
+    b.jump_label("lead_loop");
+    b.label("end");
+    b.halt();
+    b.build()
+}
+
+/// Host-reference MMD (valid mode), bit-exact with the kernel
+/// (arithmetic shift, not rounded division).
+pub fn host_reference(x: &[i32], s: usize) -> Vec<i32> {
+    let n = x.len();
+    let w = 2 * s + 1;
+    if n < w {
+        return Vec::new();
+    }
+    let shift = s.trailing_zeros();
+    (0..n - 2 * s)
+        .map(|i| {
+            let win = &x[i..i + w];
+            let mx = *win.iter().max().expect("non-empty");
+            let mn = *win.iter().min().expect("non-empty");
+            (mx + mn - 2 * x[i + s]) >> shift
+        })
+        .collect()
+}
+
+/// Loads lead inputs (same layout as 3L-MF).
+///
+/// # Panics
+///
+/// Panics when shapes exceed the layout regions.
+pub fn init_dmem(dmem: &mut [i32], leads: &[Vec<i32>], p: &MmdParams) {
+    assert!(leads.len() == p.n_leads, "lead count");
+    assert!(p.n <= 1200, "signal too long for the bank layout");
+    for (l, lead) in leads.iter().enumerate() {
+        assert!(lead.len() == p.n, "lead length");
+        let base = layout::bank_base(l);
+        dmem[base..base + p.n].copy_from_slice(lead);
+    }
+}
+
+/// Reads the per-lead outputs back.
+pub fn read_outputs(dmem: &[i32], p: &MmdParams) -> Vec<Vec<i32>> {
+    (0..p.n_leads)
+        .map(|l| {
+            let base = layout::bank_base(l) + layout::OUTPUT;
+            dmem[base..base + p.out_len()].to_vec()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{MachineConfig, Multicore};
+
+    fn test_leads(p: &MmdParams) -> Vec<Vec<i32>> {
+        (0..p.n_leads)
+            .map(|l| {
+                (0..p.n)
+                    .map(|i| {
+                        let peak = if (i + l * 13) % 60 == 30 { 300 } else { 0 };
+                        ((i as i32 * 11) % 97) - 48 + peak
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn run(p: &MmdParams, n_cores: usize) -> (Vec<Vec<i32>>, crate::sim::SimStats) {
+        let prog = build_program(p, n_cores).unwrap();
+        let cfg = MachineConfig {
+            n_cores,
+            ..MachineConfig::default()
+        };
+        let mut m = Multicore::new(cfg, prog).unwrap();
+        let leads = test_leads(p);
+        init_dmem(m.dmem_mut(), &leads, p);
+        let stats = m.run().unwrap();
+        (read_outputs(m.dmem(), p), stats)
+    }
+
+    #[test]
+    fn kernel_matches_host_reference() {
+        let p = MmdParams {
+            n: 120,
+            s: 8,
+            n_leads: 3,
+        };
+        let leads = test_leads(&p);
+        for n_cores in [1, 3] {
+            let (outs, _) = run(&p, n_cores);
+            for l in 0..3 {
+                assert_eq!(
+                    outs[l],
+                    host_reference(&leads[l], p.s),
+                    "cores {n_cores} lead {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mc_speedup_near_three() {
+        let p = MmdParams {
+            n: 150,
+            s: 8,
+            n_leads: 3,
+        };
+        let (_, sc) = run(&p, 1);
+        let (_, mc) = run(&p, 3);
+        let speedup = sc.cycles as f64 / mc.cycles as f64;
+        assert!(speedup > 2.6, "speedup {speedup}");
+        assert!(mc.merge_fraction() > 0.6);
+    }
+
+    #[test]
+    fn host_reference_marks_peak() {
+        // Triangle peak: MMD minimum at the apex.
+        let n = 64usize;
+        let x: Vec<i32> = (0..n)
+            .map(|i| {
+                let d = (i as i32 - 32).abs();
+                (16 - d).max(0) * 20
+            })
+            .collect();
+        let m = host_reference(&x, 8);
+        let apex_out = 32 - 8; // output index of the apex
+        let (argmin, _) = m
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &v)| v)
+            .expect("non-empty");
+        assert!(
+            (argmin as i32 - apex_out as i32).abs() <= 1,
+            "argmin {argmin}"
+        );
+    }
+
+    #[test]
+    fn shift_requires_power_of_two() {
+        let p = MmdParams {
+            n: 100,
+            s: 8,
+            n_leads: 3,
+        };
+        assert_eq!(p.shift(), 3);
+        assert_eq!(p.out_len(), 84);
+    }
+}

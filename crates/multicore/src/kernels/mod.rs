@@ -1,0 +1,45 @@
+//! The three Figure 7 application kernels, written against the
+//! WBSN-RISC ISA and verified against host-reference implementations.
+//!
+//! All kernels follow the same SPMD convention:
+//!
+//! * register `r15` is kept zero, `r14` holds the core id;
+//! * data memory is block-partitioned one bank per core/lead
+//!   (`bank = addr / dm_bank_size`), so a well-mapped kernel never
+//!   suffers a DM conflict;
+//! * the same program runs on 1 core (which loops over all leads —
+//!   the SC configuration) or N cores (one lead per core — MC).
+
+pub mod mf;
+pub mod mmd;
+pub mod rp_class;
+
+/// Shared data-memory layout constants (word addresses within a bank).
+pub mod layout {
+    /// Words per bank (must match `MachineConfig::dm_bank_size`).
+    pub const BANK_SIZE: usize = 4096;
+    /// Input signal offset within a lead's bank.
+    pub const INPUT: usize = 0;
+    /// Scratch buffer offset.
+    pub const SCRATCH: usize = 1200;
+    /// Output buffer offset.
+    pub const OUTPUT: usize = 2400;
+
+    /// Base address of lead `l`'s bank.
+    pub fn bank_base(l: usize) -> usize {
+        l * BANK_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::layout;
+
+    #[test]
+    fn layout_regions_do_not_overlap() {
+        assert!(layout::INPUT + 1200 <= layout::SCRATCH);
+        assert!(layout::SCRATCH + 1200 <= layout::OUTPUT);
+        assert!(layout::OUTPUT + 1200 <= layout::BANK_SIZE);
+        assert_eq!(layout::bank_base(2), 8192);
+    }
+}

@@ -1,0 +1,252 @@
+//! Single-core vs multi-core iso-throughput power comparison — the
+//! Figure 7 experiment.
+//!
+//! Both configurations must process the same real-time workload (one
+//! window of samples every period). The single-core machine needs
+//! roughly N× the clock of the N-core machine, hence a higher supply
+//! voltage; the multi-core machine additionally merges instruction
+//! fetches. The decomposition separates core dynamic, core leakage,
+//! instruction-memory and data-memory power, as in the paper's figure.
+
+use crate::energy::{EnergyParams, PowerDecomposition};
+use crate::kernels::{mf, mmd, rp_class};
+use crate::sim::{MachineConfig, Multicore, SimStats};
+use crate::Result;
+
+/// The three applications of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Three-lead morphological filtering.
+    ThreeLeadMf,
+    /// Three-lead MMD delineation.
+    ThreeLeadMmd,
+    /// Random-projection classification.
+    RpClass,
+}
+
+impl App {
+    /// All applications.
+    pub const ALL: [App; 3] = [App::ThreeLeadMf, App::ThreeLeadMmd, App::RpClass];
+
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            App::ThreeLeadMf => "3L-MF",
+            App::ThreeLeadMmd => "3L-MMD",
+            App::RpClass => "RP-CLASS",
+        }
+    }
+}
+
+/// One configuration's result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigResult {
+    /// Cores used.
+    pub n_cores: usize,
+    /// Simulation counters.
+    pub stats: SimStats,
+    /// Chosen operating point.
+    pub op: crate::energy::MulticoreOperatingPoint,
+    /// Power decomposition at that point.
+    pub power: PowerDecomposition,
+}
+
+/// SC-vs-MC comparison for one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// Application.
+    pub app: App,
+    /// Single-core result.
+    pub sc: ConfigResult,
+    /// Multi-core result.
+    pub mc: ConfigResult,
+}
+
+impl Comparison {
+    /// Fractional power saving of MC over SC.
+    pub fn saving(&self) -> f64 {
+        1.0 - self.mc.power.total_w() / self.sc.power.total_w()
+    }
+}
+
+/// Runs one application on `n_cores` and returns the raw counters.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run_app(app: App, n_cores: usize, merge: bool) -> Result<SimStats> {
+    let cfg = MachineConfig {
+        n_cores,
+        broadcast_merge: merge,
+        ..MachineConfig::default()
+    };
+    match app {
+        App::ThreeLeadMf => {
+            let p = mf::MfParams::default();
+            let prog = mf::build_program(&p, n_cores)?;
+            let mut m = Multicore::new(cfg, prog)?;
+            let leads = synth_leads(p.n, p.n_leads);
+            mf::init_dmem(m.dmem_mut(), &leads, &p);
+            m.run()
+        }
+        App::ThreeLeadMmd => {
+            let p = mmd::MmdParams::default();
+            let prog = mmd::build_program(&p, n_cores)?;
+            let mut m = Multicore::new(cfg, prog)?;
+            let leads = synth_leads(p.n, p.n_leads);
+            mmd::init_dmem(m.dmem_mut(), &leads, &p);
+            m.run()
+        }
+        App::RpClass => {
+            let p = rp_class::RpParams::default();
+            let prog = rp_class::build_program(&p, n_cores)?;
+            let mut m = Multicore::new(cfg, prog)?;
+            let x = synth_leads(p.l, 1).pop().expect("one lead");
+            let means = synth_means(&p);
+            rp_class::init_dmem(m.dmem_mut(), &p, n_cores, &x, &means);
+            m.run()
+        }
+    }
+}
+
+/// Compares SC and MC at iso-throughput for one application.
+///
+/// The node is duty-cycled: the workload repeats every `window_s`
+/// (one window of samples / one beat) and must complete within
+/// `deadline_s ≤ window_s` so the fabric can be power-gated for the
+/// remainder. The operating point is the slowest meeting the deadline;
+/// energy is amortized over the full window.
+///
+/// # Errors
+///
+/// Propagates simulator/energy-model failures.
+pub fn compare(
+    app: App,
+    n_cores_mc: usize,
+    window_s: f64,
+    deadline_s: f64,
+    e: &EnergyParams,
+) -> Result<Comparison> {
+    let run_cfg = |n_cores: usize| -> Result<ConfigResult> {
+        let stats = run_app(app, n_cores, true)?;
+        let op = e.point_for(stats.cycles, deadline_s.min(window_s))?;
+        let power = e.decompose(&stats, n_cores, window_s, op);
+        Ok(ConfigResult {
+            n_cores,
+            stats,
+            op,
+            power,
+        })
+    };
+    Ok(Comparison {
+        app,
+        sc: run_cfg(1)?,
+        mc: run_cfg(n_cores_mc)?,
+    })
+}
+
+/// Default (window, deadline) seconds for each application: filtering
+/// and delineation process 2 s sample windows within a 250 ms active
+/// slot; classification must report within 20 ms of the beat.
+pub fn default_timing(app: App) -> (f64, f64) {
+    match app {
+        App::ThreeLeadMf | App::ThreeLeadMmd => (2.0, 0.25),
+        App::RpClass => (0.8, 0.02),
+    }
+}
+
+/// Deterministic ECG-like test leads.
+fn synth_leads(n: usize, n_leads: usize) -> Vec<Vec<i32>> {
+    (0..n_leads)
+        .map(|l| {
+            (0..n)
+                .map(|i| {
+                    let phase = ((i + l * 29) % 200) as f64;
+                    let r = 800.0 * (-0.5 * ((phase - 100.0) / 4.0).powi(2)).exp();
+                    let t = 200.0 * (-0.5 * ((phase - 160.0) / 14.0).powi(2)).exp();
+                    let noise = ((i as i32 * 31 + l as i32 * 7) % 21) - 10;
+                    (r + t) as i32 + noise
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Class means for the RP kernel derived from its own prototypes.
+fn synth_means(p: &rp_class::RpParams) -> Vec<i32> {
+    let mut means = vec![0i32; p.n_classes * p.k];
+    for cls in 0..p.n_classes {
+        let x: Vec<i32> = (0..p.l)
+            .map(|i| {
+                let c = p.l as f64 / 2.0;
+                let sigma = 3.0 + 3.0 * cls as f64;
+                let d = (i as f64 - c) / sigma;
+                (900.0 * (-0.5 * d * d).exp()) as i32
+            })
+            .collect();
+        let (y, _, _) = rp_class::host_reference(p, &x, &vec![0; p.n_classes * p.k]);
+        for k in 0..p.k {
+            means[cls * p.k + k] = y[k] as i32;
+        }
+    }
+    means
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mc_saves_power_on_all_apps() {
+        let e = EnergyParams::default();
+        for app in App::ALL {
+            let (window, deadline) = default_timing(app);
+            let cmp = compare(app, 3, window, deadline, &e).unwrap();
+            let saving = cmp.saving();
+            assert!(
+                saving > 0.15,
+                "{}: saving {saving:.3} (sc {:.1} µW, mc {:.1} µW)",
+                app.label(),
+                cmp.sc.power.total_w() * 1e6,
+                cmp.mc.power.total_w() * 1e6
+            );
+            assert!(saving < 0.8, "{}: implausible saving {saving}", app.label());
+            // MC must run at a lower voltage.
+            assert!(cmp.mc.op.vdd_v < cmp.sc.op.vdd_v, "{}", app.label());
+        }
+    }
+
+    #[test]
+    fn imem_power_drops_with_merging() {
+        let e = EnergyParams::default();
+        let cmp = compare(App::ThreeLeadMf, 3, 2.0, 0.25, &e).unwrap();
+        // Same voltage comparison would be cleaner, but even across
+        // operating points the IM share must fall markedly.
+        let sc_im_share = cmp.sc.power.imem_w / cmp.sc.power.total_w();
+        let mc_im_share = cmp.mc.power.imem_w / cmp.mc.power.total_w();
+        assert!(
+            mc_im_share < sc_im_share,
+            "IM share sc {sc_im_share:.3} -> mc {mc_im_share:.3}"
+        );
+    }
+
+    #[test]
+    fn merging_ablation_shows_the_mechanism() {
+        // MC with merging off: IM reads triple.
+        let with = run_app(App::ThreeLeadMf, 3, true).unwrap();
+        let without = run_app(App::ThreeLeadMf, 3, false).unwrap();
+        assert!(
+            without.im_reads as f64 > 2.5 * with.im_reads as f64,
+            "with {} without {}",
+            with.im_reads,
+            without.im_reads
+        );
+        assert!(without.cycles >= with.cycles);
+    }
+
+    #[test]
+    fn rp_class_exercises_barriers() {
+        let stats = run_app(App::RpClass, 3, true).unwrap();
+        assert!(stats.barrier_wait_cycles > 0);
+    }
+}

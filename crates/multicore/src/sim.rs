@@ -1,0 +1,630 @@
+//! Cycle-stepped multi-core simulation.
+//!
+//! Each cycle has three phases:
+//!
+//! 1. **Barrier release** — when every non-halted core is waiting at a
+//!    barrier, all are released simultaneously (lock-step recovery).
+//! 2. **Fetch** — running cores without a latched instruction request
+//!    their `pc` from the instruction memory. With broadcast merging
+//!    enabled, identical addresses from different cores collapse into a
+//!    single access; within one bank only one *distinct* address is
+//!    served per cycle (the paper's multi-bank IM + broadcast
+//!    interconnect). Losers stall one cycle.
+//! 3. **Execute** — latched instructions execute in one cycle;
+//!    loads/stores additionally arbitrate for their data-memory bank's
+//!    single port (block-partitioned banks). Losers retry next cycle.
+
+use crate::isa::{Cond, Instr};
+use crate::program::Program;
+use crate::{MulticoreError, Result};
+
+/// Machine shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of cores.
+    pub n_cores: usize,
+    /// Instruction-memory banks (interleaved: `bank = pc % im_banks`).
+    pub im_banks: usize,
+    /// Data-memory banks (block-partitioned: `bank = addr / dm_bank_size`).
+    pub dm_banks: usize,
+    /// Words per data-memory bank.
+    pub dm_bank_size: usize,
+    /// Broadcast fetch merging enabled (ablation toggle).
+    pub broadcast_merge: bool,
+    /// Simulation cycle budget (livelock guard).
+    pub cycle_limit: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            n_cores: 3,
+            im_banks: 2,
+            dm_banks: 4,
+            dm_bank_size: 4096,
+            broadcast_merge: true,
+            cycle_limit: 50_000_000,
+        }
+    }
+}
+
+/// Counters produced by a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Wall-clock cycles.
+    pub cycles: u64,
+    /// Instructions executed (all cores).
+    pub instructions: u64,
+    /// Fetch requests before merging.
+    pub im_requests: u64,
+    /// Instruction-memory reads actually performed (energy events).
+    pub im_reads: u64,
+    /// Fetches delayed by bank conflicts.
+    pub im_conflict_stalls: u64,
+    /// Data-memory reads.
+    pub dm_reads: u64,
+    /// Data-memory writes.
+    pub dm_writes: u64,
+    /// Memory operations delayed by bank conflicts.
+    pub dm_conflict_stalls: u64,
+    /// Core-cycles spent waiting at barriers.
+    pub barrier_wait_cycles: u64,
+}
+
+impl SimStats {
+    /// Fraction of fetch requests eliminated by broadcast merging.
+    pub fn merge_fraction(&self) -> f64 {
+        if self.im_requests == 0 {
+            0.0
+        } else {
+            1.0 - self.im_reads as f64 / self.im_requests as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreStatus {
+    Running,
+    AtBarrier(u16),
+    Halted,
+}
+
+#[derive(Debug, Clone)]
+struct CoreState {
+    regs: [i32; 16],
+    pc: usize,
+    latched: Option<Instr>,
+    status: CoreStatus,
+}
+
+/// The simulator.
+#[derive(Debug, Clone)]
+pub struct Multicore {
+    cfg: MachineConfig,
+    program: Program,
+    dmem: Vec<i32>,
+    cores: Vec<CoreState>,
+    stats: SimStats,
+}
+
+impl Multicore {
+    /// Creates a machine loaded with `program`, zeroed memory and all
+    /// cores at `pc = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the configuration is degenerate.
+    pub fn new(cfg: MachineConfig, program: Program) -> Result<Self> {
+        if cfg.n_cores == 0 || cfg.im_banks == 0 || cfg.dm_banks == 0 || cfg.dm_bank_size == 0 {
+            return Err(MulticoreError::InvalidParameter {
+                what: "machine config",
+                detail: "cores, banks and bank size must be non-zero".into(),
+            });
+        }
+        let cores = (0..cfg.n_cores)
+            .map(|_| CoreState {
+                regs: [0; 16],
+                pc: 0,
+                latched: None,
+                status: CoreStatus::Running,
+            })
+            .collect();
+        Ok(Multicore {
+            cfg,
+            program,
+            dmem: vec![0; cfg.dm_banks * cfg.dm_bank_size],
+            cores,
+            stats: SimStats::default(),
+        })
+    }
+
+    /// Machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Data memory (for initialization before a run).
+    pub fn dmem_mut(&mut self) -> &mut [i32] {
+        &mut self.dmem
+    }
+
+    /// Data memory (for reading results after a run).
+    pub fn dmem(&self) -> &[i32] {
+        &self.dmem
+    }
+
+    /// Statistics of the last run.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Runs to completion (all cores halted).
+    ///
+    /// # Errors
+    ///
+    /// Fails on memory faults or when the cycle budget is exceeded
+    /// (e.g. mismatched barriers deadlock the machine).
+    pub fn run(&mut self) -> Result<SimStats> {
+        while !self.all_halted() {
+            if self.stats.cycles >= self.cfg.cycle_limit {
+                return Err(MulticoreError::CycleLimitExceeded {
+                    limit: self.cfg.cycle_limit,
+                });
+            }
+            self.step()?;
+        }
+        Ok(self.stats)
+    }
+
+    fn all_halted(&self) -> bool {
+        self.cores.iter().all(|c| c.status == CoreStatus::Halted)
+    }
+
+    /// Executes one cycle.
+    fn step(&mut self) -> Result<()> {
+        self.stats.cycles += 1;
+
+        // Phase 1: barrier release.
+        let mut waiting = 0usize;
+        let mut running = 0usize;
+        for c in &self.cores {
+            match c.status {
+                CoreStatus::AtBarrier(_) => waiting += 1,
+                CoreStatus::Running => running += 1,
+                CoreStatus::Halted => {}
+            }
+        }
+        if waiting > 0 && running == 0 {
+            // All live cores wait: release them together.
+            for c in &mut self.cores {
+                if matches!(c.status, CoreStatus::AtBarrier(_)) {
+                    c.status = CoreStatus::Running;
+                }
+            }
+        } else {
+            self.stats.barrier_wait_cycles += waiting as u64;
+        }
+
+        // Phase 2: fetch with broadcast merging + IM bank arbitration.
+        let mut requests: Vec<(usize, usize)> = Vec::new(); // (core, pc)
+        for (ci, c) in self.cores.iter().enumerate() {
+            if c.status == CoreStatus::Running && c.latched.is_none() {
+                requests.push((ci, c.pc));
+            }
+        }
+        self.stats.im_requests += requests.len() as u64;
+        // Which addresses get served this cycle?
+        let mut served_addrs: Vec<usize> = Vec::new();
+        if self.cfg.broadcast_merge {
+            // Per bank, serve the address requested by the highest-
+            // priority (lowest-index) core; every core requesting that
+            // same address rides the broadcast. Fixed core priority is
+            // what a real arbiter implements — note it lets divergent
+            // leaders run ahead, which is exactly why the barrier
+            // mechanism is needed to re-align the cores.
+            let mut bank_addr: Vec<Option<usize>> = vec![None; self.cfg.im_banks];
+            for &(_, pc) in &requests {
+                // requests are in core order: first writer wins the bank.
+                let bank = pc % self.cfg.im_banks;
+                if bank_addr[bank].is_none() {
+                    bank_addr[bank] = Some(pc);
+                }
+            }
+            for addr in bank_addr.into_iter().flatten() {
+                served_addrs.push(addr);
+            }
+        } else {
+            // No merging: each request is an independent access; a bank
+            // serves one request per cycle.
+            let mut bank_busy = vec![false; self.cfg.im_banks];
+            let mut served_cores: Vec<usize> = Vec::new();
+            for &(ci, pc) in &requests {
+                let bank = pc % self.cfg.im_banks;
+                if !bank_busy[bank] {
+                    bank_busy[bank] = true;
+                    served_cores.push(ci);
+                }
+            }
+            // Latch exactly the served cores.
+            for &(ci, pc) in &requests {
+                if served_cores.contains(&ci) {
+                    self.cores[ci].latched = self.program.fetch(pc);
+                    self.stats.im_reads += 1;
+                    if self.cores[ci].latched.is_none() {
+                        // Running off the end halts the core.
+                        self.cores[ci].status = CoreStatus::Halted;
+                    }
+                } else {
+                    self.stats.im_conflict_stalls += 1;
+                }
+            }
+            self.execute_phase()?;
+            return Ok(());
+        }
+        self.stats.im_reads += served_addrs.len() as u64;
+        for &(ci, pc) in &requests {
+            if served_addrs.contains(&pc) {
+                self.cores[ci].latched = self.program.fetch(pc);
+                if self.cores[ci].latched.is_none() {
+                    self.cores[ci].status = CoreStatus::Halted;
+                }
+            } else {
+                self.stats.im_conflict_stalls += 1;
+            }
+        }
+
+        self.execute_phase()
+    }
+
+    /// Phase 3: execute latched instructions with DM arbitration.
+    fn execute_phase(&mut self) -> Result<()> {
+        // Collect DM requests: (core, bank).
+        let mut bank_winner: Vec<Option<usize>> = vec![None; self.cfg.dm_banks];
+        for ci in 0..self.cores.len() {
+            if self.cores[ci].status != CoreStatus::Running {
+                continue;
+            }
+            let Some(instr) = self.cores[ci].latched else {
+                continue;
+            };
+            if instr.is_mem() {
+                let addr = self.mem_addr(ci, instr)?;
+                let bank = addr / self.cfg.dm_bank_size;
+                match bank_winner[bank] {
+                    None => bank_winner[bank] = Some(ci),
+                    Some(_) => {
+                        // Lower core index already won; this core stalls.
+                        self.stats.dm_conflict_stalls += 1;
+                    }
+                }
+            }
+        }
+        for ci in 0..self.cores.len() {
+            if self.cores[ci].status != CoreStatus::Running {
+                continue;
+            }
+            let Some(instr) = self.cores[ci].latched else {
+                continue;
+            };
+            if instr.is_mem() {
+                let addr = self.mem_addr(ci, instr)?;
+                let bank = addr / self.cfg.dm_bank_size;
+                if bank_winner[bank] != Some(ci) {
+                    continue; // keep latched; retry next cycle
+                }
+            }
+            self.execute_one(ci, instr)?;
+        }
+        Ok(())
+    }
+
+    fn mem_addr(&self, ci: usize, instr: Instr) -> Result<usize> {
+        let (base, off) = match instr {
+            Instr::Ld(_, ra, off) => (self.cores[ci].regs[ra.index()], off),
+            Instr::St(_, ra, off) => (self.cores[ci].regs[ra.index()], off),
+            _ => unreachable!("mem_addr on non-memory instruction"),
+        };
+        let addr = base as i64 + off as i64;
+        if addr < 0 || addr as usize >= self.dmem.len() {
+            return Err(MulticoreError::MemoryFault { core: ci, addr });
+        }
+        Ok(addr as usize)
+    }
+
+    fn execute_one(&mut self, ci: usize, instr: Instr) -> Result<()> {
+        self.stats.instructions += 1;
+        self.cores[ci].latched = None;
+        let mut next_pc = self.cores[ci].pc + 1;
+        {
+            let regs = &mut self.cores[ci].regs;
+            match instr {
+                Instr::Movi(rd, imm) => regs[rd.index()] = imm,
+                Instr::Add(rd, a, b) => {
+                    regs[rd.index()] = regs[a.index()].wrapping_add(regs[b.index()])
+                }
+                Instr::Sub(rd, a, b) => {
+                    regs[rd.index()] = regs[a.index()].wrapping_sub(regs[b.index()])
+                }
+                Instr::Mul(rd, a, b) => {
+                    regs[rd.index()] = regs[a.index()].wrapping_mul(regs[b.index()])
+                }
+                Instr::Min(rd, a, b) => regs[rd.index()] = regs[a.index()].min(regs[b.index()]),
+                Instr::Max(rd, a, b) => regs[rd.index()] = regs[a.index()].max(regs[b.index()]),
+                Instr::Addi(rd, a, imm) => regs[rd.index()] = regs[a.index()].wrapping_add(imm),
+                Instr::Slli(rd, a, sh) => regs[rd.index()] = regs[a.index()] << sh,
+                Instr::Srai(rd, a, sh) => regs[rd.index()] = regs[a.index()] >> sh,
+                Instr::CoreId(rd) => regs[rd.index()] = ci as i32,
+                Instr::Ld(..) | Instr::St(..) | Instr::Branch(..) | Instr::Jump(_)
+                | Instr::Bar(_) | Instr::Halt => {}
+            }
+        }
+        match instr {
+            Instr::Ld(rd, _, _) => {
+                let addr = self.mem_addr(ci, instr)?;
+                self.cores[ci].regs[rd.index()] = self.dmem[addr];
+                self.stats.dm_reads += 1;
+            }
+            Instr::St(rs, _, _) => {
+                let addr = self.mem_addr(ci, instr)?;
+                self.dmem[addr] = self.cores[ci].regs[rs.index()];
+                self.stats.dm_writes += 1;
+            }
+            Instr::Branch(cond, a, b, target) => {
+                let (va, vb) = (
+                    self.cores[ci].regs[a.index()],
+                    self.cores[ci].regs[b.index()],
+                );
+                let taken = match cond {
+                    Cond::Eq => va == vb,
+                    Cond::Ne => va != vb,
+                    Cond::Lt => va < vb,
+                    Cond::Ge => va >= vb,
+                };
+                if taken {
+                    next_pc = target;
+                }
+            }
+            Instr::Jump(target) => next_pc = target,
+            Instr::Bar(id) => {
+                self.cores[ci].status = CoreStatus::AtBarrier(id);
+            }
+            Instr::Halt => {
+                self.cores[ci].status = CoreStatus::Halted;
+            }
+            _ => {}
+        }
+        self.cores[ci].pc = next_pc;
+        Ok(())
+    }
+
+    /// Register value of a core (for tests).
+    pub fn reg(&self, core: usize, r: crate::isa::Reg) -> i32 {
+        self.cores[core].regs[r.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+    use crate::program::ProgramBuilder;
+
+    fn single_core(cfg_mod: impl FnOnce(&mut MachineConfig)) -> MachineConfig {
+        let mut cfg = MachineConfig {
+            n_cores: 1,
+            ..MachineConfig::default()
+        };
+        cfg_mod(&mut cfg);
+        cfg
+    }
+
+    #[test]
+    fn arithmetic_program_computes() {
+        let r0 = Reg::r(0);
+        let r1 = Reg::r(1);
+        let r2 = Reg::r(2);
+        let mut b = ProgramBuilder::new();
+        b.movi(r0, 21).movi(r1, 2).mul(r2, r0, r1).halt();
+        let mut m = Multicore::new(single_core(|_| {}), b.build().unwrap()).unwrap();
+        m.run().unwrap();
+        assert_eq!(m.reg(0, r2), 42);
+    }
+
+    #[test]
+    fn loop_with_branch_terminates() {
+        let r0 = Reg::r(0);
+        let r1 = Reg::r(1);
+        let zero = Reg::r(15);
+        let mut b = ProgramBuilder::new();
+        b.movi(r0, 10).movi(r1, 0);
+        b.label("loop");
+        b.addi(r1, r1, 3).addi(r0, r0, -1);
+        b.bne_label(r0, zero, "loop");
+        b.halt();
+        let mut m = Multicore::new(single_core(|_| {}), b.build().unwrap()).unwrap();
+        m.run().unwrap();
+        assert_eq!(m.reg(0, r1), 30);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let r0 = Reg::r(0);
+        let r1 = Reg::r(1);
+        let mut b = ProgramBuilder::new();
+        b.movi(r0, 1234).movi(r1, 100).st(r0, r1, 5).ld(Reg::r(2), r1, 5).halt();
+        let mut m = Multicore::new(single_core(|_| {}), b.build().unwrap()).unwrap();
+        m.run().unwrap();
+        assert_eq!(m.dmem()[105], 1234);
+        assert_eq!(m.reg(0, Reg::r(2)), 1234);
+        assert_eq!(m.stats().dm_reads, 1);
+        assert_eq!(m.stats().dm_writes, 1);
+    }
+
+    #[test]
+    fn memory_fault_is_reported() {
+        let r0 = Reg::r(0);
+        let mut b = ProgramBuilder::new();
+        b.movi(r0, -1).ld(Reg::r(1), r0, 0).halt();
+        let mut m = Multicore::new(single_core(|_| {}), b.build().unwrap()).unwrap();
+        assert!(matches!(
+            m.run(),
+            Err(MulticoreError::MemoryFault { .. })
+        ));
+    }
+
+    #[test]
+    fn lockstep_cores_merge_fetches() {
+        // Three cores run the same straight-line code: with merging,
+        // IM reads ≈ program length, not 3×.
+        let r0 = Reg::r(0);
+        let mut b = ProgramBuilder::new();
+        for i in 0..50 {
+            b.addi(r0, r0, i);
+        }
+        b.halt();
+        let prog = b.build().unwrap();
+        let mut m = Multicore::new(MachineConfig::default(), prog.clone()).unwrap();
+        let stats = m.run().unwrap();
+        assert_eq!(stats.im_requests, 3 * 51);
+        assert_eq!(stats.im_reads, 51, "all fetches must merge");
+        assert!(stats.merge_fraction() > 0.6);
+
+        // Without merging, reads triple and conflicts appear.
+        let mut m2 = Multicore::new(
+            MachineConfig {
+                broadcast_merge: false,
+                ..MachineConfig::default()
+            },
+            prog,
+        )
+        .unwrap();
+        let s2 = m2.run().unwrap();
+        assert_eq!(s2.im_reads, 3 * 51);
+        assert!(s2.cycles > stats.cycles, "serialization slows the run");
+    }
+
+    #[test]
+    fn spmd_partitioning_by_core_id() {
+        // Each core writes its id to dmem[core_id].
+        let rid = Reg::r(0);
+        let mut b = ProgramBuilder::new();
+        b.core_id(rid).st(rid, rid, 0).halt();
+        let mut m = Multicore::new(MachineConfig::default(), b.build().unwrap()).unwrap();
+        m.run().unwrap();
+        assert_eq!(&m.dmem()[0..3], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn barrier_realigns_divergent_cores() {
+        // Core i busy-loops i*8 iterations, then hits a barrier, then
+        // runs 20 straight-line instructions. After the barrier all
+        // cores are aligned, so those fetches merge again.
+        let rid = Reg::r(0);
+        let rc = Reg::r(1);
+        let zero = Reg::r(15);
+        let mut b = ProgramBuilder::new();
+        b.core_id(rid);
+        b.slli(rc, rid, 3); // i*8
+        b.label("spin");
+        b.beq_label(rc, zero, "done");
+        b.addi(rc, rc, -1);
+        b.jump_label("spin");
+        b.label("done");
+        b.bar(1);
+        let r2 = Reg::r(2);
+        for _ in 0..20 {
+            b.addi(r2, r2, 1);
+        }
+        b.halt();
+        let mut m = Multicore::new(MachineConfig::default(), b.build().unwrap()).unwrap();
+        let stats = m.run().unwrap();
+        assert!(stats.barrier_wait_cycles > 0, "cores must wait at the barrier");
+        // Post-barrier block (21 instrs incl. halt) should be mostly merged:
+        // total reads far below the no-merge bound.
+        assert!(
+            stats.merge_fraction() > 0.25,
+            "merge fraction {}",
+            stats.merge_fraction()
+        );
+        for c in 0..3 {
+            assert_eq!(m.reg(c, r2), 20);
+        }
+    }
+
+    #[test]
+    fn dm_bank_conflicts_serialize() {
+        // Both cores hammer the same bank (addresses 0 and 1).
+        let rid = Reg::r(0);
+        let r1 = Reg::r(1);
+        let mut b = ProgramBuilder::new();
+        b.core_id(rid);
+        for _ in 0..10 {
+            b.ld(r1, rid, 0);
+        }
+        b.halt();
+        let cfg = MachineConfig {
+            n_cores: 2,
+            ..MachineConfig::default()
+        };
+        let mut m = Multicore::new(cfg, b.build().unwrap()).unwrap();
+        let stats = m.run().unwrap();
+        assert!(stats.dm_conflict_stalls >= 9, "stalls {}", stats.dm_conflict_stalls);
+    }
+
+    #[test]
+    fn mismatched_barrier_hits_cycle_limit() {
+        // Core 0 hits a barrier; core 1 halts immediately: barrier can
+        // still release (only live cores must arrive). But a program
+        // where one core spins forever must exhaust the budget.
+        let rid = Reg::r(0);
+        let zero = Reg::r(15);
+        let mut b = ProgramBuilder::new();
+        b.core_id(rid);
+        b.label("top");
+        b.beq_label(rid, zero, "top"); // core 0 spins forever
+        b.halt();
+        let cfg = MachineConfig {
+            n_cores: 2,
+            cycle_limit: 10_000,
+            ..MachineConfig::default()
+        };
+        let mut m = Multicore::new(cfg, b.build().unwrap()).unwrap();
+        assert!(matches!(
+            m.run(),
+            Err(MulticoreError::CycleLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn halted_cores_do_not_block_barriers() {
+        let rid = Reg::r(0);
+        let zero = Reg::r(15);
+        let r2 = Reg::r(2);
+        let mut b = ProgramBuilder::new();
+        b.core_id(rid);
+        b.beq_label(rid, zero, "worker");
+        b.halt(); // cores 1,2 exit
+        b.label("worker");
+        b.bar(7); // only core 0 arrives — must release alone
+        b.movi(r2, 99);
+        b.halt();
+        let mut m = Multicore::new(MachineConfig::default(), b.build().unwrap()).unwrap();
+        m.run().unwrap();
+        assert_eq!(m.reg(0, r2), 99);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(Multicore::new(
+            MachineConfig {
+                n_cores: 0,
+                ..MachineConfig::default()
+            },
+            p
+        )
+        .is_err());
+    }
+}

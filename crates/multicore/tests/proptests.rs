@@ -1,0 +1,99 @@
+//! Property-based tests on the multi-core simulator.
+
+use proptest::prelude::*;
+use wbsn_multicore::isa::Reg;
+use wbsn_multicore::kernels::{mf, mmd};
+use wbsn_multicore::program::ProgramBuilder;
+use wbsn_multicore::sim::{MachineConfig, Multicore};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mf_kernel_equals_host_on_random_signals(
+        data in prop::collection::vec(-2000i32..2000, 60..120),
+        half in 1usize..6,
+    ) {
+        let w = 2 * half + 1;
+        let n = data.len();
+        let p = mf::MfParams { n, w, n_leads: 3 };
+        let leads: Vec<Vec<i32>> = (0..3)
+            .map(|l| data.iter().map(|&v| v + l as i32 * 7).collect())
+            .collect();
+        for n_cores in [1usize, 3] {
+            let prog = mf::build_program(&p, n_cores).unwrap();
+            let mut m = Multicore::new(
+                MachineConfig { n_cores, ..MachineConfig::default() },
+                prog,
+            )
+            .unwrap();
+            mf::init_dmem(m.dmem_mut(), &leads, &p);
+            m.run().unwrap();
+            let outs = mf::read_outputs(m.dmem(), &p);
+            for l in 0..3 {
+                prop_assert_eq!(&outs[l], &mf::host_reference(&leads[l], p.w));
+            }
+        }
+    }
+
+    #[test]
+    fn mmd_kernel_equals_host_on_random_signals(
+        data in prop::collection::vec(-2000i32..2000, 80..140),
+        s_exp in 1u32..4,
+    ) {
+        let s = 1usize << s_exp;
+        let p = mmd::MmdParams { n: data.len(), s, n_leads: 3 };
+        let leads: Vec<Vec<i32>> = (0..3).map(|_| data.clone()).collect();
+        let prog = mmd::build_program(&p, 3).unwrap();
+        let mut m = Multicore::new(MachineConfig::default(), prog).unwrap();
+        mmd::init_dmem(m.dmem_mut(), &leads, &p);
+        m.run().unwrap();
+        let outs = mmd::read_outputs(m.dmem(), &p);
+        for l in 0..3 {
+            prop_assert_eq!(&outs[l], &mmd::host_reference(&leads[l], p.s));
+        }
+    }
+
+    #[test]
+    fn alu_programs_are_deterministic(
+        imms in prop::collection::vec(-1000i32..1000, 1..30),
+    ) {
+        // A straight-line accumulation must produce the same result and
+        // identical statistics on repeated runs.
+        let build = || {
+            let acc = Reg::r(1);
+            let tmp = Reg::r(2);
+            let mut b = ProgramBuilder::new();
+            b.movi(acc, 0);
+            for &v in &imms {
+                b.movi(tmp, v);
+                b.add(acc, acc, tmp);
+            }
+            b.st(acc, Reg::r(15), 0);
+            b.halt();
+            b.build().unwrap()
+        };
+        let run = || {
+            let mut m = Multicore::new(MachineConfig::default(), build()).unwrap();
+            let stats = m.run().unwrap();
+            (m.dmem()[0], stats)
+        };
+        let (v1, s1) = run();
+        let (v2, s2) = run();
+        prop_assert_eq!(v1, imms.iter().sum::<i32>());
+        prop_assert_eq!(v1, v2);
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn merge_never_exceeds_requests(n_cores in 1usize..4) {
+        let stats = wbsn_multicore::power::run_app(
+            wbsn_multicore::power::App::ThreeLeadMmd,
+            n_cores,
+            true,
+        )
+        .unwrap();
+        prop_assert!(stats.im_reads <= stats.im_requests);
+        prop_assert!(stats.instructions <= stats.cycles * n_cores as u64);
+    }
+}

@@ -1,0 +1,172 @@
+//! Ensemble averaging time-locked to the ECG.
+//!
+//! "Most cardiac bio-signals originate from the response to the
+//! bioelectric stimuli reflected in the ECG … time-locked to these
+//! stimuli. This information can be used to remove noise (which is
+//! instead uncorrelated to the stimuli)" — Section IV-C. Averaging N
+//! beat-aligned segments improves SNR by ~10·log10(N) dB for white
+//! noise, at the cost of losing beat-to-beat variation.
+
+/// Running time-locked ensemble average over fixed-length segments.
+#[derive(Debug, Clone)]
+pub struct EnsembleAverager {
+    sum: Vec<f64>,
+    count: usize,
+}
+
+impl EnsembleAverager {
+    /// Averager for segments of `len` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len == 0`.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "segment length must be non-zero");
+        EnsembleAverager {
+            sum: vec![0.0; len],
+            count: 0,
+        }
+    }
+
+    /// Segment length.
+    pub fn len(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// True before any segment was added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of accumulated segments.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds one beat-aligned segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `segment.len()` differs from the configured length.
+    pub fn add(&mut self, segment: &[f64]) {
+        assert_eq!(segment.len(), self.sum.len(), "segment length");
+        for (s, &v) in self.sum.iter_mut().zip(segment) {
+            *s += v;
+        }
+        self.count += 1;
+    }
+
+    /// Current ensemble average (zeros before the first segment).
+    pub fn template(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.sum.len()];
+        }
+        self.sum.iter().map(|&s| s / self.count as f64).collect()
+    }
+
+    /// Extracts beat-aligned segments from `x` at `anchors` (e.g. R
+    /// peaks), each starting `pre` samples before the anchor; segments
+    /// that do not fit are skipped.
+    pub fn segments(x: &[f64], anchors: &[usize], pre: usize, len: usize) -> Vec<Vec<f64>> {
+        anchors
+            .iter()
+            .filter_map(|&a| {
+                let start = a.checked_sub(pre)?;
+                if start + len <= x.len() {
+                    Some(x[start..start + len].to_vec())
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_segments(n_segs: usize, len: usize, noise: f64) -> (Vec<f64>, Vec<Vec<f64>>) {
+        let template: Vec<f64> = (0..len)
+            .map(|i| (core::f64::consts::TAU * i as f64 / len as f64).sin())
+            .collect();
+        let mut state = 12345u64;
+        let mut segs = Vec::new();
+        for _ in 0..n_segs {
+            let seg: Vec<f64> = template
+                .iter()
+                .map(|&t| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let u = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                    t + noise * u * 3.46 // uniform with unit-ish variance scaling
+                })
+                .collect();
+            segs.push(seg);
+        }
+        (template, segs)
+    }
+
+    #[test]
+    fn averaging_recovers_template() {
+        let (template, segs) = noisy_segments(400, 64, 1.0);
+        let mut ea = EnsembleAverager::new(64);
+        for s in &segs {
+            ea.add(s);
+        }
+        let avg = ea.template();
+        let err: f64 = avg
+            .iter()
+            .zip(&template)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / 64.0;
+        assert!(err < 0.02, "residual mse {err}");
+        assert_eq!(ea.count(), 400);
+    }
+
+    #[test]
+    fn snr_gain_scales_with_count() {
+        let (template, segs) = noisy_segments(256, 32, 1.0);
+        let mse_at = |n: usize| {
+            let mut ea = EnsembleAverager::new(32);
+            for s in &segs[..n] {
+                ea.add(s);
+            }
+            ea.template()
+                .iter()
+                .zip(&template)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / 32.0
+        };
+        let m16 = mse_at(16);
+        let m256 = mse_at(256);
+        // 16x more segments => ~16x lower noise power (allow slack).
+        assert!(m16 / m256 > 6.0, "m16 {m16} m256 {m256}");
+    }
+
+    #[test]
+    fn segment_extraction_skips_edges() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let segs = EnsembleAverager::segments(&x, &[5, 50, 98], 10, 20);
+        // Anchor 5 (underflow) and 98 (overflow) are skipped.
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0][0], 40.0);
+    }
+
+    #[test]
+    fn empty_averager_yields_zeros() {
+        let ea = EnsembleAverager::new(8);
+        assert!(ea.is_empty());
+        assert_eq!(ea.template(), vec![0.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment length")]
+    fn mismatched_segment_panics() {
+        let mut ea = EnsembleAverager::new(8);
+        ea.add(&[0.0; 7]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Pulse arrival time, pulse wave velocity and blood-pressure
+//! estimation.
+//!
+//! "The pulse arrival time (PAT), calculated using ECG and a simple
+//! and inexpensive photoplethysmograph (PPG) finger probe, can be used
+//! to estimate the pulse wave velocity (PWV), which is a surrogate
+//! marker for arterial stiffness and BP" — Section IV-C. The pulse
+//! foot is located with the intersecting-tangent method (baseline ∩
+//! maximum-upslope tangent), the standard choice for PAT work.
+
+use crate::{MultimodalError, Result};
+
+/// Per-beat PAT measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatMeasurement {
+    /// R-peak time, seconds.
+    pub r_time_s: f64,
+    /// Detected pulse-foot time, seconds.
+    pub foot_time_s: f64,
+    /// Pulse arrival time, seconds.
+    pub pat_s: f64,
+}
+
+/// PAT detector configuration + implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatDetector {
+    /// PPG sampling rate, Hz.
+    pub fs_hz: f64,
+    /// Search window after the R peak: start, seconds.
+    pub search_start_s: f64,
+    /// Search window after the R peak: end, seconds.
+    pub search_end_s: f64,
+}
+
+impl Default for PatDetector {
+    fn default() -> Self {
+        PatDetector {
+            fs_hz: 250.0,
+            search_start_s: 0.05,
+            search_end_s: 0.55,
+        }
+    }
+}
+
+impl PatDetector {
+    /// Measures PAT for each R peak (sample indices into the ECG/PPG
+    /// common timebase). Beats whose search window leaves the record
+    /// are skipped.
+    pub fn measure(&self, ppg: &[f64], r_peaks: &[usize]) -> Vec<PatMeasurement> {
+        let mut out = Vec::new();
+        for &r in r_peaks {
+            let lo = r + (self.search_start_s * self.fs_hz) as usize;
+            let hi = r + (self.search_end_s * self.fs_hz) as usize;
+            if hi + 1 >= ppg.len() {
+                continue;
+            }
+            let Some(foot) = self.pulse_foot(ppg, lo, hi) else {
+                continue;
+            };
+            let r_t = r as f64 / self.fs_hz;
+            out.push(PatMeasurement {
+                r_time_s: r_t,
+                foot_time_s: foot,
+                pat_s: foot - r_t,
+            });
+        }
+        out
+    }
+
+    /// Intersecting-tangent foot location within `[lo, hi]`:
+    /// the tangent at the maximum-upslope point intersected with the
+    /// horizontal through the preceding minimum. The window is smoothed
+    /// with a short moving average first so measurement noise cannot
+    /// masquerade as the upslope.
+    fn pulse_foot(&self, ppg: &[f64], lo: usize, hi: usize) -> Option<f64> {
+        // 7-sample centered moving average over the search window.
+        let half = 3usize;
+        let sm = |i: usize| -> f64 {
+            let a = i.saturating_sub(half);
+            let b = (i + half).min(ppg.len() - 1);
+            ppg[a..=b].iter().sum::<f64>() / (b - a + 1) as f64
+        };
+        // Maximum smoothed slope over a 2-sample span.
+        let mut m_idx = lo + 2;
+        let mut m_slope = f64::MIN;
+        for i in lo + 2..=hi {
+            let s = (sm(i) - sm(i - 2)) / 2.0;
+            if s > m_slope {
+                m_slope = s;
+                m_idx = i - 1;
+            }
+        }
+        if m_slope <= 0.0 {
+            return None;
+        }
+        // Baseline: smoothed minimum between window start and the
+        // upslope point.
+        let mut b_val = sm(lo);
+        for i in lo..=m_idx {
+            b_val = b_val.min(sm(i));
+        }
+        // Tangent at m_idx: y = sm(m) + slope·(t − t_m); intersect y = b_val.
+        let t_m = m_idx as f64 / self.fs_hz;
+        let slope_per_s = m_slope * self.fs_hz;
+        Some(t_m - (sm(m_idx) - b_val) / slope_per_s)
+    }
+}
+
+/// Pulse-wave velocity from PAT over a known path length (the paper's
+/// surrogate chain). PEP (pre-ejection period) is treated as a fixed
+/// offset.
+pub fn pwv_m_per_s(pat_s: f64, path_m: f64, pep_s: f64) -> f64 {
+    let ptt = (pat_s - pep_s).max(1e-3);
+    path_m / ptt
+}
+
+/// Linear BP ∼ 1/PAT calibration (two-parameter, per Gesche et al.).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BpCalibration {
+    /// Intercept, mmHg.
+    pub a: f64,
+    /// Slope on 1/PAT, mmHg·s.
+    pub b: f64,
+}
+
+/// Calibrated BP estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BpEstimator {
+    cal: BpCalibration,
+}
+
+impl BpEstimator {
+    /// Least-squares calibration of `bp = a + b / pat` from paired
+    /// reference measurements (e.g. an occasional cuff reading).
+    ///
+    /// # Errors
+    ///
+    /// Fails with fewer than 2 pairs or degenerate (constant) PAT.
+    pub fn calibrate(pat_s: &[f64], bp_mmhg: &[f64]) -> Result<Self> {
+        if pat_s.len() != bp_mmhg.len() || pat_s.len() < 2 {
+            return Err(MultimodalError::InsufficientData {
+                detail: format!("need ≥2 paired readings, got {}", pat_s.len().min(bp_mmhg.len())),
+            });
+        }
+        let x: Vec<f64> = pat_s.iter().map(|&p| 1.0 / p.max(1e-3)).collect();
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = bp_mmhg.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (xi, yi) in x.iter().zip(bp_mmhg) {
+            sxx += (xi - mx) * (xi - mx);
+            sxy += (xi - mx) * (yi - my);
+        }
+        if sxx < 1e-12 {
+            return Err(MultimodalError::InsufficientData {
+                detail: "PAT has no variation; cannot calibrate".into(),
+            });
+        }
+        let b = sxy / sxx;
+        let a = my - b * mx;
+        Ok(BpEstimator {
+            cal: BpCalibration { a, b },
+        })
+    }
+
+    /// The fitted calibration.
+    pub fn calibration(&self) -> BpCalibration {
+        self.cal
+    }
+
+    /// Estimates BP (mmHg) from a PAT measurement.
+    pub fn estimate(&self, pat_s: f64) -> f64 {
+        self.cal.a + self.cal.b / pat_s.max(1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic PPG: one pulse with a clean foot at `foot_s`.
+    fn ppg_with_foot(n: usize, fs: f64, foot_s: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / fs - foot_s;
+                if t <= 0.0 {
+                    0.0
+                } else {
+                    // Smooth sigmoid-ish upstroke then decay.
+                    let up = 1.0 - (-t / 0.03).exp();
+                    let down = (-t / 0.35).exp();
+                    up * down * 2.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn foot_detection_is_accurate() {
+        let fs = 250.0;
+        let foot_truth = 0.80;
+        let ppg = ppg_with_foot(500, fs, foot_truth);
+        let det = PatDetector::default();
+        let r = (0.60 * fs) as usize; // R peak 200 ms before the foot
+        let m = det.measure(&ppg, &[r]);
+        assert_eq!(m.len(), 1);
+        assert!(
+            (m[0].foot_time_s - foot_truth).abs() < 0.02,
+            "foot at {} want {foot_truth}",
+            m[0].foot_time_s
+        );
+        assert!((m[0].pat_s - 0.20).abs() < 0.02, "pat {}", m[0].pat_s);
+    }
+
+    #[test]
+    fn beats_near_record_end_are_skipped() {
+        let fs = 250.0;
+        let ppg = ppg_with_foot(300, fs, 0.8);
+        let det = PatDetector::default();
+        let m = det.measure(&ppg, &[(1.1 * fs) as usize]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn pwv_is_inverse_in_ptt() {
+        let v1 = pwv_m_per_s(0.25, 1.0, 0.05);
+        let v2 = pwv_m_per_s(0.45, 1.0, 0.05);
+        assert!(v1 > v2);
+        assert!((v1 - 5.0).abs() < 1e-9); // 1 m / 0.2 s
+    }
+
+    #[test]
+    fn bp_calibration_recovers_linear_model() {
+        // Ground truth: bp = 40 + 20 / pat.
+        let pats = [0.20, 0.22, 0.25, 0.28, 0.32];
+        let bps: Vec<f64> = pats.iter().map(|&p| 40.0 + 20.0 / p).collect();
+        let est = BpEstimator::calibrate(&pats, &bps).unwrap();
+        assert!((est.calibration().a - 40.0).abs() < 1e-6);
+        assert!((est.calibration().b - 20.0).abs() < 1e-6);
+        assert!((est.estimate(0.24) - (40.0 + 20.0 / 0.24)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn calibration_rejects_degenerate_inputs() {
+        assert!(BpEstimator::calibrate(&[0.2], &[120.0]).is_err());
+        assert!(BpEstimator::calibrate(&[0.2, 0.2, 0.2], &[120.0, 121.0, 119.0]).is_err());
+        assert!(BpEstimator::calibrate(&[0.2, 0.3], &[120.0]).is_err());
+    }
+
+    #[test]
+    fn flat_ppg_yields_no_measurement() {
+        let det = PatDetector::default();
+        let ppg = vec![1.0; 500];
+        let m = det.measure(&ppg, &[50]);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Battery capacity → lifetime conversion.
+//!
+//! The SmartCardia node's "mean time between charges is typically one
+//! week" — with a coin/pouch cell of ~100 mAh at 3 V that corresponds
+//! to an average node power of ≈1.8 mW, which is the budget the whole
+//! Figure 6 exercise is about.
+
+/// A battery described by capacity and nominal voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    /// Capacity in milliamp-hours.
+    pub capacity_mah: f64,
+    /// Nominal voltage in volts.
+    pub voltage_v: f64,
+    /// Usable fraction of nameplate capacity (discharge cutoff,
+    /// ageing); 0.85 by default.
+    pub usable_fraction: f64,
+}
+
+impl Default for Battery {
+    fn default() -> Self {
+        Battery {
+            capacity_mah: 100.0,
+            voltage_v: 3.0,
+            usable_fraction: 0.85,
+        }
+    }
+}
+
+impl Battery {
+    /// Usable energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.capacity_mah / 1000.0 * 3600.0 * self.voltage_v * self.usable_fraction
+    }
+
+    /// Lifetime in seconds at a constant average power draw.
+    ///
+    /// Returns `f64::INFINITY` for non-positive power.
+    pub fn lifetime_s(&self, avg_power_w: f64) -> f64 {
+        if avg_power_w <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.energy_j() / avg_power_w
+        }
+    }
+
+    /// Lifetime in days at a constant average power draw.
+    pub fn lifetime_days(&self, avg_power_w: f64) -> f64 {
+        self.lifetime_s(avg_power_w) / 86_400.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hundred_mah_at_1_8mw_lasts_about_a_week() {
+        let b = Battery::default();
+        let days = b.lifetime_days(1.8e-3);
+        assert!((5.0..9.0).contains(&days), "{days} days");
+    }
+
+    #[test]
+    fn energy_math() {
+        let b = Battery {
+            capacity_mah: 1000.0,
+            voltage_v: 3.0,
+            usable_fraction: 1.0,
+        };
+        assert!((b.energy_j() - 10_800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_power_is_infinite_life() {
+        assert!(Battery::default().lifetime_s(0.0).is_infinite());
+    }
+
+    #[test]
+    fn lifetime_is_inverse_in_power() {
+        let b = Battery::default();
+        let l1 = b.lifetime_s(1e-3);
+        let l2 = b.lifetime_s(2e-3);
+        assert!((l1 / l2 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,231 @@
+//! IEEE 802.15.4 radio model: framing, airtime and energy.
+//!
+//! The paper's node uses "a simple medium access control (MAC) scheme
+//! for wireless communication (IEEE 802.15.4) between the node and the
+//! base station". The model accounts for the full on-air cost of a
+//! payload stream: PHY synchronization header, MAC header/FCS, the
+//! 127-byte MPDU limit forcing fragmentation, acknowledgment frames,
+//! and the oscillator start-up energy of each radio wake-up.
+
+use crate::{PlatformError, Result};
+
+/// Frame-size constants (bytes) from the 802.15.4-2006 standard.
+pub mod frame {
+    /// Preamble (4) + SFD (1) + PHR (1).
+    pub const PHY_OVERHEAD: usize = 6;
+    /// FCF (2) + sequence (1) + short addressing with PAN (6).
+    pub const MAC_HEADER: usize = 9;
+    /// Frame check sequence.
+    pub const FCS: usize = 2;
+    /// Maximum MPDU (MAC header + payload + FCS).
+    pub const MAX_MPDU: usize = 127;
+    /// Maximum data payload per frame.
+    pub const MAX_PAYLOAD: usize = MAX_MPDU - MAC_HEADER - FCS;
+    /// Immediate-ACK frame length (MPDU).
+    pub const ACK_MPDU: usize = 5;
+}
+
+/// Radio energy/timing parameters (CC2420-class defaults at 3.0 V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioModel {
+    /// On-air data rate in bits per second.
+    pub data_rate_bps: f64,
+    /// Power while transmitting, watts (17.4 mA·3 V).
+    pub tx_power_w: f64,
+    /// Power while receiving (ACK listening), watts (18.8 mA·3 V).
+    pub rx_power_w: f64,
+    /// Energy to wake the radio and settle the oscillator, joules.
+    pub startup_energy_j: f64,
+    /// RX/TX turnaround + ACK wait time per frame, seconds.
+    pub turnaround_s: f64,
+    /// Whether frames are acknowledged.
+    pub acked: bool,
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        RadioModel {
+            data_rate_bps: 250_000.0,
+            tx_power_w: 0.0522,
+            rx_power_w: 0.0564,
+            startup_energy_j: 30e-6,
+            turnaround_s: 192e-6, // aTurnaroundTime (12 symbols)
+            acked: true,
+        }
+    }
+}
+
+/// Result of costing a payload transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxReport {
+    /// Number of 802.15.4 frames used.
+    pub frames: usize,
+    /// Total bytes on air (PHY + MAC + payload + FCS (+ ACKs)).
+    pub bytes_on_air: usize,
+    /// Total airtime in seconds.
+    pub airtime_s: f64,
+    /// Total radio energy in joules.
+    pub energy_j: f64,
+}
+
+impl RadioModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the data rate or powers are non-positive.
+    pub fn validate(&self) -> Result<()> {
+        if self.data_rate_bps <= 0.0 {
+            return Err(PlatformError::InvalidParameter {
+                what: "data_rate_bps",
+                detail: "must be positive".into(),
+            });
+        }
+        if self.tx_power_w <= 0.0 || self.rx_power_w <= 0.0 {
+            return Err(PlatformError::InvalidParameter {
+                what: "tx/rx power",
+                detail: "must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of frames needed for `payload_bytes`.
+    pub fn frames_for(&self, payload_bytes: usize) -> usize {
+        payload_bytes.div_ceil(frame::MAX_PAYLOAD).max(
+            // Zero payload still costs nothing — no frames.
+            usize::from(payload_bytes > 0),
+        )
+    }
+
+    /// Costs the transmission of `payload_bytes` application bytes,
+    /// assuming the radio wakes once per burst (`wakeups = 1`) unless
+    /// the caller models periodic wake-ups separately.
+    pub fn transmit(&self, payload_bytes: usize, wakeups: usize) -> TxReport {
+        if payload_bytes == 0 {
+            return TxReport {
+                frames: 0,
+                bytes_on_air: 0,
+                airtime_s: 0.0,
+                energy_j: self.startup_energy_j * wakeups as f64,
+            };
+        }
+        let frames = payload_bytes.div_ceil(frame::MAX_PAYLOAD);
+        let per_frame_overhead = frame::PHY_OVERHEAD + frame::MAC_HEADER + frame::FCS;
+        let data_bytes = payload_bytes + frames * per_frame_overhead;
+        let ack_bytes = if self.acked {
+            frames * (frame::PHY_OVERHEAD + frame::ACK_MPDU)
+        } else {
+            0
+        };
+        let tx_time = data_bytes as f64 * 8.0 / self.data_rate_bps;
+        let ack_time = ack_bytes as f64 * 8.0 / self.data_rate_bps;
+        let turnaround = if self.acked {
+            frames as f64 * self.turnaround_s
+        } else {
+            0.0
+        };
+        let energy = self.startup_energy_j * wakeups as f64
+            + tx_time * self.tx_power_w
+            + (ack_time + turnaround) * self.rx_power_w;
+        TxReport {
+            frames,
+            bytes_on_air: data_bytes + ack_bytes,
+            airtime_s: tx_time + ack_time + turnaround,
+            energy_j: energy,
+        }
+    }
+
+    /// Average radio power for a periodic stream of `bytes_per_s`
+    /// application bytes, waking `wakeups_per_s` times per second.
+    pub fn stream_power_w(&self, bytes_per_s: f64, wakeups_per_s: f64) -> f64 {
+        let report = self.transmit(bytes_per_s.round() as usize, 1);
+        report.energy_j - self.startup_energy_j + self.startup_energy_j * wakeups_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_constants_are_standard() {
+        assert_eq!(frame::MAX_PAYLOAD, 116);
+        assert_eq!(frame::MAX_MPDU, 127);
+    }
+
+    #[test]
+    fn fragmentation_counts_frames() {
+        let r = RadioModel::default();
+        assert_eq!(r.transmit(1, 1).frames, 1);
+        assert_eq!(r.transmit(116, 1).frames, 1);
+        assert_eq!(r.transmit(117, 1).frames, 2);
+        assert_eq!(r.transmit(1160, 1).frames, 10);
+    }
+
+    #[test]
+    fn energy_scales_superlinearly_with_fragmentation() {
+        let r = RadioModel::default();
+        // Four quarter-size payloads need four frames; the same bytes
+        // in one burst fit in two — fragmentation costs extra headers.
+        let one = r.transmit(232, 1);
+        let quarter = r.transmit(58, 1);
+        assert_eq!(one.frames, 2);
+        assert_eq!(quarter.frames, 1);
+        assert!(
+            4.0 * (quarter.energy_j - r.startup_energy_j)
+                > one.energy_j - r.startup_energy_j
+        );
+        assert!(4 * quarter.bytes_on_air > one.bytes_on_air);
+    }
+
+    #[test]
+    fn zero_payload_costs_only_startup() {
+        let r = RadioModel::default();
+        let rep = r.transmit(0, 1);
+        assert_eq!(rep.frames, 0);
+        assert_eq!(rep.bytes_on_air, 0);
+        assert!((rep.energy_j - r.startup_energy_j).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_ecg_stream_power_is_milliwatts() {
+        // 3 leads × 250 Hz × 2 bytes = 1500 B/s: the unsustainable raw
+        // streaming the paper opens with.
+        let r = RadioModel::default();
+        let p = r.stream_power_w(1500.0, 1.0);
+        assert!(p > 0.5e-3 && p < 10e-3, "raw stream power {p} W");
+    }
+
+    #[test]
+    fn unacked_mode_is_cheaper() {
+        let acked = RadioModel::default();
+        let unacked = RadioModel {
+            acked: false,
+            ..RadioModel::default()
+        };
+        assert!(unacked.transmit(500, 1).energy_j < acked.transmit(500, 1).energy_j);
+    }
+
+    #[test]
+    fn airtime_matches_rate() {
+        let r = RadioModel {
+            acked: false,
+            ..RadioModel::default()
+        };
+        let rep = r.transmit(116, 1);
+        let expected = (116 + 17) as f64 * 8.0 / 250_000.0;
+        assert!((rep.airtime_s - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut r = RadioModel::default();
+        r.data_rate_bps = 0.0;
+        assert!(r.validate().is_err());
+        let mut r2 = RadioModel::default();
+        r2.tx_power_w = -1.0;
+        assert!(r2.validate().is_err());
+        assert!(RadioModel::default().validate().is_ok());
+    }
+}

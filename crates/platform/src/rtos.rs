@@ -1,0 +1,64 @@
+//! FreeRTOS-class scheduler overhead model.
+//!
+//! The paper's Figure 6 text attributes a share of node power to "the
+//! OS": the periodic tick interrupt, context switches between the
+//! acquisition/processing/radio tasks, and task-wake bookkeeping. The
+//! model converts those to cycles per second, which the MCU model then
+//! prices at the active operating point.
+
+/// Scheduler overhead parameters (FreeRTOS-class defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtosModel {
+    /// Tick interrupt rate, Hz.
+    pub tick_hz: f64,
+    /// Cycles consumed by one tick interrupt.
+    pub tick_cycles: f64,
+    /// Cycles consumed by one context switch.
+    pub switch_cycles: f64,
+    /// Context switches per second attributable to the workload
+    /// (task wakes for sampling, processing and radio bursts).
+    pub switches_per_s: f64,
+}
+
+impl Default for RtosModel {
+    fn default() -> Self {
+        RtosModel {
+            tick_hz: 100.0,
+            tick_cycles: 180.0,
+            switch_cycles: 120.0,
+            switches_per_s: 520.0, // ~2 switches per sampling burst at 250 Hz
+        }
+    }
+}
+
+impl RtosModel {
+    /// Scheduler cycles per second.
+    pub fn cycles_per_s(&self) -> f64 {
+        self.tick_hz * self.tick_cycles + self.switches_per_s * self.switch_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_overhead_is_tens_of_kcycles() {
+        let r = RtosModel::default();
+        let c = r.cycles_per_s();
+        assert!(c > 10e3 && c < 200e3, "{c}");
+    }
+
+    #[test]
+    fn overhead_scales_with_tick_rate() {
+        let slow = RtosModel {
+            tick_hz: 10.0,
+            ..RtosModel::default()
+        };
+        let fast = RtosModel {
+            tick_hz: 1000.0,
+            ..RtosModel::default()
+        };
+        assert!(fast.cycles_per_s() > slow.cycles_per_s());
+    }
+}

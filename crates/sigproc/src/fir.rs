@@ -1,0 +1,263 @@
+//! FIR filtering with integer-quantized coefficients.
+//!
+//! The acquisition chain of the WBSN conditions the raw ADC stream with
+//! short FIR sections (the paper's Section III-B "filtering stage is
+//! mandatory"). Embedded targets store coefficients as Q15 integers;
+//! this module provides both the float designs (windowed-sinc) and the
+//! integer streaming engine that models the node implementation.
+
+use crate::{Result, SigprocError};
+
+/// Streaming FIR filter with `i32` coefficients in Q15 and an `i64`
+/// accumulator, matching a 16×16→32 MAC datapath with headroom.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_sigproc::fir::FirFilter;
+///
+/// // 3-tap moving average in Q15.
+/// let q = (1 << 15) / 3;
+/// let mut f = FirFilter::from_q15(vec![q, q, q]).unwrap();
+/// let y: Vec<i32> = [30, 30, 30, 30].iter().map(|&x| f.push(x)).collect();
+/// assert_eq!(y[3], 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    taps_q15: Vec<i32>,
+    history: Vec<i32>,
+    pos: usize,
+}
+
+impl FirFilter {
+    /// Builds a filter from Q15 integer taps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigprocError::InvalidLength`] when `taps` is empty.
+    pub fn from_q15(taps: Vec<i32>) -> Result<Self> {
+        if taps.is_empty() {
+            return Err(SigprocError::InvalidLength {
+                what: "fir taps",
+                got: 0,
+            });
+        }
+        let n = taps.len();
+        Ok(FirFilter {
+            taps_q15: taps,
+            history: vec![0; n],
+            pos: 0,
+        })
+    }
+
+    /// Builds a filter by quantizing float taps to Q15.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigprocError::InvalidLength`] when `taps` is empty.
+    pub fn from_f64(taps: &[f64]) -> Result<Self> {
+        Self::from_q15(
+            taps.iter()
+                .map(|&t| (t * 32768.0).round() as i32)
+                .collect(),
+        )
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps_q15.len()
+    }
+
+    /// True if the filter has no taps (never true for a constructed filter).
+    pub fn is_empty(&self) -> bool {
+        self.taps_q15.is_empty()
+    }
+
+    /// Group delay in samples for the linear-phase case `(N-1)/2`.
+    pub fn group_delay(&self) -> usize {
+        (self.taps_q15.len() - 1) / 2
+    }
+
+    /// Pushes one sample, returning the filtered output.
+    pub fn push(&mut self, x: i32) -> i32 {
+        self.history[self.pos] = x;
+        let n = self.taps_q15.len();
+        let mut acc: i64 = 0;
+        let mut idx = self.pos;
+        for &t in &self.taps_q15 {
+            acc += t as i64 * self.history[idx] as i64;
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        self.pos = (self.pos + 1) % n;
+        // Q15 -> integer with rounding.
+        ((acc + (1 << 14)) >> 15) as i32
+    }
+
+    /// Filters a whole slice (stateful; continues from current history).
+    pub fn filter(&mut self, x: &[i32]) -> Vec<i32> {
+        x.iter().map(|&v| self.push(v)).collect()
+    }
+
+    /// Resets the history to zero.
+    pub fn reset(&mut self) {
+        self.history.fill(0);
+        self.pos = 0;
+    }
+}
+
+/// Windowed-sinc low-pass design with a Hamming window.
+///
+/// `cutoff_hz` is the -6 dB cutoff, `fs_hz` the sampling rate, `n_taps`
+/// the (odd) filter length.
+///
+/// # Errors
+///
+/// Fails if `n_taps` is even/zero or the cutoff is not in `(0, fs/2)`.
+pub fn design_lowpass(fs_hz: f64, cutoff_hz: f64, n_taps: usize) -> Result<Vec<f64>> {
+    if n_taps == 0 || n_taps % 2 == 0 {
+        return Err(SigprocError::InvalidLength {
+            what: "n_taps (must be odd)",
+            got: n_taps,
+        });
+    }
+    if !(cutoff_hz > 0.0 && cutoff_hz < fs_hz / 2.0) {
+        return Err(SigprocError::InvalidParameter {
+            what: "cutoff_hz",
+            detail: "must lie in (0, fs/2)",
+        });
+    }
+    let fc = cutoff_hz / fs_hz;
+    let m = (n_taps - 1) as f64;
+    let mut taps: Vec<f64> = (0..n_taps)
+        .map(|i| {
+            let x = i as f64 - m / 2.0;
+            let sinc = if x == 0.0 {
+                2.0 * fc
+            } else {
+                (2.0 * core::f64::consts::PI * fc * x).sin() / (core::f64::consts::PI * x)
+            };
+            let hamming = 0.54 - 0.46 * (2.0 * core::f64::consts::PI * i as f64 / m).cos();
+            sinc * hamming
+        })
+        .collect();
+    let sum: f64 = taps.iter().sum();
+    for t in &mut taps {
+        *t /= sum; // unity DC gain
+    }
+    Ok(taps)
+}
+
+/// Windowed-sinc high-pass design (spectral inversion of [`design_lowpass`]).
+///
+/// # Errors
+///
+/// Same conditions as [`design_lowpass`].
+pub fn design_highpass(fs_hz: f64, cutoff_hz: f64, n_taps: usize) -> Result<Vec<f64>> {
+    let mut lp = design_lowpass(fs_hz, cutoff_hz, n_taps)?;
+    for t in lp.iter_mut() {
+        *t = -*t;
+    }
+    lp[(n_taps - 1) / 2] += 1.0;
+    Ok(lp)
+}
+
+/// Band-pass design as a cascade-free tap-domain difference of two
+/// low-pass prototypes.
+///
+/// # Errors
+///
+/// Fails under the conditions of [`design_lowpass`] or when
+/// `lo_hz >= hi_hz`.
+pub fn design_bandpass(fs_hz: f64, lo_hz: f64, hi_hz: f64, n_taps: usize) -> Result<Vec<f64>> {
+    if lo_hz >= hi_hz {
+        return Err(SigprocError::InvalidParameter {
+            what: "band edges",
+            detail: "lo_hz must be < hi_hz",
+        });
+    }
+    let lp_hi = design_lowpass(fs_hz, hi_hz, n_taps)?;
+    let lp_lo = design_lowpass(fs_hz, lo_hz, n_taps)?;
+    Ok(lp_hi.iter().zip(&lp_lo).map(|(a, b)| a - b).collect())
+}
+
+/// Magnitude response of a tap set at frequency `f_hz` (for tests and
+/// design verification).
+pub fn magnitude_at(taps: &[f64], fs_hz: f64, f_hz: f64) -> f64 {
+    let w = 2.0 * core::f64::consts::PI * f_hz / fs_hz;
+    let (mut re, mut im) = (0.0f64, 0.0f64);
+    for (i, &t) in taps.iter().enumerate() {
+        re += t * (w * i as f64).cos();
+        im -= t * (w * i as f64).sin();
+    }
+    (re * re + im * im).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_passes_dc_blocks_high() {
+        let taps = design_lowpass(250.0, 40.0, 51).unwrap();
+        assert!((magnitude_at(&taps, 250.0, 0.0) - 1.0).abs() < 1e-6);
+        assert!(magnitude_at(&taps, 250.0, 100.0) < 0.05);
+    }
+
+    #[test]
+    fn highpass_blocks_dc_passes_high() {
+        let taps = design_highpass(250.0, 0.7, 101).unwrap();
+        assert!(magnitude_at(&taps, 250.0, 0.0) < 1e-6);
+        assert!(magnitude_at(&taps, 250.0, 30.0) > 0.95);
+    }
+
+    #[test]
+    fn bandpass_selects_band() {
+        let taps = design_bandpass(250.0, 5.0, 15.0, 101).unwrap();
+        assert!(magnitude_at(&taps, 250.0, 10.0) > 0.9);
+        assert!(magnitude_at(&taps, 250.0, 0.0) < 0.05);
+        assert!(magnitude_at(&taps, 250.0, 60.0) < 0.05);
+    }
+
+    #[test]
+    fn streaming_matches_direct_convolution() {
+        let taps = design_lowpass(250.0, 30.0, 21).unwrap();
+        let mut f = FirFilter::from_f64(&taps).unwrap();
+        let x: Vec<i32> = (0..100).map(|i| ((i * 37) % 211) as i32 - 100).collect();
+        let y = f.filter(&x);
+        // Direct convolution with the same quantized taps.
+        let q: Vec<i64> = taps.iter().map(|&t| (t * 32768.0).round() as i64).collect();
+        for n in 0..x.len() {
+            let mut acc = 0i64;
+            for (k, &t) in q.iter().enumerate() {
+                if n >= k {
+                    acc += t * x[n - k] as i64;
+                }
+            }
+            let want = ((acc + (1 << 14)) >> 15) as i32;
+            assert_eq!(y[n], want, "sample {n}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = FirFilter::from_q15(vec![32768 / 2, 32768 / 2]).unwrap();
+        f.push(1000);
+        f.reset();
+        // After reset, first output only sees the new sample.
+        assert_eq!(f.push(0), 0);
+    }
+
+    #[test]
+    fn invalid_designs_are_rejected() {
+        assert!(design_lowpass(250.0, 40.0, 50).is_err(), "even taps");
+        assert!(design_lowpass(250.0, 200.0, 51).is_err(), "cutoff > fs/2");
+        assert!(design_bandpass(250.0, 20.0, 10.0, 51).is_err(), "inverted band");
+        assert!(FirFilter::from_q15(vec![]).is_err(), "empty taps");
+    }
+
+    #[test]
+    fn group_delay_is_centered() {
+        let f = FirFilter::from_q15(vec![0, 0, 32767, 0, 0]).unwrap();
+        assert_eq!(f.group_delay(), 2);
+    }
+}

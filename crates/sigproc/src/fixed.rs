@@ -1,0 +1,220 @@
+//! Saturating Q15 fixed-point arithmetic.
+//!
+//! WBSN-class microcontrollers (the paper names devices "operating at a
+//! clock frequency of few MHz that only support integer arithmetic
+//! operations", Section IV-A) represent fractional quantities in Q15:
+//! a signed 16-bit integer interpreted as a fraction in `[-1, 1)` with
+//! 15 fractional bits. This module provides a newtype with the
+//! saturating semantics embedded DSP code relies on, so that the
+//! classifier's piecewise-linear membership functions and the filters
+//! can be expressed exactly as they would run on the node.
+
+/// One in Q15 is unrepresentable; this is the largest value, 1 - 2^-15.
+pub const Q15_MAX: i16 = i16::MAX;
+/// Smallest Q15 value, exactly -1.0.
+pub const Q15_MIN: i16 = i16::MIN;
+/// Number of fractional bits.
+pub const Q15_FRAC_BITS: u32 = 15;
+
+/// A Q15 fixed-point number: `i16` with 15 fractional bits.
+///
+/// All arithmetic saturates instead of wrapping, matching the `SAT`
+/// semantics of embedded DSP extensions.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_sigproc::Q15;
+///
+/// let half = Q15::from_f32(0.5);
+/// let quarter = half * half;
+/// assert!((quarter.to_f32() - 0.25).abs() < 1e-4);
+/// // Saturation instead of overflow:
+/// let one_ish = Q15::from_f32(0.9);
+/// assert_eq!(one_ish + one_ish, Q15::MAX);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Q15(i16);
+
+impl Q15 {
+    /// Largest representable value (≈ 0.99997).
+    pub const MAX: Q15 = Q15(Q15_MAX);
+    /// Smallest representable value (exactly -1.0).
+    pub const MIN: Q15 = Q15(Q15_MIN);
+    /// Zero.
+    pub const ZERO: Q15 = Q15(0);
+    /// One half.
+    pub const HALF: Q15 = Q15(1 << 14);
+
+    /// Creates a Q15 from its raw `i16` bit pattern.
+    pub const fn from_raw(raw: i16) -> Self {
+        Q15(raw)
+    }
+
+    /// Returns the raw `i16` bit pattern.
+    pub const fn raw(self) -> i16 {
+        self.0
+    }
+
+    /// Converts from `f32`, saturating to the representable range.
+    pub fn from_f32(v: f32) -> Self {
+        let scaled = (v * (1u32 << Q15_FRAC_BITS) as f32).round();
+        if scaled >= Q15_MAX as f32 {
+            Q15(Q15_MAX)
+        } else if scaled <= Q15_MIN as f32 {
+            Q15(Q15_MIN)
+        } else {
+            Q15(scaled as i16)
+        }
+    }
+
+    /// Converts from `f64`, saturating to the representable range.
+    pub fn from_f64(v: f64) -> Self {
+        Self::from_f32(v as f32)
+    }
+
+    /// Converts to `f32`.
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 / (1u32 << Q15_FRAC_BITS) as f32
+    }
+
+    /// Converts to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (1u32 << Q15_FRAC_BITS) as f64
+    }
+
+    /// Saturating negation (`-(-1.0)` saturates to `MAX`).
+    pub fn saturating_neg(self) -> Self {
+        Q15(self.0.saturating_neg())
+    }
+
+    /// Absolute value, saturating (`|-1.0|` saturates to `MAX`).
+    pub fn saturating_abs(self) -> Self {
+        Q15(self.0.saturating_abs())
+    }
+
+    /// Multiply-accumulate into an `i32` accumulator in Q30, as an
+    /// embedded MAC unit would. The caller converts back with
+    /// [`Q15::from_q30`].
+    pub fn mac_q30(acc: i32, a: Q15, b: Q15) -> i32 {
+        acc.saturating_add(a.0 as i32 * b.0 as i32)
+    }
+
+    /// Converts a Q30 accumulator back to Q15 with rounding and
+    /// saturation.
+    pub fn from_q30(acc: i32) -> Self {
+        let rounded = acc.saturating_add(1 << 14) >> Q15_FRAC_BITS;
+        if rounded > Q15_MAX as i32 {
+            Q15(Q15_MAX)
+        } else if rounded < Q15_MIN as i32 {
+            Q15(Q15_MIN)
+        } else {
+            Q15(rounded as i16)
+        }
+    }
+}
+
+impl core::ops::Add for Q15 {
+    type Output = Q15;
+    fn add(self, rhs: Q15) -> Q15 {
+        Q15(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl core::ops::Sub for Q15 {
+    type Output = Q15;
+    fn sub(self, rhs: Q15) -> Q15 {
+        Q15(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl core::ops::Mul for Q15 {
+    type Output = Q15;
+    fn mul(self, rhs: Q15) -> Q15 {
+        Q15::from_q30(self.0 as i32 * rhs.0 as i32)
+    }
+}
+
+impl core::ops::Neg for Q15 {
+    type Output = Q15;
+    fn neg(self) -> Q15 {
+        self.saturating_neg()
+    }
+}
+
+impl core::fmt::Display for Q15 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.5}", self.to_f32())
+    }
+}
+
+impl From<Q15> for f32 {
+    fn from(q: Q15) -> f32 {
+        q.to_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_representable_values() {
+        for raw in [-32768i16, -12345, -1, 0, 1, 2047, 32767] {
+            let q = Q15::from_raw(raw);
+            assert_eq!(Q15::from_f32(q.to_f32()), q, "raw={raw}");
+        }
+    }
+
+    #[test]
+    fn from_f32_saturates() {
+        assert_eq!(Q15::from_f32(2.0), Q15::MAX);
+        assert_eq!(Q15::from_f32(-2.0), Q15::MIN);
+        assert_eq!(Q15::from_f32(1.0), Q15::MAX);
+        assert_eq!(Q15::from_f32(-1.0), Q15::MIN);
+    }
+
+    #[test]
+    fn addition_saturates_at_both_rails() {
+        assert_eq!(Q15::from_f32(0.9) + Q15::from_f32(0.9), Q15::MAX);
+        assert_eq!(Q15::from_f32(-0.9) + Q15::from_f32(-0.9), Q15::MIN);
+    }
+
+    #[test]
+    fn multiplication_matches_float_reference() {
+        let cases = [(0.5f32, 0.5f32), (0.25, -0.75), (-0.99, -0.99), (0.1, 0.3)];
+        for (a, b) in cases {
+            let qa = Q15::from_f32(a);
+            let qb = Q15::from_f32(b);
+            let prod = (qa * qb).to_f32();
+            assert!(
+                (prod - a * b).abs() < 2e-4,
+                "{a} * {b}: got {prod}, want {}",
+                a * b
+            );
+        }
+    }
+
+    #[test]
+    fn neg_of_min_saturates() {
+        assert_eq!(-Q15::MIN, Q15::MAX);
+        assert_eq!(Q15::MIN.saturating_abs(), Q15::MAX);
+    }
+
+    #[test]
+    fn mac_accumulates_dot_product() {
+        let a = [0.5f32, -0.25, 0.125];
+        let b = [0.5f32, 0.5, 0.5];
+        let mut acc = 0i32;
+        for i in 0..3 {
+            acc = Q15::mac_q30(acc, Q15::from_f32(a[i]), Q15::from_f32(b[i]));
+        }
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        assert!((Q15::from_q30(acc).to_f32() - dot).abs() < 1e-3);
+    }
+
+    #[test]
+    fn half_constant_is_half() {
+        assert!((Q15::HALF.to_f32() - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,625 @@
+//! Dense and ternary matrices for sensing and random projection.
+//!
+//! Two memory-conscious representations from the paper (Section IV-A):
+//!
+//! * [`PackedTernaryMatrix`] — a dense matrix over `{-1, 0, +1}` stored
+//!   at **2 bits per element**, exactly the random-projection storage
+//!   optimization the paper describes for embedded classification.
+//! * [`SparseTernaryMatrix`] — a column-sparse ternary matrix with `d`
+//!   non-zeros per column, the "few non-zero elements in the sensing
+//!   matrix" that make compressed sensing affordable on the node
+//!   (reference \[16\]).
+//!
+//! Both are generated from a deterministic seed with an internal
+//! xorshift generator, so node and base station can reconstruct the
+//! same matrix from a shared seed — no matrix ever travels on air.
+
+use crate::{Result, SigprocError};
+
+/// Minimal xorshift64* PRNG used for reproducible matrix generation
+/// without external dependencies (the node would use the same trivial
+/// generator).
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator; a zero seed is mapped to a fixed non-zero one.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Row-major dense `f64` matrix with the handful of operations the
+/// solvers need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(SigprocError::InvalidLength {
+                what: "matrix dimension",
+                got: rows.min(cols),
+            });
+        }
+        Ok(DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Builds from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(SigprocError::InvalidLength {
+                what: "matrix dimension",
+                got: rows.min(cols),
+            });
+        }
+        if data.len() != rows * cols {
+            return Err(SigprocError::ShapeMismatch {
+                what: "matrix data",
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec shape");
+        (0..self.rows)
+            .map(|r| {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// Transposed product `Aᵀ y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y.len() != rows`.
+    pub fn matvec_t(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "matvec_t shape");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, &a) in row.iter().enumerate() {
+                out[c] += a * y[r];
+            }
+        }
+        out
+    }
+}
+
+/// Ternary element code: 2 bits per element (`00` = 0, `01` = +1,
+/// `10` = −1).
+fn code_of(v: i8) -> u8 {
+    match v {
+        0 => 0b00,
+        1 => 0b01,
+        -1 => 0b10,
+        _ => unreachable!("ternary values only"),
+    }
+}
+
+fn value_of(code: u8) -> i8 {
+    match code & 0b11 {
+        0b00 => 0,
+        0b01 => 1,
+        0b10 => -1,
+        _ => 0, // 0b11 unused
+    }
+}
+
+/// Dense ternary matrix packed at 2 bits/element — the embedded
+/// random-projection storage format (Section IV-A of the paper).
+///
+/// An `m×n` matrix occupies `⌈m·n/4⌉` bytes; a 16×128 projection fits
+/// in 512 bytes of flash.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_sigproc::matrix::PackedTernaryMatrix;
+///
+/// let p = PackedTernaryMatrix::random_achlioptas(8, 32, 42).unwrap();
+/// assert_eq!(p.memory_bytes(), 8 * 32 / 4);
+/// let y = p.apply_i32(&vec![1; 32]);
+/// assert_eq!(y.len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedTernaryMatrix {
+    rows: usize,
+    cols: usize,
+    packed: Vec<u8>,
+}
+
+impl PackedTernaryMatrix {
+    /// Achlioptas random projection: elements `+1`/`−1` with
+    /// probability 1/6 each and `0` with probability 2/3 (scaling by
+    /// √3/√m is deferred to the consumer — the classifier never needs
+    /// it because downstream training absorbs a global scale).
+    ///
+    /// # Errors
+    ///
+    /// Fails when either dimension is zero.
+    pub fn random_achlioptas(rows: usize, cols: usize, seed: u64) -> Result<Self> {
+        Self::random_with_density(rows, cols, 1.0 / 3.0, seed)
+    }
+
+    /// Random ternary matrix with `P(non-zero) = density`, signs
+    /// balanced.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a dimension is zero or `density ∉ [0, 1]`.
+    pub fn random_with_density(rows: usize, cols: usize, density: f64, seed: u64) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(SigprocError::InvalidLength {
+                what: "matrix dimension",
+                got: rows.min(cols),
+            });
+        }
+        if !(0.0..=1.0).contains(&density) {
+            return Err(SigprocError::InvalidParameter {
+                what: "density",
+                detail: "must be in [0, 1]",
+            });
+        }
+        let mut rng = XorShift64::new(seed);
+        let total = rows * cols;
+        let mut packed = vec![0u8; total.div_ceil(4)];
+        for idx in 0..total {
+            let u = rng.next_f64();
+            let v: i8 = if u < density / 2.0 {
+                1
+            } else if u < density {
+                -1
+            } else {
+                0
+            };
+            let byte = idx / 4;
+            let shift = (idx % 4) * 2;
+            packed[byte] |= code_of(v) << shift;
+        }
+        Ok(PackedTernaryMatrix { rows, cols, packed })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)` as `-1`, `0` or `+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn at(&self, r: usize, c: usize) -> i8 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        let idx = r * self.cols + c;
+        value_of(self.packed[idx / 4] >> ((idx % 4) * 2))
+    }
+
+    /// Bytes of storage used by the packed representation.
+    pub fn memory_bytes(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Integer projection `y = P x` — additions/subtractions only, as
+    /// on the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols`.
+    pub fn apply_i32(&self, x: &[i32]) -> Vec<i64> {
+        assert_eq!(x.len(), self.cols, "apply shape");
+        let mut out = vec![0i64; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0i64;
+            for c in 0..self.cols {
+                match self.at(r, c) {
+                    1 => acc += x[c] as i64,
+                    -1 => acc -= x[c] as i64,
+                    _ => {}
+                }
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Float projection for host-side use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "apply shape");
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = 0.0;
+                for c in 0..self.cols {
+                    match self.at(r, c) {
+                        1 => acc += x[c],
+                        -1 => acc -= x[c],
+                        _ => {}
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Expands to a dense matrix (for verification).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols).expect("non-zero dims");
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                *m.at_mut(r, c) = self.at(r, c) as f64;
+            }
+        }
+        m
+    }
+
+    /// Count of non-zero elements.
+    pub fn nnz(&self) -> usize {
+        let mut count = 0;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.at(r, c) != 0 {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Column-sparse ternary sensing matrix: exactly `d` non-zeros (±1) at
+/// random rows of each column. Encoding `y = Φx` costs `n·d` signed
+/// additions — the ultra-low-power CS encoder of references \[4\]/\[16\].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseTernaryMatrix {
+    rows: usize,
+    cols: usize,
+    /// Per column: `d` entries of (row index, sign).
+    entries: Vec<(u32, i8)>,
+    d_per_col: usize,
+}
+
+impl SparseTernaryMatrix {
+    /// Generates a matrix with `d_per_col` non-zeros per column.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a dimension is zero, or `d_per_col` is zero or
+    /// exceeds `rows`.
+    pub fn random(rows: usize, cols: usize, d_per_col: usize, seed: u64) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(SigprocError::InvalidLength {
+                what: "matrix dimension",
+                got: rows.min(cols),
+            });
+        }
+        if d_per_col == 0 || d_per_col > rows {
+            return Err(SigprocError::InvalidParameter {
+                what: "d_per_col",
+                detail: "must be in 1..=rows",
+            });
+        }
+        let mut rng = XorShift64::new(seed);
+        let mut entries = Vec::with_capacity(cols * d_per_col);
+        let mut scratch: Vec<u32> = Vec::with_capacity(d_per_col);
+        for _ in 0..cols {
+            scratch.clear();
+            // Rejection-sample d distinct rows.
+            while scratch.len() < d_per_col {
+                let r = rng.next_below(rows as u64) as u32;
+                if !scratch.contains(&r) {
+                    scratch.push(r);
+                }
+            }
+            for &r in scratch.iter() {
+                let sign = if rng.next_u64() & 1 == 0 { 1i8 } else { -1i8 };
+                entries.push((r, sign));
+            }
+        }
+        Ok(SparseTernaryMatrix {
+            rows,
+            cols,
+            entries,
+            d_per_col,
+        })
+    }
+
+    /// Number of rows (measurements).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (signal length).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Non-zeros per column.
+    pub fn d_per_col(&self) -> usize {
+        self.d_per_col
+    }
+
+    /// Integer encode `y = Φ x` with an `i64` accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols`.
+    pub fn apply_i32(&self, x: &[i32]) -> Vec<i64> {
+        assert_eq!(x.len(), self.cols, "apply shape");
+        let mut y = vec![0i64; self.rows];
+        for (col, chunk) in self.entries.chunks(self.d_per_col).enumerate() {
+            let xv = x[col] as i64;
+            for &(r, s) in chunk {
+                y[r as usize] += s as i64 * xv;
+            }
+        }
+        y
+    }
+
+    /// Float encode `y = Φ x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "apply shape");
+        let mut y = vec![0.0; self.rows];
+        for (col, chunk) in self.entries.chunks(self.d_per_col).enumerate() {
+            for &(r, s) in chunk {
+                y[r as usize] += s as f64 * x[col];
+            }
+        }
+        y
+    }
+
+    /// Adjoint `Φᵀ y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y.len() != rows`.
+    pub fn apply_t(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "apply_t shape");
+        let mut x = vec![0.0; self.cols];
+        for (col, chunk) in self.entries.chunks(self.d_per_col).enumerate() {
+            let mut acc = 0.0;
+            for &(r, s) in chunk {
+                acc += s as f64 * y[r as usize];
+            }
+            x[col] = acc;
+        }
+        x
+    }
+
+    /// Expands to dense (verification only).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols).expect("non-zero dims");
+        for (col, chunk) in self.entries.chunks(self.d_per_col).enumerate() {
+            for &(r, s) in chunk {
+                *m.at_mut(r as usize, col) += s as f64;
+            }
+        }
+        m
+    }
+
+    /// Signed additions required per encoded window (`n·d`).
+    pub fn encode_add_count(&self) -> usize {
+        self.cols * self.d_per_col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_matvec_small_example() {
+        let m = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn packed_matches_dense_expansion() {
+        let p = PackedTernaryMatrix::random_achlioptas(13, 37, 7).unwrap();
+        let d = p.to_dense();
+        let x: Vec<f64> = (0..37).map(|i| (i as f64) - 18.0).collect();
+        let yp = p.apply(&x);
+        let yd = d.matvec(&x);
+        for (a, b) in yp.iter().zip(&yd) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn packed_integer_and_float_agree() {
+        let p = PackedTernaryMatrix::random_achlioptas(8, 64, 3).unwrap();
+        let xi: Vec<i32> = (0..64).map(|i| (i * 13 % 101) as i32 - 50).collect();
+        let xf: Vec<f64> = xi.iter().map(|&v| v as f64).collect();
+        let yi = p.apply_i32(&xi);
+        let yf = p.apply(&xf);
+        for (a, b) in yi.iter().zip(&yf) {
+            assert_eq!(*a as f64, *b);
+        }
+    }
+
+    #[test]
+    fn achlioptas_density_near_third() {
+        let p = PackedTernaryMatrix::random_achlioptas(64, 64, 11).unwrap();
+        let frac = p.nnz() as f64 / (64.0 * 64.0);
+        assert!((frac - 1.0 / 3.0).abs() < 0.05, "density {frac}");
+    }
+
+    #[test]
+    fn packed_storage_is_two_bits_per_element() {
+        let p = PackedTernaryMatrix::random_achlioptas(16, 128, 1).unwrap();
+        assert_eq!(p.memory_bytes(), 16 * 128 / 4);
+    }
+
+    #[test]
+    fn packed_is_deterministic_in_seed() {
+        let a = PackedTernaryMatrix::random_achlioptas(8, 8, 5).unwrap();
+        let b = PackedTernaryMatrix::random_achlioptas(8, 8, 5).unwrap();
+        let c = PackedTernaryMatrix::random_achlioptas(8, 8, 6).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sparse_has_exact_column_density() {
+        let s = SparseTernaryMatrix::random(32, 100, 4, 3).unwrap();
+        let d = s.to_dense();
+        for c in 0..100 {
+            let nnz = (0..32).filter(|&r| d.at(r, c) != 0.0).count();
+            assert_eq!(nnz, 4, "column {c}");
+        }
+        assert_eq!(s.encode_add_count(), 400);
+    }
+
+    #[test]
+    fn sparse_matches_dense_apply() {
+        let s = SparseTernaryMatrix::random(24, 96, 3, 17).unwrap();
+        let d = s.to_dense();
+        let x: Vec<f64> = (0..96).map(|i| ((i * 7) % 19) as f64 - 9.0).collect();
+        let ys = s.apply(&x);
+        let yd = d.matvec(&x);
+        for (a, b) in ys.iter().zip(&yd) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sparse_adjoint_property() {
+        let s = SparseTernaryMatrix::random(20, 50, 5, 23).unwrap();
+        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y: Vec<f64> = (0..20).map(|i| (i as f64 * 1.3).cos()).collect();
+        let ax = s.apply(&x);
+        let aty = s.apply_t(&y);
+        let lhs: f64 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_integer_encode_matches_float() {
+        let s = SparseTernaryMatrix::random(16, 64, 2, 31).unwrap();
+        let xi: Vec<i32> = (0..64).map(|i| (i as i32 - 32) * 11).collect();
+        let xf: Vec<f64> = xi.iter().map(|&v| v as f64).collect();
+        let yi = s.apply_i32(&xi);
+        let yf = s.apply(&xf);
+        for (a, b) in yi.iter().zip(&yf) {
+            assert_eq!(*a as f64, *b);
+        }
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(PackedTernaryMatrix::random_achlioptas(0, 4, 1).is_err());
+        assert!(PackedTernaryMatrix::random_with_density(4, 4, 1.5, 1).is_err());
+        assert!(SparseTernaryMatrix::random(4, 4, 0, 1).is_err());
+        assert!(SparseTernaryMatrix::random(4, 4, 5, 1).is_err());
+        assert!(DenseMatrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn xorshift_streams_are_reproducible() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(1);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Uniformity smoke test.
+        let mut r = XorShift64::new(2);
+        let mean: f64 = (0..10_000).map(|_| r.next_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

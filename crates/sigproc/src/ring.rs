@@ -1,0 +1,298 @@
+//! Fixed-capacity ring buffers and delay lines.
+//!
+//! The streaming stages of the cardiac pipeline (filters, detectors,
+//! delineators) run with a constant memory footprint — the paper quotes
+//! 7.2 kB of state for the full delineation application. These
+//! containers make that footprint explicit: they allocate exactly once
+//! at construction and never grow.
+
+/// A fixed-capacity FIFO ring buffer.
+///
+/// Pushing into a full buffer evicts (and returns) the oldest element,
+/// which is the natural semantics for streaming windows.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_sigproc::RingBuffer;
+///
+/// let mut rb = RingBuffer::new(3);
+/// assert_eq!(rb.push(1), None);
+/// assert_eq!(rb.push(2), None);
+/// assert_eq!(rb.push(3), None);
+/// assert_eq!(rb.push(4), Some(1)); // oldest evicted
+/// assert_eq!(rb.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    buf: Vec<Option<T>>,
+    head: usize, // index of oldest element
+    len: usize,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring buffer holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be non-zero");
+        let mut buf = Vec::with_capacity(capacity);
+        buf.resize_with(capacity, || None);
+        RingBuffer {
+            buf,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Maximum number of elements the buffer can hold.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Current number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when at capacity (the next push evicts).
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity()
+    }
+
+    /// Appends `value`; if full, evicts and returns the oldest element.
+    pub fn push(&mut self, value: T) -> Option<T> {
+        let cap = self.capacity();
+        if self.len < cap {
+            let idx = (self.head + self.len) % cap;
+            self.buf[idx] = Some(value);
+            self.len += 1;
+            None
+        } else {
+            let evicted = self.buf[self.head].replace(value);
+            self.head = (self.head + 1) % cap;
+            evicted
+        }
+    }
+
+    /// Removes and returns the oldest element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.buf[self.head].take();
+        self.head = (self.head + 1) % self.capacity();
+        self.len -= 1;
+        v
+    }
+
+    /// Returns the `i`-th element counted from the oldest (0 = oldest).
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len {
+            return None;
+        }
+        self.buf[(self.head + i) % self.capacity()].as_ref()
+    }
+
+    /// Oldest element, if any.
+    pub fn front(&self) -> Option<&T> {
+        self.get(0)
+    }
+
+    /// Newest element, if any.
+    pub fn back(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.get(self.len - 1)
+        }
+    }
+
+    /// Iterates from oldest to newest.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rb: self, pos: 0 }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for slot in &mut self.buf {
+            *slot = None;
+        }
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+/// Iterator over a [`RingBuffer`] from oldest to newest element.
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    rb: &'a RingBuffer<T>,
+    pos: usize,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        let v = self.rb.get(self.pos);
+        if v.is_some() {
+            self.pos += 1;
+        }
+        v
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.rb.len().saturating_sub(self.pos);
+        (rem, Some(rem))
+    }
+}
+
+impl<'a, T> IntoIterator for &'a RingBuffer<T> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+impl<T> Extend<T> for RingBuffer<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+/// A fixed-length integer delay line: `push` returns the sample that
+/// entered `delay` pushes ago (zero-initialized history).
+///
+/// # Example
+///
+/// ```
+/// use wbsn_sigproc::ring::DelayLine;
+///
+/// let mut d = DelayLine::new(2);
+/// assert_eq!(d.push(10), 0);
+/// assert_eq!(d.push(20), 0);
+/// assert_eq!(d.push(30), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayLine {
+    buf: Vec<i32>,
+    pos: usize,
+}
+
+impl DelayLine {
+    /// Creates a delay line of `delay` samples (zero-filled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay == 0`.
+    pub fn new(delay: usize) -> Self {
+        assert!(delay > 0, "delay must be non-zero");
+        DelayLine {
+            buf: vec![0; delay],
+            pos: 0,
+        }
+    }
+
+    /// The configured delay in samples.
+    pub fn delay(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pushes a sample and returns the sample delayed by `delay()`.
+    pub fn push(&mut self, v: i32) -> i32 {
+        let out = self.buf[self.pos];
+        self.buf[self.pos] = v;
+        self.pos = (self.pos + 1) % self.buf.len();
+        out
+    }
+
+    /// Resets the history to zero.
+    pub fn reset(&mut self) {
+        self.buf.fill(0);
+        self.pos = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut rb = RingBuffer::new(4);
+        for i in 0..4 {
+            assert_eq!(rb.push(i), None);
+        }
+        for i in 0..4 {
+            assert_eq!(rb.pop(), Some(i));
+        }
+        assert_eq!(rb.pop(), None);
+    }
+
+    #[test]
+    fn eviction_returns_oldest() {
+        let mut rb = RingBuffer::new(2);
+        rb.push('a');
+        rb.push('b');
+        assert_eq!(rb.push('c'), Some('a'));
+        assert_eq!(rb.push('d'), Some('b'));
+        assert_eq!(rb.front(), Some(&'c'));
+        assert_eq!(rb.back(), Some(&'d'));
+    }
+
+    #[test]
+    fn get_indexes_from_oldest() {
+        let mut rb = RingBuffer::new(3);
+        rb.extend([1, 2, 3, 4, 5]); // holds 3,4,5
+        assert_eq!(rb.get(0), Some(&3));
+        assert_eq!(rb.get(2), Some(&5));
+        assert_eq!(rb.get(3), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut rb = RingBuffer::new(3);
+        rb.extend([1, 2, 3]);
+        rb.clear();
+        assert!(rb.is_empty());
+        assert_eq!(rb.pop(), None);
+        rb.push(9);
+        assert_eq!(rb.front(), Some(&9));
+    }
+
+    #[test]
+    fn iter_matches_pop_order() {
+        let mut rb = RingBuffer::new(3);
+        rb.extend([10, 20, 30, 40]);
+        let seen: Vec<i32> = rb.iter().copied().collect();
+        assert_eq!(seen, vec![20, 30, 40]);
+        assert_eq!(rb.iter().size_hint(), (3, Some(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = RingBuffer::<i32>::new(0);
+    }
+
+    #[test]
+    fn delay_line_delays_exactly() {
+        let mut d = DelayLine::new(3);
+        let inputs = [1, 2, 3, 4, 5, 6];
+        let mut outputs = Vec::new();
+        for &x in &inputs {
+            outputs.push(d.push(x));
+        }
+        assert_eq!(outputs, vec![0, 0, 0, 1, 2, 3]);
+        d.reset();
+        assert_eq!(d.push(7), 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Natural cubic splines and cubic-spline baseline estimation.
+//!
+//! Meyer & Keiser (1977) — reference \[10\] of the paper — remove ECG
+//! baseline wander by anchoring spline knots in the electrically silent
+//! PR segment before each QRS complex and interpolating the baseline
+//! between them. [`CubicSpline`] is a general natural cubic spline
+//! (tridiagonal solve); [`estimate_baseline`] applies it to a set of
+//! knot positions on an integer signal.
+
+use crate::{Result, SigprocError};
+
+/// A natural cubic spline through `(t, y)` knots with strictly
+/// increasing abscissae.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_sigproc::spline::CubicSpline;
+///
+/// let s = CubicSpline::fit(&[0.0, 1.0, 2.0], &[0.0, 1.0, 0.0]).unwrap();
+/// assert!((s.eval(1.0) - 1.0).abs() < 1e-12); // passes through knots
+/// assert!(s.eval(0.5) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CubicSpline {
+    t: Vec<f64>,
+    y: Vec<f64>,
+    /// Second derivatives at the knots (natural: zero at both ends).
+    m: Vec<f64>,
+}
+
+impl CubicSpline {
+    /// Fits a natural cubic spline.
+    ///
+    /// # Errors
+    ///
+    /// Fails when fewer than 2 knots are given, lengths differ, or the
+    /// abscissae are not strictly increasing.
+    pub fn fit(t: &[f64], y: &[f64]) -> Result<Self> {
+        if t.len() < 2 {
+            return Err(SigprocError::InvalidLength {
+                what: "spline knots",
+                got: t.len(),
+            });
+        }
+        if t.len() != y.len() {
+            return Err(SigprocError::ShapeMismatch {
+                what: "spline knot ordinates",
+                expected: t.len(),
+                got: y.len(),
+            });
+        }
+        if t.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(SigprocError::InvalidParameter {
+                what: "spline abscissae",
+                detail: "must be strictly increasing",
+            });
+        }
+        let n = t.len();
+        let mut m = vec![0.0; n];
+        if n > 2 {
+            // Tridiagonal system for interior second derivatives
+            // (Thomas algorithm).
+            let sys_n = n - 2;
+            let mut a = vec![0.0; sys_n]; // sub-diagonal
+            let mut b = vec![0.0; sys_n]; // diagonal
+            let mut c = vec![0.0; sys_n]; // super-diagonal
+            let mut d = vec![0.0; sys_n]; // rhs
+            for i in 0..sys_n {
+                let h0 = t[i + 1] - t[i];
+                let h1 = t[i + 2] - t[i + 1];
+                a[i] = h0;
+                b[i] = 2.0 * (h0 + h1);
+                c[i] = h1;
+                d[i] = 6.0 * ((y[i + 2] - y[i + 1]) / h1 - (y[i + 1] - y[i]) / h0);
+            }
+            // Forward sweep.
+            for i in 1..sys_n {
+                let w = a[i] / b[i - 1];
+                b[i] -= w * c[i - 1];
+                d[i] -= w * d[i - 1];
+            }
+            // Back substitution.
+            m[sys_n] = d[sys_n - 1] / b[sys_n - 1];
+            for i in (0..sys_n - 1).rev() {
+                m[i + 1] = (d[i] - c[i] * m[i + 2]) / b[i];
+            }
+        }
+        Ok(CubicSpline {
+            t: t.to_vec(),
+            y: y.to_vec(),
+            m,
+        })
+    }
+
+    /// Number of knots.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// True when the spline has no knots (never for a fitted spline).
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Evaluates the spline at `x`. Outside the knot range the spline
+    /// extrapolates linearly from the end segments (second derivative
+    /// zero — the natural boundary).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.t.len();
+        // Locate segment by binary search.
+        let i = match self
+            .t
+            .binary_search_by(|probe| probe.partial_cmp(&x).expect("no NaN knots"))
+        {
+            Ok(i) => i.min(n - 2),
+            Err(0) => 0,
+            Err(i) if i >= n => n - 2,
+            Err(i) => i - 1,
+        };
+        let h = self.t[i + 1] - self.t[i];
+        let a = (self.t[i + 1] - x) / h;
+        let b = (x - self.t[i]) / h;
+        a * self.y[i]
+            + b * self.y[i + 1]
+            + ((a * a * a - a) * self.m[i] + (b * b * b - b) * self.m[i + 1]) * h * h / 6.0
+    }
+
+    /// Evaluates at each integer sample index `0..len`, rounding to `i32`.
+    pub fn sample_i32(&self, len: usize) -> Vec<i32> {
+        (0..len).map(|i| self.eval(i as f64).round() as i32).collect()
+    }
+}
+
+/// Estimates the baseline of an integer signal from silent-region knot
+/// indices (typically one per beat, in the PR segment). Each knot value
+/// is the local mean over `knot_halfwidth` samples around the knot to
+/// reject noise.
+///
+/// Returns the baseline sampled at every index of `x`.
+///
+/// # Errors
+///
+/// Fails when fewer than two valid knots fall inside the signal.
+pub fn estimate_baseline(x: &[i32], knots: &[usize], knot_halfwidth: usize) -> Result<Vec<i32>> {
+    let mut t = Vec::new();
+    let mut y = Vec::new();
+    for &k in knots {
+        if k >= x.len() {
+            continue;
+        }
+        let lo = k.saturating_sub(knot_halfwidth);
+        let hi = (k + knot_halfwidth + 1).min(x.len());
+        let mean = x[lo..hi].iter().map(|&v| v as i64).sum::<i64>() / (hi - lo) as i64;
+        // Knots must be strictly increasing; skip duplicates.
+        if t.last().is_some_and(|&last: &f64| k as f64 <= last) {
+            continue;
+        }
+        t.push(k as f64);
+        y.push(mean as f64);
+    }
+    if t.len() < 2 {
+        return Err(SigprocError::InvalidLength {
+            what: "valid baseline knots",
+            got: t.len(),
+        });
+    }
+    let spline = CubicSpline::fit(&t, &y)?;
+    Ok(spline.sample_i32(x.len()))
+}
+
+/// Removes the spline baseline in place convenience wrapper: returns
+/// `x - baseline`.
+///
+/// # Errors
+///
+/// Propagates [`estimate_baseline`] failures.
+pub fn remove_baseline(x: &[i32], knots: &[usize], knot_halfwidth: usize) -> Result<Vec<i32>> {
+    let b = estimate_baseline(x, knots, knot_halfwidth)?;
+    Ok(x.iter().zip(&b).map(|(&xi, &bi)| xi - bi).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_through_knots() {
+        let t = [0.0, 1.0, 2.5, 4.0, 7.0];
+        let y = [1.0, -2.0, 0.5, 3.0, -1.0];
+        let s = CubicSpline::fit(&t, &y).unwrap();
+        for i in 0..t.len() {
+            assert!((s.eval(t[i]) - y[i]).abs() < 1e-9, "knot {i}");
+        }
+    }
+
+    #[test]
+    fn reproduces_linear_function_exactly() {
+        let t = [0.0, 2.0, 5.0, 9.0];
+        let y: Vec<f64> = t.iter().map(|&v| 3.0 * v - 1.0).collect();
+        let s = CubicSpline::fit(&t, &y).unwrap();
+        for x in [0.5, 1.7, 4.2, 8.9, -1.0, 11.0] {
+            assert!(
+                (s.eval(x) - (3.0 * x - 1.0)).abs() < 1e-9,
+                "linear at {x}: {}",
+                s.eval(x)
+            );
+        }
+    }
+
+    #[test]
+    fn two_knots_degenerate_to_line() {
+        let s = CubicSpline::fit(&[0.0, 10.0], &[0.0, 20.0]).unwrap();
+        assert!((s.eval(5.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothness_between_knots() {
+        // Second derivative continuity is hard to check directly; check
+        // the first derivative has no jumps at an interior knot.
+        let s = CubicSpline::fit(&[0.0, 1.0, 2.0, 3.0], &[0.0, 1.0, -1.0, 0.0]).unwrap();
+        let eps = 1e-6;
+        let d_left = (s.eval(1.0) - s.eval(1.0 - eps)) / eps;
+        let d_right = (s.eval(1.0 + eps) - s.eval(1.0)) / eps;
+        assert!((d_left - d_right).abs() < 1e-3, "{d_left} vs {d_right}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(CubicSpline::fit(&[0.0], &[1.0]).is_err());
+        assert!(CubicSpline::fit(&[0.0, 1.0], &[1.0]).is_err());
+        assert!(CubicSpline::fit(&[0.0, 0.0, 1.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn baseline_recovers_slow_sine() {
+        // Signal = slow sine baseline + spikes; knots placed in quiet spots.
+        let n = 1000usize;
+        let baseline: Vec<i32> = (0..n)
+            .map(|i| (100.0 * (2.0 * core::f64::consts::PI * i as f64 / 800.0).sin()) as i32)
+            .collect();
+        let mut x = baseline.clone();
+        let mut knots = Vec::new();
+        for beat in 0..10 {
+            let r = 50 + beat * 100;
+            x[r] += 1000; // R spike
+            knots.push(r - 15); // quiet PR region
+        }
+        let est = estimate_baseline(&x, &knots, 3).unwrap();
+        // Between first and last knot the estimate must track the sine.
+        for i in knots[0]..*knots.last().unwrap() {
+            assert!(
+                (est[i] - baseline[i]).abs() <= 25,
+                "baseline error at {i}: est {} true {}",
+                est[i],
+                baseline[i]
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_requires_two_knots() {
+        let x = vec![0i32; 100];
+        assert!(estimate_baseline(&x, &[5], 2).is_err());
+        assert!(estimate_baseline(&x, &[500, 600], 2).is_err(), "out of range");
+    }
+
+    #[test]
+    fn remove_baseline_zeroes_pure_drift() {
+        let x: Vec<i32> = (0..200).map(|i| i / 2).collect();
+        let knots: Vec<usize> = (0..10).map(|k| 10 + k * 20).collect();
+        let y = remove_baseline(&x, &knots, 2).unwrap();
+        for i in 20..180 {
+            assert!(y[i].abs() <= 2, "residual at {i}: {}", y[i]);
+        }
+    }
+}

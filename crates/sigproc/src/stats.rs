@@ -1,0 +1,240 @@
+//! Summary statistics and reconstruction-quality metrics.
+//!
+//! The evaluation of the paper reports compression quality as output
+//! SNR in dB over reconstructed records (Figure 5); the CS literature
+//! it builds on (\[4\], \[16\]) uses PRD (percentage root-mean-square
+//! difference). Both are provided, related by
+//! `SNR_dB = -20·log10(PRD/100)`.
+
+/// Integer square root of a `u64` (floor).
+///
+/// Runs in constant 32 iterations — the same routine an integer-only
+/// MCU would ship for the RMS lead combiner.
+pub fn isqrt_u64(v: u64) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    let mut x = v;
+    let mut res = 0u64;
+    let mut bit = 1u64 << 62;
+    while bit > x {
+        bit >>= 2;
+    }
+    while bit != 0 {
+        if x >= res + bit {
+            x -= res + bit;
+            res = (res >> 1) + bit;
+        } else {
+            res >>= 1;
+        }
+        bit >>= 2;
+    }
+    res
+}
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Population variance; 0 for inputs shorter than 2.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Standard deviation (population).
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Root mean square; 0 for empty input.
+pub fn rms(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        (x.iter().map(|&v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+    }
+}
+
+/// Median (interpolated for even lengths); 0 for empty input.
+pub fn median(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mut v = x.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// `p`-th percentile (0–100, nearest-rank with interpolation).
+///
+/// # Panics
+///
+/// Panics when `x` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(x: &[f64], p: f64) -> f64 {
+    assert!(!x.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+    let mut v = x.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Output signal-to-noise ratio in dB between an original and its
+/// reconstruction: `10·log10(Σx² / Σ(x−x̂)²)`.
+///
+/// Returns `f64::INFINITY` for an exact reconstruction.
+///
+/// # Panics
+///
+/// Panics when lengths differ or the original is all-zero.
+pub fn snr_db(original: &[f64], reconstructed: &[f64]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+    let sig: f64 = original.iter().map(|&v| v * v).sum();
+    assert!(sig > 0.0, "snr of all-zero signal");
+    let err: f64 = original
+        .iter()
+        .zip(reconstructed)
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum();
+    if err == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (sig / err).log10()
+    }
+}
+
+/// Percentage root-mean-square difference:
+/// `PRD = 100·sqrt(Σ(x−x̂)² / Σx²)`.
+///
+/// # Panics
+///
+/// Same conditions as [`snr_db`].
+pub fn prd_percent(original: &[f64], reconstructed: &[f64]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+    let sig: f64 = original.iter().map(|&v| v * v).sum();
+    assert!(sig > 0.0, "prd of all-zero signal");
+    let err: f64 = original
+        .iter()
+        .zip(reconstructed)
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum();
+    100.0 * (err / sig).sqrt()
+}
+
+/// Pearson correlation coefficient; 0 when either input is constant.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn correlation(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for i in 0..x.len() {
+        let a = x[i] - mx;
+        let b = y[i] - my;
+        num += a * b;
+        dx += a * a;
+        dy += b * b;
+    }
+    if dx == 0.0 || dy == 0.0 {
+        0.0
+    } else {
+        num / (dx * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_exact_squares_and_neighbors() {
+        for v in [0u64, 1, 2, 3, 4, 15, 16, 17, 99, 100, 1 << 40] {
+            let r = isqrt_u64(v);
+            assert!(r * r <= v, "floor property for {v}");
+            assert!((r + 1) * (r + 1) > v, "tightness for {v}");
+        }
+        assert_eq!(isqrt_u64(u64::MAX), (1u64 << 32) - 1);
+    }
+
+    #[test]
+    fn basic_moments() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&x), 2.5);
+        assert!((variance(&x) - 1.25).abs() < 1e-12);
+        assert!((rms(&x) - (7.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(median(&x), 2.5);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let x = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&x, 0.0), 10.0);
+        assert_eq!(percentile(&x, 100.0), 40.0);
+        assert_eq!(percentile(&x, 50.0), 25.0);
+    }
+
+    #[test]
+    fn snr_prd_duality() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = x.iter().map(|&v| v + 0.01).collect();
+        let snr = snr_db(&x, &y);
+        let prd = prd_percent(&x, &y);
+        let snr_from_prd = -20.0 * (prd / 100.0).log10();
+        assert!((snr - snr_from_prd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_reconstruction_is_infinite_snr() {
+        let x = [1.0, -2.0, 3.0];
+        assert_eq!(snr_db(&x, &x), f64::INFINITY);
+        assert_eq!(prd_percent(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn correlation_limits() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 2.0 * v + 1.0).collect();
+        let z: Vec<f64> = x.iter().map(|&v| -v).collect();
+        assert!((correlation(&x, &y) - 1.0).abs() < 1e-12);
+        assert!((correlation(&x, &z) + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&x, &vec![5.0; 50]), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_harmless() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+}

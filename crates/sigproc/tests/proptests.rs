@@ -1,0 +1,159 @@
+//! Property-based tests on the DSP substrate's invariants.
+
+use proptest::prelude::*;
+use wbsn_sigproc::combine::rms_combine;
+use wbsn_sigproc::matrix::{PackedTernaryMatrix, SparseTernaryMatrix};
+use wbsn_sigproc::morphology::{close, dilate, erode, open, sliding_extreme_naive};
+use wbsn_sigproc::stats::{isqrt_u64, prd_percent, snr_db};
+use wbsn_sigproc::wavelet::{wavedec, waverec, Wavelet};
+use wbsn_sigproc::{Q15, RingBuffer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sliding_extremes_match_naive(
+        x in prop::collection::vec(-5000i32..5000, 1..200),
+        half in 0usize..20,
+    ) {
+        let w = 2 * half + 1;
+        prop_assert_eq!(erode(&x, w), sliding_extreme_naive(&x, w, false));
+        prop_assert_eq!(dilate(&x, w), sliding_extreme_naive(&x, w, true));
+    }
+
+    #[test]
+    fn morphology_order_laws(
+        x in prop::collection::vec(-5000i32..5000, 8..120),
+        half in 1usize..8,
+    ) {
+        let w = 2 * half + 1;
+        let op = open(&x, w);
+        let cl = close(&x, w);
+        for i in 0..x.len() {
+            // Anti-extensivity / extensivity.
+            prop_assert!(op[i] <= x[i]);
+            prop_assert!(cl[i] >= x[i]);
+        }
+        // Idempotence.
+        prop_assert_eq!(open(&op, w), op.clone());
+        prop_assert_eq!(close(&cl, w), cl.clone());
+    }
+
+    #[test]
+    fn dwt_round_trips(
+        x in prop::collection::vec(-1000.0f64..1000.0, 64..65),
+        levels in 1usize..6,
+    ) {
+        for w in [Wavelet::Haar, Wavelet::Db2, Wavelet::Db4] {
+            let c = wavedec(&x, w, levels).unwrap();
+            let y = waverec(&c, w, levels).unwrap();
+            for (a, b) in x.iter().zip(&y) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+            // Energy preservation (orthonormality).
+            let ex: f64 = x.iter().map(|v| v * v).sum();
+            let ec: f64 = c.iter().map(|v| v * v).sum();
+            prop_assert!((ex - ec).abs() <= 1e-6 * ex.max(1.0));
+        }
+    }
+
+    #[test]
+    fn ring_buffer_is_a_fifo_window(
+        values in prop::collection::vec(-100i32..100, 1..60),
+        cap in 1usize..16,
+    ) {
+        let mut rb = RingBuffer::new(cap);
+        for &v in &values {
+            rb.push(v);
+        }
+        let expect: Vec<i32> = values
+            .iter()
+            .copied()
+            .skip(values.len().saturating_sub(cap))
+            .collect();
+        let got: Vec<i32> = rb.iter().copied().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn q15_ops_stay_in_range_and_match_float(a in -1.0f32..1.0, b in -1.0f32..1.0) {
+        let qa = Q15::from_f32(a);
+        let qb = Q15::from_f32(b);
+        let sum = (qa + qb).to_f32();
+        let clamped = (a + b).clamp(-1.0, 1.0 - 1.0 / 32768.0);
+        prop_assert!((sum - clamped).abs() < 2e-4, "sum {} vs {}", sum, clamped);
+        let prod = (qa * qb).to_f32();
+        prop_assert!((prod - a * b).abs() < 2e-4, "prod {} vs {}", prod, a * b);
+    }
+
+    #[test]
+    fn isqrt_is_exact_floor(v in 0u64..u64::MAX) {
+        let r = isqrt_u64(v);
+        prop_assert!(r.checked_mul(r).is_none_or(|sq| sq <= v));
+        let r1 = r + 1;
+        prop_assert!(r1.checked_mul(r1).is_none_or(|sq| sq > v));
+    }
+
+    #[test]
+    fn sparse_matrix_is_linear_and_adjoint(
+        seed in 0u64..1000,
+        d in 1usize..6,
+    ) {
+        let m = 24usize;
+        let n = 48usize;
+        let phi = SparseTernaryMatrix::random(m, n, d, seed).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 + seed as usize) % 17) as f64 - 8.0).collect();
+        let y: Vec<f64> = (0..m).map(|i| ((i * 7 + seed as usize) % 11) as f64 - 5.0).collect();
+        // <Φx, y> == <x, Φᵀy>
+        let ax = phi.apply(&x);
+        let aty = phi.apply_t(&y);
+        let lhs: f64 = ax.iter().zip(&y).map(|(p, q)| p * q).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+        // Linearity: Φ(2x) == 2Φx.
+        let x2: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        let ax2 = phi.apply(&x2);
+        for (a, b) in ax2.iter().zip(&ax) {
+            prop_assert!((a - 2.0 * b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn packed_matrix_matches_dense(seed in 0u64..500) {
+        let p = PackedTernaryMatrix::random_achlioptas(8, 24, seed).unwrap();
+        let d = p.to_dense();
+        let x: Vec<f64> = (0..24).map(|i| (i as f64 - 12.0) * 0.5).collect();
+        let yp = p.apply(&x);
+        let yd = d.matvec(&x);
+        for (a, b) in yp.iter().zip(&yd) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rms_combine_bounds(
+        a in prop::collection::vec(-2000i32..2000, 1..50),
+    ) {
+        let b: Vec<i32> = a.iter().map(|&v| -v).collect();
+        let y = rms_combine(&[a.clone(), b]).unwrap();
+        for (i, &v) in y.iter().enumerate() {
+            // RMS of {v, -v} is |v| (within integer sqrt flooring).
+            prop_assert!((v - a[i].abs()).abs() <= 1);
+            prop_assert!(v >= 0);
+        }
+    }
+
+    #[test]
+    fn snr_prd_duality_holds(
+        x in prop::collection::vec(1.0f64..100.0, 4..40),
+        noise in prop::collection::vec(-0.5f64..0.5, 40),
+    ) {
+        let y: Vec<f64> = x.iter().zip(&noise).map(|(a, e)| a + e).collect();
+        if x.iter().zip(&y).any(|(a, b)| a != b) {
+            let snr = snr_db(&x, &y);
+            let prd = prd_percent(&x, &y);
+            let snr2 = -20.0 * (prd / 100.0).log10();
+            prop_assert!((snr - snr2).abs() < 1e-9);
+        }
+    }
+}

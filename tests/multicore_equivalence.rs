@@ -1,0 +1,123 @@
+//! Cross-crate integration: the multi-core simulator's kernels compute
+//! exactly what the host algorithms compute, and the Figure 7
+//! mechanisms behave.
+
+use wbsn_multicore::energy::EnergyParams;
+use wbsn_multicore::kernels::{mf, mmd, rp_class};
+use wbsn_multicore::power::{compare, default_timing, run_app, App};
+use wbsn_multicore::sim::{MachineConfig, Multicore};
+
+fn ecg_leads(n: usize) -> Vec<Vec<i32>> {
+    // Use the synthetic generator as the data source for the kernels.
+    let rec = wbsn_ecg_synth::RecordBuilder::new(31)
+        .duration_s(4.0)
+        .n_leads(3)
+        .build();
+    (0..3).map(|l| rec.lead(l)[..n].to_vec()).collect()
+}
+
+#[test]
+fn mf_kernel_equals_host_on_real_ecg() {
+    let p = mf::MfParams {
+        n: 500,
+        w: 31,
+        n_leads: 3,
+    };
+    let leads = ecg_leads(p.n);
+    for n_cores in [1, 3] {
+        let prog = mf::build_program(&p, n_cores).unwrap();
+        let mut m = Multicore::new(
+            MachineConfig {
+                n_cores,
+                ..MachineConfig::default()
+            },
+            prog,
+        )
+        .unwrap();
+        mf::init_dmem(m.dmem_mut(), &leads, &p);
+        m.run().unwrap();
+        let outs = mf::read_outputs(m.dmem(), &p);
+        for l in 0..3 {
+            assert_eq!(outs[l], mf::host_reference(&leads[l], p.w), "lead {l}");
+        }
+    }
+}
+
+#[test]
+fn mmd_kernel_equals_host_on_real_ecg() {
+    let p = mmd::MmdParams {
+        n: 500,
+        s: 16,
+        n_leads: 3,
+    };
+    let leads = ecg_leads(p.n);
+    let prog = mmd::build_program(&p, 3).unwrap();
+    let mut m = Multicore::new(MachineConfig::default(), prog).unwrap();
+    mmd::init_dmem(m.dmem_mut(), &leads, &p);
+    m.run().unwrap();
+    let outs = mmd::read_outputs(m.dmem(), &p);
+    for l in 0..3 {
+        assert_eq!(outs[l], mmd::host_reference(&leads[l], p.s), "lead {l}");
+    }
+}
+
+#[test]
+fn rp_kernel_equals_host_on_real_beat() {
+    let p = rp_class::RpParams::default();
+    let rec = wbsn_ecg_synth::RecordBuilder::new(32).duration_s(10.0).build();
+    let r = rec.beats()[3].r_sample;
+    let x: Vec<i32> = rec.lead(0)[r - p.l / 2..r + p.l / 2].to_vec();
+    // Class means from three reference beats of the record.
+    let mut means = vec![0i32; p.n_classes * p.k];
+    for (cls, bi) in [4usize, 6, 8].iter().enumerate() {
+        let rr = rec.beats()[*bi].r_sample;
+        let proto: Vec<i32> = rec.lead(0)[rr - p.l / 2..rr + p.l / 2].to_vec();
+        let (y, _, _) = rp_class::host_reference(&p, &proto, &vec![0; p.n_classes * p.k]);
+        for k in 0..p.k {
+            means[cls * p.k + k] = y[k] as i32;
+        }
+    }
+    let (_, _, host_pred) = rp_class::host_reference(&p, &x, &means);
+    for n_cores in [1, 3] {
+        let prog = rp_class::build_program(&p, n_cores).unwrap();
+        let mut m = Multicore::new(
+            MachineConfig {
+                n_cores,
+                ..MachineConfig::default()
+            },
+            prog,
+        )
+        .unwrap();
+        rp_class::init_dmem(m.dmem_mut(), &p, n_cores, &x, &means);
+        m.run().unwrap();
+        assert_eq!(
+            rp_class::read_prediction(m.dmem()),
+            host_pred,
+            "cores {n_cores}"
+        );
+    }
+}
+
+#[test]
+fn figure7_savings_band() {
+    let e = EnergyParams::default();
+    for app in App::ALL {
+        let (w, d) = default_timing(app);
+        let cmp = compare(app, 3, w, d, &e).unwrap();
+        let s = cmp.saving();
+        assert!(
+            (0.15..0.70).contains(&s),
+            "{}: saving {s} outside the plausible band around the paper's ≈40%",
+            app.label()
+        );
+    }
+}
+
+#[test]
+fn merging_is_the_imem_mechanism() {
+    let with = run_app(App::ThreeLeadMf, 3, true).unwrap();
+    let without = run_app(App::ThreeLeadMf, 3, false).unwrap();
+    assert!(without.im_reads > 2 * with.im_reads);
+    assert_eq!(with.dm_conflict_stalls, 0);
+    assert!(with.merge_fraction() > 0.6);
+}

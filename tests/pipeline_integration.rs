@@ -1,0 +1,117 @@
+//! Cross-crate integration: the full node pipeline at every
+//! abstraction level, with on-air payload decode at the receiver.
+
+use wbsn_core::level::ProcessingLevel;
+use wbsn_core::monitor::{CardiacMonitor, MonitorConfig};
+use wbsn_core::payload::Payload;
+use wbsn_ecg_synth::noise::NoiseConfig;
+use wbsn_ecg_synth::RecordBuilder;
+
+fn record(seed: u64) -> wbsn_ecg_synth::Record {
+    RecordBuilder::new(seed)
+        .duration_s(30.0)
+        .n_leads(3)
+        .noise(NoiseConfig::ambulatory(22.0))
+        .build()
+}
+
+#[test]
+fn every_level_produces_decodable_payloads() {
+    let rec = record(1);
+    for level in ProcessingLevel::ALL {
+        let mut node = CardiacMonitor::new(MonitorConfig {
+            level,
+            ..MonitorConfig::default()
+        })
+        .unwrap();
+        let payloads = node.process_record(&rec);
+        assert!(!payloads.is_empty(), "{level}: no payloads");
+        for p in &payloads {
+            let bytes = p.encode();
+            let back = Payload::decode(&bytes).unwrap_or_else(|| panic!("{level}: decode failed"));
+            // Size is self-consistent.
+            assert_eq!(back.encode().len(), bytes.len(), "{level}");
+        }
+    }
+}
+
+#[test]
+fn delineated_beats_match_ground_truth_rate() {
+    let rec = record(2);
+    let mut node = CardiacMonitor::new(MonitorConfig {
+        level: ProcessingLevel::Delineated,
+        ..MonitorConfig::default()
+    })
+    .unwrap();
+    let payloads = node.process_record(&rec);
+    let beats: usize = payloads
+        .iter()
+        .map(|p| match p {
+            Payload::Beats { beats } => beats.len(),
+            _ => 0,
+        })
+        .sum();
+    let truth = rec.beats().len();
+    // Allow warm-up/latency losses at the record edges.
+    assert!(
+        beats + 6 >= truth && beats <= truth + 2,
+        "beats {beats} vs truth {truth}"
+    );
+}
+
+#[test]
+fn transmitted_r_peaks_are_accurate() {
+    let rec = record(3);
+    let mut node = CardiacMonitor::new(MonitorConfig {
+        level: ProcessingLevel::Delineated,
+        ..MonitorConfig::default()
+    })
+    .unwrap();
+    let payloads = node.process_record(&rec);
+    let truth: Vec<usize> = rec.beats().iter().map(|b| b.r_sample).collect();
+    let mut matched = 0usize;
+    let mut total = 0usize;
+    for p in &payloads {
+        // Round-trip through the on-air encoding, as the server sees it.
+        let Some(Payload::Beats { beats }) = Payload::decode(&p.encode()) else {
+            continue;
+        };
+        for b in beats {
+            total += 1;
+            if truth.iter().any(|&t| t.abs_diff(b.r_peak) <= 10) {
+                matched += 1;
+            }
+        }
+    }
+    assert!(total > 20, "beats {total}");
+    assert!(
+        matched as f64 / total as f64 > 0.97,
+        "{matched}/{total} R peaks within 40 ms of truth"
+    );
+}
+
+#[test]
+fn monitor_is_deterministic() {
+    let rec = record(4);
+    let run = || {
+        let mut node = CardiacMonitor::new(MonitorConfig::default()).unwrap();
+        node.process_record(&rec)
+            .iter()
+            .flat_map(|p| p.encode())
+            .collect::<Vec<u8>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn multi_lead_monitor_works_with_single_lead_records() {
+    let rec = RecordBuilder::new(5).duration_s(15.0).n_leads(1).build();
+    let mut node = CardiacMonitor::new(MonitorConfig {
+        n_leads: 1,
+        level: ProcessingLevel::Delineated,
+        ..MonitorConfig::default()
+    })
+    .unwrap();
+    let payloads = node.process_record(&rec);
+    assert!(!payloads.is_empty());
+}
