@@ -35,7 +35,9 @@ fn bench_classify(c: &mut Criterion) {
         b.iter(|| fe.extract(black_box(&lead), r_mid, 200, 200).unwrap())
     });
     let x = &xs[0];
-    g.bench_function("fuzzy_exact_1beat", |b| b.iter(|| exact.predict(black_box(x))));
+    g.bench_function("fuzzy_exact_1beat", |b| {
+        b.iter(|| exact.predict(black_box(x)))
+    });
     g.bench_function("fuzzy_pwl_1beat", |b| b.iter(|| pwl.predict(black_box(x))));
     g.finish();
 }

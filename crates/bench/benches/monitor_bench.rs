@@ -1,0 +1,95 @@
+//! The session-pipeline ingestion hot paths: per-frame `try_push`
+//! dispatch versus the batched `push_block` used for server-side
+//! replay, plus full-fleet ingestion. `monitor_push_block` is the
+//! pinned entry future PRs track in `BENCH_*.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wbsn_core::fleet::NodeFleet;
+use wbsn_core::level::ProcessingLevel;
+use wbsn_core::monitor::{CardiacMonitor, MonitorBuilder};
+use wbsn_ecg_synth::noise::NoiseConfig;
+use wbsn_ecg_synth::RecordBuilder;
+
+/// 10 s of interleaved 3-lead frames from a fixed synthetic record.
+fn frames(n_leads: usize, secs: f64) -> (Vec<i32>, usize) {
+    let rec = RecordBuilder::new(0xBE2C)
+        .duration_s(secs)
+        .n_leads(n_leads)
+        .noise(NoiseConfig::ambulatory(22.0))
+        .build();
+    let n = rec.n_samples();
+    let mut out = Vec::with_capacity(n * n_leads);
+    for i in 0..n {
+        for l in 0..n_leads {
+            out.push(rec.lead(l)[i]);
+        }
+    }
+    (out, n)
+}
+
+fn monitor(level: ProcessingLevel) -> CardiacMonitor {
+    MonitorBuilder::new()
+        .level(level)
+        .n_leads(3)
+        .build()
+        .expect("valid builder config")
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let (buf, n_frames) = frames(3, 10.0);
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(10);
+    g.bench_function("push_frame_10s_delineated", |b| {
+        b.iter(|| {
+            let mut m = monitor(ProcessingLevel::Delineated);
+            let mut total = 0usize;
+            for f in buf.chunks_exact(3) {
+                total += m.try_push(black_box(f)).unwrap().len();
+            }
+            total
+        })
+    });
+    g.bench_function("monitor_push_block", |b| {
+        b.iter(|| {
+            let mut m = monitor(ProcessingLevel::Delineated);
+            m.push_block(black_box(&buf), n_frames).unwrap().len()
+        })
+    });
+    g.bench_function("push_block_10s_classified", |b| {
+        b.iter(|| {
+            let mut m = monitor(ProcessingLevel::Classified);
+            m.push_block(black_box(&buf), n_frames).unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let (buf, n_frames) = frames(3, 2.0);
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(10);
+    g.bench_function("ingest_64_sessions_2s", |b| {
+        b.iter(|| {
+            let mut fleet = NodeFleet::new();
+            let ids: Vec<_> = (0..64)
+                .map(|_| {
+                    fleet
+                        .add_session(MonitorBuilder::new().level(ProcessingLevel::Delineated))
+                        .unwrap()
+                })
+                .collect();
+            let mut total = 0usize;
+            for &id in &ids {
+                total += fleet
+                    .push_block(id, black_box(&buf), n_frames)
+                    .unwrap()
+                    .len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_monitor, bench_fleet);
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 
 use wbsn_bench::{bar, fmt_power, header};
 use wbsn_core::level::ProcessingLevel;
-use wbsn_core::monitor::{CardiacMonitor, MonitorConfig};
+use wbsn_core::monitor::MonitorBuilder;
 use wbsn_ecg_synth::noise::NoiseConfig;
 use wbsn_ecg_synth::RecordBuilder;
 
@@ -19,7 +19,7 @@ fn main() {
         "bandwidth / power / lifetime per processing abstraction level",
         "bandwidth and energy fall as abstraction rises; ≈1 week between charges",
     );
-    let rec = RecordBuilder::new(0xF16_1)
+    let rec = RecordBuilder::new(0xF161)
         .duration_s(60.0)
         .n_leads(3)
         .noise(NoiseConfig::ambulatory(25.0))
@@ -37,14 +37,13 @@ fn main() {
             ProcessingLevel::CompressedMultiLead => 66.5,
             _ => 65.9,
         };
-        let mut node = CardiacMonitor::new(MonitorConfig {
-            level,
-            cs_cr_percent: cr,
-            ..MonitorConfig::default()
-        })
-        .unwrap();
-        let _ = node.process_record(&rec);
-        let c = *node.counters();
+        let mut node = MonitorBuilder::new()
+            .level(level)
+            .cs_compression_ratio(cr)
+            .build()
+            .unwrap();
+        let _ = node.process_record(&rec).unwrap();
+        let c = node.counters();
         let r = node.energy_report();
         let bytes_per_s = c.payload_bytes as f64 / c.seconds;
         println!(

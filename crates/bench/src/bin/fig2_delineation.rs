@@ -14,7 +14,7 @@ fn main() {
         "delineated normal sinus beat (P/QRS/T onsets, peaks, offsets)",
         "all nine fiducial points located on a clean beat",
     );
-    let rec = RecordBuilder::new(0xF16_2)
+    let rec = RecordBuilder::new(0xF162)
         .duration_s(10.0)
         .noise(NoiseConfig::ambulatory(30.0))
         .build();

@@ -23,7 +23,7 @@ fn main() {
         "20 dB crossing at CR ≈ 65.9% (SL) / 72.7% (ML); ML ≥ SL at high CR",
     );
 
-    let records = cs_eval_suite(n_records, 0xF16_5);
+    let records = cs_eval_suite(n_records, 0xF165);
     let mut cfg = SweepConfig::default();
     if fast {
         cfg.fista.max_iters = 60;
@@ -37,11 +37,17 @@ fn main() {
         ]
     };
 
-    println!("records: {n_records}  window: {}  d/col: {}", cfg.window, cfg.d_per_col);
+    println!(
+        "records: {n_records}  window: {}  d/col: {}",
+        cfg.window, cfg.d_per_col
+    );
     let single = snr_vs_cr_single(&records, &crs, &cfg).expect("single-lead sweep");
     let joint = snr_vs_cr_joint(&records, &crs, &cfg).expect("multi-lead sweep");
 
-    println!("\n{:>8} {:>14} {:>14}", "CR [%]", "SL SNR [dB]", "ML SNR [dB]");
+    println!(
+        "\n{:>8} {:>14} {:>14}",
+        "CR [%]", "SL SNR [dB]", "ML SNR [dB]"
+    );
     for (s, j) in single.iter().zip(&joint) {
         println!(
             "{:>8.1} {:>14.2} {:>14.2}",

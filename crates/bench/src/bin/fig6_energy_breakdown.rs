@@ -9,7 +9,7 @@
 
 use wbsn_bench::{bar, fmt_power, header};
 use wbsn_core::level::ProcessingLevel;
-use wbsn_core::monitor::{CardiacMonitor, MonitorConfig};
+use wbsn_core::monitor::MonitorBuilder;
 use wbsn_ecg_synth::noise::NoiseConfig;
 use wbsn_ecg_synth::RecordBuilder;
 
@@ -19,7 +19,7 @@ fn main() {
         "node energy breakdown: No Comp. / Single-Lead CS / Multi-Lead CS",
         "avg power reduction 44.7% (SL) and 56.1% (ML) vs raw streaming",
     );
-    let rec = RecordBuilder::new(0xF16_6)
+    let rec = RecordBuilder::new(0xF166)
         .duration_s(60.0)
         .n_leads(3)
         .noise(NoiseConfig::ambulatory(25.0))
@@ -29,7 +29,11 @@ fn main() {
     // each mode still reaches ~20 dB with our decoder.
     let configs = [
         ("No Comp.", ProcessingLevel::RawStreaming, 0.0),
-        ("Single-Lead CS", ProcessingLevel::CompressedSingleLead, 54.8),
+        (
+            "Single-Lead CS",
+            ProcessingLevel::CompressedSingleLead,
+            54.8,
+        ),
         ("Multi-lead CS", ProcessingLevel::CompressedMultiLead, 66.5),
     ];
     let mut totals = Vec::new();
@@ -38,15 +42,12 @@ fn main() {
         "config", "radio", "sampling", "comp.", "OS+sleep", "total"
     );
     for (name, level, cr) in configs {
-        let mut cfg = MonitorConfig {
-            level,
-            ..MonitorConfig::default()
-        };
+        let mut builder = MonitorBuilder::new().level(level);
         if cr > 0.0 {
-            cfg.cs_cr_percent = cr;
+            builder = builder.cs_compression_ratio(cr);
         }
-        let mut node = CardiacMonitor::new(cfg).unwrap();
-        let _ = node.process_record(&rec);
+        let mut node = builder.build().unwrap();
+        let _ = node.process_record(&rec).unwrap();
         let r = node.energy_report();
         let b = r.breakdown;
         println!(

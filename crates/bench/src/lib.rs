@@ -77,7 +77,11 @@ pub fn ascii_plot(series: &[(&str, &[(f64, f64)])], width: usize, height: usize)
         width = width - 10
     ));
     for (si, (name, _)) in series.iter().enumerate() {
-        out.push_str(&format!("          {} = {}\n", marks[si % marks.len()] as char, name));
+        out.push_str(&format!(
+            "          {} = {}\n",
+            marks[si % marks.len()] as char,
+            name
+        ));
     }
     out
 }

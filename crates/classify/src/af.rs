@@ -131,8 +131,7 @@ impl AfDetector {
             };
             let drr_entropy = delta_rr_entropy(&rr);
             let tpr = turning_point_ratio(&rr);
-            let p_fraction =
-                slice.iter().filter(|b| b.has_p).count() as f64 / slice.len() as f64;
+            let p_fraction = slice.iter().filter(|b| b.has_p).count() as f64 / slice.len() as f64;
             let score = af_score(nrmssd, drr_entropy, tpr, p_fraction);
             out.push(AfWindow {
                 start_beat: start,
@@ -367,7 +366,9 @@ mod tests {
         let constant = vec![0.8; 30];
         assert_eq!(delta_rr_entropy(&constant), 0.0);
         assert_eq!(turning_point_ratio(&constant), 0.0);
-        let alternating: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 0.6 } else { 1.0 }).collect();
+        let alternating: Vec<f64> = (0..30)
+            .map(|i| if i % 2 == 0 { 0.6 } else { 1.0 })
+            .collect();
         assert!(turning_point_ratio(&alternating) > 0.95);
     }
 
@@ -403,8 +404,8 @@ mod tests {
         // Long sinus with one noisy window worth of irregularity.
         let mut beats = sinus_beats(150, 250);
         // Corrupt ~10 consecutive RRs in the middle.
-        for i in 70..80 {
-            beats[i].r_sample += ((i % 3) * 60) as usize;
+        for (i, b) in beats.iter_mut().enumerate().take(80).skip(70) {
+            b.r_sample += (i % 3) * 60;
         }
         let windows = det.analyze(&beats);
         // With hysteresis = 2, isolated flips may not start an episode;

@@ -112,7 +112,12 @@ impl BeatFeatureExtractor {
         // Remove window mean and normalize by peak magnitude.
         let mean = window.iter().map(|&v| v as i64).sum::<i64>() / window.len() as i64;
         let centered: Vec<i32> = window.iter().map(|&v| (v as i64 - mean) as i32).collect();
-        let peak = centered.iter().map(|v| v.unsigned_abs()).max().unwrap_or(1).max(1);
+        let peak = centered
+            .iter()
+            .map(|v| v.unsigned_abs())
+            .max()
+            .unwrap_or(1)
+            .max(1);
         let y = self.projection.apply_i32(&centered);
         let mut features: Vec<f64> = y.iter().map(|&v| v as f64 / peak as f64).collect();
         // RR context, normalized to ~1 at a resting rate.
@@ -209,10 +214,7 @@ mod tests {
         let a = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
         let b = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
         let x = beat_signal(400, 200, false);
-        assert_eq!(
-            a.extract(&x, 200, 200, 200),
-            b.extract(&x, 200, 200, 200)
-        );
+        assert_eq!(a.extract(&x, 200, 200, 200), b.extract(&x, 200, 200, 200));
     }
 
     #[test]

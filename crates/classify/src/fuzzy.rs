@@ -200,8 +200,8 @@ impl FuzzyClassifier {
             .iter()
             .map(|c| {
                 let mut cost = -c.log_prior;
-                for j in 0..self.dims {
-                    let u = (x[j] - c.mean[j]) * c.inv_sigma[j];
+                for (j, &xj) in x.iter().enumerate() {
+                    let u = (xj - c.mean[j]) * c.inv_sigma[j];
                     cost += match self.mode {
                         MembershipMode::ExactGaussian => 0.5 * u * u,
                         MembershipMode::PiecewiseLinear => pwl_half_square(u),
@@ -301,7 +301,10 @@ mod tests {
     #[test]
     fn classifies_separable_blobs() {
         let (xs, ys) = gaussian_blobs(60, 42);
-        for mode in [MembershipMode::ExactGaussian, MembershipMode::PiecewiseLinear] {
+        for mode in [
+            MembershipMode::ExactGaussian,
+            MembershipMode::PiecewiseLinear,
+        ] {
             let clf = FuzzyClassifier::train(&xs, &ys, mode).unwrap();
             let correct = xs
                 .iter()
@@ -340,9 +343,7 @@ mod tests {
         let xs = vec![vec![1.0], vec![2.0]];
         assert!(FuzzyClassifier::train(&xs, &[0], MembershipMode::ExactGaussian).is_err());
         // Class with a single member.
-        assert!(
-            FuzzyClassifier::train(&xs, &[0, 1], MembershipMode::ExactGaussian).is_err()
-        );
+        assert!(FuzzyClassifier::train(&xs, &[0, 1], MembershipMode::ExactGaussian).is_err());
         // Inconsistent dims.
         let bad = vec![vec![1.0], vec![2.0, 3.0]];
         assert!(FuzzyClassifier::train(&bad, &[0, 0], MembershipMode::ExactGaussian).is_err());

@@ -87,7 +87,10 @@ fn pwl_mode_tracks_exact_mode() {
     }
     let exact = FuzzyClassifier::train(&xs, &ys, MembershipMode::ExactGaussian).unwrap();
     let pwl = exact.with_mode(MembershipMode::PiecewiseLinear);
-    let agree = xs.iter().filter(|x| exact.predict(x) == pwl.predict(x)).count();
+    let agree = xs
+        .iter()
+        .filter(|x| exact.predict(x) == pwl.predict(x))
+        .count();
     assert!(
         agree as f64 / xs.len() as f64 > 0.95,
         "agreement {}/{}",
@@ -129,9 +132,7 @@ fn af_records_separate_from_sinus_records() {
         if truth_af == detected_af {
             correct += 1;
         } else {
-            eprintln!(
-                "record {i}: truth_af={truth_af} burden={burden:.2} (misclassified)"
-            );
+            eprintln!("record {i}: truth_af={truth_af} burden={burden:.2} (misclassified)");
         }
     }
     assert!(correct >= 7, "correct {correct}/8");

@@ -199,12 +199,7 @@ impl BpTrendApp {
     ///
     /// Propagates calibration failures (too few points, constant PAT).
     pub fn calibrate(&mut self, pat_s: &[f64], bp_mmhg: &[f64]) -> crate::Result<()> {
-        self.estimator = Some(BpEstimator::calibrate(pat_s, bp_mmhg).map_err(|e| {
-            crate::CoreError::Component {
-                which: "bp estimator",
-                detail: e.to_string(),
-            }
-        })?);
+        self.estimator = Some(BpEstimator::calibrate(pat_s, bp_mmhg)?);
         Ok(())
     }
 

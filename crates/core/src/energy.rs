@@ -96,7 +96,7 @@ pub fn workload_from_counters(
         fs_hz,
         app_cycles_per_s: cycles,
         radio_payload_bytes_per_s: c.payload_bytes as f64 / secs,
-        radio_wakeups_per_s: (c.payloads as f64 / secs).min(4.0).max(0.05),
+        radio_wakeups_per_s: (c.payloads as f64 / secs).clamp(0.05, 4.0),
     }
 }
 
@@ -128,7 +128,7 @@ impl crate::monitor::CardiacMonitor {
     pub fn energy_report(&self) -> EnergyReport {
         report(
             self.config().level,
-            self.counters(),
+            &self.counters(),
             self.config().n_leads,
             self.config().fs_hz as f64,
             &NodeModel::default(),
@@ -140,7 +140,7 @@ impl crate::monitor::CardiacMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::monitor::{CardiacMonitor, MonitorConfig};
+    use crate::monitor::CardiacMonitor;
     use wbsn_ecg_synth::noise::NoiseConfig;
     use wbsn_ecg_synth::RecordBuilder;
 
@@ -150,12 +150,8 @@ mod tests {
             .n_leads(3)
             .noise(NoiseConfig::ambulatory(22.0))
             .build();
-        let mut m = CardiacMonitor::new(MonitorConfig {
-            level,
-            ..MonitorConfig::default()
-        })
-        .unwrap();
-        let _ = m.process_record(&rec);
+        let mut m = CardiacMonitor::builder().level(level).build().unwrap();
+        let _ = m.process_record(&rec).unwrap();
         m.energy_report()
     }
 

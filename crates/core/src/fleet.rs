@@ -1,0 +1,398 @@
+//! The serving layer: many monitoring sessions in one process.
+//!
+//! A base station (or a cloud replay service) terminates the streams
+//! of many wearable nodes at once. [`NodeFleet`] manages N independent
+//! [`CardiacMonitor`] sessions keyed by [`SessionId`]: sessions are
+//! added and removed at runtime, ingest frames individually or in
+//! batches, and report aggregated [`ActivityCounters`] and energy.
+//!
+//! Sessions are fully isolated — the fleet guarantees that a set of
+//! sessions produces byte-identical payloads to the same monitors run
+//! sequentially — and iteration order is the (stable) insertion order,
+//! so fleet-level reports are deterministic.
+//!
+//! ```
+//! use wbsn_core::fleet::NodeFleet;
+//! use wbsn_core::monitor::MonitorBuilder;
+//! use wbsn_core::level::ProcessingLevel;
+//!
+//! let mut fleet = NodeFleet::new();
+//! let id = fleet
+//!     .add_session(MonitorBuilder::new().level(ProcessingLevel::RawStreaming))
+//!     .unwrap();
+//! let payloads = fleet.push_block(id, &[0; 3 * 250], 250).unwrap();
+//! assert!(!payloads.is_empty());
+//! let report = fleet.energy_report();
+//! assert_eq!(report.sessions, 1);
+//! ```
+
+use crate::energy::{CycleCosts, EnergyReport};
+use crate::monitor::{ActivityCounters, CardiacMonitor, MonitorBuilder};
+use crate::payload::Payload;
+use crate::{Result, WbsnError};
+use wbsn_platform::node::NodeModel;
+
+/// Opaque, process-unique session handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// Raw id value (stable for logging/sharding).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+struct Session {
+    id: SessionId,
+    monitor: CardiacMonitor,
+}
+
+impl core::fmt::Debug for Session {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("level", &self.monitor.config().level)
+            .finish()
+    }
+}
+
+/// Aggregated fleet energy view (sums and extremes over the sessions'
+/// individual [`EnergyReport`]s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetEnergyReport {
+    /// Sessions aggregated.
+    pub sessions: usize,
+    /// Element-wise summed activity (`seconds` counts session-seconds).
+    pub counters: ActivityCounters,
+    /// Sum of per-session average node power, mW.
+    pub total_power_mw: f64,
+    /// Mean per-session average node power, mW.
+    pub mean_power_mw: f64,
+    /// Shortest projected battery lifetime over the fleet, days.
+    pub min_lifetime_days: f64,
+}
+
+/// N independent monitoring sessions behind one ingestion front end.
+#[derive(Debug, Default)]
+pub struct NodeFleet {
+    // Sorted by id (ids are handed out monotonically and removal
+    // preserves order), so lookup is a binary search and iteration is
+    // deterministic insertion order.
+    sessions: Vec<Session>,
+    next_id: u64,
+}
+
+impl NodeFleet {
+    /// Empty fleet.
+    pub fn new() -> Self {
+        NodeFleet::default()
+    }
+
+    /// Empty fleet with room for `n` sessions.
+    pub fn with_capacity(n: usize) -> Self {
+        NodeFleet {
+            sessions: Vec::with_capacity(n),
+            next_id: 0,
+        }
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no sessions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Live session ids in insertion order.
+    pub fn session_ids(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.sessions.iter().map(|s| s.id)
+    }
+
+    /// Builds and registers a new session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation failures; the fleet is unchanged
+    /// on error.
+    pub fn add_session(&mut self, builder: MonitorBuilder) -> Result<SessionId> {
+        let monitor = builder.build()?;
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        self.sessions.push(Session { id, monitor });
+        Ok(id)
+    }
+
+    /// Builds and registers `n` identically-configured sessions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation failures; no sessions are added
+    /// on error.
+    pub fn add_sessions(&mut self, builder: &MonitorBuilder, n: usize) -> Result<Vec<SessionId>> {
+        // Build everything first so a failure adds nothing.
+        let monitors: Vec<CardiacMonitor> = (0..n)
+            .map(|_| builder.clone().build())
+            .collect::<Result<_>>()?;
+        Ok(monitors
+            .into_iter()
+            .map(|monitor| {
+                let id = SessionId(self.next_id);
+                self.next_id += 1;
+                self.sessions.push(Session { id, monitor });
+                id
+            })
+            .collect())
+    }
+
+    /// Removes a session, returning its monitor so the caller can
+    /// flush it; `None` when the id is unknown.
+    pub fn remove_session(&mut self, id: SessionId) -> Option<CardiacMonitor> {
+        let idx = self.index_of(id).ok()?;
+        Some(self.sessions.remove(idx).monitor)
+    }
+
+    /// Read access to one session.
+    pub fn session(&self, id: SessionId) -> Option<&CardiacMonitor> {
+        self.index_of(id).ok().map(|i| &self.sessions[i].monitor)
+    }
+
+    /// Mutable access to one session.
+    pub fn session_mut(&mut self, id: SessionId) -> Option<&mut CardiacMonitor> {
+        self.index_of(id)
+            .ok()
+            .map(move |i| &mut self.sessions[i].monitor)
+    }
+
+    fn index_of(&self, id: SessionId) -> core::result::Result<usize, usize> {
+        self.sessions.binary_search_by_key(&id, |s| s.id)
+    }
+
+    fn monitor_mut(&mut self, id: SessionId) -> Result<&mut CardiacMonitor> {
+        match self.index_of(id) {
+            Ok(i) => Ok(&mut self.sessions[i].monitor),
+            Err(_) => Err(WbsnError::UnknownSession { id: id.0 }),
+        }
+    }
+
+    /// Pushes one frame into one session.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for a stale id, plus the
+    /// session's own ingestion errors.
+    pub fn push_frame(&mut self, id: SessionId, frame: &[i32]) -> Result<Vec<Payload>> {
+        self.monitor_mut(id)?.try_push(frame)
+    }
+
+    /// Batched ingestion into one session (see
+    /// [`CardiacMonitor::push_block`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for a stale id, plus the
+    /// session's own ingestion errors.
+    pub fn push_block(
+        &mut self,
+        id: SessionId,
+        frames: &[i32],
+        n_frames: usize,
+    ) -> Result<Vec<Payload>> {
+        self.monitor_mut(id)?.push_block(frames, n_frames)
+    }
+
+    /// Flushes every session, returning whatever payloads were still
+    /// buffered, tagged by session.
+    ///
+    /// # Errors
+    ///
+    /// The first stage failure aborts the sweep.
+    pub fn flush_all(&mut self) -> Result<Vec<(SessionId, Vec<Payload>)>> {
+        let mut out = Vec::with_capacity(self.sessions.len());
+        for s in &mut self.sessions {
+            let payloads = s.monitor.flush()?;
+            if !payloads.is_empty() {
+                out.push((s.id, payloads));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum of every session's [`ActivityCounters`]
+    /// (`seconds` therefore counts session-seconds).
+    pub fn aggregate_counters(&self) -> ActivityCounters {
+        self.sessions
+            .iter()
+            .fold(ActivityCounters::default(), |acc, s| {
+                acc.merged(&s.monitor.counters())
+            })
+    }
+
+    /// Per-session energy reports (insertion order), priced on the
+    /// default node model.
+    pub fn session_energy_reports(&self) -> Vec<(SessionId, EnergyReport)> {
+        let node = NodeModel::default();
+        let costs = CycleCosts::default();
+        self.sessions
+            .iter()
+            .map(|s| {
+                let cfg = s.monitor.config();
+                let report = crate::energy::report(
+                    cfg.level,
+                    &s.monitor.counters(),
+                    cfg.n_leads,
+                    cfg.fs_hz as f64,
+                    &node,
+                    &costs,
+                );
+                (s.id, report)
+            })
+            .collect()
+    }
+
+    /// Aggregated fleet energy report on the default node model.
+    pub fn energy_report(&self) -> FleetEnergyReport {
+        let reports = self.session_energy_reports();
+        let total_power_mw: f64 = reports
+            .iter()
+            .map(|(_, r)| r.breakdown.avg_power_mw())
+            .sum();
+        let min_lifetime_days = reports
+            .iter()
+            .map(|(_, r)| r.lifetime_days)
+            .fold(f64::INFINITY, f64::min);
+        let sessions = self.sessions.len();
+        let min_lifetime_days = if sessions == 0 {
+            0.0
+        } else {
+            min_lifetime_days
+        };
+        FleetEnergyReport {
+            sessions,
+            counters: self.aggregate_counters(),
+            total_power_mw,
+            mean_power_mw: if sessions == 0 {
+                0.0
+            } else {
+                total_power_mw / sessions as f64
+            },
+            min_lifetime_days,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::ProcessingLevel;
+    use wbsn_ecg_synth::noise::NoiseConfig;
+    use wbsn_ecg_synth::RecordBuilder;
+
+    fn interleaved(seed: u64, secs: f64) -> (Vec<i32>, usize) {
+        let rec = RecordBuilder::new(seed)
+            .duration_s(secs)
+            .n_leads(3)
+            .noise(NoiseConfig::ambulatory(22.0))
+            .build();
+        let n = rec.n_samples();
+        let mut buf = Vec::with_capacity(n * 3);
+        for i in 0..n {
+            for l in 0..3 {
+                buf.push(rec.lead(l)[i]);
+            }
+        }
+        (buf, n)
+    }
+
+    #[test]
+    fn sessions_are_isolated_and_removable() {
+        let mut fleet = NodeFleet::new();
+        let a = fleet
+            .add_session(MonitorBuilder::new().level(ProcessingLevel::RawStreaming))
+            .unwrap();
+        let b = fleet
+            .add_session(MonitorBuilder::new().level(ProcessingLevel::Delineated))
+            .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(fleet.len(), 2);
+        let (buf, n) = interleaved(3, 2.0);
+        fleet.push_block(a, &buf, n).unwrap();
+        assert_eq!(
+            fleet.session(a).unwrap().counters().samples_in,
+            3 * n as u64
+        );
+        assert_eq!(fleet.session(b).unwrap().counters().samples_in, 0);
+        let removed = fleet.remove_session(a).unwrap();
+        assert_eq!(removed.counters().samples_in, 3 * n as u64);
+        assert_eq!(fleet.len(), 1);
+        assert!(matches!(
+            fleet.push_frame(a, &[0, 0, 0]),
+            Err(WbsnError::UnknownSession { .. })
+        ));
+    }
+
+    #[test]
+    fn add_sessions_is_all_or_nothing() {
+        let mut fleet = NodeFleet::new();
+        let bad = MonitorBuilder::new().n_leads(0);
+        assert!(fleet.add_sessions(&bad, 5).is_err());
+        assert!(fleet.is_empty());
+        let ids = fleet.add_sessions(&MonitorBuilder::new(), 5).unwrap();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(fleet.len(), 5);
+    }
+
+    #[test]
+    fn aggregate_counters_sum_sessions() {
+        let mut fleet = NodeFleet::new();
+        let ids = fleet.add_sessions(&MonitorBuilder::new(), 4).unwrap();
+        let (buf, n) = interleaved(8, 4.0);
+        for &id in &ids {
+            fleet.push_block(id, &buf, n).unwrap();
+        }
+        fleet.flush_all().unwrap();
+        let agg = fleet.aggregate_counters();
+        assert_eq!(agg.samples_in, 4 * 3 * n as u64);
+        assert!((agg.seconds - 4.0 * 4.0).abs() < 0.1);
+        let one = fleet.session(ids[0]).unwrap().counters();
+        assert_eq!(agg.beats, 4 * one.beats);
+    }
+
+    #[test]
+    fn energy_report_aggregates() {
+        let mut fleet = NodeFleet::new();
+        let ids = fleet.add_sessions(&MonitorBuilder::new(), 3).unwrap();
+        let (buf, n) = interleaved(9, 10.0);
+        for &id in &ids {
+            fleet.push_block(id, &buf, n).unwrap();
+        }
+        let report = fleet.energy_report();
+        assert_eq!(report.sessions, 3);
+        assert!(report.total_power_mw > 0.0);
+        assert!(
+            (report.mean_power_mw - report.total_power_mw / 3.0).abs() < 1e-12,
+            "mean {}",
+            report.mean_power_mw
+        );
+        assert!(report.min_lifetime_days > 0.0);
+    }
+
+    #[test]
+    fn empty_fleet_reports_zero() {
+        let fleet = NodeFleet::new();
+        let report = fleet.energy_report();
+        assert_eq!(report.sessions, 0);
+        assert_eq!(report.mean_power_mw, 0.0);
+        assert_eq!(report.min_lifetime_days, 0.0);
+        assert_eq!(fleet.aggregate_counters(), ActivityCounters::default());
+    }
+}

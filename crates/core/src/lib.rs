@@ -1,7 +1,8 @@
 //! # wbsn-core
 //!
 //! The integrated ultra-low-power wearable cardiac monitoring node —
-//! the system-level architecture the DAC'14 paper presents.
+//! the system-level architecture the DAC'14 paper presents — rebuilt
+//! as a **session-oriented pipeline**.
 //!
 //! The central idea (Figure 1 of the paper): **on-node digital signal
 //! processing raises the abstraction level of the transmitted data and
@@ -10,13 +11,22 @@
 //! delineated fiducial points, or transmit only classified events —
 //! each step trades MCU cycles for (much more expensive) radio bytes.
 //!
+//! ## Architecture
+//!
 //! * [`level`] — the abstraction ladder ([`ProcessingLevel`]).
+//! * [`stage`] — the composable pipeline API: the [`PipelineStage`]
+//!   trait ([`stage::RawForwarder`], [`stage::CsStage`],
+//!   [`stage::DelineationStage`], [`stage::ClassifyStage`]) and the
+//!   [`stage::PayloadSink`] payloads flow into. New workloads plug in
+//!   by implementing the trait — the engine never changes.
+//! * [`monitor`] — [`CardiacMonitor`]: one monitoring *session*. Built
+//!   with the validating [`MonitorBuilder`], fed through the fallible
+//!   [`CardiacMonitor::try_push`] or the batched
+//!   [`CardiacMonitor::push_block`] hot path.
+//! * [`fleet`] — [`fleet::NodeFleet`]: many independent sessions in
+//!   one process, with per-session ids, batched ingestion and
+//!   aggregated activity/energy reporting — the server-side layer.
 //! * [`payload`] — the on-air payload formats with exact byte costs.
-//! * [`monitor`] — [`CardiacMonitor`]: the streaming engine that runs
-//!   the configured pipeline (morphological filtering, RMS lead
-//!   combination, QRS detection + wavelet delineation, random-
-//!   projection fuzzy classification, AF detection, CS encoding) and
-//!   emits payloads.
 //! * [`energy`] — per-stage cycle accounting composed with the
 //!   `wbsn-platform` node model into Figure 6-style breakdowns and
 //!   battery lifetimes.
@@ -27,36 +37,68 @@
 //! ## Quickstart
 //!
 //! ```
-//! use wbsn_core::monitor::{CardiacMonitor, MonitorConfig};
+//! use wbsn_core::monitor::MonitorBuilder;
 //! use wbsn_core::level::ProcessingLevel;
 //! use wbsn_ecg_synth::RecordBuilder;
 //!
 //! let record = RecordBuilder::new(1).duration_s(12.0).n_leads(3).build();
-//! let cfg = MonitorConfig {
-//!     level: ProcessingLevel::Delineated,
-//!     ..MonitorConfig::default()
-//! };
-//! let mut node = CardiacMonitor::new(cfg).unwrap();
-//! let payloads = node.process_record(&record);
+//! let mut node = MonitorBuilder::new()
+//!     .level(ProcessingLevel::Delineated)
+//!     .n_leads(3)
+//!     .build()
+//!     .unwrap();
+//! let payloads = node.process_record(&record).unwrap();
 //! assert!(!payloads.is_empty());
 //! let report = node.energy_report();
 //! assert!(report.breakdown.avg_power_mw() < 5.0);
 //! ```
+//!
+//! ## Serving many sessions
+//!
+//! ```
+//! use wbsn_core::fleet::NodeFleet;
+//! use wbsn_core::monitor::MonitorBuilder;
+//!
+//! let mut fleet = NodeFleet::new();
+//! let ids: Vec<_> = (0..16)
+//!     .map(|_| fleet.add_session(MonitorBuilder::new()).unwrap())
+//!     .collect();
+//! for &id in &ids {
+//!     let frame = [0i32, 0, 0];
+//!     fleet.push_frame(id, &frame).unwrap();
+//! }
+//! assert_eq!(fleet.len(), 16);
+//! assert_eq!(fleet.aggregate_counters().samples_in, 16 * 3);
+//! ```
 
 pub mod apps;
 pub mod energy;
+pub mod fleet;
 pub mod level;
 pub mod monitor;
 pub mod payload;
+pub mod stage;
 
 pub use energy::EnergyReport;
+pub use fleet::{FleetEnergyReport, NodeFleet, SessionId};
 pub use level::ProcessingLevel;
-pub use monitor::{CardiacMonitor, MonitorConfig};
+pub use monitor::{CardiacMonitor, MonitorBuilder, MonitorConfig};
 pub use payload::Payload;
+pub use stage::{ActivityCounters, PayloadSink, PipelineStage};
 
-/// Errors from node configuration.
+use wbsn_classify::ClassifyError;
+use wbsn_cs::CsError;
+use wbsn_delineation::DelineationError;
+use wbsn_multimodal::MultimodalError;
+use wbsn_platform::PlatformError;
+use wbsn_sigproc::SigprocError;
+
+/// Unified error for the node pipeline and the fleet layer.
+///
+/// Sub-crate errors convert losslessly via `From`, so `?` works across
+/// crate boundaries without stringifying.
 #[derive(Debug, Clone, PartialEq)]
-pub enum CoreError {
+pub enum WbsnError {
     /// Parameter outside its valid range.
     InvalidParameter {
         /// Parameter name.
@@ -64,29 +106,133 @@ pub enum CoreError {
         /// Explanation.
         detail: String,
     },
-    /// A substrate component rejected its configuration.
-    Component {
-        /// Which component.
-        which: &'static str,
-        /// Underlying message.
-        detail: String,
+    /// A frame or record carried a different lead count than the
+    /// session was configured for.
+    LeadMismatch {
+        /// Leads the session expects.
+        expected: usize,
+        /// Leads the caller provided.
+        got: usize,
     },
+    /// A fleet operation referenced a session id that is not (or no
+    /// longer) registered.
+    UnknownSession {
+        /// The offending id.
+        id: u64,
+    },
+    /// DSP substrate error.
+    Sigproc(SigprocError),
+    /// Compressed-sensing error.
+    Cs(CsError),
+    /// Delineation error.
+    Delineation(DelineationError),
+    /// Classification error.
+    Classify(ClassifyError),
+    /// Multi-modal estimation error.
+    Multimodal(MultimodalError),
+    /// Platform-model error.
+    Platform(PlatformError),
 }
 
-impl core::fmt::Display for CoreError {
+impl core::fmt::Display for WbsnError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            CoreError::InvalidParameter { what, detail } => {
+            WbsnError::InvalidParameter { what, detail } => {
                 write!(f, "invalid parameter {what}: {detail}")
             }
-            CoreError::Component { which, detail } => {
-                write!(f, "component {which} failed: {detail}")
+            WbsnError::LeadMismatch { expected, got } => {
+                write!(
+                    f,
+                    "lead mismatch: session expects {expected} leads, got {got}"
+                )
             }
+            WbsnError::UnknownSession { id } => write!(f, "unknown session id {id}"),
+            WbsnError::Sigproc(e) => write!(f, "sigproc: {e}"),
+            WbsnError::Cs(e) => write!(f, "cs: {e}"),
+            WbsnError::Delineation(e) => write!(f, "delineation: {e}"),
+            WbsnError::Classify(e) => write!(f, "classify: {e}"),
+            WbsnError::Multimodal(e) => write!(f, "multimodal: {e}"),
+            WbsnError::Platform(e) => write!(f, "platform: {e}"),
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for WbsnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WbsnError::Sigproc(e) => Some(e),
+            WbsnError::Cs(e) => Some(e),
+            WbsnError::Delineation(e) => Some(e),
+            WbsnError::Classify(e) => Some(e),
+            WbsnError::Multimodal(e) => Some(e),
+            WbsnError::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! from_sub_error {
+    ($($sub:ty => $variant:ident),+ $(,)?) => {
+        $(
+            impl From<$sub> for WbsnError {
+                fn from(e: $sub) -> Self {
+                    WbsnError::$variant(e)
+                }
+            }
+        )+
+    };
+}
+
+from_sub_error!(
+    SigprocError => Sigproc,
+    CsError => Cs,
+    DelineationError => Delineation,
+    ClassifyError => Classify,
+    MultimodalError => Multimodal,
+    PlatformError => Platform,
+);
+
+/// Transitional alias: earlier releases exposed the error as
+/// `CoreError` with a stringly-typed `Component` variant.
+#[deprecated(since = "0.2.0", note = "use WbsnError")]
+pub type CoreError = WbsnError;
 
 /// Crate-wide result alias.
-pub type Result<T> = core::result::Result<T, CoreError>;
+pub type Result<T> = core::result::Result<T, WbsnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_errors_convert_without_stringifying() {
+        let e = SigprocError::InvalidLength {
+            what: "n_leads",
+            got: 0,
+        };
+        let w: WbsnError = e.clone().into();
+        assert_eq!(w, WbsnError::Sigproc(e));
+        assert!(w.to_string().contains("n_leads"));
+    }
+
+    #[test]
+    fn lead_mismatch_is_descriptive() {
+        let e = WbsnError::LeadMismatch {
+            expected: 3,
+            got: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('1'), "{s}");
+    }
+
+    #[test]
+    fn source_chains_to_sub_error() {
+        use std::error::Error;
+        let w = WbsnError::from(CsError::InvalidParameter {
+            what: "m",
+            detail: "zero".into(),
+        });
+        assert!(w.source().is_some());
+        assert!(WbsnError::UnknownSession { id: 9 }.source().is_none());
+    }
+}

@@ -1,32 +1,44 @@
-//! The streaming cardiac-monitor engine.
+//! The session engine: one monitored subject, one pipeline.
 //!
-//! [`CardiacMonitor`] consumes multi-lead samples and produces radio
-//! payloads according to its [`ProcessingLevel`], while keeping the
-//! per-stage activity counters the energy model prices afterwards:
+//! [`CardiacMonitor`] owns a single [`PipelineStage`] chosen from the
+//! configured [`ProcessingLevel`] and orchestrates it: it validates
+//! frames, feeds the stage, drains the [`PayloadSink`], and keeps the
+//! session-wide [`ActivityCounters`] the energy model prices
+//! afterwards. All processing logic lives in the stages
+//! ([`crate::stage`]); the engine never matches on the level after
+//! construction.
 //!
-//! * **Raw** — pack and forward every sample.
-//! * **Compressed** — window each lead and run the integer CS encoder.
-//! * **Delineated** — RMS-combine the leads, run the streaming QRS +
-//!   wavelet delineator, transmit fiducials.
-//! * **Classified** — additionally extract random-projection features,
-//!   classify each beat with the PWL fuzzy classifier, slide the AF
-//!   detector over the beat stream and transmit periodic event
-//!   summaries (plus immediate payloads when an AF episode starts).
+//! Sessions are built with the validating [`MonitorBuilder`]:
+//!
+//! ```
+//! use wbsn_core::monitor::MonitorBuilder;
+//! use wbsn_core::level::ProcessingLevel;
+//!
+//! let mut node = MonitorBuilder::new()
+//!     .level(ProcessingLevel::Classified)
+//!     .n_leads(3)
+//!     .fs_hz(250)
+//!     .event_interval_s(10.0)
+//!     .build()
+//!     .unwrap();
+//! assert!(node.try_push(&[0, 0, 0]).is_ok());
+//! assert!(node.try_push(&[0, 0]).is_err()); // lead mismatch, no panic
+//! ```
 
 use crate::level::ProcessingLevel;
 use crate::payload::Payload;
-use crate::{CoreError, Result};
-use wbsn_classify::af::{AfBeat, AfConfig, AfDetector};
-use wbsn_classify::features::{BeatFeatureExtractor, FeatureConfig};
+pub use crate::stage::ActivityCounters;
+use crate::stage::{
+    ClassifyStage, CsStage, DelineationStage, PayloadSink, PipelineStage, RawForwarder,
+};
+use crate::{Result, WbsnError};
 use wbsn_classify::fuzzy::FuzzyClassifier;
-use wbsn_cs::encoder::CsEncoder;
-use wbsn_cs::measurements_for_cr;
-use wbsn_delineation::realtime::{StreamingConfig, StreamingDelineator};
-use wbsn_delineation::BeatFiducials;
 use wbsn_ecg_synth::Record;
-use wbsn_sigproc::combine::RmsCombiner;
 
 /// Node configuration.
+///
+/// Prefer [`MonitorBuilder`] over struct literals: the builder
+/// validates upfront and keeps call sites stable when fields grow.
 #[derive(Debug, Clone)]
 pub struct MonitorConfig {
     /// Sampling rate per lead, Hz.
@@ -69,139 +81,186 @@ impl Default for MonitorConfig {
     }
 }
 
-/// Per-stage activity counters accumulated while processing; the raw
-/// material of the energy report.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct ActivityCounters {
-    /// Samples acquired (per-lead samples summed).
-    pub samples_in: u64,
-    /// Seconds of signal processed.
-    pub seconds: f64,
-    /// Payload bytes produced.
-    pub payload_bytes: u64,
-    /// Payloads produced (radio bursts).
-    pub payloads: u64,
-    /// CS windows encoded.
-    pub cs_windows: u64,
-    /// Integer additions spent in CS encoding.
-    pub cs_adds: u64,
-    /// Beats delineated.
-    pub beats: u64,
-    /// Beats classified.
-    pub classified_beats: u64,
-    /// AF windows evaluated.
-    pub af_windows: u64,
+/// Fluent, validating builder for [`CardiacMonitor`] sessions.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorBuilder {
+    cfg: MonitorConfig,
 }
 
-/// The streaming engine.
+impl MonitorBuilder {
+    /// Builder seeded with the paper's default operating point
+    /// (3 leads at 250 Hz, delineated level).
+    pub fn new() -> Self {
+        MonitorBuilder::default()
+    }
+
+    /// Builder starting from an existing configuration.
+    pub fn from_config(cfg: MonitorConfig) -> Self {
+        MonitorBuilder { cfg }
+    }
+
+    /// Sampling rate per lead, Hz.
+    #[must_use]
+    pub fn fs_hz(mut self, fs_hz: u32) -> Self {
+        self.cfg.fs_hz = fs_hz;
+        self
+    }
+
+    /// Number of ECG leads.
+    #[must_use]
+    pub fn n_leads(mut self, n_leads: usize) -> Self {
+        self.cfg.n_leads = n_leads;
+        self
+    }
+
+    /// Processing level on the abstraction ladder.
+    #[must_use]
+    pub fn level(mut self, level: ProcessingLevel) -> Self {
+        self.cfg.level = level;
+        self
+    }
+
+    /// CS window length in samples (dyadic).
+    #[must_use]
+    pub fn cs_window(mut self, samples: usize) -> Self {
+        self.cfg.cs_window = samples;
+        self
+    }
+
+    /// CS compression ratio in percent (0 < CR < 100).
+    #[must_use]
+    pub fn cs_compression_ratio(mut self, percent: f64) -> Self {
+        self.cfg.cs_cr_percent = percent;
+        self
+    }
+
+    /// CS sensing-matrix column density.
+    #[must_use]
+    pub fn cs_density(mut self, d_per_col: usize) -> Self {
+        self.cfg.cs_d_per_col = d_per_col;
+        self
+    }
+
+    /// Shared sensing-matrix seed (the decoder regenerates Φ from it).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Beats batched into each `Beats` payload.
+    #[must_use]
+    pub fn beats_per_payload(mut self, n: usize) -> Self {
+        self.cfg.beats_per_payload = n;
+        self
+    }
+
+    /// Seconds between `Events` payloads at the classified level.
+    #[must_use]
+    pub fn event_interval_s(mut self, seconds: f64) -> Self {
+        self.cfg.event_interval_s = seconds;
+        self
+    }
+
+    /// Trained beat classifier for the classified level.
+    #[must_use]
+    pub fn classifier(mut self, clf: FuzzyClassifier) -> Self {
+        self.cfg.classifier = Some(clf);
+        self
+    }
+
+    /// The configuration accumulated so far.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// Validates the configuration and constructs the session.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] for inconsistent configuration
+    /// (zero leads, non-dyadic CS window, out-of-range CR, …), plus
+    /// whatever the selected stage's components reject.
+    pub fn build(self) -> Result<CardiacMonitor> {
+        let cfg = self.cfg;
+        if cfg.n_leads == 0 {
+            return Err(WbsnError::InvalidParameter {
+                what: "n_leads",
+                detail: "must be at least 1".into(),
+            });
+        }
+        if cfg.n_leads > 255 {
+            return Err(WbsnError::InvalidParameter {
+                what: "n_leads",
+                detail: format!("{} exceeds the payload lead-index range (255)", cfg.n_leads),
+            });
+        }
+        if cfg.fs_hz == 0 {
+            return Err(WbsnError::InvalidParameter {
+                what: "fs_hz",
+                detail: "must be positive".into(),
+            });
+        }
+        let stage: Box<dyn PipelineStage> = match cfg.level {
+            ProcessingLevel::RawStreaming => {
+                // 1 s chunks.
+                Box::new(RawForwarder::new(cfg.n_leads, cfg.fs_hz as usize)?)
+            }
+            ProcessingLevel::CompressedSingleLead | ProcessingLevel::CompressedMultiLead => {
+                Box::new(CsStage::new(
+                    cfg.n_leads,
+                    cfg.cs_window,
+                    cfg.cs_cr_percent,
+                    cfg.cs_d_per_col,
+                    cfg.seed,
+                )?)
+            }
+            ProcessingLevel::Delineated => Box::new(DelineationStage::new(
+                cfg.n_leads,
+                cfg.fs_hz,
+                cfg.beats_per_payload,
+            )?),
+            ProcessingLevel::Classified => Box::new(ClassifyStage::new(
+                cfg.n_leads,
+                cfg.fs_hz,
+                cfg.event_interval_s,
+                cfg.classifier.clone(),
+            )?),
+        };
+        Ok(CardiacMonitor {
+            cfg,
+            stage,
+            sink: PayloadSink::new(),
+            n_frames: 0,
+        })
+    }
+}
+
+/// One monitoring session: the streaming engine orchestrating a
+/// [`PipelineStage`].
 #[derive(Debug)]
 pub struct CardiacMonitor {
     cfg: MonitorConfig,
-    // Compressed path.
-    encoders: Vec<CsEncoder>,
-    lead_buffers: Vec<Vec<i32>>,
-    window_seq: u32,
-    // Delineation path.
-    combiner: RmsCombiner,
-    delineator: StreamingDelineator,
-    beat_queue: Vec<BeatFiducials>,
-    // Classification path.
-    features: BeatFeatureExtractor,
-    af: AfDetector,
-    af_beats: Vec<AfBeat>,
-    combined_ring: Vec<i32>,
-    n_pushed: usize,
-    last_beat_r: Option<usize>,
-    af_active: bool,
-    event_class_counts: [u32; 4],
-    event_beats: u32,
-    event_rr_sum_s: f64,
-    last_event_at: f64,
-    // Raw path.
-    raw_buffers: Vec<Vec<i16>>,
-    counters: ActivityCounters,
+    stage: Box<dyn PipelineStage>,
+    sink: PayloadSink,
+    n_frames: u64,
 }
 
 impl CardiacMonitor {
-    /// Builds the node.
+    /// Builds the node from a full configuration (equivalent to
+    /// `MonitorBuilder::from_config(cfg).build()`).
     ///
     /// # Errors
     ///
     /// Fails when the configuration is inconsistent (zero leads,
     /// non-dyadic CS window, …).
     pub fn new(cfg: MonitorConfig) -> Result<Self> {
-        if cfg.n_leads == 0 {
-            return Err(CoreError::InvalidParameter {
-                what: "n_leads",
-                detail: "must be at least 1".into(),
-            });
-        }
-        let m = measurements_for_cr(cfg.cs_window, cfg.cs_cr_percent);
-        let encoders = (0..cfg.n_leads)
-            .map(|l| {
-                CsEncoder::new(
-                    cfg.cs_window,
-                    m,
-                    cfg.cs_d_per_col,
-                    cfg.seed.wrapping_add(l as u64),
-                )
-            })
-            .collect::<core::result::Result<Vec<_>, _>>()
-            .map_err(|e| CoreError::Component {
-                which: "cs encoder",
-                detail: e.to_string(),
-            })?;
-        let combiner = RmsCombiner::new(cfg.n_leads).map_err(|e| CoreError::Component {
-            which: "rms combiner",
-            detail: e.to_string(),
-        })?;
-        let delineator = StreamingDelineator::new(StreamingConfig {
-            fs_hz: cfg.fs_hz,
-            ..StreamingConfig::default()
-        })
-        .map_err(|e| CoreError::Component {
-            which: "delineator",
-            detail: e.to_string(),
-        })?;
-        let features = BeatFeatureExtractor::new(FeatureConfig {
-            fs_hz: cfg.fs_hz,
-            ..FeatureConfig::default()
-        })
-        .map_err(|e| CoreError::Component {
-            which: "feature extractor",
-            detail: e.to_string(),
-        })?;
-        let af = AfDetector::new(AfConfig {
-            fs_hz: cfg.fs_hz,
-            ..AfConfig::default()
-        })
-        .map_err(|e| CoreError::Component {
-            which: "af detector",
-            detail: e.to_string(),
-        })?;
-        let ring_len = (cfg.fs_hz as usize) * 3;
-        Ok(CardiacMonitor {
-            lead_buffers: vec![Vec::with_capacity(cfg.cs_window); cfg.n_leads],
-            raw_buffers: vec![Vec::with_capacity(cfg.fs_hz as usize); cfg.n_leads],
-            encoders,
-            window_seq: 0,
-            combiner,
-            delineator,
-            beat_queue: Vec::new(),
-            features,
-            af,
-            af_beats: Vec::new(),
-            combined_ring: vec![0; ring_len],
-            n_pushed: 0,
-            last_beat_r: None,
-            af_active: false,
-            event_class_counts: [0; 4],
-            event_beats: 0,
-            event_rr_sum_s: 0.0,
-            last_event_at: 0.0,
-            cfg,
-            counters: ActivityCounters::default(),
-        })
+        MonitorBuilder::from_config(cfg).build()
+    }
+
+    /// Fluent entry point: `CardiacMonitor::builder().level(..).build()`.
+    pub fn builder() -> MonitorBuilder {
+        MonitorBuilder::new()
     }
 
     /// Configuration in use.
@@ -209,251 +268,117 @@ impl CardiacMonitor {
         &self.cfg
     }
 
-    /// Activity counters accumulated so far.
-    pub fn counters(&self) -> &ActivityCounters {
-        &self.counters
+    /// The stage running in this session (diagnostics).
+    pub fn stage_name(&self) -> &'static str {
+        self.stage.name()
+    }
+
+    /// Activity accumulated so far: engine-level frame/byte totals
+    /// merged with the stage's own counters.
+    pub fn counters(&self) -> ActivityCounters {
+        let mut c = self.stage.activity();
+        c.samples_in = self.n_frames * self.cfg.n_leads as u64;
+        c.seconds = self.n_frames as f64 / self.cfg.fs_hz as f64;
+        c.payload_bytes = self.sink.total_bytes();
+        c.payloads = self.sink.total_payloads();
+        c
     }
 
     /// Pushes one simultaneous sample per lead; returns any payloads
     /// that became ready.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `samples.len() != n_leads`.
-    pub fn push(&mut self, samples: &[i32]) -> Vec<Payload> {
-        assert_eq!(samples.len(), self.cfg.n_leads, "lead count");
-        self.counters.samples_in += samples.len() as u64;
-        self.counters.seconds = self.n_pushed as f64 / self.cfg.fs_hz as f64;
-        let mut out = Vec::new();
-        match self.cfg.level {
-            ProcessingLevel::RawStreaming => self.push_raw(samples, &mut out),
-            ProcessingLevel::CompressedSingleLead | ProcessingLevel::CompressedMultiLead => {
-                self.push_compressed(samples, &mut out)
-            }
-            ProcessingLevel::Delineated => self.push_delineated(samples, &mut out),
-            ProcessingLevel::Classified => self.push_classified(samples, &mut out),
+    /// [`WbsnError::LeadMismatch`] when `frame.len()` differs from the
+    /// configured lead count.
+    pub fn try_push(&mut self, frame: &[i32]) -> Result<Vec<Payload>> {
+        if frame.len() != self.cfg.n_leads {
+            return Err(WbsnError::LeadMismatch {
+                expected: self.cfg.n_leads,
+                got: frame.len(),
+            });
         }
-        self.n_pushed += 1;
-        for p in &out {
-            self.counters.payload_bytes += p.byte_len() as u64;
-            self.counters.payloads += 1;
-        }
-        out
+        self.stage.push_frame(frame, &mut self.sink)?;
+        self.n_frames += 1;
+        Ok(self.sink.drain())
     }
 
-    /// Convenience: processes an entire synthetic record.
-    pub fn process_record(&mut self, record: &Record) -> Vec<Payload> {
-        let n = record.n_samples();
-        let mut payloads = Vec::new();
-        let mut frame = vec![0i32; self.cfg.n_leads];
-        for i in 0..n {
-            for (l, f) in frame.iter_mut().enumerate() {
-                *f = record.lead(l.min(record.n_leads() - 1))[i];
-            }
-            payloads.extend(self.push(&frame));
+    /// Infallible convenience wrapper over [`Self::try_push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frame.len()` differs from the configured lead
+    /// count; streaming callers that cannot guarantee framing should
+    /// use [`Self::try_push`].
+    pub fn push(&mut self, frame: &[i32]) -> Vec<Payload> {
+        self.try_push(frame).expect("lead count")
+    }
+
+    /// Batched ingestion hot path for server-side replay: consumes
+    /// `n_frames` interleaved frames (`frames[i * n_leads + l]` is
+    /// lead `l` of frame `i`) with one validation, one dispatch loop
+    /// and one payload drain.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] when `frames.len()` is not
+    /// exactly `n_frames * n_leads`.
+    pub fn push_block(&mut self, frames: &[i32], n_frames: usize) -> Result<Vec<Payload>> {
+        let n_leads = self.cfg.n_leads;
+        let expected = n_frames.checked_mul(n_leads);
+        if expected != Some(frames.len()) {
+            return Err(WbsnError::InvalidParameter {
+                what: "frames",
+                detail: format!(
+                    "block of {n_frames} frames × {n_leads} leads needs {} samples, got {}",
+                    expected.map_or_else(|| "an overflowing number of".into(), |e| e.to_string()),
+                    frames.len()
+                ),
+            });
         }
-        payloads.extend(self.flush());
-        payloads
+        for frame in frames.chunks_exact(n_leads) {
+            self.stage.push_frame(frame, &mut self.sink)?;
+        }
+        self.n_frames += n_frames as u64;
+        Ok(self.sink.drain())
+    }
+
+    /// Convenience: processes an entire synthetic record (batched
+    /// ingestion plus a final flush).
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::LeadMismatch`] when the record carries fewer leads
+    /// than the session is configured for — earlier releases silently
+    /// duplicated the record's last lead instead.
+    pub fn process_record(&mut self, record: &Record) -> Result<Vec<Payload>> {
+        if record.n_leads() < self.cfg.n_leads {
+            return Err(WbsnError::LeadMismatch {
+                expected: self.cfg.n_leads,
+                got: record.n_leads(),
+            });
+        }
+        let n = record.n_samples();
+        let n_leads = self.cfg.n_leads;
+        let mut interleaved = vec![0i32; n * n_leads];
+        for (l, lead) in (0..n_leads).map(|l| (l, record.lead(l))) {
+            for (i, &s) in lead.iter().enumerate() {
+                interleaved[i * n_leads + l] = s;
+            }
+        }
+        let mut payloads = self.push_block(&interleaved, n)?;
+        payloads.extend(self.flush()?);
+        Ok(payloads)
     }
 
     /// Flushes any buffered partial state (end of session).
-    pub fn flush(&mut self) -> Vec<Payload> {
-        let mut out = Vec::new();
-        match self.cfg.level {
-            ProcessingLevel::RawStreaming => {
-                for lead in 0..self.cfg.n_leads {
-                    if !self.raw_buffers[lead].is_empty() {
-                        let samples = core::mem::take(&mut self.raw_buffers[lead]);
-                        out.push(Payload::RawChunk {
-                            lead: lead as u8,
-                            samples,
-                        });
-                    }
-                }
-            }
-            ProcessingLevel::Delineated => {
-                let tail = self.delineator.flush();
-                self.counters.beats += tail.len() as u64;
-                self.beat_queue.extend(tail);
-                if !self.beat_queue.is_empty() {
-                    out.push(Payload::Beats {
-                        beats: core::mem::take(&mut self.beat_queue),
-                    });
-                }
-            }
-            ProcessingLevel::Classified => {
-                let tail = self.delineator.flush();
-                for b in tail {
-                    self.handle_classified_beat(b);
-                }
-                out.push(self.emit_events());
-            }
-            _ => {}
-        }
-        for p in &out {
-            self.counters.payload_bytes += p.byte_len() as u64;
-            self.counters.payloads += 1;
-        }
-        out
-    }
-
-    fn push_raw(&mut self, samples: &[i32], out: &mut Vec<Payload>) {
-        let chunk = self.cfg.fs_hz as usize; // 1 s chunks
-        for (lead, &s) in samples.iter().enumerate() {
-            self.raw_buffers[lead].push(s.clamp(-2048, 2047) as i16);
-            if self.raw_buffers[lead].len() >= chunk {
-                let samples = core::mem::take(&mut self.raw_buffers[lead]);
-                out.push(Payload::RawChunk {
-                    lead: lead as u8,
-                    samples,
-                });
-            }
-        }
-    }
-
-    fn push_compressed(&mut self, samples: &[i32], out: &mut Vec<Payload>) {
-        for (lead, &s) in samples.iter().enumerate() {
-            self.lead_buffers[lead].push(s);
-        }
-        if self.lead_buffers[0].len() >= self.cfg.cs_window {
-            for lead in 0..self.cfg.n_leads {
-                let window: Vec<i32> = self.lead_buffers[lead].drain(..).collect();
-                let y = self.encoders[lead]
-                    .encode(&window)
-                    .expect("window length enforced by construction");
-                self.counters.cs_windows += 1;
-                self.counters.cs_adds += self.encoders[lead].adds_per_window() as u64;
-                out.push(Payload::CsWindow {
-                    lead: lead as u8,
-                    window_seq: self.window_seq,
-                    measurements: y
-                        .iter()
-                        .map(|&v| v.clamp(i16::MIN as i64, i16::MAX as i64) as i16)
-                        .collect(),
-                });
-            }
-            self.window_seq += 1;
-        }
-    }
-
-    fn combined_push(&mut self, samples: &[i32]) -> i32 {
-        let combined = self.combiner.push(samples);
-        let ring_len = self.combined_ring.len();
-        self.combined_ring[self.n_pushed % ring_len] = combined;
-        combined
-    }
-
-    fn push_delineated(&mut self, samples: &[i32], out: &mut Vec<Payload>) {
-        let combined = self.combined_push(samples);
-        if let Some(beat) = self.delineator.push(combined) {
-            self.counters.beats += 1;
-            self.beat_queue.push(beat);
-            if self.beat_queue.len() >= self.cfg.beats_per_payload {
-                out.push(Payload::Beats {
-                    beats: core::mem::take(&mut self.beat_queue),
-                });
-            }
-        }
-    }
-
-    fn push_classified(&mut self, samples: &[i32], out: &mut Vec<Payload>) {
-        let combined = self.combined_push(samples);
-        if let Some(beat) = self.delineator.push(combined) {
-            self.counters.beats += 1;
-            let af_started = self.handle_classified_beat(beat);
-            if af_started {
-                out.push(self.emit_events());
-            }
-        }
-        let t = self.n_pushed as f64 / self.cfg.fs_hz as f64;
-        if t - self.last_event_at >= self.cfg.event_interval_s && self.event_beats > 0 {
-            out.push(self.emit_events());
-        }
-    }
-
-    /// Classifies one beat, updates AF tracking; returns true when an
-    /// AF episode just started (alert condition).
-    fn handle_classified_beat(&mut self, beat: BeatFiducials) -> bool {
-        // Classify from the combined-signal ring.
-        let ring_len = self.combined_ring.len();
-        let r = beat.r_peak;
-        let class = if let Some(clf) = &self.cfg.classifier {
-            let fc = self.features.config();
-            let oldest = self.n_pushed.saturating_sub(ring_len);
-            if r >= fc.pre_samples + oldest && r + fc.post_samples <= self.n_pushed {
-                // Materialize the window from the ring.
-                let lo = r - fc.pre_samples;
-                let hi = r + fc.post_samples;
-                let window: Vec<i32> =
-                    (lo..hi).map(|i| self.combined_ring[i % ring_len]).collect();
-                let rr_prev = self
-                    .last_beat_r
-                    .map(|p| r.saturating_sub(p))
-                    .unwrap_or((0.8 * self.cfg.fs_hz as f64) as usize);
-                // Streaming node has no rr_next yet; reuse rr_prev.
-                let fe = BeatFeatureExtractor::new(FeatureConfig {
-                    pre_samples: 0,
-                    post_samples: window.len(),
-                    ..*fc
-                });
-                let _ = fe; // window already materialized; extract directly
-                self.counters.classified_beats += 1;
-                self.features
-                    .extract(&window, fc.pre_samples, rr_prev, rr_prev)
-                    .map(|f| clf.predict(&f))
-                    .unwrap_or(0)
-            } else {
-                0
-            }
-        } else {
-            0
-        };
-        self.event_class_counts[class.min(3)] += 1;
-        self.event_beats += 1;
-        if let Some(prev) = self.last_beat_r {
-            if r > prev {
-                self.event_rr_sum_s += (r - prev) as f64 / self.cfg.fs_hz as f64;
-            }
-        }
-        self.last_beat_r = Some(r);
-        // AF tracking.
-        self.af_beats.push(AfBeat {
-            r_sample: r,
-            has_p: beat.has_p(),
-        });
-        if self.af_beats.len() > 512 {
-            self.af_beats.drain(..256);
-        }
-        let windows = self.af.analyze(&self.af_beats);
-        self.counters.af_windows = windows.len() as u64;
-        let now_active = windows.last().map(|w| w.is_af).unwrap_or(false);
-        let started = now_active && !self.af_active;
-        self.af_active = now_active;
-        started
-    }
-
-    fn emit_events(&mut self) -> Payload {
-        let n = self.event_beats.max(1);
-        let mean_rr = self.event_rr_sum_s / n as f64;
-        let mean_hr_x10 = if mean_rr > 0.0 {
-            (600.0 / mean_rr) as u16
-        } else {
-            0
-        };
-        let windows = self.af.analyze(&self.af_beats);
-        let burden = AfDetector::af_burden(&windows);
-        let p = Payload::Events {
-            n_beats: self.event_beats,
-            class_counts: self.event_class_counts,
-            mean_hr_x10,
-            af_burden_pct: (burden * 100.0) as u8,
-            af_active: self.af_active,
-        };
-        self.event_class_counts = [0; 4];
-        self.event_beats = 0;
-        self.event_rr_sum_s = 0.0;
-        self.last_event_at = self.n_pushed as f64 / self.cfg.fs_hz as f64;
-        p
+    ///
+    /// # Errors
+    ///
+    /// Stage-specific processing failures.
+    pub fn flush(&mut self) -> Result<Vec<Payload>> {
+        self.stage.flush(&mut self.sink)?;
+        Ok(self.sink.drain())
     }
 }
 
@@ -461,7 +386,7 @@ impl CardiacMonitor {
 mod tests {
     use super::*;
     use wbsn_ecg_synth::noise::NoiseConfig;
-    use wbsn_ecg_synth::{RecordBuilder, Rhythm};
+    use wbsn_ecg_synth::{Record, RecordBuilder, Rhythm};
 
     fn record(seed: u64, secs: f64) -> Record {
         RecordBuilder::new(seed)
@@ -473,13 +398,9 @@ mod tests {
 
     fn run_level(level: ProcessingLevel, secs: f64) -> (Vec<Payload>, ActivityCounters) {
         let rec = record(42, secs);
-        let mut m = CardiacMonitor::new(MonitorConfig {
-            level,
-            ..MonitorConfig::default()
-        })
-        .unwrap();
-        let p = m.process_record(&rec);
-        (p, *m.counters())
+        let mut m = MonitorBuilder::new().level(level).build().unwrap();
+        let p = m.process_record(&rec).unwrap();
+        (p, m.counters())
     }
 
     #[test]
@@ -570,12 +491,11 @@ mod tests {
             .rhythm(Rhythm::AtrialFibrillation { mean_hr_bpm: 95.0 })
             .noise(NoiseConfig::ambulatory(20.0))
             .build();
-        let mut m = CardiacMonitor::new(MonitorConfig {
-            level: ProcessingLevel::Classified,
-            ..MonitorConfig::default()
-        })
-        .unwrap();
-        let payloads = m.process_record(&rec);
+        let mut m = MonitorBuilder::new()
+            .level(ProcessingLevel::Classified)
+            .build()
+            .unwrap();
+        let payloads = m.process_record(&rec).unwrap();
         let af_seen = payloads.iter().any(|p| match p {
             Payload::Events {
                 af_active,
@@ -589,7 +509,8 @@ mod tests {
 
     #[test]
     fn classifier_is_used_when_provided() {
-        use wbsn_classify::fuzzy::MembershipMode;
+        use wbsn_classify::features::{BeatFeatureExtractor, FeatureConfig};
+        use wbsn_classify::fuzzy::{FuzzyClassifier, MembershipMode};
         // Trivial 2-class classifier (features all near zero -> class 0).
         let dims = BeatFeatureExtractor::new(FeatureConfig::default())
             .unwrap()
@@ -600,23 +521,106 @@ mod tests {
         let ys = vec![0, 0, 0, 0, 1, 1, 1, 1];
         let clf = FuzzyClassifier::train(&xs, &ys, MembershipMode::PiecewiseLinear).unwrap();
         let rec = record(9, 20.0);
-        let mut m = CardiacMonitor::new(MonitorConfig {
-            level: ProcessingLevel::Classified,
-            classifier: Some(clf),
-            ..MonitorConfig::default()
-        })
-        .unwrap();
-        let _ = m.process_record(&rec);
+        let mut m = MonitorBuilder::new()
+            .level(ProcessingLevel::Classified)
+            .classifier(clf)
+            .build()
+            .unwrap();
+        let _ = m.process_record(&rec).unwrap();
         assert!(m.counters().classified_beats > 10);
     }
 
     #[test]
-    fn rejects_zero_leads() {
-        assert!(CardiacMonitor::new(MonitorConfig {
-            n_leads: 0,
-            ..MonitorConfig::default()
-        })
-        .is_err());
+    fn builder_rejects_invalid_configs() {
+        assert!(MonitorBuilder::new().n_leads(0).build().is_err());
+        assert!(MonitorBuilder::new().n_leads(300).build().is_err());
+        assert!(MonitorBuilder::new().fs_hz(0).build().is_err());
+        assert!(MonitorBuilder::new()
+            .level(ProcessingLevel::CompressedSingleLead)
+            .cs_window(500)
+            .build()
+            .is_err());
+        assert!(MonitorBuilder::new()
+            .level(ProcessingLevel::CompressedSingleLead)
+            .cs_compression_ratio(120.0)
+            .build()
+            .is_err());
+        assert!(MonitorBuilder::new()
+            .level(ProcessingLevel::Delineated)
+            .beats_per_payload(0)
+            .build()
+            .is_err());
+        assert!(MonitorBuilder::new()
+            .level(ProcessingLevel::Classified)
+            .event_interval_s(0.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn try_push_reports_lead_mismatch_without_panicking() {
+        let mut m = MonitorBuilder::new().n_leads(3).build().unwrap();
+        let err = m.try_push(&[1, 2]).unwrap_err();
+        assert_eq!(
+            err,
+            WbsnError::LeadMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        // The session stays usable.
+        assert!(m.try_push(&[1, 2, 3]).is_ok());
+        assert_eq!(m.counters().samples_in, 3);
+    }
+
+    #[test]
+    fn push_block_matches_per_frame_pushes_exactly() {
+        let rec = record(11, 12.0);
+        for level in ProcessingLevel::ALL {
+            let mut per_frame = MonitorBuilder::new().level(level).build().unwrap();
+            let mut batched = MonitorBuilder::new().level(level).build().unwrap();
+            let n = rec.n_samples();
+            let mut interleaved = Vec::with_capacity(n * 3);
+            for i in 0..n {
+                for l in 0..3 {
+                    interleaved.push(rec.lead(l)[i]);
+                }
+            }
+            let mut a = Vec::new();
+            for frame in interleaved.chunks_exact(3) {
+                a.extend(per_frame.try_push(frame).unwrap());
+            }
+            a.extend(per_frame.flush().unwrap());
+            let mut b = batched.push_block(&interleaved, n).unwrap();
+            b.extend(batched.flush().unwrap());
+            let bytes_a: Vec<u8> = a.iter().flat_map(Payload::encode).collect();
+            let bytes_b: Vec<u8> = b.iter().flat_map(Payload::encode).collect();
+            assert_eq!(bytes_a, bytes_b, "{level}");
+            assert_eq!(per_frame.counters(), batched.counters(), "{level}");
+        }
+    }
+
+    #[test]
+    fn push_block_validates_shape() {
+        let mut m = MonitorBuilder::new().n_leads(3).build().unwrap();
+        assert!(m.push_block(&[0; 10], 3).is_err()); // 10 != 3 * 3
+                                                     // Overflowing frame counts must error, not wrap past validation.
+        assert!(m.push_block(&[0; 9], usize::MAX / 3 + 2).is_err());
+        assert!(m.push_block(&[0; 9], 3).is_ok());
+    }
+
+    #[test]
+    fn process_record_rejects_narrow_records() {
+        let rec = RecordBuilder::new(5).duration_s(5.0).n_leads(1).build();
+        let mut m = MonitorBuilder::new().n_leads(3).build().unwrap();
+        let err = m.process_record(&rec).unwrap_err();
+        assert_eq!(
+            err,
+            WbsnError::LeadMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -624,5 +628,18 @@ mod tests {
         let (_, c) = run_level(ProcessingLevel::Delineated, 10.0);
         assert!((c.seconds - 10.0).abs() < 0.1, "seconds {}", c.seconds);
         assert_eq!(c.samples_in, 3 * 2500);
+    }
+
+    #[test]
+    fn stage_names_follow_level() {
+        for (level, name) in [
+            (ProcessingLevel::RawStreaming, "raw-forwarder"),
+            (ProcessingLevel::CompressedSingleLead, "cs-encoder"),
+            (ProcessingLevel::Delineated, "delineation"),
+            (ProcessingLevel::Classified, "classify"),
+        ] {
+            let m = MonitorBuilder::new().level(level).build().unwrap();
+            assert_eq!(m.stage_name(), name);
+        }
     }
 }

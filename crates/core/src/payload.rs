@@ -50,8 +50,17 @@ pub enum Payload {
 
 impl Payload {
     /// Serialized size in bytes — what the radio model is charged.
+    /// Computed arithmetically (no allocation); always equals
+    /// `self.encode().len()`.
     pub fn byte_len(&self) -> usize {
-        self.encode().len()
+        match self {
+            // Two 12-bit samples pack into 3 bytes; a trailing odd
+            // sample still occupies a full 3-byte group.
+            Payload::RawChunk { samples, .. } => 4 + 3 * samples.len().div_ceil(2),
+            Payload::CsWindow { measurements, .. } => 8 + 2 * measurements.len(),
+            Payload::Beats { beats } => 3 + 12 * beats.len(),
+            Payload::Events { .. } => 25,
+        }
     }
 
     /// Encodes to the on-air byte format (1 tag byte + body).
@@ -96,8 +105,7 @@ impl Payload {
                     // Eight optional fiducials as signed 8-bit offsets
                     // from R in 4-sample units; -128 = absent.
                     for f in [
-                        b.p_on, b.p_peak, b.p_off, b.qrs_on, b.qrs_off, b.t_on, b.t_peak,
-                        b.t_off,
+                        b.p_on, b.p_peak, b.p_off, b.qrs_on, b.qrs_off, b.t_on, b.t_peak, b.t_off,
                     ] {
                         let code = match f {
                             None => -128i8,
@@ -152,8 +160,7 @@ impl Payload {
                     let a = (chunk[0] as u16 | ((chunk[1] as u16 & 0x0F) << 8)) as i16 - 2048;
                     samples.push(a);
                     if samples.len() < n {
-                        let b =
-                            (((chunk[1] as u16) >> 4) | ((chunk[2] as u16) << 4)) as i16 - 2048;
+                        let b = (((chunk[1] as u16) >> 4) | ((chunk[2] as u16) << 4)) as i16 - 2048;
                         samples.push(b);
                     }
                 }
@@ -161,8 +168,12 @@ impl Payload {
             }
             0x02 => {
                 let lead = *rest.first()?;
-                let window_seq =
-                    u32::from_le_bytes([*rest.get(1)?, *rest.get(2)?, *rest.get(3)?, *rest.get(4)?]);
+                let window_seq = u32::from_le_bytes([
+                    *rest.get(1)?,
+                    *rest.get(2)?,
+                    *rest.get(3)?,
+                    *rest.get(4)?,
+                ]);
                 let n = u16::from_le_bytes([*rest.get(5)?, *rest.get(6)?]) as usize;
                 let body = &rest[7..];
                 if body.len() < 2 * n {
@@ -280,9 +291,7 @@ mod tests {
         b.p_peak = Some(10_000 - 44); // -11 units exact
         b.t_peak = Some(10_000 + 80); // +20 units exact
         b.qrs_on = Some(10_000 - 13); // -3.25 -> quantized
-        let p = Payload::Beats {
-            beats: vec![b],
-        };
+        let p = Payload::Beats { beats: vec![b] };
         let decoded = Payload::decode(&p.encode()).unwrap();
         let Payload::Beats { beats } = decoded else {
             panic!("wrong variant");
@@ -324,6 +333,39 @@ mod tests {
         let mut bytes = p.encode();
         bytes.truncate(bytes.len() - 2);
         assert!(Payload::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn byte_len_matches_encoded_length() {
+        let payloads = [
+            Payload::RawChunk {
+                lead: 0,
+                samples: vec![7; 41], // odd count exercises the tail group
+            },
+            Payload::RawChunk {
+                lead: 1,
+                samples: Vec::new(),
+            },
+            Payload::CsWindow {
+                lead: 2,
+                window_seq: 3,
+                measurements: vec![-5; 19],
+            },
+            Payload::Beats {
+                beats: vec![BeatFiducials::new(10), BeatFiducials::new(300)],
+            },
+            Payload::Beats { beats: Vec::new() },
+            Payload::Events {
+                n_beats: 9,
+                class_counts: [9, 0, 0, 0],
+                mean_hr_x10: 650,
+                af_burden_pct: 2,
+                af_active: true,
+            },
+        ];
+        for p in payloads {
+            assert_eq!(p.byte_len(), p.encode().len(), "{p:?}");
+        }
     }
 
     #[test]

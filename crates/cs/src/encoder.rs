@@ -86,7 +86,7 @@ impl CsEncoder {
     /// sums of `d` column entries of up to `sample_bits` each, so each
     /// needs `sample_bits + ceil(log2(d)) + 1` bits.
     pub fn payload_bits(&self, sample_bits: u32) -> usize {
-        let growth = (usize::BITS - (self.phi.d_per_col()).leading_zeros()) as u32;
+        let growth = usize::BITS - (self.phi.d_per_col()).leading_zeros();
         self.measurements() * (sample_bits + growth + 1) as usize
     }
 }
@@ -98,7 +98,7 @@ mod tests {
     #[test]
     fn encode_matches_matrix_apply() {
         let enc = CsEncoder::new(64, 32, 3, 5).unwrap();
-        let x: Vec<i32> = (0..64).map(|i| (i * i % 97) as i32 - 48).collect();
+        let x: Vec<i32> = (0..64).map(|i: i32| i * i % 97 - 48).collect();
         let y = enc.encode(&x).unwrap();
         assert_eq!(y, enc.sensing_matrix().apply_i32(&x));
         assert_eq!(y.len(), 32);
@@ -130,7 +130,7 @@ mod tests {
     fn same_seed_same_encoding() {
         let a = CsEncoder::new(128, 64, 4, 77).unwrap();
         let b = CsEncoder::new(128, 64, 4, 77).unwrap();
-        let x: Vec<i32> = (0..128).map(|i| i as i32).collect();
+        let x: Vec<i32> = (0..128).collect();
         assert_eq!(a.encode(&x).unwrap(), b.encode(&x).unwrap());
     }
 }

@@ -148,9 +148,7 @@ impl GroupFista {
         let step = 1.0 / lip;
 
         let aty = apply_t(ys)?;
-        let max_group = (0..n)
-            .map(|i| group_norm(&aty, i))
-            .fold(0.0f64, f64::max);
+        let max_group = (0..n).map(|i| group_norm(&aty, i)).fold(0.0f64, f64::max);
         let lambda = self.cfg.lambda_rel * max_group;
 
         let mut a: Vec<Vec<f64>> = vec![vec![0.0; n]; n_leads];
@@ -204,8 +202,8 @@ impl GroupFista {
             }
         }
         let mut out = Vec::with_capacity(n_leads);
-        for l in 0..n_leads {
-            out.push(waverec(&a[l], w, lv)?);
+        for al in a.iter().take(n_leads) {
+            out.push(waverec(al, w, lv)?);
         }
         Ok(out)
     }
@@ -260,8 +258,7 @@ mod tests {
         let joint = GroupFista::new(GroupFistaConfig::default());
         let phi_refs: Vec<&SparseTernaryMatrix> = phis.iter().collect();
         let xr = joint.reconstruct(&phi_refs, &ys).unwrap();
-        let snr_joint: f64 =
-            (0..3).map(|l| snr_db(&xs[l], &xr[l])).sum::<f64>() / 3.0;
+        let snr_joint: f64 = (0..3).map(|l| snr_db(&xs[l], &xr[l])).sum::<f64>() / 3.0;
 
         assert!(
             snr_joint > snr_indep,

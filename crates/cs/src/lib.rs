@@ -83,7 +83,10 @@ impl core::fmt::Display for CsError {
                 what,
                 expected,
                 got,
-            } => write!(f, "shape mismatch for {what}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "shape mismatch for {what}: expected {expected}, got {got}"
+            ),
             CsError::Sigproc(e) => write!(f, "sigproc error: {e}"),
         }
     }

@@ -126,8 +126,7 @@ pub fn snr_vs_cr_joint(
                 let xs: Vec<Vec<f64>> = (0..n_leads)
                     .map(|l| rec.lead(l)[lo..hi].iter().map(|&v| v as f64).collect())
                     .collect();
-                let ys: Vec<Vec<f64>> =
-                    (0..n_leads).map(|l| phis[l].apply(&xs[l])).collect();
+                let ys: Vec<Vec<f64>> = (0..n_leads).map(|l| phis[l].apply(&xs[l])).collect();
                 let xr = solver.reconstruct(&phi_refs, &ys)?;
                 for l in 0..n_leads {
                     if xs[l].iter().all(|&v| v == 0.0) {

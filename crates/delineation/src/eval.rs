@@ -205,7 +205,11 @@ pub fn evaluate(
 /// `(kind, sample, beat_index)` triples (the shape record annotations
 /// arrive in).
 pub fn truth_from_triples(triples: &[(FiducialKind, usize, usize)]) -> Vec<BeatFiducials> {
-    let max_beat = triples.iter().map(|&(_, _, b)| b).max().map_or(0, |m| m + 1);
+    let max_beat = triples
+        .iter()
+        .map(|&(_, _, b)| b)
+        .max()
+        .map_or(0, |m| m + 1);
     let mut beats = vec![BeatFiducials::default(); max_beat];
     let mut seen_r = vec![false; max_beat];
     for &(kind, sample, beat) in triples {

@@ -94,7 +94,11 @@ impl MmdDelineator {
             // segments.
             let margin = (2 * s_pt).min(m_pt.len() / 4);
             let interior = &m_pt[margin..m_pt.len().saturating_sub(margin).max(margin)];
-            let mut v: Vec<u32> = interior.iter().step_by(4).map(|x| x.unsigned_abs()).collect();
+            let mut v: Vec<u32> = interior
+                .iter()
+                .step_by(4)
+                .map(|x| x.unsigned_abs())
+                .collect();
             v.sort_unstable();
             v.get(v.len() / 5).copied().unwrap_or(0)
         };
@@ -194,13 +198,12 @@ impl MmdDelineator {
             let p_lo = r.saturating_sub((0.30 * fs) as usize).max(prev_limit);
             if p_lo + 4 < p_hi {
                 if let Some(me) = arg_extreme_abs(&m_pt, p_lo, p_hi) {
-                    let strong = m_pt[me].unsigned_abs() as f64
-                        > self.cfg.p_accept_frac * qrs_mag as f64;
+                    let strong =
+                        m_pt[me].unsigned_abs() as f64 > self.cfg.p_accept_frac * qrs_mag as f64;
                     // The unscaled MMD floor carries more broadband
                     // noise than the wavelet band; 2× is the matched
                     // margin (ablation: text_delineation_quality).
-                    let isolated =
-                        m_pt[me].unsigned_abs() as f64 > 2.0 * global_floor as f64;
+                    let isolated = m_pt[me].unsigned_abs() as f64 > 2.0 * global_floor as f64;
                     if strong && isolated {
                         let pp = refine_directed(x, me, s_pt, m_pt[me] < 0);
                         beat.p_peak = Some(pp);
@@ -358,10 +361,7 @@ mod tests {
     fn skips_absent_p() {
         let fs = 250.0;
         let mut x = vec![0i32; 500];
-        for (off, amp, sigma) in [
-            (0.0, 220.0, 0.011 * fs),
-            (0.30 * fs, 64.0, 0.045 * fs),
-        ] {
+        for (off, amp, sigma) in [(0.0, 220.0, 0.011 * fs), (0.30 * fs, 64.0, 0.045 * fs)] {
             let c = 250.0 + off;
             for (i, xi) in x.iter_mut().enumerate() {
                 let d = (i as f64 - c) / sigma;

@@ -207,8 +207,7 @@ impl QrsDetector {
                 self.spki = self.spki.max(peak_val as f64 * 0.7);
                 self.npki = 0.9 * self.npki + 0.1 * (peak_val as f64 * 0.3);
             } else {
-                let threshold1 =
-                    self.npki + self.cfg.threshold_coeff * (self.spki - self.npki);
+                let threshold1 = self.npki + self.cfg.threshold_coeff * (self.spki - self.npki);
                 let since_last = self
                     .last_beat
                     .map_or(usize::MAX, |lb| peak_at.saturating_sub(lb));
@@ -412,9 +411,10 @@ mod tests {
         let mut t = 100usize;
         let mut short = true;
         while t < n {
-            for i in t.saturating_sub(9)..(t + 9).min(n) {
+            let lo = t.saturating_sub(9);
+            for (i, xv) in x.iter_mut().enumerate().take((t + 9).min(n)).skip(lo) {
                 let d = (i as f64 - t as f64) / 3.0;
-                x[i] += (850.0 * (-0.5 * d * d).exp()) as i32;
+                *xv += (850.0 * (-0.5 * d * d).exp()) as i32;
             }
             truth.push(t);
             t += if short { 180 } else { 260 };

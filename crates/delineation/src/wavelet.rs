@@ -95,17 +95,21 @@ impl WaveletDelineator {
         let details = self.transform.transform(x);
         let w2 = &details[1]; // scale 2² — QRS band
         let w4 = &details[3]; // scale 2⁴ — P/T band
-        // Global atrial-band activity floor: isolated P waves barely
-        // move the low percentiles of |w4|, while the continuous
-        // fibrillatory activity of AF raises it to P-wave order — the
-        // per-beat acceptance below exploits exactly that.
+                              // Global atrial-band activity floor: isolated P waves barely
+                              // move the low percentiles of |w4|, while the continuous
+                              // fibrillatory activity of AF raises it to P-wave order — the
+                              // per-beat acceptance below exploits exactly that.
         let global_floor = {
             // Exclude the transform's edge margins: delay compensation
             // zero-fills the tail, which would drag the percentile to
             // zero on short (streaming) segments.
             let margin = 32.min(w4.len() / 4);
             let interior = &w4[margin..w4.len().saturating_sub(margin).max(margin)];
-            let mut v: Vec<u32> = interior.iter().step_by(4).map(|x| x.unsigned_abs()).collect();
+            let mut v: Vec<u32> = interior
+                .iter()
+                .step_by(4)
+                .map(|x| x.unsigned_abs())
+                .collect();
             v.sort_unstable();
             v.get(v.len() / 5).copied().unwrap_or(0)
         };
@@ -241,9 +245,12 @@ fn window(center: usize, left: usize, right: usize, n: usize) -> (usize, usize) 
 
 /// Largest |w| in `[lo, hi]`.
 fn max_modulus(w: &[i32], lo: usize, hi: usize) -> u32 {
-    w[lo..=hi].iter().map(|v| v.unsigned_abs()).max().unwrap_or(0)
+    w[lo..=hi]
+        .iter()
+        .map(|v| v.unsigned_abs())
+        .max()
+        .unwrap_or(0)
 }
-
 
 /// Finds the largest positive maximum and the largest negative minimum
 /// in the window; returns their indices when both exist.
@@ -312,15 +319,16 @@ fn extend_to_outer_max(w: &[i32], from: usize, bound: usize, sig: u32, left: boo
     let mut best = from;
     if left {
         let lo = bound.min(from);
-        for i in (lo..from).rev() {
-            if w[i].unsigned_abs() > sig {
+        for (i, v) in w.iter().enumerate().take(from).skip(lo).rev() {
+            if v.unsigned_abs() > sig {
                 best = i;
             }
         }
     } else {
         let hi = bound.max(from);
-        for i in from + 1..=hi.min(w.len() - 1) {
-            if w[i].unsigned_abs() > sig {
+        let end = hi.min(w.len() - 1);
+        for (i, v) in w.iter().enumerate().take(end + 1).skip(from + 1) {
+            if v.unsigned_abs() > sig {
                 best = i;
             }
         }

@@ -4,14 +4,12 @@
 //! bench crate (`text_delineation_quality`).
 
 use wbsn_delineation::eval::{evaluate, truth_from_triples, Tolerances};
-use wbsn_delineation::{
-    FiducialKind, MmdDelineator, QrsDetector, WaveletDelineator,
-};
 use wbsn_delineation::mmd::MmdConfig;
 use wbsn_delineation::qrs::QrsConfig;
 use wbsn_delineation::wavelet::WaveletConfig;
-use wbsn_ecg_synth::{FiducialKind as TruthKind, Record, RecordBuilder, Rhythm};
+use wbsn_delineation::{FiducialKind, MmdDelineator, QrsDetector, WaveletDelineator};
 use wbsn_ecg_synth::noise::NoiseConfig;
+use wbsn_ecg_synth::{FiducialKind as TruthKind, Record, RecordBuilder, Rhythm};
 
 fn truth_of(rec: &Record) -> Vec<wbsn_delineation::BeatFiducials> {
     let triples: Vec<(FiducialKind, usize, usize)> = rec

@@ -142,7 +142,11 @@ impl RecordBuilder {
             }
         }
         let morph_of = |t: BeatType| -> &BeatMorphology {
-            &morphs.iter().find(|(mt, _)| *mt == t).expect("all types present").1
+            &morphs
+                .iter()
+                .find(|(mt, _)| *mt == t)
+                .expect("all types present")
+                .1
         };
 
         // Render clean leads and collect annotations.
@@ -179,12 +183,7 @@ impl RecordBuilder {
             });
             let beat_index = beats.len() - 1;
             annotations.extend(beat_annotations(
-                morph,
-                sb,
-                qt_stretch,
-                self.fs,
-                n,
-                beat_index,
+                morph, sb, qt_stretch, self.fs, n, beat_index,
             ));
         }
 

@@ -364,7 +364,8 @@ mod tests {
         let normal = BeatMorphology::normal();
         assert!(pvc.wave(WaveKind::P).is_none());
         assert!(
-            pvc.wave(WaveKind::R).unwrap().sigma_s > 2.0 * normal.wave(WaveKind::R).unwrap().sigma_s
+            pvc.wave(WaveKind::R).unwrap().sigma_s
+                > 2.0 * normal.wave(WaveKind::R).unwrap().sigma_s
         );
         // Discordant T: opposite polarity from normal.
         assert!(pvc.wave(WaveKind::T).unwrap().amplitude_mv < 0.0);

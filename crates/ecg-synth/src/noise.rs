@@ -258,7 +258,12 @@ mod tests {
             x.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
                 / ((x.len() - 1) as f64 * power(x).sqrt())
         };
-        assert!(diff(&bw) < 0.1 * diff(&em), "bw {} emg {}", diff(&bw), diff(&em));
+        assert!(
+            diff(&bw) < 0.1 * diff(&em),
+            "bw {} emg {}",
+            diff(&bw),
+            diff(&em)
+        );
     }
 
     #[test]
@@ -300,8 +305,7 @@ mod tests {
             let (mut re, mut im) = (0.0, 0.0);
             for (i, &v) in x.iter().enumerate() {
                 // Hann window suppresses leakage into far bins.
-                let win =
-                    0.5 - 0.5 * (core::f64::consts::TAU * i as f64 / (n - 1) as f64).cos();
+                let win = 0.5 - 0.5 * (core::f64::consts::TAU * i as f64 / (n - 1) as f64).cos();
                 let w = core::f64::consts::TAU * f * i as f64 / fs;
                 re += win * v * w.cos();
                 im += win * v * w.sin();

@@ -33,7 +33,9 @@ impl PttProfile {
     pub fn at(&self, frac: f64) -> f64 {
         match *self {
             PttProfile::Constant(v) => v,
-            PttProfile::Ramp { start_s, end_s } => start_s + (end_s - start_s) * frac.clamp(0.0, 1.0),
+            PttProfile::Ramp { start_s, end_s } => {
+                start_s + (end_s - start_s) * frac.clamp(0.0, 1.0)
+            }
         }
     }
 }

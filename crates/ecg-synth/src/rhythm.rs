@@ -243,7 +243,10 @@ mod tests {
     }
 
     fn rr_stats(beats: &[ScheduledBeat]) -> (f64, f64) {
-        let rrs: Vec<f64> = beats.windows(2).map(|w| w[1].r_time_s - w[0].r_time_s).collect();
+        let rrs: Vec<f64> = beats
+            .windows(2)
+            .map(|w| w[1].r_time_s - w[0].r_time_s)
+            .collect();
         let mean = rrs.iter().sum::<f64>() / rrs.len() as f64;
         let var = rrs.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / rrs.len() as f64;
         (mean, var.sqrt())
@@ -292,8 +295,14 @@ mod tests {
         }
         .schedule(600.0, &mut rng(5));
         let n = beats.len() as f64;
-        let pvc = beats.iter().filter(|b| b.beat_type == BeatType::Pvc).count() as f64;
-        let apc = beats.iter().filter(|b| b.beat_type == BeatType::Apc).count() as f64;
+        let pvc = beats
+            .iter()
+            .filter(|b| b.beat_type == BeatType::Pvc)
+            .count() as f64;
+        let apc = beats
+            .iter()
+            .filter(|b| b.beat_type == BeatType::Apc)
+            .count() as f64;
         assert!((pvc / n - 0.10).abs() < 0.03, "pvc frac {}", pvc / n);
         assert!((apc / n - 0.05).abs() < 0.03, "apc frac {}", apc / n);
     }
@@ -318,7 +327,10 @@ mod tests {
     #[test]
     fn bigeminy_alternates_types() {
         let beats = Rhythm::Bigeminy { mean_hr_bpm: 70.0 }.schedule(60.0, &mut rng(7));
-        let pvc = beats.iter().filter(|b| b.beat_type == BeatType::Pvc).count();
+        let pvc = beats
+            .iter()
+            .filter(|b| b.beat_type == BeatType::Pvc)
+            .count();
         assert!(
             (pvc as f64 / beats.len() as f64 - 0.5).abs() < 0.1,
             "pvc frac {}",

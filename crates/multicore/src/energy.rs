@@ -50,15 +50,42 @@ impl Default for EnergyParams {
             points: [
                 // Near-threshold region: voltage falls steeply with
                 // frequency, which is where parallelization pays.
-                MulticoreOperatingPoint { f_hz: 0.125e6, vdd_v: 0.45 },
-                MulticoreOperatingPoint { f_hz: 0.25e6, vdd_v: 0.50 },
-                MulticoreOperatingPoint { f_hz: 0.5e6, vdd_v: 0.57 },
-                MulticoreOperatingPoint { f_hz: 1e6, vdd_v: 0.65 },
-                MulticoreOperatingPoint { f_hz: 2e6, vdd_v: 0.72 },
-                MulticoreOperatingPoint { f_hz: 4e6, vdd_v: 0.81 },
-                MulticoreOperatingPoint { f_hz: 8e6, vdd_v: 0.92 },
-                MulticoreOperatingPoint { f_hz: 16e6, vdd_v: 1.05 },
-                MulticoreOperatingPoint { f_hz: 24e6, vdd_v: 1.2 },
+                MulticoreOperatingPoint {
+                    f_hz: 0.125e6,
+                    vdd_v: 0.45,
+                },
+                MulticoreOperatingPoint {
+                    f_hz: 0.25e6,
+                    vdd_v: 0.50,
+                },
+                MulticoreOperatingPoint {
+                    f_hz: 0.5e6,
+                    vdd_v: 0.57,
+                },
+                MulticoreOperatingPoint {
+                    f_hz: 1e6,
+                    vdd_v: 0.65,
+                },
+                MulticoreOperatingPoint {
+                    f_hz: 2e6,
+                    vdd_v: 0.72,
+                },
+                MulticoreOperatingPoint {
+                    f_hz: 4e6,
+                    vdd_v: 0.81,
+                },
+                MulticoreOperatingPoint {
+                    f_hz: 8e6,
+                    vdd_v: 0.92,
+                },
+                MulticoreOperatingPoint {
+                    f_hz: 16e6,
+                    vdd_v: 1.05,
+                },
+                MulticoreOperatingPoint {
+                    f_hz: 24e6,
+                    vdd_v: 1.2,
+                },
             ],
         }
     }
@@ -122,8 +149,7 @@ impl EnergyParams {
         op: MulticoreOperatingPoint,
     ) -> PowerDecomposition {
         let s = self.dyn_scale(op.vdd_v);
-        let idle_core_cycles =
-            (stats.cycles * n_cores as u64).saturating_sub(stats.instructions);
+        let idle_core_cycles = (stats.cycles * n_cores as u64).saturating_sub(stats.instructions);
         let core_dyn_j = s
             * (stats.instructions as f64 * self.e_instr_j
                 + idle_core_cycles as f64 * self.e_idle_cycle_j);
@@ -178,8 +204,24 @@ mod tests {
     fn lower_voltage_scales_power_quadratically() {
         let p = EnergyParams::default();
         let s = stats();
-        let hi = p.decompose(&s, 3, 1.0, MulticoreOperatingPoint { f_hz: 8e6, vdd_v: 1.2 });
-        let lo = p.decompose(&s, 3, 1.0, MulticoreOperatingPoint { f_hz: 8e6, vdd_v: 0.6 });
+        let hi = p.decompose(
+            &s,
+            3,
+            1.0,
+            MulticoreOperatingPoint {
+                f_hz: 8e6,
+                vdd_v: 1.2,
+            },
+        );
+        let lo = p.decompose(
+            &s,
+            3,
+            1.0,
+            MulticoreOperatingPoint {
+                f_hz: 8e6,
+                vdd_v: 0.6,
+            },
+        );
         let ratio = hi.core_dynamic_w / lo.core_dynamic_w;
         assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio}");
         assert!((hi.imem_w / lo.imem_w - 4.0).abs() < 1e-9);

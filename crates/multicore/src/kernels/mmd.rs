@@ -243,10 +243,7 @@ mod tests {
             .enumerate()
             .min_by_key(|(_, &v)| v)
             .expect("non-empty");
-        assert!(
-            (argmin as i32 - apex_out as i32).abs() <= 1,
-            "argmin {argmin}"
-        );
+        assert!((argmin as i32 - apex_out).abs() <= 1, "argmin {argmin}");
     }
 
     #[test]

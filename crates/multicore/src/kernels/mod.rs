@@ -35,11 +35,15 @@ pub mod layout {
 mod tests {
     use super::layout;
 
-    #[test]
-    fn layout_regions_do_not_overlap() {
+    // Region bounds are compile-time invariants.
+    const _: () = {
         assert!(layout::INPUT + 1200 <= layout::SCRATCH);
         assert!(layout::SCRATCH + 1200 <= layout::OUTPUT);
         assert!(layout::OUTPUT + 1200 <= layout::BANK_SIZE);
+    };
+
+    #[test]
+    fn layout_regions_do_not_overlap() {
         assert_eq!(layout::bank_base(2), 8192);
     }
 }

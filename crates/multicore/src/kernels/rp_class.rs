@@ -124,7 +124,9 @@ pub fn pwl_cost(p: &RpParams, d: i32) -> i32 {
     } else {
         3
     };
-    p.slopes[seg].wrapping_mul(a).wrapping_add(p.intercepts[seg])
+    p.slopes[seg]
+        .wrapping_mul(a)
+        .wrapping_add(p.intercepts[seg])
 }
 
 /// Host-reference classification. `x` is the beat window; `means`
@@ -135,11 +137,7 @@ pub fn host_reference(p: &RpParams, x: &[i32], means: &[i32]) -> (Vec<i64>, Vec<
     assert_eq!(means.len(), p.n_classes * p.k, "means shape");
     let w = p.weights();
     let y: Vec<i64> = (0..p.k)
-        .map(|k| {
-            (0..p.l)
-                .map(|j| w[k * p.l + j] as i64 * x[j] as i64)
-                .sum()
-        })
+        .map(|k| (0..p.l).map(|j| w[k * p.l + j] as i64 * x[j] as i64).sum())
         .collect();
     let costs: Vec<i64> = (0..p.n_classes)
         .map(|c| {
@@ -382,7 +380,12 @@ mod tests {
         means
     }
 
-    fn run(p: &RpParams, n_cores: usize, x: &[i32], means: &[i32]) -> (usize, crate::sim::SimStats) {
+    fn run(
+        p: &RpParams,
+        n_cores: usize,
+        x: &[i32],
+        means: &[i32],
+    ) -> (usize, crate::sim::SimStats) {
         let prog = build_program(p, n_cores).unwrap();
         let cfg = MachineConfig {
             n_cores,

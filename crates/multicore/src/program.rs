@@ -224,10 +224,7 @@ mod tests {
     fn undefined_label_is_an_error() {
         let mut b = ProgramBuilder::new();
         b.jump_label("nowhere");
-        assert!(matches!(
-            b.build(),
-            Err(MulticoreError::BadLabel { .. })
-        ));
+        assert!(matches!(b.build(), Err(MulticoreError::BadLabel { .. })));
     }
 
     #[test]

@@ -354,8 +354,12 @@ impl Multicore {
                 Instr::Slli(rd, a, sh) => regs[rd.index()] = regs[a.index()] << sh,
                 Instr::Srai(rd, a, sh) => regs[rd.index()] = regs[a.index()] >> sh,
                 Instr::CoreId(rd) => regs[rd.index()] = ci as i32,
-                Instr::Ld(..) | Instr::St(..) | Instr::Branch(..) | Instr::Jump(_)
-                | Instr::Bar(_) | Instr::Halt => {}
+                Instr::Ld(..)
+                | Instr::St(..)
+                | Instr::Branch(..)
+                | Instr::Jump(_)
+                | Instr::Bar(_)
+                | Instr::Halt => {}
             }
         }
         match instr {
@@ -451,7 +455,11 @@ mod tests {
         let r0 = Reg::r(0);
         let r1 = Reg::r(1);
         let mut b = ProgramBuilder::new();
-        b.movi(r0, 1234).movi(r1, 100).st(r0, r1, 5).ld(Reg::r(2), r1, 5).halt();
+        b.movi(r0, 1234)
+            .movi(r1, 100)
+            .st(r0, r1, 5)
+            .ld(Reg::r(2), r1, 5)
+            .halt();
         let mut m = Multicore::new(single_core(|_| {}), b.build().unwrap()).unwrap();
         m.run().unwrap();
         assert_eq!(m.dmem()[105], 1234);
@@ -466,10 +474,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.movi(r0, -1).ld(Reg::r(1), r0, 0).halt();
         let mut m = Multicore::new(single_core(|_| {}), b.build().unwrap()).unwrap();
-        assert!(matches!(
-            m.run(),
-            Err(MulticoreError::MemoryFault { .. })
-        ));
+        assert!(matches!(m.run(), Err(MulticoreError::MemoryFault { .. })));
     }
 
     #[test]
@@ -538,7 +543,10 @@ mod tests {
         b.halt();
         let mut m = Multicore::new(MachineConfig::default(), b.build().unwrap()).unwrap();
         let stats = m.run().unwrap();
-        assert!(stats.barrier_wait_cycles > 0, "cores must wait at the barrier");
+        assert!(
+            stats.barrier_wait_cycles > 0,
+            "cores must wait at the barrier"
+        );
         // Post-barrier block (21 instrs incl. halt) should be mostly merged:
         // total reads far below the no-merge bound.
         assert!(
@@ -568,7 +576,11 @@ mod tests {
         };
         let mut m = Multicore::new(cfg, b.build().unwrap()).unwrap();
         let stats = m.run().unwrap();
-        assert!(stats.dm_conflict_stalls >= 9, "stalls {}", stats.dm_conflict_stalls);
+        assert!(
+            stats.dm_conflict_stalls >= 9,
+            "stalls {}",
+            stats.dm_conflict_stalls
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ proptest! {
         let n = data.len();
         let p = mf::MfParams { n, w, n_leads: 3 };
         let leads: Vec<Vec<i32>> = (0..3)
-            .map(|l| data.iter().map(|&v| v + l as i32 * 7).collect())
+            .map(|l: i32| data.iter().map(|&v| v + l * 7).collect())
             .collect();
         for n_cores in [1usize, 3] {
             let prog = mf::build_program(&p, n_cores).unwrap();

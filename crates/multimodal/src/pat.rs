@@ -139,7 +139,10 @@ impl BpEstimator {
     pub fn calibrate(pat_s: &[f64], bp_mmhg: &[f64]) -> Result<Self> {
         if pat_s.len() != bp_mmhg.len() || pat_s.len() < 2 {
             return Err(MultimodalError::InsufficientData {
-                detail: format!("need ≥2 paired readings, got {}", pat_s.len().min(bp_mmhg.len())),
+                detail: format!(
+                    "need ≥2 paired readings, got {}",
+                    pat_s.len().min(bp_mmhg.len())
+                ),
             });
         }
         let x: Vec<f64> = pat_s.iter().map(|&p| 1.0 / p.max(1e-3)).collect();

@@ -36,11 +36,26 @@ impl Default for McuModel {
         // = c_eff · 2.2² -> c_eff = 100 pF.
         McuModel {
             points: vec![
-                OperatingPoint { f_hz: 1e6, vdd_v: 1.8 },
-                OperatingPoint { f_hz: 4e6, vdd_v: 2.0 },
-                OperatingPoint { f_hz: 8e6, vdd_v: 2.2 },
-                OperatingPoint { f_hz: 16e6, vdd_v: 2.8 },
-                OperatingPoint { f_hz: 25e6, vdd_v: 3.3 },
+                OperatingPoint {
+                    f_hz: 1e6,
+                    vdd_v: 1.8,
+                },
+                OperatingPoint {
+                    f_hz: 4e6,
+                    vdd_v: 2.0,
+                },
+                OperatingPoint {
+                    f_hz: 8e6,
+                    vdd_v: 2.2,
+                },
+                OperatingPoint {
+                    f_hz: 16e6,
+                    vdd_v: 2.8,
+                },
+                OperatingPoint {
+                    f_hz: 25e6,
+                    vdd_v: 3.3,
+                },
             ],
             c_eff_f: 100e-12,
             sleep_power_w: 3.3e-6, // LPM3-class
@@ -118,7 +133,10 @@ mod tests {
     #[test]
     fn default_energy_per_cycle_matches_msp430_class() {
         let m = McuModel::default();
-        let op = OperatingPoint { f_hz: 8e6, vdd_v: 2.2 };
+        let op = OperatingPoint {
+            f_hz: 8e6,
+            vdd_v: 2.2,
+        };
         let e = m.energy_per_cycle_j(op);
         assert!((e - 484e-12).abs() < 1e-12, "{e}");
     }
@@ -126,8 +144,14 @@ mod tests {
     #[test]
     fn lower_voltage_lowers_cycle_energy_quadratically() {
         let m = McuModel::default();
-        let hi = m.energy_per_cycle_j(OperatingPoint { f_hz: 8e6, vdd_v: 2.2 });
-        let lo = m.energy_per_cycle_j(OperatingPoint { f_hz: 8e6, vdd_v: 1.1 });
+        let hi = m.energy_per_cycle_j(OperatingPoint {
+            f_hz: 8e6,
+            vdd_v: 2.2,
+        });
+        let lo = m.energy_per_cycle_j(OperatingPoint {
+            f_hz: 8e6,
+            vdd_v: 1.1,
+        });
         assert!((hi / lo - 4.0).abs() < 1e-9);
     }
 
@@ -167,7 +191,10 @@ mod tests {
     fn constructor_validates() {
         assert!(McuModel::new(vec![], 1e-12, 1e-6).is_err());
         assert!(McuModel::new(
-            vec![OperatingPoint { f_hz: 0.0, vdd_v: 1.0 }],
+            vec![OperatingPoint {
+                f_hz: 0.0,
+                vdd_v: 1.0
+            }],
             1e-12,
             1e-6
         )

@@ -172,10 +172,7 @@ mod tests {
         let quarter = r.transmit(58, 1);
         assert_eq!(one.frames, 2);
         assert_eq!(quarter.frames, 1);
-        assert!(
-            4.0 * (quarter.energy_j - r.startup_energy_j)
-                > one.energy_j - r.startup_energy_j
-        );
+        assert!(4.0 * (quarter.energy_j - r.startup_energy_j) > one.energy_j - r.startup_energy_j);
         assert!(4 * quarter.bytes_on_air > one.bytes_on_air);
     }
 
@@ -220,11 +217,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonsense() {
-        let mut r = RadioModel::default();
-        r.data_rate_bps = 0.0;
+        let r = RadioModel {
+            data_rate_bps: 0.0,
+            ..RadioModel::default()
+        };
         assert!(r.validate().is_err());
-        let mut r2 = RadioModel::default();
-        r2.tx_power_w = -1.0;
+        let r2 = RadioModel {
+            tx_power_w: -1.0,
+            ..RadioModel::default()
+        };
         assert!(r2.validate().is_err());
         assert!(RadioModel::default().validate().is_ok());
     }

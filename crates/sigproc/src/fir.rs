@@ -56,11 +56,7 @@ impl FirFilter {
     ///
     /// Returns [`SigprocError::InvalidLength`] when `taps` is empty.
     pub fn from_f64(taps: &[f64]) -> Result<Self> {
-        Self::from_q15(
-            taps.iter()
-                .map(|&t| (t * 32768.0).round() as i32)
-                .collect(),
-        )
+        Self::from_q15(taps.iter().map(|&t| (t * 32768.0).round() as i32).collect())
     }
 
     /// Number of taps.
@@ -222,7 +218,7 @@ mod tests {
     fn streaming_matches_direct_convolution() {
         let taps = design_lowpass(250.0, 30.0, 21).unwrap();
         let mut f = FirFilter::from_f64(&taps).unwrap();
-        let x: Vec<i32> = (0..100).map(|i| ((i * 37) % 211) as i32 - 100).collect();
+        let x: Vec<i32> = (0..100).map(|i: i32| (i * 37) % 211 - 100).collect();
         let y = f.filter(&x);
         // Direct convolution with the same quantized taps.
         let q: Vec<i64> = taps.iter().map(|&t| (t * 32768.0).round() as i64).collect();
@@ -251,7 +247,10 @@ mod tests {
     fn invalid_designs_are_rejected() {
         assert!(design_lowpass(250.0, 40.0, 50).is_err(), "even taps");
         assert!(design_lowpass(250.0, 200.0, 51).is_err(), "cutoff > fs/2");
-        assert!(design_bandpass(250.0, 20.0, 10.0, 51).is_err(), "inverted band");
+        assert!(
+            design_bandpass(250.0, 20.0, 10.0, 51).is_err(),
+            "inverted band"
+        );
         assert!(FirFilter::from_q15(vec![]).is_err(), "empty taps");
     }
 

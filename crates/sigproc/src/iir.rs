@@ -115,7 +115,9 @@ impl Biquad {
 
     /// Filters integer samples, rounding the output.
     pub fn filter_i32(&mut self, x: &[i32]) -> Vec<i32> {
-        x.iter().map(|&v| self.push(v as f64).round() as i32).collect()
+        x.iter()
+            .map(|&v| self.push(v as f64).round() as i32)
+            .collect()
     }
 
     /// Resets internal state.
@@ -236,8 +238,7 @@ mod tests {
             .map(|i| (2.0 * core::f64::consts::PI * 50.0 * i as f64 / fs).sin() * 100.0)
             .collect();
         let y = f.filter(&x);
-        let tail_rms: f64 =
-            (y[n - 250..].iter().map(|v| v * v).sum::<f64>() / 250.0).sqrt();
+        let tail_rms: f64 = (y[n - 250..].iter().map(|v| v * v).sum::<f64>() / 250.0).sqrt();
         assert!(tail_rms < 5.0, "mains should decay, rms={tail_rms}");
     }
 

@@ -101,7 +101,10 @@ impl core::fmt::Display for SigprocError {
                 what,
                 expected,
                 got,
-            } => write!(f, "shape mismatch for {what}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "shape mismatch for {what}: expected {expected}, got {got}"
+            ),
         }
     }
 }

@@ -157,10 +157,9 @@ impl DenseMatrix {
     pub fn matvec_t(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.rows, "matvec_t shape");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (c, &a) in row.iter().enumerate() {
-                out[c] += a * y[r];
+        for (row, &yr) in self.data.chunks_exact(self.cols).zip(y) {
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += a * yr;
             }
         }
         out
@@ -296,16 +295,16 @@ impl PackedTernaryMatrix {
     pub fn apply_i32(&self, x: &[i32]) -> Vec<i64> {
         assert_eq!(x.len(), self.cols, "apply shape");
         let mut out = vec![0i64; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let mut acc = 0i64;
-            for c in 0..self.cols {
+            for (c, &xv) in x.iter().enumerate() {
                 match self.at(r, c) {
-                    1 => acc += x[c] as i64,
-                    -1 => acc -= x[c] as i64,
+                    1 => acc += xv as i64,
+                    -1 => acc -= xv as i64,
                     _ => {}
                 }
             }
-            out[r] = acc;
+            *o = acc;
         }
         out
     }
@@ -320,10 +319,10 @@ impl PackedTernaryMatrix {
         (0..self.rows)
             .map(|r| {
                 let mut acc = 0.0;
-                for c in 0..self.cols {
+                for (c, &xv) in x.iter().enumerate() {
                     match self.at(r, c) {
-                        1 => acc += x[c],
-                        -1 => acc -= x[c],
+                        1 => acc += xv,
+                        -1 => acc -= xv,
                         _ => {}
                     }
                 }
@@ -523,7 +522,7 @@ mod tests {
     #[test]
     fn packed_integer_and_float_agree() {
         let p = PackedTernaryMatrix::random_achlioptas(8, 64, 3).unwrap();
-        let xi: Vec<i32> = (0..64).map(|i| (i * 13 % 101) as i32 - 50).collect();
+        let xi: Vec<i32> = (0..64).map(|i: i32| i * 13 % 101 - 50).collect();
         let xf: Vec<f64> = xi.iter().map(|&v| v as f64).collect();
         let yi = p.apply_i32(&xi);
         let yf = p.apply(&xf);
@@ -592,7 +591,7 @@ mod tests {
     #[test]
     fn sparse_integer_encode_matches_float() {
         let s = SparseTernaryMatrix::random(16, 64, 2, 31).unwrap();
-        let xi: Vec<i32> = (0..64).map(|i| (i as i32 - 32) * 11).collect();
+        let xi: Vec<i32> = (0..64).map(|i: i32| (i - 32) * 11).collect();
         let xf: Vec<f64> = xi.iter().map(|&v| v as f64).collect();
         let yi = s.apply_i32(&xi);
         let yf = s.apply(&xf);

@@ -175,11 +175,7 @@ impl MorphologicalFilter {
     /// Full conditioning: baseline removal + impulsive-noise suppression.
     pub fn filter(&self, x: &[i32]) -> Vec<i32> {
         let baseline = self.baseline(x);
-        let corrected: Vec<i32> = x
-            .iter()
-            .zip(&baseline)
-            .map(|(&xi, &bi)| xi - bi)
-            .collect();
+        let corrected: Vec<i32> = x.iter().zip(&baseline).map(|(&xi, &bi)| xi - bi).collect();
         let oc = close(&open(&corrected, self.w_noise_1), self.w_noise_2);
         let co = open(&close(&corrected, self.w_noise_1), self.w_noise_2);
         oc.iter()
@@ -196,10 +192,9 @@ impl MorphologicalFilter {
         // baseline (4 passes) + 2×(opening+closing) on the corrected
         // signal (8 passes) + subtraction and averaging.
         let passes = 12;
-        let avg_w = (self.w_baseline_open
-            + self.w_baseline_close
-            + 2 * (self.w_noise_1 + self.w_noise_2))
-            / 6;
+        let avg_w =
+            (self.w_baseline_open + self.w_baseline_close + 2 * (self.w_noise_1 + self.w_noise_2))
+                / 6;
         // Monotonic-wedge implementation: ~3 compares amortized per pass
         // regardless of window, plus bookkeeping; keep a conservative 4.
         let _ = avg_w;
@@ -348,12 +343,11 @@ mod tests {
         let f = MorphologicalFilter::for_sample_rate(250);
         let b = f.baseline(&x);
         // Baseline must ignore spikes and stay near drift away from edges.
-        for i in 100..n - 100 {
+        for (i, &bv) in b.iter().enumerate().take(n - 100).skip(100) {
             let drift = if i < n / 2 { i as i32 } else { (n - i) as i32 };
             assert!(
-                (b[i] - drift).abs() <= 60,
-                "baseline off at {i}: {} vs {drift}",
-                b[i]
+                (bv - drift).abs() <= 60,
+                "baseline off at {i}: {bv} vs {drift}"
             );
         }
     }

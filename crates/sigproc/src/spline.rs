@@ -128,7 +128,9 @@ impl CubicSpline {
 
     /// Evaluates at each integer sample index `0..len`, rounding to `i32`.
     pub fn sample_i32(&self, len: usize) -> Vec<i32> {
-        (0..len).map(|i| self.eval(i as f64).round() as i32).collect()
+        (0..len)
+            .map(|i| self.eval(i as f64).round() as i32)
+            .collect()
     }
 }
 
@@ -262,7 +264,10 @@ mod tests {
     fn baseline_requires_two_knots() {
         let x = vec![0i32; 100];
         assert!(estimate_baseline(&x, &[5], 2).is_err());
-        assert!(estimate_baseline(&x, &[500, 600], 2).is_err(), "out of range");
+        assert!(
+            estimate_baseline(&x, &[500, 600], 2).is_err(),
+            "out of range"
+        );
     }
 
     #[test]
@@ -270,8 +275,8 @@ mod tests {
         let x: Vec<i32> = (0..200).map(|i| i / 2).collect();
         let knots: Vec<usize> = (0..10).map(|k| 10 + k * 20).collect();
         let y = remove_baseline(&x, &knots, 2).unwrap();
-        for i in 20..180 {
-            assert!(y[i].abs() <= 2, "residual at {i}: {}", y[i]);
+        for (i, &yv) in y.iter().enumerate().take(180).skip(20) {
+            assert!(yv.abs() <= 2, "residual at {i}: {yv}");
         }
     }
 }

@@ -27,6 +27,9 @@ pub enum Wavelet {
     Db4,
 }
 
+// `len` is the filter length of a wavelet family; an "empty wavelet"
+// does not exist, so no `is_empty` counterpart.
+#[allow(clippy::len_without_is_empty)]
 impl Wavelet {
     /// Scaling (low-pass decomposition) filter coefficients.
     pub fn scaling_filter(self) -> &'static [f64] {
@@ -214,8 +217,8 @@ impl AtrousQspline {
         let mut approx: Vec<i64> = x.iter().map(|&v| v as i64).collect();
         for k in 0..self.levels {
             let hole = 1usize << k; // spacing between taps at this level
-            // g = [1, -1] with holes: w[n] = a[n] - a[n - hole]
-            // (then delay-compensated below).
+                                    // g = [1, -1] with holes: w[n] = a[n] - a[n - hole]
+                                    // (then delay-compensated below).
             let mut w = vec![0i64; n];
             for i in 0..n {
                 let prev = approx[i.saturating_sub(hole).min(n - 1)];
@@ -224,21 +227,21 @@ impl AtrousQspline {
             }
             // h = [1,3,3,1]/8 with holes.
             let mut a_next = vec![0i64; n];
-            for i in 0..n {
+            for (i, a) in a_next.iter_mut().enumerate() {
                 let tap = |off: usize| {
                     let j = i.saturating_sub(off);
                     approx[j]
                 };
                 let s = tap(0) + 3 * tap(hole) + 3 * tap(2 * hole) + tap(3 * hole);
                 // Round-to-nearest shift keeps the integer pipeline stable.
-                a_next[i] = (s + 4) >> 3;
+                *a = (s + 4) >> 3;
             }
             // Delay compensation: shift left by round(2^{k+1} - 3/2).
             let delay = (1usize << (k + 1)).saturating_sub(1);
             let mut wk = vec![0i32; n];
-            for i in 0..n {
+            for (i, wv) in wk.iter_mut().enumerate() {
                 let j = i + delay;
-                wk[i] = if j < n { w[j] as i32 } else { 0 };
+                *wv = if j < n { w[j] as i32 } else { 0 };
             }
             details.push(wk);
             approx = a_next;

@@ -6,7 +6,7 @@ use wbsn_sigproc::matrix::{PackedTernaryMatrix, SparseTernaryMatrix};
 use wbsn_sigproc::morphology::{close, dilate, erode, open, sliding_extreme_naive};
 use wbsn_sigproc::stats::{isqrt_u64, prd_percent, snr_db};
 use wbsn_sigproc::wavelet::{wavedec, waverec, Wavelet};
-use wbsn_sigproc::{Q15, RingBuffer};
+use wbsn_sigproc::{RingBuffer, Q15};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -11,7 +11,7 @@ use wbsn_classify::features::{BeatFeatureExtractor, FeatureConfig};
 use wbsn_classify::fuzzy::{FuzzyClassifier, MembershipMode};
 use wbsn_core::apps::AfMonitorApp;
 use wbsn_core::level::ProcessingLevel;
-use wbsn_core::monitor::{CardiacMonitor, MonitorConfig};
+use wbsn_core::monitor::MonitorBuilder;
 use wbsn_core::payload::Payload;
 use wbsn_ecg_synth::noise::NoiseConfig;
 use wbsn_ecg_synth::suite::ectopy_suite;
@@ -44,7 +44,10 @@ fn main() {
     }
     let clf = FuzzyClassifier::train(&xs, &ys, MembershipMode::PiecewiseLinear)
         .expect("training set is consistent");
-    println!("classifier trained on {} beats (PWL fuzzy, 3 classes)", xs.len());
+    println!(
+        "classifier trained on {} beats (PWL fuzzy, 3 classes)",
+        xs.len()
+    );
 
     // ---- the patient: sinus with PVCs, then an AF episode ----
     let record = RecordBuilder::new(0x9A7)
@@ -65,14 +68,13 @@ fn main() {
     );
 
     // ---- the node at the classified level ----
-    let mut node = CardiacMonitor::new(MonitorConfig {
-        level: ProcessingLevel::Classified,
-        classifier: Some(clf),
-        event_interval_s: 30.0,
-        ..MonitorConfig::default()
-    })
-    .expect("valid config");
-    let payloads = node.process_record(&record);
+    let mut node = MonitorBuilder::new()
+        .level(ProcessingLevel::Classified)
+        .classifier(clf)
+        .event_interval_s(30.0)
+        .build()
+        .expect("valid config");
+    let payloads = node.process_record(&record).expect("3-lead record");
 
     println!("\nevent stream ({} payloads):", payloads.len());
     for p in &payloads {
@@ -100,11 +102,9 @@ fn main() {
     // ---- server-side episode extraction from the same beat stream ----
     let mut app = AfMonitorApp::new(record.fs());
     let lead = record.lead(0);
-    let rs = wbsn_delineation::QrsDetector::detect(
-        lead,
-        wbsn_delineation::qrs::QrsConfig::default(),
-    )
-    .expect("detector config");
+    let rs =
+        wbsn_delineation::QrsDetector::detect(lead, wbsn_delineation::qrs::QrsConfig::default())
+            .expect("detector config");
     let delineated = wbsn_delineation::WaveletDelineator::new(
         wbsn_delineation::wavelet::WaveletConfig::default(),
     )

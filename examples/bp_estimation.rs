@@ -42,13 +42,17 @@ fn main() {
     let cal_idx = [5usize, n / 2, n - 5];
     let cal_pats: Vec<f64> = cal_idx.iter().map(|&i| pats[i]).collect();
     let cal_bp: Vec<f64> = cal_idx.iter().map(|&i| truth[i]).collect();
-    app.calibrate(&cal_pats, &cal_bp).expect("3 spread readings");
+    app.calibrate(&cal_pats, &cal_bp)
+        .expect("3 spread readings");
     println!(
         "calibrated on 3 cuff readings: {:.0} / {:.0} / {:.0} mmHg",
         cal_bp[0], cal_bp[1], cal_bp[2]
     );
 
-    println!("\n{:>8} {:>10} {:>12} {:>12}", "t [s]", "PAT [ms]", "BP est", "BP truth");
+    println!(
+        "\n{:>8} {:>10} {:>12} {:>12}",
+        "t [s]", "PAT [ms]", "BP est", "BP truth"
+    );
     for i in (0..n).step_by(20) {
         let est = app.estimate(pats[i]).expect("calibrated");
         println!(
@@ -59,8 +63,15 @@ fn main() {
             truth[i]
         );
     }
-    let est: Vec<f64> = pats[..n].iter().map(|&p| app.estimate(p).unwrap()).collect();
-    let errs: Vec<f64> = est.iter().zip(&truth[..n]).map(|(e, t)| (e - t).abs()).collect();
+    let est: Vec<f64> = pats[..n]
+        .iter()
+        .map(|&p| app.estimate(p).unwrap())
+        .collect();
+    let errs: Vec<f64> = est
+        .iter()
+        .zip(&truth[..n])
+        .map(|(e, t)| (e - t).abs())
+        .collect();
     println!(
         "\nover {} beats: MAE {:.1} mmHg, correlation {:.3}",
         n,

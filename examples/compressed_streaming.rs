@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example compressed_streaming`
 
 use wbsn_core::level::ProcessingLevel;
-use wbsn_core::monitor::{CardiacMonitor, MonitorConfig};
+use wbsn_core::monitor::MonitorBuilder;
 use wbsn_core::payload::Payload;
 use wbsn_cs::encoder::CsEncoder;
 use wbsn_cs::measurements_for_cr;
@@ -23,13 +23,12 @@ fn main() {
         .build();
 
     // ---- node side ----
-    let mut node = CardiacMonitor::new(MonitorConfig {
-        level: ProcessingLevel::CompressedSingleLead,
-        cs_cr_percent: cr,
-        ..MonitorConfig::default()
-    })
-    .expect("valid config");
-    let payloads = node.process_record(&record);
+    let mut node = MonitorBuilder::new()
+        .level(ProcessingLevel::CompressedSingleLead)
+        .cs_compression_ratio(cr)
+        .build()
+        .expect("valid config");
+    let payloads = node.process_record(&record).expect("3-lead record");
     println!(
         "node: encoded {} windows at CR {:.1}% → {} bytes on air",
         node.counters().cs_windows,
@@ -80,12 +79,11 @@ fn main() {
     );
 
     // ---- energy comparison ----
-    let mut raw_node = CardiacMonitor::new(MonitorConfig {
-        level: ProcessingLevel::RawStreaming,
-        ..MonitorConfig::default()
-    })
-    .expect("valid config");
-    let _ = raw_node.process_record(&record);
+    let mut raw_node = MonitorBuilder::new()
+        .level(ProcessingLevel::RawStreaming)
+        .build()
+        .expect("valid config");
+    let _ = raw_node.process_record(&record).expect("3-lead record");
     let p_cs = node.energy_report();
     let p_raw = raw_node.energy_report();
     println!(

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use wbsn_core::level::ProcessingLevel;
-use wbsn_core::monitor::{CardiacMonitor, MonitorConfig};
+use wbsn_core::monitor::MonitorBuilder;
 use wbsn_core::payload::Payload;
 use wbsn_ecg_synth::noise::NoiseConfig;
 use wbsn_ecg_synth::RecordBuilder;
@@ -27,14 +27,16 @@ fn main() {
 
     // 2. The node, configured to delineate on-board and transmit only
     //    fiducial points.
-    let mut node = CardiacMonitor::new(MonitorConfig {
-        level: ProcessingLevel::Delineated,
-        ..MonitorConfig::default()
-    })
-    .expect("default configuration is valid");
+    let mut node = MonitorBuilder::new()
+        .level(ProcessingLevel::Delineated)
+        .n_leads(3)
+        .build()
+        .expect("default configuration is valid");
 
     // 3. Stream the record through the node.
-    let payloads = node.process_record(&record);
+    let payloads = node
+        .process_record(&record)
+        .expect("record matches the configured lead count");
     let beats: usize = payloads
         .iter()
         .map(|p| match p {

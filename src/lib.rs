@@ -1,0 +1,31 @@
+//! # wbsn
+//!
+//! Umbrella crate for the ultra-low-power wearable cardiac monitoring
+//! workspace (a reproduction and extension of the DAC'14 paper
+//! *Ultra-Low Power Design of Wearable Cardiac Monitoring Systems*).
+//!
+//! Each layer lives in its own crate; this crate re-exports them under
+//! one name and hosts the workspace-level integration tests and
+//! examples:
+//!
+//! * [`sigproc`] — integer-friendly DSP substrate.
+//! * [`ecg_synth`] — synthetic annotated ECG/PPG records.
+//! * [`delineation`] — streaming QRS detection + wavelet delineation.
+//! * [`classify`] — random-projection fuzzy classification and AF.
+//! * [`cs`] — compressed sensing encoder/decoders.
+//! * [`multimodal`] — ECG+PPG pulse-arrival-time estimation.
+//! * [`platform`] — node hardware energy/timing models.
+//! * [`multicore`] — cycle-stepped multi-core WBSN simulator.
+//! * [`core`] — the session pipeline ([`core::CardiacMonitor`],
+//!   [`core::MonitorBuilder`], [`core::stage`]) and the serving layer
+//!   ([`core::fleet::NodeFleet`]).
+
+pub use wbsn_classify as classify;
+pub use wbsn_core as core;
+pub use wbsn_cs as cs;
+pub use wbsn_delineation as delineation;
+pub use wbsn_ecg_synth as ecg_synth;
+pub use wbsn_multicore as multicore;
+pub use wbsn_multimodal as multimodal;
+pub use wbsn_platform as platform;
+pub use wbsn_sigproc as sigproc;

@@ -2,7 +2,7 @@
 //! base-station reconstruction from the shared seed.
 
 use wbsn_core::level::ProcessingLevel;
-use wbsn_core::monitor::{CardiacMonitor, MonitorConfig};
+use wbsn_core::monitor::MonitorBuilder;
 use wbsn_core::payload::Payload;
 use wbsn_cs::encoder::CsEncoder;
 use wbsn_cs::joint::{GroupFista, GroupFistaConfig};
@@ -21,13 +21,12 @@ fn single_lead_roundtrip_reaches_20db_at_moderate_cr() {
         .noise(NoiseConfig::ambulatory(35.0))
         .build();
     let cr = 50.0;
-    let mut node = CardiacMonitor::new(MonitorConfig {
-        level: ProcessingLevel::CompressedSingleLead,
-        cs_cr_percent: cr,
-        ..MonitorConfig::default()
-    })
-    .unwrap();
-    let payloads = node.process_record(&rec);
+    let mut node = MonitorBuilder::new()
+        .level(ProcessingLevel::CompressedSingleLead)
+        .cs_compression_ratio(cr)
+        .build()
+        .unwrap();
+    let payloads = node.process_record(&rec).unwrap();
     let cfg = node.config();
     let m = measurements_for_cr(cfg.cs_window, cr);
     let solver = Fista::new(FistaConfig::default());
@@ -108,5 +107,8 @@ fn decoder_with_wrong_seed_fails_gracefully() {
     let solver = Fista::new(FistaConfig::default());
     let xr = solver.reconstruct(&wrong, &y).unwrap();
     let xf: Vec<f64> = x.iter().map(|&v| v as f64).collect();
-    assert!(snr_db(&xf, &xr) < 10.0, "wrong seed cannot reconstruct well");
+    assert!(
+        snr_db(&xf, &xr) < 10.0,
+        "wrong seed cannot reconstruct well"
+    );
 }

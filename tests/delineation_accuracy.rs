@@ -3,7 +3,7 @@
 //! generator's exact annotations.
 
 use wbsn_core::level::ProcessingLevel;
-use wbsn_core::monitor::{CardiacMonitor, MonitorConfig};
+use wbsn_core::monitor::MonitorBuilder;
 use wbsn_core::payload::Payload;
 use wbsn_delineation::eval::{evaluate, truth_from_triples, Tolerances};
 use wbsn_delineation::{BeatFiducials, FiducialKind};
@@ -31,13 +31,12 @@ fn monitor_level_delineation_meets_quality_floor() {
         .n_leads(3)
         .noise(NoiseConfig::ambulatory(22.0))
         .build();
-    let mut node = CardiacMonitor::new(MonitorConfig {
-        level: ProcessingLevel::Delineated,
-        beats_per_payload: 1,
-        ..MonitorConfig::default()
-    })
-    .unwrap();
-    let payloads = node.process_record(&rec);
+    let mut node = MonitorBuilder::new()
+        .level(ProcessingLevel::Delineated)
+        .beats_per_payload(1)
+        .build()
+        .unwrap();
+    let payloads = node.process_record(&rec).unwrap();
     let detected: Vec<BeatFiducials> = payloads
         .iter()
         .filter_map(|p| match p {

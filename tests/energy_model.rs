@@ -1,7 +1,7 @@
 //! Cross-crate integration: the energy story of the paper, end to end.
 
 use wbsn_core::level::ProcessingLevel;
-use wbsn_core::monitor::{CardiacMonitor, MonitorConfig};
+use wbsn_core::monitor::MonitorBuilder;
 use wbsn_ecg_synth::noise::NoiseConfig;
 use wbsn_ecg_synth::RecordBuilder;
 use wbsn_platform::battery::Battery;
@@ -13,15 +13,12 @@ fn report_for(level: ProcessingLevel, cr: f64) -> wbsn_core::EnergyReport {
         .n_leads(3)
         .noise(NoiseConfig::ambulatory(22.0))
         .build();
-    let mut cfg = MonitorConfig {
-        level,
-        ..MonitorConfig::default()
-    };
+    let mut builder = MonitorBuilder::new().level(level);
     if cr > 0.0 {
-        cfg.cs_cr_percent = cr;
+        builder = builder.cs_compression_ratio(cr);
     }
-    let mut node = CardiacMonitor::new(cfg).unwrap();
-    let _ = node.process_record(&rec);
+    let mut node = builder.build().unwrap();
+    let _ = node.process_record(&rec).unwrap();
     node.energy_report()
 }
 
@@ -109,13 +106,7 @@ fn node_model_is_monotone_in_each_resource() {
                 ..base
             },
         ),
-        (
-            "more leads",
-            WorkloadProfile {
-                n_leads: 6,
-                ..base
-            },
-        ),
+        ("more leads", WorkloadProfile { n_leads: 6, ..base }),
     ] {
         assert!(
             node.breakdown(&w).total_j() > p0,

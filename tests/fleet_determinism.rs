@@ -1,0 +1,150 @@
+//! The fleet layer's core guarantee: N sessions multiplexed through
+//! one `NodeFleet` produce byte-identical payload streams to N
+//! `CardiacMonitor`s run sequentially, and aggregated counters are the
+//! exact element-wise sums.
+
+use wbsn_core::fleet::NodeFleet;
+use wbsn_core::level::ProcessingLevel;
+use wbsn_core::monitor::MonitorBuilder;
+use wbsn_core::payload::Payload;
+use wbsn_ecg_synth::noise::NoiseConfig;
+use wbsn_ecg_synth::RecordBuilder;
+
+const N_SESSIONS: usize = 8;
+
+/// Per-session synthetic input: each session gets its own record, as
+/// distinct patients would.
+fn session_input(session: usize) -> (Vec<i32>, usize) {
+    let rec = RecordBuilder::new(1000 + session as u64)
+        .duration_s(12.0)
+        .n_leads(3)
+        .noise(NoiseConfig::ambulatory(22.0))
+        .build();
+    let n = rec.n_samples();
+    let mut buf = Vec::with_capacity(n * 3);
+    for i in 0..n {
+        for l in 0..3 {
+            buf.push(rec.lead(l)[i]);
+        }
+    }
+    (buf, n)
+}
+
+fn builder_for(session: usize) -> MonitorBuilder {
+    // Mix levels across the fleet so the test covers every stage.
+    let level = ProcessingLevel::ALL[session % ProcessingLevel::ALL.len()];
+    MonitorBuilder::new().level(level).n_leads(3)
+}
+
+fn payload_bytes(payloads: &[Payload]) -> Vec<u8> {
+    payloads.iter().flat_map(Payload::encode).collect()
+}
+
+#[test]
+fn fleet_matches_sequential_monitors_byte_for_byte() {
+    // Sequential reference: one monitor per session, run to completion.
+    let mut reference = Vec::new();
+    for s in 0..N_SESSIONS {
+        let (buf, n) = session_input(s);
+        let mut m = builder_for(s).build().unwrap();
+        let mut payloads = m.push_block(&buf, n).unwrap();
+        payloads.extend(m.flush().unwrap());
+        reference.push((payload_bytes(&payloads), m.counters()));
+    }
+
+    // Fleet run: interleave ingestion across sessions in round-robin
+    // chunks to prove isolation under multiplexing.
+    let mut fleet = NodeFleet::with_capacity(N_SESSIONS);
+    let ids: Vec<_> = (0..N_SESSIONS)
+        .map(|s| fleet.add_session(builder_for(s)).unwrap())
+        .collect();
+    let inputs: Vec<_> = (0..N_SESSIONS).map(session_input).collect();
+    let mut outputs = vec![Vec::new(); N_SESSIONS];
+    let chunk_frames = 97; // deliberately not a divisor of the input
+    let mut offset = 0;
+    loop {
+        let mut any = false;
+        for (s, (buf, n)) in inputs.iter().enumerate() {
+            if offset >= *n {
+                continue;
+            }
+            any = true;
+            let take = chunk_frames.min(n - offset);
+            let slice = &buf[offset * 3..(offset + take) * 3];
+            outputs[s].extend(fleet.push_block(ids[s], slice, take).unwrap());
+        }
+        if !any {
+            break;
+        }
+        offset += chunk_frames;
+    }
+    for (s, tail) in fleet.flush_all().unwrap() {
+        let idx = ids.iter().position(|&id| id == s).unwrap();
+        outputs[idx].extend(tail);
+    }
+
+    for (s, id) in ids.iter().enumerate() {
+        let (ref_bytes, ref_counters) = &reference[s];
+        assert_eq!(
+            &payload_bytes(&outputs[s]),
+            ref_bytes,
+            "session {s} diverged from its sequential reference"
+        );
+        assert_eq!(
+            &fleet.session(*id).unwrap().counters(),
+            ref_counters,
+            "session {s} counters diverged"
+        );
+    }
+
+    // Aggregate counters are the exact sums of the references.
+    let agg = fleet.aggregate_counters();
+    assert_eq!(
+        agg.payload_bytes,
+        reference.iter().map(|(_, c)| c.payload_bytes).sum::<u64>()
+    );
+    assert_eq!(
+        agg.beats,
+        reference.iter().map(|(_, c)| c.beats).sum::<u64>()
+    );
+    assert_eq!(
+        agg.samples_in,
+        reference.iter().map(|(_, c)| c.samples_in).sum::<u64>()
+    );
+}
+
+#[test]
+fn fleet_runs_are_reproducible() {
+    let run = || {
+        let mut fleet = NodeFleet::new();
+        let ids: Vec<_> = (0..4)
+            .map(|s| fleet.add_session(builder_for(s)).unwrap())
+            .collect();
+        let mut all = Vec::new();
+        for (s, &id) in ids.iter().enumerate() {
+            let (buf, n) = session_input(s);
+            all.extend(fleet.push_block(id, &buf, n).unwrap());
+        }
+        for (_, tail) in fleet.flush_all().unwrap() {
+            all.extend(tail);
+        }
+        payload_bytes(&all)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn removed_sessions_do_not_disturb_the_rest() {
+    let mut fleet = NodeFleet::new();
+    let ids: Vec<_> = (0..3)
+        .map(|_| fleet.add_session(MonitorBuilder::new()).unwrap())
+        .collect();
+    let (buf, n) = session_input(0);
+    fleet.push_block(ids[1], &buf, n).unwrap();
+    // Remove a neighbour mid-stream.
+    assert!(fleet.remove_session(ids[0]).is_some());
+    let survivor = fleet.session(ids[1]).unwrap().counters();
+    let mut reference = MonitorBuilder::new().build().unwrap();
+    reference.push_block(&buf, n).unwrap();
+    assert_eq!(survivor, reference.counters());
+}

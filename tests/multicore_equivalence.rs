@@ -64,7 +64,9 @@ fn mmd_kernel_equals_host_on_real_ecg() {
 #[test]
 fn rp_kernel_equals_host_on_real_beat() {
     let p = rp_class::RpParams::default();
-    let rec = wbsn_ecg_synth::RecordBuilder::new(32).duration_s(10.0).build();
+    let rec = wbsn_ecg_synth::RecordBuilder::new(32)
+        .duration_s(10.0)
+        .build();
     let r = rec.beats()[3].r_sample;
     let x: Vec<i32> = rec.lead(0)[r - p.l / 2..r + p.l / 2].to_vec();
     // Class means from three reference beats of the record.

@@ -1,0 +1,145 @@
+//! On-air payload codec: encode/decode round-trips across every
+//! variant, with boundary values (12-bit clamp limits, empty
+//! collections, saturated counters) and malformed-input rejection.
+
+use wbsn_core::payload::Payload;
+use wbsn_delineation::BeatFiducials;
+
+fn assert_roundtrip(p: &Payload) {
+    let bytes = p.encode();
+    assert_eq!(bytes.len(), p.byte_len(), "{p:?}: byte_len mismatch");
+    let back = Payload::decode(&bytes).unwrap_or_else(|| panic!("{p:?}: decode failed"));
+    assert_eq!(&back, p, "not identity");
+}
+
+#[test]
+fn raw_chunk_roundtrips_at_clamp_limits() {
+    // The 12-bit ADC range is [-2048, 2047]; both rails, zero, and an
+    // odd sample count (exercises the packed tail group).
+    assert_roundtrip(&Payload::RawChunk {
+        lead: 0,
+        samples: vec![-2048, 2047, 0, -1, 1, -2048, 2047],
+    });
+    assert_roundtrip(&Payload::RawChunk {
+        lead: 255,
+        samples: vec![-2048; 2],
+    });
+    assert_roundtrip(&Payload::RawChunk {
+        lead: 3,
+        samples: Vec::new(),
+    });
+}
+
+#[test]
+fn raw_chunk_encoder_clamps_out_of_range_samples() {
+    let p = Payload::RawChunk {
+        lead: 1,
+        samples: vec![i16::MIN, i16::MAX],
+    };
+    let decoded = Payload::decode(&p.encode()).unwrap();
+    let Payload::RawChunk { samples, .. } = decoded else {
+        panic!("wrong variant");
+    };
+    assert_eq!(samples, vec![-2048, 2047]);
+}
+
+#[test]
+fn cs_window_roundtrips_at_i16_rails() {
+    assert_roundtrip(&Payload::CsWindow {
+        lead: 2,
+        window_seq: u32::MAX,
+        measurements: vec![i16::MIN, i16::MAX, 0, -1, 1],
+    });
+    assert_roundtrip(&Payload::CsWindow {
+        lead: 0,
+        window_seq: 0,
+        measurements: Vec::new(),
+    });
+}
+
+#[test]
+fn beats_roundtrip_with_empty_list_and_absent_fiducials() {
+    assert_roundtrip(&Payload::Beats { beats: Vec::new() });
+    // A beat with no optional fiducials at all.
+    assert_roundtrip(&Payload::Beats {
+        beats: vec![BeatFiducials::new(0)],
+    });
+    let mut b = BeatFiducials::new(1_000_000);
+    b.p_on = Some(1_000_000 - 508); // -127 units: the offset rail
+    b.t_off = Some(1_000_000 + 508); // +127 units
+    assert_roundtrip(&Payload::Beats { beats: vec![b] });
+}
+
+#[test]
+fn beats_quantize_offsets_to_four_sample_grid() {
+    let mut b = BeatFiducials::new(5_000);
+    b.qrs_on = Some(5_000 - 9); // -2.25 units -> quantized
+    b.qrs_off = Some(5_000 + 700); // beyond ±127 units -> clamped
+    let p = Payload::Beats { beats: vec![b] };
+    let Payload::Beats { beats } = Payload::decode(&p.encode()).unwrap() else {
+        panic!("wrong variant");
+    };
+    assert!(beats[0].qrs_on.unwrap().abs_diff(5_000 - 9) <= 3);
+    assert_eq!(beats[0].qrs_off, Some(5_000 + 127 * 4));
+}
+
+#[test]
+fn events_roundtrip_at_counter_rails() {
+    assert_roundtrip(&Payload::Events {
+        n_beats: u32::MAX,
+        class_counts: [u32::MAX, 0, 1, u32::MAX],
+        mean_hr_x10: u16::MAX,
+        af_burden_pct: 100,
+        af_active: true,
+    });
+    assert_roundtrip(&Payload::Events {
+        n_beats: 0,
+        class_counts: [0; 4],
+        mean_hr_x10: 0,
+        af_burden_pct: 0,
+        af_active: false,
+    });
+}
+
+#[test]
+fn truncations_of_valid_payloads_never_panic() {
+    let payloads = [
+        Payload::RawChunk {
+            lead: 1,
+            samples: vec![100, -100, 7],
+        },
+        Payload::CsWindow {
+            lead: 0,
+            window_seq: 9,
+            measurements: vec![5, -5, 500],
+        },
+        Payload::Beats {
+            beats: vec![BeatFiducials::new(77), BeatFiducials::new(300)],
+        },
+        Payload::Events {
+            n_beats: 3,
+            class_counts: [3, 0, 0, 0],
+            mean_hr_x10: 720,
+            af_burden_pct: 0,
+            af_active: false,
+        },
+    ];
+    for p in &payloads {
+        let bytes = p.encode();
+        for cut in 0..bytes.len() {
+            // Any truncation decodes to None or to some shorter valid
+            // payload — it must never panic.
+            let _ = Payload::decode(&bytes[..cut]);
+        }
+    }
+}
+
+#[test]
+fn unknown_tags_are_rejected() {
+    for tag in [0x00u8, 0x05, 0x7F, 0xFF] {
+        assert!(
+            Payload::decode(&[tag, 0, 0, 0, 0]).is_none(),
+            "tag {tag:#x}"
+        );
+    }
+}

@@ -2,8 +2,9 @@
 //! abstraction level, with on-air payload decode at the receiver.
 
 use wbsn_core::level::ProcessingLevel;
-use wbsn_core::monitor::{CardiacMonitor, MonitorConfig};
+use wbsn_core::monitor::MonitorBuilder;
 use wbsn_core::payload::Payload;
+use wbsn_core::WbsnError;
 use wbsn_ecg_synth::noise::NoiseConfig;
 use wbsn_ecg_synth::RecordBuilder;
 
@@ -19,12 +20,8 @@ fn record(seed: u64) -> wbsn_ecg_synth::Record {
 fn every_level_produces_decodable_payloads() {
     let rec = record(1);
     for level in ProcessingLevel::ALL {
-        let mut node = CardiacMonitor::new(MonitorConfig {
-            level,
-            ..MonitorConfig::default()
-        })
-        .unwrap();
-        let payloads = node.process_record(&rec);
+        let mut node = MonitorBuilder::new().level(level).build().unwrap();
+        let payloads = node.process_record(&rec).unwrap();
         assert!(!payloads.is_empty(), "{level}: no payloads");
         for p in &payloads {
             let bytes = p.encode();
@@ -38,12 +35,11 @@ fn every_level_produces_decodable_payloads() {
 #[test]
 fn delineated_beats_match_ground_truth_rate() {
     let rec = record(2);
-    let mut node = CardiacMonitor::new(MonitorConfig {
-        level: ProcessingLevel::Delineated,
-        ..MonitorConfig::default()
-    })
-    .unwrap();
-    let payloads = node.process_record(&rec);
+    let mut node = MonitorBuilder::new()
+        .level(ProcessingLevel::Delineated)
+        .build()
+        .unwrap();
+    let payloads = node.process_record(&rec).unwrap();
     let beats: usize = payloads
         .iter()
         .map(|p| match p {
@@ -62,12 +58,11 @@ fn delineated_beats_match_ground_truth_rate() {
 #[test]
 fn transmitted_r_peaks_are_accurate() {
     let rec = record(3);
-    let mut node = CardiacMonitor::new(MonitorConfig {
-        level: ProcessingLevel::Delineated,
-        ..MonitorConfig::default()
-    })
-    .unwrap();
-    let payloads = node.process_record(&rec);
+    let mut node = MonitorBuilder::new()
+        .level(ProcessingLevel::Delineated)
+        .build()
+        .unwrap();
+    let payloads = node.process_record(&rec).unwrap();
     let truth: Vec<usize> = rec.beats().iter().map(|b| b.r_sample).collect();
     let mut matched = 0usize;
     let mut total = 0usize;
@@ -94,8 +89,9 @@ fn transmitted_r_peaks_are_accurate() {
 fn monitor_is_deterministic() {
     let rec = record(4);
     let run = || {
-        let mut node = CardiacMonitor::new(MonitorConfig::default()).unwrap();
+        let mut node = MonitorBuilder::new().build().unwrap();
         node.process_record(&rec)
+            .unwrap()
             .iter()
             .flat_map(|p| p.encode())
             .collect::<Vec<u8>>()
@@ -104,14 +100,50 @@ fn monitor_is_deterministic() {
 }
 
 #[test]
-fn multi_lead_monitor_works_with_single_lead_records() {
+fn single_lead_monitor_works_with_single_lead_records() {
     let rec = RecordBuilder::new(5).duration_s(15.0).n_leads(1).build();
-    let mut node = CardiacMonitor::new(MonitorConfig {
-        n_leads: 1,
-        level: ProcessingLevel::Delineated,
-        ..MonitorConfig::default()
-    })
-    .unwrap();
-    let payloads = node.process_record(&rec);
+    let mut node = MonitorBuilder::new()
+        .n_leads(1)
+        .level(ProcessingLevel::Delineated)
+        .build()
+        .unwrap();
+    let payloads = node.process_record(&rec).unwrap();
     assert!(!payloads.is_empty());
+}
+
+#[test]
+fn monitor_rejects_records_with_too_few_leads() {
+    // Earlier releases silently duplicated the last lead here.
+    let rec = RecordBuilder::new(6).duration_s(5.0).n_leads(1).build();
+    let mut node = MonitorBuilder::new().n_leads(3).build().unwrap();
+    assert_eq!(
+        node.process_record(&rec).unwrap_err(),
+        WbsnError::LeadMismatch {
+            expected: 3,
+            got: 1
+        }
+    );
+}
+
+#[test]
+fn wider_records_use_the_first_configured_leads() {
+    // A 3-lead session over a 3-lead record and the same session over
+    // the record's leads pushed manually agree byte for byte.
+    let rec = record(7);
+    let mut via_record = MonitorBuilder::new().build().unwrap();
+    let a: Vec<u8> = via_record
+        .process_record(&rec)
+        .unwrap()
+        .iter()
+        .flat_map(|p| p.encode())
+        .collect();
+    let mut manual = MonitorBuilder::new().build().unwrap();
+    let mut out = Vec::new();
+    for i in 0..rec.n_samples() {
+        let frame = [rec.lead(0)[i], rec.lead(1)[i], rec.lead(2)[i]];
+        out.extend(manual.try_push(&frame).unwrap());
+    }
+    out.extend(manual.flush().unwrap());
+    let b: Vec<u8> = out.iter().flat_map(|p| p.encode()).collect();
+    assert_eq!(a, b);
 }

@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the API subset the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Methodology is deliberately simple — warm up, time `sample_size`
+//! samples of a batch sized to ≥ `MIN_BATCH_TIME`, report the median —
+//! and each result is also printed as a JSON line
+//! (`{"bench": ..., "median_ns": ...}`) so CI can capture numbers into
+//! `BENCH_*.json` files without parsing human-formatted text.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const MIN_BATCH_TIME: Duration = Duration::from_millis(2);
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; command-line options from the
+    /// real harness (`--bench`, filters, …) are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<N: AsRef<str>, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group; the group prefixes its benchmark ids.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<N: AsRef<str>, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the median over the configured samples.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up + batch sizing: grow the batch until one batch takes
+        // at least MIN_BATCH_TIME, so short routines are timed in bulk.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= MIN_BATCH_TIME || batch >= 1 << 24 {
+                break;
+            }
+            let estimate =
+                (batch as f64 * MIN_BATCH_TIME.as_secs_f64() / dt.as_secs_f64().max(1e-9)) as u64;
+            batch = (batch * 2).max(estimate).min(1 << 24);
+        }
+        self.iters_per_sample = batch;
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+fn run_benchmark<F>(name: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters_per_sample: 0,
+        samples,
+        median_ns: f64::NAN,
+    };
+    f(&mut b);
+    println!(
+        "{name:<48} time: [{}]   ({} iters/sample × {samples} samples)",
+        fmt_ns(b.median_ns),
+        b.iters_per_sample
+    );
+    println!(
+        "{{\"bench\": \"{name}\", \"median_ns\": {:.1}}}",
+        b.median_ns
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles benchmark functions into one runner, mirroring the real
+/// harness's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_positive_median() {
+        let mut c = Criterion::default();
+        c.sample_size(5);
+        let mut seen = 0.0;
+        c.bench_function("smoke", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            seen = b.median_ns;
+        });
+        assert!(seen > 0.0);
+    }
+
+    #[test]
+    fn group_prefixes_names() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}
