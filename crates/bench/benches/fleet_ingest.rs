@@ -1,0 +1,76 @@
+//! The sharded serving layer's scaling surface: cross-session
+//! `ingest_batch` throughput over a sessions × workers matrix.
+//! `fleet_ingest/s1200_w4` vs `fleet_ingest/s1200_w1` is the pinned
+//! scaling ratio CI uploads next to `monitor_push_block` — a
+//! regression here means the fleet stopped using its cores.
+//!
+//! Fleets are built once per configuration and ingest repeatedly, so
+//! the numbers reflect steady-state serving (pooled ingest buffers,
+//! warm delineator state), not enrolment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wbsn_core::fleet::{SessionId, ShardedFleet};
+use wbsn_core::level::ProcessingLevel;
+use wbsn_core::monitor::MonitorBuilder;
+use wbsn_ecg_synth::noise::NoiseConfig;
+use wbsn_ecg_synth::RecordBuilder;
+
+/// Interleaved 3-lead frames from a fixed synthetic record.
+fn frames(secs: f64) -> Vec<i32> {
+    let rec = RecordBuilder::new(0xF1EE7)
+        .duration_s(secs)
+        .n_leads(3)
+        .noise(NoiseConfig::ambulatory(22.0))
+        .build();
+    let n = rec.n_samples();
+    let mut out = Vec::with_capacity(n * 3);
+    for i in 0..n {
+        for l in 0..3 {
+            out.push(rec.lead(l)[i]);
+        }
+    }
+    out
+}
+
+/// The fleet_serving level mix: mostly frugal levels, some raw/CS.
+fn level_for(s: usize) -> ProcessingLevel {
+    match s % 10 {
+        0 => ProcessingLevel::RawStreaming,
+        1 | 2 => ProcessingLevel::CompressedSingleLead,
+        3 => ProcessingLevel::CompressedMultiLead,
+        4..=6 => ProcessingLevel::Delineated,
+        _ => ProcessingLevel::Classified,
+    }
+}
+
+fn bench_fleet_ingest(c: &mut Criterion) {
+    let buf = frames(2.0);
+    let mut g = c.benchmark_group("fleet_ingest");
+    g.sample_size(10);
+    for &sessions in &[256usize, 1200] {
+        for &workers in &[1usize, 2, 4, 8] {
+            let mut fleet = ShardedFleet::new(workers).expect("spawn workers");
+            let ids: Vec<_> = (0..sessions)
+                .map(|s| {
+                    fleet
+                        .add_session(MonitorBuilder::new().level(level_for(s)).n_leads(3))
+                        .expect("valid session config")
+                })
+                .collect();
+            let batch: Vec<(SessionId, &[i32])> =
+                ids.iter().map(|&id| (id, buf.as_slice())).collect();
+            g.bench_function(format!("s{sessions}_w{workers}"), |b| {
+                b.iter(|| {
+                    fleet
+                        .ingest_batch(black_box(&batch))
+                        .expect("workers alive")
+                        .len()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fleet_ingest);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! pinned entry future PRs track in `BENCH_*.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use wbsn_core::fleet::NodeFleet;
+use wbsn_core::fleet::{NodeFleet, SessionId};
 use wbsn_core::level::ProcessingLevel;
 use wbsn_core::monitor::{CardiacMonitor, MonitorBuilder};
 use wbsn_ecg_synth::noise::NoiseConfig;
@@ -65,7 +65,7 @@ fn bench_monitor(c: &mut Criterion) {
 }
 
 fn bench_fleet(c: &mut Criterion) {
-    let (buf, n_frames) = frames(3, 2.0);
+    let (buf, _) = frames(3, 2.0);
     let mut g = c.benchmark_group("fleet");
     g.sample_size(10);
     g.bench_function("ingest_64_sessions_2s", |b| {
@@ -78,14 +78,14 @@ fn bench_fleet(c: &mut Criterion) {
                         .unwrap()
                 })
                 .collect();
-            let mut total = 0usize;
-            for &id in &ids {
-                total += fleet
-                    .push_block(id, black_box(&buf), n_frames)
-                    .unwrap()
-                    .len();
-            }
-            total
+            let batch: Vec<(SessionId, &[i32])> =
+                ids.iter().map(|&id| (id, buf.as_slice())).collect();
+            fleet
+                .ingest_batch(black_box(&batch))
+                .unwrap()
+                .iter()
+                .map(|(_, p)| p.len())
+                .sum::<usize>()
         })
     });
     g.finish();

@@ -1,15 +1,31 @@
 //! The serving layer: many monitoring sessions in one process.
 //!
 //! A base station (or a cloud replay service) terminates the streams
-//! of many wearable nodes at once. [`NodeFleet`] manages N independent
-//! [`CardiacMonitor`] sessions keyed by [`SessionId`]: sessions are
-//! added and removed at runtime, ingest frames individually or in
-//! batches, and report aggregated [`ActivityCounters`] and energy.
+//! of many wearable nodes at once. The layer is split into three
+//! explicit pieces:
 //!
-//! Sessions are fully isolated — the fleet guarantees that a set of
-//! sessions produces byte-identical payloads to the same monitors run
-//! sequentially — and iteration order is the (stable) insertion order,
-//! so fleet-level reports are deterministic.
+//! * **[`Shard`]** ([`shard`]) — a single-threaded group of sessions:
+//!   storage sorted by id, per-session ingestion, flushing, and
+//!   counter/energy snapshots. The unit of work a driver schedules.
+//! * **[`ShardRouter`]** ([`router`]) — the stable
+//!   `SessionId → shard` mapping: placement is `id.raw() % n_shards`,
+//!   and because raw ids are monotonic and never reused it survives
+//!   any sequence of adds and removes without moving a session.
+//! * **Drivers** — [`NodeFleet`] runs one shard inline on the calling
+//!   thread; [`ShardedFleet`] ([`sharded`]) runs N shards on N worker
+//!   threads behind per-shard work queues.
+//!
+//! ## The determinism guarantee
+//!
+//! Sessions are fully isolated and every per-session computation is
+//! deterministic, so **a fleet produces byte-identical payloads to
+//! the same monitors run sequentially — regardless of driver and
+//! worker count**. Cross-session results are always merged in a fixed
+//! global order (batch order for ingestion, ascending session id —
+//! which equals insertion order — for flushes and reports), and both
+//! drivers share the exact same aggregation folds, so aggregated
+//! counters and energy reports are bit-identical too. The property is
+//! pinned by `tests/fleet_determinism.rs`.
 //!
 //! ```
 //! use wbsn_core::fleet::NodeFleet;
@@ -25,41 +41,55 @@
 //! let report = fleet.energy_report();
 //! assert_eq!(report.sessions, 1);
 //! ```
+//!
+//! Scaling across cores is one line away:
+//!
+//! ```
+//! use wbsn_core::fleet::ShardedFleet;
+//! use wbsn_core::monitor::MonitorBuilder;
+//!
+//! let mut fleet = ShardedFleet::new(4).unwrap();
+//! let ids = fleet.add_sessions(&MonitorBuilder::new(), 8).unwrap();
+//! let frames = [0i32; 3 * 250];
+//! let batch: Vec<_> = ids.iter().map(|&id| (id, &frames[..])).collect();
+//! let results = fleet.ingest_batch(&batch).unwrap();
+//! assert_eq!(results.len(), 8);
+//! ```
 
-use crate::energy::{CycleCosts, EnergyReport};
+pub mod router;
+pub mod shard;
+pub mod sharded;
+
+pub use router::ShardRouter;
+pub use shard::{SessionSnapshot, Shard};
+pub use sharded::ShardedFleet;
+
+use crate::energy::EnergyReport;
 use crate::monitor::{ActivityCounters, CardiacMonitor, MonitorBuilder};
 use crate::payload::Payload;
 use crate::{Result, WbsnError};
-use wbsn_platform::node::NodeModel;
 
 /// Opaque, process-unique session handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SessionId(u64);
 
 impl SessionId {
-    /// Raw id value (stable for logging/sharding).
+    /// Raw id value, stable for logging and sharding: ids are handed
+    /// out monotonically and never reused, and a [`ShardedFleet`]
+    /// places a session on shard `raw % num_workers` for its whole
+    /// lifetime.
     pub fn raw(self) -> u64 {
         self.0
+    }
+
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        SessionId(raw)
     }
 }
 
 impl core::fmt::Display for SessionId {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "session-{}", self.0)
-    }
-}
-
-struct Session {
-    id: SessionId,
-    monitor: CardiacMonitor,
-}
-
-impl core::fmt::Debug for Session {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("Session")
-            .field("id", &self.id)
-            .field("level", &self.monitor.config().level)
-            .finish()
     }
 }
 
@@ -79,13 +109,48 @@ pub struct FleetEnergyReport {
     pub min_lifetime_days: f64,
 }
 
-/// N independent monitoring sessions behind one ingestion front end.
+/// The one fleet-level aggregation fold, shared by both drivers so
+/// their reports are bit-identical: `snapshots` must be in ascending
+/// session-id (= insertion) order.
+pub(crate) fn fold_fleet_energy(snapshots: &[SessionSnapshot]) -> FleetEnergyReport {
+    let sessions = snapshots.len();
+    let counters = snapshots
+        .iter()
+        .fold(ActivityCounters::default(), |acc, s| {
+            acc.merged(&s.counters)
+        });
+    let total_power_mw: f64 = snapshots
+        .iter()
+        .map(|s| s.energy.breakdown.avg_power_mw())
+        .sum();
+    let min_lifetime_days = snapshots
+        .iter()
+        .map(|s| s.energy.lifetime_days)
+        .fold(f64::INFINITY, f64::min);
+    FleetEnergyReport {
+        sessions,
+        counters,
+        total_power_mw,
+        mean_power_mw: if sessions == 0 {
+            0.0
+        } else {
+            total_power_mw / sessions as f64
+        },
+        min_lifetime_days: if sessions == 0 {
+            0.0
+        } else {
+            min_lifetime_days
+        },
+    }
+}
+
+/// N independent monitoring sessions behind one ingestion front end,
+/// run inline on the calling thread — the sequential driver over a
+/// single [`Shard`], and the reference the multi-threaded
+/// [`ShardedFleet`] is byte-compared against.
 #[derive(Debug, Default)]
 pub struct NodeFleet {
-    // Sorted by id (ids are handed out monotonically and removal
-    // preserves order), so lookup is a binary search and iteration is
-    // deterministic insertion order.
-    sessions: Vec<Session>,
+    shard: Shard,
     next_id: u64,
 }
 
@@ -98,24 +163,24 @@ impl NodeFleet {
     /// Empty fleet with room for `n` sessions.
     pub fn with_capacity(n: usize) -> Self {
         NodeFleet {
-            sessions: Vec::with_capacity(n),
+            shard: Shard::with_capacity(n),
             next_id: 0,
         }
     }
 
     /// Number of live sessions.
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        self.shard.len()
     }
 
     /// True when no sessions are registered.
     pub fn is_empty(&self) -> bool {
-        self.sessions.is_empty()
+        self.shard.is_empty()
     }
 
     /// Live session ids in insertion order.
     pub fn session_ids(&self) -> impl Iterator<Item = SessionId> + '_ {
-        self.sessions.iter().map(|s| s.id)
+        self.shard.session_ids()
     }
 
     /// Builds and registers a new session.
@@ -128,7 +193,7 @@ impl NodeFleet {
         let monitor = builder.build()?;
         let id = SessionId(self.next_id);
         self.next_id += 1;
-        self.sessions.push(Session { id, monitor });
+        self.shard.insert(id, monitor);
         Ok(id)
     }
 
@@ -148,7 +213,7 @@ impl NodeFleet {
             .map(|monitor| {
                 let id = SessionId(self.next_id);
                 self.next_id += 1;
-                self.sessions.push(Session { id, monitor });
+                self.shard.insert(id, monitor);
                 id
             })
             .collect())
@@ -157,31 +222,17 @@ impl NodeFleet {
     /// Removes a session, returning its monitor so the caller can
     /// flush it; `None` when the id is unknown.
     pub fn remove_session(&mut self, id: SessionId) -> Option<CardiacMonitor> {
-        let idx = self.index_of(id).ok()?;
-        Some(self.sessions.remove(idx).monitor)
+        self.shard.take(id)
     }
 
     /// Read access to one session.
     pub fn session(&self, id: SessionId) -> Option<&CardiacMonitor> {
-        self.index_of(id).ok().map(|i| &self.sessions[i].monitor)
+        self.shard.get(id)
     }
 
     /// Mutable access to one session.
     pub fn session_mut(&mut self, id: SessionId) -> Option<&mut CardiacMonitor> {
-        self.index_of(id)
-            .ok()
-            .map(move |i| &mut self.sessions[i].monitor)
-    }
-
-    fn index_of(&self, id: SessionId) -> core::result::Result<usize, usize> {
-        self.sessions.binary_search_by_key(&id, |s| s.id)
-    }
-
-    fn monitor_mut(&mut self, id: SessionId) -> Result<&mut CardiacMonitor> {
-        match self.index_of(id) {
-            Ok(i) => Ok(&mut self.sessions[i].monitor),
-            Err(_) => Err(WbsnError::UnknownSession { id: id.0 }),
-        }
+        self.shard.get_mut(id)
     }
 
     /// Pushes one frame into one session.
@@ -191,7 +242,7 @@ impl NodeFleet {
     /// [`WbsnError::UnknownSession`] for a stale id, plus the
     /// session's own ingestion errors.
     pub fn push_frame(&mut self, id: SessionId, frame: &[i32]) -> Result<Vec<Payload>> {
-        self.monitor_mut(id)?.try_push(frame)
+        self.shard.push_frame(id, frame)
     }
 
     /// Batched ingestion into one session (see
@@ -207,7 +258,45 @@ impl NodeFleet {
         frames: &[i32],
         n_frames: usize,
     ) -> Result<Vec<Payload>> {
-        self.monitor_mut(id)?.push_block(frames, n_frames)
+        self.shard.push_block(id, frames, n_frames)
+    }
+
+    /// Cross-session batched ingestion: entries are processed in batch
+    /// order; each entry's sample count must be a multiple of its
+    /// session's lead count (the frame count is derived per session).
+    /// Returns one `(id, payloads)` per entry, in batch order.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] and shape mismatches
+    /// ([`WbsnError::InvalidParameter`]) are validated upfront, before
+    /// any samples land — a malformed batch leaves every session
+    /// untouched. A mid-batch stage failure (none of the current
+    /// stages can raise one) aborts with earlier entries applied.
+    pub fn ingest_batch(
+        &mut self,
+        batch: &[(SessionId, &[i32])],
+    ) -> Result<Vec<(SessionId, Vec<Payload>)>> {
+        for &(id, frames) in batch {
+            let monitor = self
+                .shard
+                .get(id)
+                .ok_or(WbsnError::UnknownSession { id: id.raw() })?;
+            let n_leads = monitor.config().n_leads;
+            if frames.len() % n_leads != 0 {
+                return Err(WbsnError::InvalidParameter {
+                    what: "frames",
+                    detail: format!(
+                        "entry for {id} has {} samples, not a multiple of its {n_leads} leads",
+                        frames.len()
+                    ),
+                });
+            }
+        }
+        batch
+            .iter()
+            .map(|&(id, frames)| self.shard.ingest_one(id, frames).map(|p| (id, p)))
+            .collect()
     }
 
     /// Flushes every session, returning whatever payloads were still
@@ -217,76 +306,28 @@ impl NodeFleet {
     ///
     /// The first stage failure aborts the sweep.
     pub fn flush_all(&mut self) -> Result<Vec<(SessionId, Vec<Payload>)>> {
-        let mut out = Vec::with_capacity(self.sessions.len());
-        for s in &mut self.sessions {
-            let payloads = s.monitor.flush()?;
-            if !payloads.is_empty() {
-                out.push((s.id, payloads));
-            }
-        }
-        Ok(out)
+        self.shard.flush_all()
     }
 
     /// Element-wise sum of every session's [`ActivityCounters`]
     /// (`seconds` therefore counts session-seconds).
     pub fn aggregate_counters(&self) -> ActivityCounters {
-        self.sessions
-            .iter()
-            .fold(ActivityCounters::default(), |acc, s| {
-                acc.merged(&s.monitor.counters())
-            })
+        self.shard.aggregate_counters()
     }
 
     /// Per-session energy reports (insertion order), priced on the
     /// default node model.
     pub fn session_energy_reports(&self) -> Vec<(SessionId, EnergyReport)> {
-        let node = NodeModel::default();
-        let costs = CycleCosts::default();
-        self.sessions
-            .iter()
-            .map(|s| {
-                let cfg = s.monitor.config();
-                let report = crate::energy::report(
-                    cfg.level,
-                    &s.monitor.counters(),
-                    cfg.n_leads,
-                    cfg.fs_hz as f64,
-                    &node,
-                    &costs,
-                );
-                (s.id, report)
-            })
+        self.shard
+            .snapshots()
+            .into_iter()
+            .map(|s| (s.id, s.energy))
             .collect()
     }
 
     /// Aggregated fleet energy report on the default node model.
     pub fn energy_report(&self) -> FleetEnergyReport {
-        let reports = self.session_energy_reports();
-        let total_power_mw: f64 = reports
-            .iter()
-            .map(|(_, r)| r.breakdown.avg_power_mw())
-            .sum();
-        let min_lifetime_days = reports
-            .iter()
-            .map(|(_, r)| r.lifetime_days)
-            .fold(f64::INFINITY, f64::min);
-        let sessions = self.sessions.len();
-        let min_lifetime_days = if sessions == 0 {
-            0.0
-        } else {
-            min_lifetime_days
-        };
-        FleetEnergyReport {
-            sessions,
-            counters: self.aggregate_counters(),
-            total_power_mw,
-            mean_power_mw: if sessions == 0 {
-                0.0
-            } else {
-                total_power_mw / sessions as f64
-            },
-            min_lifetime_days,
-        }
+        fold_fleet_energy(&self.shard.snapshots())
     }
 }
 
@@ -394,5 +435,69 @@ mod tests {
         assert_eq!(report.mean_power_mw, 0.0);
         assert_eq!(report.min_lifetime_days, 0.0);
         assert_eq!(fleet.aggregate_counters(), ActivityCounters::default());
+    }
+
+    #[test]
+    fn ingest_batch_matches_per_session_push_block() {
+        let (buf, n) = interleaved(21, 3.0);
+        let mut a = NodeFleet::new();
+        let mut b = NodeFleet::new();
+        let ids_a = a.add_sessions(&MonitorBuilder::new(), 3).unwrap();
+        let ids_b = b.add_sessions(&MonitorBuilder::new(), 3).unwrap();
+        let batch: Vec<(SessionId, &[i32])> = ids_a.iter().map(|&id| (id, &buf[..])).collect();
+        let batched = a.ingest_batch(&batch).unwrap();
+        for (i, &id) in ids_b.iter().enumerate() {
+            let direct = b.push_block(id, &buf, n).unwrap();
+            assert_eq!(batched[i].1, direct);
+        }
+        assert_eq!(a.aggregate_counters(), b.aggregate_counters());
+    }
+
+    #[test]
+    fn ingest_batch_rejects_unknown_ids_before_ingesting() {
+        let (buf, _) = interleaved(22, 1.0);
+        let mut fleet = NodeFleet::new();
+        let id = fleet.add_session(MonitorBuilder::new()).unwrap();
+        let ghost = SessionId::from_raw(99);
+        let batch: Vec<(SessionId, &[i32])> = vec![(id, &buf[..]), (ghost, &buf[..])];
+        assert!(matches!(
+            fleet.ingest_batch(&batch),
+            Err(WbsnError::UnknownSession { id: 99 })
+        ));
+        // Nothing landed, not even the valid first entry.
+        assert_eq!(fleet.session(id).unwrap().counters().samples_in, 0);
+    }
+
+    #[test]
+    fn ingest_batch_rejects_bad_shapes_before_ingesting() {
+        let mut fleet = NodeFleet::new();
+        let ids = fleet.add_sessions(&MonitorBuilder::new(), 2).unwrap();
+        let good = [0i32; 9];
+        let bad = [0i32; 10]; // not a multiple of 3 leads
+        let batch: Vec<(SessionId, &[i32])> = vec![(ids[0], &good[..]), (ids[1], &bad[..])];
+        assert!(matches!(
+            fleet.ingest_batch(&batch),
+            Err(WbsnError::InvalidParameter { what: "frames", .. })
+        ));
+        // The malformed batch left every session untouched — no
+        // payloads were produced and then lost to the abort.
+        assert_eq!(fleet.session(ids[0]).unwrap().counters().samples_in, 0);
+        assert_eq!(fleet.session(ids[1]).unwrap().counters().samples_in, 0);
+    }
+
+    #[test]
+    fn fleet_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CardiacMonitor>();
+        assert_send::<MonitorBuilder>();
+        assert_send::<Payload>();
+        assert_send::<Shard>();
+        assert_send::<NodeFleet>();
+        assert_send::<ShardedFleet>();
+        assert_send::<crate::stage::RawForwarder>();
+        assert_send::<crate::stage::CsStage>();
+        assert_send::<crate::stage::DelineationStage>();
+        assert_send::<crate::stage::ClassifyStage>();
+        assert_send::<Box<dyn crate::stage::PipelineStage>>();
     }
 }

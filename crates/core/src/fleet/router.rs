@@ -1,0 +1,135 @@
+//! The router: a stable `SessionId → shard` mapping.
+//!
+//! Placement is the pure function `id.raw() % n_shards` — because raw
+//! ids are handed out monotonically and never reused, the mapping is
+//! stable across the whole life of a fleet: adding or removing other
+//! sessions never moves an existing session to a different shard, and
+//! a stream of enrolments spreads round-robin over the shards. The
+//! router also records which ids are live so drivers can answer
+//! membership queries (`len`, unknown-id validation, global id order)
+//! without asking the shards.
+
+use std::collections::HashMap;
+
+use super::SessionId;
+
+/// Stable `SessionId → shard` mapping plus the live-id registry a
+/// fleet driver consults before touching any shard.
+#[derive(Debug)]
+pub struct ShardRouter {
+    n_shards: usize,
+    // raw id -> shard index, for every live session.
+    placements: HashMap<u64, usize>,
+    loads: Vec<usize>,
+}
+
+impl ShardRouter {
+    /// Router over `n_shards` shards (clamped to at least 1).
+    pub fn new(n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1);
+        ShardRouter {
+            n_shards,
+            placements: HashMap::new(),
+            loads: vec![0; n_shards],
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Live sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// True when no sessions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// The pure placement function: `id.raw() % n_shards`.
+    pub fn placement(n_shards: usize, id: SessionId) -> usize {
+        (id.raw() % n_shards.max(1) as u64) as usize
+    }
+
+    /// Registers a new session and returns its shard.
+    pub fn assign(&mut self, id: SessionId) -> usize {
+        let shard = Self::placement(self.n_shards, id);
+        if self.placements.insert(id.raw(), shard).is_none() {
+            self.loads[shard] += 1;
+        }
+        shard
+    }
+
+    /// Shard of a live session; `None` for unknown/removed ids.
+    pub fn route(&self, id: SessionId) -> Option<usize> {
+        self.placements.get(&id.raw()).copied()
+    }
+
+    /// Unregisters a session, returning the shard it lived on.
+    pub fn release(&mut self, id: SessionId) -> Option<usize> {
+        let shard = self.placements.remove(&id.raw())?;
+        self.loads[shard] -= 1;
+        Some(shard)
+    }
+
+    /// Live sessions per shard.
+    pub fn loads(&self) -> &[usize] {
+        &self.loads
+    }
+
+    /// Every live id, ascending (= global insertion order, since ids
+    /// are monotonic).
+    pub fn ids_in_order(&self) -> Vec<SessionId> {
+        let mut ids: Vec<u64> = self.placements.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(SessionId::from_raw).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_stable_under_churn() {
+        let mut router = ShardRouter::new(4);
+        let ids: Vec<SessionId> = (0..16).map(SessionId::from_raw).collect();
+        let before: Vec<usize> = ids.iter().map(|&id| router.assign(id)).collect();
+        // Remove half the fleet; survivors must not move.
+        for &id in ids.iter().step_by(2) {
+            router.release(id);
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            if i % 2 == 1 {
+                assert_eq!(router.route(id), Some(before[i]), "session {id} moved");
+                assert_eq!(ShardRouter::placement(4, id), before[i]);
+            } else {
+                assert_eq!(router.route(id), None);
+            }
+        }
+        assert_eq!(router.len(), 8);
+    }
+
+    #[test]
+    fn monotonic_ids_spread_round_robin() {
+        let mut router = ShardRouter::new(3);
+        for raw in 0..9 {
+            router.assign(SessionId::from_raw(raw));
+        }
+        assert_eq!(router.loads(), &[3, 3, 3]);
+        assert_eq!(
+            router.ids_in_order(),
+            (0..9).map(SessionId::from_raw).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let router = ShardRouter::new(0);
+        assert_eq!(router.n_shards(), 1);
+        assert_eq!(ShardRouter::placement(0, SessionId::from_raw(5)), 0);
+    }
+}

@@ -1,0 +1,341 @@
+//! The shard: a single-threaded group of sessions.
+//!
+//! A [`Shard`] owns a subset of a fleet's sessions and runs them on
+//! whatever thread is driving it — it is the former `NodeFleet` body
+//! factored out so that the sequential [`crate::fleet::NodeFleet`]
+//! driver and the multi-threaded [`crate::fleet::ShardedFleet`] driver
+//! share one implementation of session storage, ingestion, flushing
+//! and reporting. Ids are assigned by the driver, not the shard; the
+//! shard only stores sessions sorted by id, which makes lookup a
+//! binary search and iteration deterministic insertion order (ids are
+//! handed out monotonically and never reused).
+
+use crate::energy::{CycleCosts, EnergyReport};
+use crate::monitor::{ActivityCounters, CardiacMonitor};
+use crate::payload::Payload;
+use crate::{Result, WbsnError};
+use wbsn_platform::node::NodeModel;
+
+use super::SessionId;
+
+struct Session {
+    id: SessionId,
+    monitor: CardiacMonitor,
+}
+
+impl core::fmt::Debug for Session {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Session")
+            .field("id", &self.id)
+            .field("level", &self.monitor.config().level)
+            .finish()
+    }
+}
+
+/// Point-in-time view of one session: its counters plus the energy
+/// report priced on the default node model. Snapshots are plain data,
+/// so shard workers can hand them across threads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionSnapshot {
+    /// The session.
+    pub id: SessionId,
+    /// Activity accumulated so far.
+    pub counters: ActivityCounters,
+    /// Energy report priced on the default node model.
+    pub energy: EnergyReport,
+}
+
+/// One ingest-batch entry routed to a shard: the original batch index
+/// (for deterministic re-merging), the target session, and an owned
+/// copy of the interleaved frames (buffers are recycled through the
+/// driver's pool).
+#[derive(Debug)]
+pub(crate) struct IngestEntry {
+    pub batch_idx: usize,
+    pub id: SessionId,
+    pub frames: Vec<i32>,
+}
+
+/// What a shard produced for one ingest command.
+#[derive(Debug)]
+pub(crate) struct IngestOutcome {
+    /// `(batch_idx, id, payloads)` for every entry processed, in batch
+    /// order.
+    pub results: Vec<(usize, SessionId, Vec<Payload>)>,
+    /// The entries' frame buffers, cleared, for pool reuse.
+    pub recycled: Vec<Vec<i32>>,
+    /// First failure in batch order; entries after it were skipped.
+    pub error: Option<(usize, WbsnError)>,
+}
+
+/// A single-threaded group of sessions — the unit of work a fleet
+/// driver schedules.
+#[derive(Debug, Default)]
+pub struct Shard {
+    // Sorted by id; ids are assigned monotonically by the driver, so
+    // insertion order and ascending-id order coincide.
+    sessions: Vec<Session>,
+}
+
+impl Shard {
+    /// Empty shard.
+    pub fn new() -> Self {
+        Shard::default()
+    }
+
+    /// Empty shard with room for `n` sessions.
+    pub fn with_capacity(n: usize) -> Self {
+        Shard {
+            sessions: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of sessions on this shard.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when the shard holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Session ids in insertion (ascending-id) order.
+    pub fn session_ids(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.sessions.iter().map(|s| s.id)
+    }
+
+    /// True when `id` lives on this shard.
+    pub fn contains(&self, id: SessionId) -> bool {
+        self.index_of(id).is_ok()
+    }
+
+    /// Stores a session under a driver-assigned id. Re-inserting an id
+    /// replaces the previous session (drivers never do; ids are unique
+    /// by construction).
+    pub fn insert(&mut self, id: SessionId, monitor: CardiacMonitor) {
+        match self.index_of(id) {
+            Ok(i) => self.sessions[i] = Session { id, monitor },
+            Err(i) => self.sessions.insert(i, Session { id, monitor }),
+        }
+    }
+
+    /// Removes a session, returning its monitor so the caller can
+    /// flush it; `None` when the id is not on this shard.
+    pub fn take(&mut self, id: SessionId) -> Option<CardiacMonitor> {
+        let idx = self.index_of(id).ok()?;
+        Some(self.sessions.remove(idx).monitor)
+    }
+
+    /// Read access to one session.
+    pub fn get(&self, id: SessionId) -> Option<&CardiacMonitor> {
+        self.index_of(id).ok().map(|i| &self.sessions[i].monitor)
+    }
+
+    /// Mutable access to one session.
+    pub fn get_mut(&mut self, id: SessionId) -> Option<&mut CardiacMonitor> {
+        self.index_of(id)
+            .ok()
+            .map(move |i| &mut self.sessions[i].monitor)
+    }
+
+    fn index_of(&self, id: SessionId) -> core::result::Result<usize, usize> {
+        self.sessions.binary_search_by_key(&id, |s| s.id)
+    }
+
+    fn monitor_mut(&mut self, id: SessionId) -> Result<&mut CardiacMonitor> {
+        match self.index_of(id) {
+            Ok(i) => Ok(&mut self.sessions[i].monitor),
+            Err(_) => Err(WbsnError::UnknownSession { id: id.raw() }),
+        }
+    }
+
+    /// Pushes one frame into one session.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for a stale id, plus the
+    /// session's own ingestion errors.
+    pub fn push_frame(&mut self, id: SessionId, frame: &[i32]) -> Result<Vec<Payload>> {
+        self.monitor_mut(id)?.try_push(frame)
+    }
+
+    /// Batched ingestion into one session (see
+    /// [`CardiacMonitor::push_block`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for a stale id, plus the
+    /// session's own ingestion errors.
+    pub fn push_block(
+        &mut self,
+        id: SessionId,
+        frames: &[i32],
+        n_frames: usize,
+    ) -> Result<Vec<Payload>> {
+        self.monitor_mut(id)?.push_block(frames, n_frames)
+    }
+
+    /// Ingests one cross-session entry: the frame count is derived
+    /// from the session's configured lead count (`push_block` rejects
+    /// buffers that are not an exact multiple).
+    pub(crate) fn ingest_one(&mut self, id: SessionId, frames: &[i32]) -> Result<Vec<Payload>> {
+        let monitor = self.monitor_mut(id)?;
+        let n_frames = frames.len() / monitor.config().n_leads;
+        monitor.push_block(frames, n_frames)
+    }
+
+    /// Runs a routed slice of an ingest batch (entries arrive in batch
+    /// order). Processing stops at the first failing entry, mirroring
+    /// the sequential driver; every frame buffer is cleared and
+    /// returned for reuse either way.
+    pub(crate) fn ingest_entries(&mut self, entries: Vec<IngestEntry>) -> IngestOutcome {
+        let mut results = Vec::with_capacity(entries.len());
+        let mut recycled = Vec::with_capacity(entries.len());
+        let mut error: Option<(usize, WbsnError)> = None;
+        for mut e in entries {
+            if error.is_none() {
+                match self.ingest_one(e.id, &e.frames) {
+                    Ok(payloads) => results.push((e.batch_idx, e.id, payloads)),
+                    Err(err) => error = Some((e.batch_idx, err)),
+                }
+            }
+            e.frames.clear();
+            recycled.push(e.frames);
+        }
+        IngestOutcome {
+            results,
+            recycled,
+            error,
+        }
+    }
+
+    /// Flushes every session, returning whatever payloads were still
+    /// buffered, tagged by session (insertion order, non-empty only).
+    ///
+    /// # Errors
+    ///
+    /// The first stage failure aborts the sweep.
+    pub fn flush_all(&mut self) -> Result<Vec<(SessionId, Vec<Payload>)>> {
+        let mut out = Vec::with_capacity(self.sessions.len());
+        for s in &mut self.sessions {
+            let payloads = s.monitor.flush()?;
+            if !payloads.is_empty() {
+                out.push((s.id, payloads));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Counters of one session, without pricing energy.
+    pub fn counters_of(&self, id: SessionId) -> Option<ActivityCounters> {
+        self.get(id).map(CardiacMonitor::counters)
+    }
+
+    /// Element-wise sum of the shard's [`ActivityCounters`] in
+    /// insertion order (`seconds` counts session-seconds).
+    pub fn aggregate_counters(&self) -> ActivityCounters {
+        self.sessions
+            .iter()
+            .fold(ActivityCounters::default(), |acc, s| {
+                acc.merged(&s.monitor.counters())
+            })
+    }
+
+    /// Per-session snapshots (counters + energy on the default node
+    /// model), in insertion order.
+    pub fn snapshots(&self) -> Vec<SessionSnapshot> {
+        let node = NodeModel::default();
+        let costs = CycleCosts::default();
+        self.sessions
+            .iter()
+            .map(|s| {
+                let cfg = s.monitor.config();
+                let counters = s.monitor.counters();
+                let energy = crate::energy::report(
+                    cfg.level,
+                    &counters,
+                    cfg.n_leads,
+                    cfg.fs_hz as f64,
+                    &node,
+                    &costs,
+                );
+                SessionSnapshot {
+                    id: s.id,
+                    counters,
+                    energy,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::MonitorBuilder;
+
+    #[test]
+    fn insert_keeps_sessions_sorted_by_id() {
+        let mut shard = Shard::new();
+        for raw in [4u64, 0, 2] {
+            shard.insert(
+                SessionId::from_raw(raw),
+                MonitorBuilder::new().build().unwrap(),
+            );
+        }
+        let ids: Vec<u64> = shard.session_ids().map(SessionId::raw).collect();
+        assert_eq!(ids, vec![0, 2, 4]);
+        assert!(shard.contains(SessionId::from_raw(2)));
+        assert!(!shard.contains(SessionId::from_raw(3)));
+    }
+
+    #[test]
+    fn take_removes_and_returns_the_monitor() {
+        let mut shard = Shard::new();
+        let id = SessionId::from_raw(7);
+        shard.insert(id, MonitorBuilder::new().build().unwrap());
+        shard.push_block(id, &[0; 9], 3).unwrap();
+        let monitor = shard.take(id).unwrap();
+        assert_eq!(monitor.counters().samples_in, 9);
+        assert!(shard.is_empty());
+        assert!(matches!(
+            shard.push_frame(id, &[0, 0, 0]),
+            Err(WbsnError::UnknownSession { id: 7 })
+        ));
+    }
+
+    #[test]
+    fn ingest_entries_stops_at_the_first_error_and_recycles_buffers() {
+        let mut shard = Shard::new();
+        let a = SessionId::from_raw(0);
+        let b = SessionId::from_raw(1);
+        shard.insert(a, MonitorBuilder::new().build().unwrap());
+        shard.insert(b, MonitorBuilder::new().build().unwrap());
+        let entries = vec![
+            IngestEntry {
+                batch_idx: 0,
+                id: a,
+                frames: vec![0; 9],
+            },
+            IngestEntry {
+                batch_idx: 1,
+                id: b,
+                frames: vec![0; 10], // not a multiple of 3 leads
+            },
+            IngestEntry {
+                batch_idx: 2,
+                id: a,
+                frames: vec![0; 9],
+            },
+        ];
+        let out = shard.ingest_entries(entries);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.recycled.len(), 3);
+        assert!(out.recycled.iter().all(Vec::is_empty));
+        let (idx, _) = out.error.expect("entry 1 must fail");
+        assert_eq!(idx, 1);
+        // Entry 2 was skipped: only entry 0's samples landed.
+        assert_eq!(shard.get(a).unwrap().counters().samples_in, 9);
+    }
+}

@@ -1,0 +1,601 @@
+//! The driver: a multi-threaded sharded fleet.
+//!
+//! [`ShardedFleet`] owns N worker threads (plain `std::thread`), each
+//! running one [`Shard`] behind a per-shard work queue. The control
+//! thread routes every operation through the [`ShardRouter`], copies
+//! batched ingest data into pooled buffers (recycled by the workers,
+//! so steady-state serving allocates no new frame buffers), and merges
+//! replies back into the global order the sequential driver would have
+//! produced:
+//!
+//! * ingest results are re-merged by original batch index,
+//! * flush results and per-session reports are merged in ascending
+//!   session-id order (= global insertion order),
+//! * aggregate counters and energy use the exact same fold, in the
+//!   exact same order, as [`NodeFleet`](super::NodeFleet).
+//!
+//! Because sessions are fully isolated and every per-session
+//! computation is deterministic, this makes a sharded run
+//! **byte-identical** to a sequential run of the same input for any
+//! worker count — the property `tests/fleet_determinism.rs` pins.
+//!
+//! Commands to one shard are processed in submission order, so the
+//! single control thread observes every shard as linearizable; the
+//! only divergence from sequential semantics is error timing on a
+//! failing `ingest_batch`: entries routed to *other* shards that come
+//! after the failing entry in batch order may already have been
+//! applied when the error is returned (the failing entry's own shard
+//! stops exactly like the sequential driver).
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use crate::energy::EnergyReport;
+use crate::monitor::{ActivityCounters, CardiacMonitor, MonitorBuilder};
+use crate::payload::Payload;
+use crate::{Result, WbsnError};
+
+use super::router::ShardRouter;
+use super::shard::{IngestEntry, IngestOutcome, SessionSnapshot, Shard};
+use super::{fold_fleet_energy, FleetEnergyReport, SessionId};
+
+enum ShardCmd {
+    Add {
+        id: SessionId,
+        monitor: Box<CardiacMonitor>,
+    },
+    Remove {
+        id: SessionId,
+    },
+    PushBlock {
+        id: SessionId,
+        frames: Vec<i32>,
+        n_frames: usize,
+    },
+    Ingest {
+        entries: Vec<IngestEntry>,
+    },
+    FlushAll,
+    Counters {
+        id: SessionId,
+    },
+    Snapshot,
+    Shutdown,
+}
+
+enum ShardReply {
+    Removed(Option<Box<CardiacMonitor>>),
+    Pushed {
+        result: Result<Vec<Payload>>,
+        recycled: Vec<i32>,
+    },
+    Ingested(IngestOutcome),
+    Flushed(Result<Vec<(SessionId, Vec<Payload>)>>),
+    Counters(Option<ActivityCounters>),
+    Snapshot(Vec<SessionSnapshot>),
+}
+
+fn worker_loop(mut shard: Shard, cmds: Receiver<ShardCmd>, replies: Sender<ShardReply>) {
+    while let Ok(cmd) = cmds.recv() {
+        let reply = match cmd {
+            ShardCmd::Add { id, monitor } => {
+                shard.insert(id, *monitor);
+                continue;
+            }
+            ShardCmd::Remove { id } => ShardReply::Removed(shard.take(id).map(Box::new)),
+            ShardCmd::PushBlock {
+                id,
+                mut frames,
+                n_frames,
+            } => {
+                let result = shard.push_block(id, &frames, n_frames);
+                frames.clear();
+                ShardReply::Pushed {
+                    result,
+                    recycled: frames,
+                }
+            }
+            ShardCmd::Ingest { entries } => ShardReply::Ingested(shard.ingest_entries(entries)),
+            ShardCmd::FlushAll => ShardReply::Flushed(shard.flush_all()),
+            ShardCmd::Counters { id } => ShardReply::Counters(shard.counters_of(id)),
+            ShardCmd::Snapshot => ShardReply::Snapshot(shard.snapshots()),
+            ShardCmd::Shutdown => break,
+        };
+        if replies.send(reply).is_err() {
+            // Control side is gone; nothing left to serve.
+            break;
+        }
+    }
+}
+
+struct Worker {
+    cmds: Sender<ShardCmd>,
+    replies: Receiver<ShardReply>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// N independent sessions served by N worker threads — the
+/// multi-threaded counterpart of [`NodeFleet`](super::NodeFleet) with
+/// the same deterministic results (see the module docs).
+pub struct ShardedFleet {
+    router: ShardRouter,
+    workers: Vec<Worker>,
+    next_id: u64,
+    // Lead count per live session, so `ingest_batch` can validate
+    // every entry's shape upfront — before any samples are shipped —
+    // without a worker round trip.
+    session_leads: std::collections::HashMap<u64, usize>,
+    // Cleared frame buffers returned by workers, reused by the next
+    // ingest so steady-state serving allocates nothing per entry.
+    frame_pool: Vec<Vec<i32>>,
+}
+
+impl core::fmt::Debug for ShardedFleet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShardedFleet")
+            .field("workers", &self.workers.len())
+            .field("sessions", &self.router.len())
+            .field("loads", &self.router.loads())
+            .finish()
+    }
+}
+
+impl ShardedFleet {
+    /// Spawns `n_workers` shard threads (at least 1).
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] for zero workers;
+    /// [`WbsnError::WorkerLost`] when a thread cannot be spawned.
+    pub fn new(n_workers: usize) -> Result<Self> {
+        if n_workers == 0 {
+            return Err(WbsnError::InvalidParameter {
+                what: "n_workers",
+                detail: "must be at least 1".into(),
+            });
+        }
+        let mut workers = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let (cmd_tx, cmd_rx) = channel();
+            let (rep_tx, rep_rx) = channel();
+            let handle = std::thread::Builder::new()
+                .name(format!("wbsn-shard-{i}"))
+                .spawn(move || worker_loop(Shard::new(), cmd_rx, rep_tx))
+                .map_err(|_| WbsnError::WorkerLost { shard: i })?;
+            workers.push(Worker {
+                cmds: cmd_tx,
+                replies: rep_rx,
+                handle: Some(handle),
+            });
+        }
+        Ok(ShardedFleet {
+            router: ShardRouter::new(n_workers),
+            workers,
+            next_id: 0,
+            session_leads: std::collections::HashMap::new(),
+            frame_pool: Vec::new(),
+        })
+    }
+
+    /// Number of worker threads (= shards).
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.router.len()
+    }
+
+    /// True when no sessions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.router.is_empty()
+    }
+
+    /// Live sessions per shard (index = shard = `id.raw() % workers`).
+    pub fn shard_loads(&self) -> &[usize] {
+        self.router.loads()
+    }
+
+    /// Live session ids in insertion order.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.router.ids_in_order()
+    }
+
+    fn send(&self, shard: usize, cmd: ShardCmd) -> Result<()> {
+        self.workers[shard]
+            .cmds
+            .send(cmd)
+            .map_err(|_| WbsnError::WorkerLost { shard })
+    }
+
+    fn recv(&self, shard: usize) -> Result<ShardReply> {
+        self.workers[shard]
+            .replies
+            .recv()
+            .map_err(|_| WbsnError::WorkerLost { shard })
+    }
+
+    /// Builds and registers a new session; its shard is
+    /// `id.raw() % num_workers()` for the whole session lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation failures (the fleet is unchanged
+    /// on error) and [`WbsnError::WorkerLost`] for a dead shard.
+    pub fn add_session(&mut self, builder: MonitorBuilder) -> Result<SessionId> {
+        let monitor = builder.build()?;
+        self.enroll(monitor)
+    }
+
+    /// Builds and registers `n` identically-configured sessions
+    /// (all-or-nothing on validation failure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder validation failures; no sessions are added
+    /// on error.
+    pub fn add_sessions(&mut self, builder: &MonitorBuilder, n: usize) -> Result<Vec<SessionId>> {
+        let monitors: Vec<CardiacMonitor> = (0..n)
+            .map(|_| builder.clone().build())
+            .collect::<Result<_>>()?;
+        monitors.into_iter().map(|m| self.enroll(m)).collect()
+    }
+
+    fn enroll(&mut self, monitor: CardiacMonitor) -> Result<SessionId> {
+        let id = SessionId::from_raw(self.next_id);
+        let shard = ShardRouter::placement(self.router.n_shards(), id);
+        let n_leads = monitor.config().n_leads;
+        self.send(
+            shard,
+            ShardCmd::Add {
+                id,
+                monitor: Box::new(monitor),
+            },
+        )?;
+        // Register only after the send succeeded so a dead worker
+        // leaves the fleet consistent.
+        self.next_id += 1;
+        self.router.assign(id);
+        self.session_leads.insert(id.raw(), n_leads);
+        Ok(id)
+    }
+
+    /// Removes a session, returning its monitor so the caller can
+    /// flush it; `Ok(None)` when the id is unknown.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead shard.
+    pub fn remove_session(&mut self, id: SessionId) -> Result<Option<CardiacMonitor>> {
+        let Some(shard) = self.router.route(id) else {
+            return Ok(None);
+        };
+        self.send(shard, ShardCmd::Remove { id })?;
+        match self.recv(shard)? {
+            ShardReply::Removed(monitor) => {
+                self.router.release(id);
+                self.session_leads.remove(&id.raw());
+                Ok(monitor.map(|m| *m))
+            }
+            _ => Err(WbsnError::WorkerLost { shard }),
+        }
+    }
+
+    fn pooled_copy(&mut self, frames: &[i32]) -> Vec<i32> {
+        let mut buf = self.frame_pool.pop().unwrap_or_default();
+        buf.extend_from_slice(frames);
+        buf
+    }
+
+    /// Batched ingestion into one session (see
+    /// [`CardiacMonitor::push_block`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for a stale id, the session's own
+    /// ingestion errors, and [`WbsnError::WorkerLost`] for a dead
+    /// shard.
+    pub fn push_block(
+        &mut self,
+        id: SessionId,
+        frames: &[i32],
+        n_frames: usize,
+    ) -> Result<Vec<Payload>> {
+        let shard = self
+            .router
+            .route(id)
+            .ok_or(WbsnError::UnknownSession { id: id.raw() })?;
+        let frames = self.pooled_copy(frames);
+        self.send(
+            shard,
+            ShardCmd::PushBlock {
+                id,
+                frames,
+                n_frames,
+            },
+        )?;
+        match self.recv(shard)? {
+            ShardReply::Pushed { result, recycled } => {
+                self.frame_pool.push(recycled);
+                result
+            }
+            _ => Err(WbsnError::WorkerLost { shard }),
+        }
+    }
+
+    /// Pushes one frame into one session (convenience; batched entry
+    /// points are the hot path).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::push_block`].
+    pub fn push_frame(&mut self, id: SessionId, frame: &[i32]) -> Result<Vec<Payload>> {
+        self.push_block(id, frame, 1)
+    }
+
+    /// Cross-session batched ingestion: every entry is routed to its
+    /// session's shard and all involved shards run concurrently. Each
+    /// entry's sample count must be a multiple of its session's lead
+    /// count (the frame count is derived per session).
+    ///
+    /// Returns one `(id, payloads)` per entry, **in batch order** —
+    /// byte-identical to [`NodeFleet::ingest_batch`](super::NodeFleet::ingest_batch)
+    /// on the same input, for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] and shape mismatches
+    /// ([`WbsnError::InvalidParameter`]) are validated upfront, before
+    /// any shard sees a sample — a malformed batch leaves every
+    /// session untouched. Mid-batch stage failures (none of the
+    /// current stages can raise one) abort with the earliest failing
+    /// entry in batch order; [`WbsnError::WorkerLost`] reports a dead
+    /// worker thread.
+    pub fn ingest_batch(
+        &mut self,
+        batch: &[(SessionId, &[i32])],
+    ) -> Result<Vec<(SessionId, Vec<Payload>)>> {
+        // Validate every id and every entry's shape before any shard
+        // sees a sample, so a malformed batch cannot half-apply.
+        let mut routes = Vec::with_capacity(batch.len());
+        for &(id, frames) in batch {
+            let shard = self
+                .router
+                .route(id)
+                .ok_or(WbsnError::UnknownSession { id: id.raw() })?;
+            let n_leads = self.session_leads[&id.raw()];
+            if frames.len() % n_leads != 0 {
+                return Err(WbsnError::InvalidParameter {
+                    what: "frames",
+                    detail: format!(
+                        "entry for {id} has {} samples, not a multiple of its {n_leads} leads",
+                        frames.len()
+                    ),
+                });
+            }
+            routes.push(shard);
+        }
+        let mut per_shard: Vec<Vec<IngestEntry>> = Vec::new();
+        per_shard.resize_with(self.workers.len(), Vec::new);
+        for (batch_idx, (&(id, frames), &shard)) in batch.iter().zip(&routes).enumerate() {
+            let frames = self.pooled_copy(frames);
+            per_shard[shard].push(IngestEntry {
+                batch_idx,
+                id,
+                frames,
+            });
+        }
+        let involved: Vec<usize> = (0..self.workers.len())
+            .filter(|&s| !per_shard[s].is_empty())
+            .collect();
+        // Dispatch to every reachable shard, then drain one reply per
+        // *dispatched* shard even when something fails in between —
+        // leaving a reply queued would desynchronize the per-shard
+        // command/reply protocol for every later call.
+        let mut lost: Option<WbsnError> = None;
+        let mut dispatched = Vec::with_capacity(involved.len());
+        for &shard in &involved {
+            let entries = core::mem::take(&mut per_shard[shard]);
+            match self.send(shard, ShardCmd::Ingest { entries }) {
+                Ok(()) => dispatched.push(shard),
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        let mut merged: Vec<Option<(SessionId, Vec<Payload>)>> = Vec::with_capacity(batch.len());
+        merged.resize_with(batch.len(), || None);
+        let mut first_error: Option<(usize, WbsnError)> = None;
+        for &shard in &dispatched {
+            match self.recv(shard) {
+                Ok(ShardReply::Ingested(IngestOutcome {
+                    results,
+                    recycled,
+                    error,
+                })) => {
+                    for (batch_idx, id, payloads) in results {
+                        merged[batch_idx] = Some((id, payloads));
+                    }
+                    self.frame_pool.extend(recycled);
+                    if let Some((idx, err)) = error {
+                        if first_error.as_ref().is_none_or(|(i, _)| idx < *i) {
+                            first_error = Some((idx, err));
+                        }
+                    }
+                }
+                Ok(_) => {
+                    lost.get_or_insert(WbsnError::WorkerLost { shard });
+                }
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = lost {
+            return Err(e);
+        }
+        if let Some((_, err)) = first_error {
+            return Err(err);
+        }
+        Ok(merged
+            .into_iter()
+            .map(|slot| slot.expect("entry"))
+            .collect())
+    }
+
+    /// Flushes every session, returning whatever payloads were still
+    /// buffered, tagged by session (insertion order, non-empty only —
+    /// identical to the sequential driver).
+    ///
+    /// # Errors
+    ///
+    /// The first stage failure within a shard aborts that shard's
+    /// sweep; one such error (deterministically chosen) is returned.
+    pub fn flush_all(&mut self) -> Result<Vec<(SessionId, Vec<Payload>)>> {
+        let (dispatched, mut lost) = self.broadcast(|| ShardCmd::FlushAll);
+        let mut out: Vec<(SessionId, Vec<Payload>)> = Vec::new();
+        let mut first_error = None;
+        for shard in dispatched {
+            match self.recv(shard) {
+                Ok(ShardReply::Flushed(Ok(tagged))) => out.extend(tagged),
+                Ok(ShardReply::Flushed(Err(e))) => {
+                    // Keep the lowest shard's error: deterministic,
+                    // since each shard's sweep is deterministic.
+                    first_error.get_or_insert(e);
+                }
+                Ok(_) => {
+                    lost.get_or_insert(WbsnError::WorkerLost { shard });
+                }
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = lost {
+            return Err(e);
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        // Ascending id = global insertion order.
+        out.sort_unstable_by_key(|(id, _)| *id);
+        Ok(out)
+    }
+
+    /// Sends one command to every reachable worker; returns the shards
+    /// actually dispatched to (each owes exactly one reply, which the
+    /// caller must drain even on failure) plus the first send error.
+    fn broadcast(&self, make_cmd: impl Fn() -> ShardCmd) -> (Vec<usize>, Option<WbsnError>) {
+        let mut dispatched = Vec::with_capacity(self.workers.len());
+        let mut lost = None;
+        for shard in 0..self.workers.len() {
+            match self.send(shard, make_cmd()) {
+                Ok(()) => dispatched.push(shard),
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        (dispatched, lost)
+    }
+
+    /// Point-in-time per-session snapshots across the whole fleet, in
+    /// insertion order.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead shard.
+    pub fn snapshots(&self) -> Result<Vec<SessionSnapshot>> {
+        let (dispatched, mut lost) = self.broadcast(|| ShardCmd::Snapshot);
+        let mut all = Vec::with_capacity(self.router.len());
+        for shard in dispatched {
+            match self.recv(shard) {
+                Ok(ShardReply::Snapshot(s)) => all.extend(s),
+                Ok(_) => {
+                    lost.get_or_insert(WbsnError::WorkerLost { shard });
+                }
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = lost {
+            return Err(e);
+        }
+        all.sort_unstable_by_key(|s| s.id);
+        Ok(all)
+    }
+
+    /// Counters of one session.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] / [`WbsnError::WorkerLost`].
+    pub fn session_counters(&self, id: SessionId) -> Result<ActivityCounters> {
+        let shard = self
+            .router
+            .route(id)
+            .ok_or(WbsnError::UnknownSession { id: id.raw() })?;
+        self.send(shard, ShardCmd::Counters { id })?;
+        match self.recv(shard)? {
+            ShardReply::Counters(counters) => {
+                counters.ok_or(WbsnError::UnknownSession { id: id.raw() })
+            }
+            _ => Err(WbsnError::WorkerLost { shard }),
+        }
+    }
+
+    /// Element-wise sum of every session's [`ActivityCounters`], in
+    /// the same fold order as the sequential driver.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead shard.
+    pub fn aggregate_counters(&self) -> Result<ActivityCounters> {
+        Ok(self
+            .snapshots()?
+            .iter()
+            .fold(ActivityCounters::default(), |acc, s| {
+                acc.merged(&s.counters)
+            }))
+    }
+
+    /// Per-session energy reports (insertion order), priced on the
+    /// default node model.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead shard.
+    pub fn session_energy_reports(&self) -> Result<Vec<(SessionId, EnergyReport)>> {
+        Ok(self
+            .snapshots()?
+            .into_iter()
+            .map(|s| (s.id, s.energy))
+            .collect())
+    }
+
+    /// Aggregated fleet energy report — bit-identical to
+    /// [`NodeFleet::energy_report`](super::NodeFleet::energy_report)
+    /// for the same sessions and input.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead shard.
+    pub fn energy_report(&self) -> Result<FleetEnergyReport> {
+        Ok(fold_fleet_energy(&self.snapshots()?))
+    }
+}
+
+impl Drop for ShardedFleet {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            let _ = worker.cmds.send(ShardCmd::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}

@@ -23,9 +23,12 @@
 //!   with the validating [`MonitorBuilder`], fed through the fallible
 //!   [`CardiacMonitor::try_push`] or the batched
 //!   [`CardiacMonitor::push_block`] hot path.
-//! * [`fleet`] — [`fleet::NodeFleet`]: many independent sessions in
-//!   one process, with per-session ids, batched ingestion and
-//!   aggregated activity/energy reporting — the server-side layer.
+//! * [`fleet`] — the server-side serving layer, split into three
+//!   explicit pieces: a [`fleet::Shard`] (single-threaded group of
+//!   sessions), the [`fleet::ShardRouter`] (stable `SessionId → shard`
+//!   placement), and two drivers — the sequential [`fleet::NodeFleet`]
+//!   and the multi-threaded [`fleet::ShardedFleet`], which produce
+//!   byte-identical results for the same input.
 //! * [`payload`] — the on-air payload formats with exact byte costs.
 //! * [`energy`] — per-stage cycle accounting composed with the
 //!   `wbsn-platform` node model into Figure 6-style breakdowns and
@@ -80,7 +83,7 @@ pub mod payload;
 pub mod stage;
 
 pub use energy::EnergyReport;
-pub use fleet::{FleetEnergyReport, NodeFleet, SessionId};
+pub use fleet::{FleetEnergyReport, NodeFleet, SessionId, Shard, ShardRouter, ShardedFleet};
 pub use level::ProcessingLevel;
 pub use monitor::{CardiacMonitor, MonitorBuilder, MonitorConfig};
 pub use payload::Payload;
@@ -120,6 +123,13 @@ pub enum WbsnError {
         /// The offending id.
         id: u64,
     },
+    /// A [`fleet::ShardedFleet`] worker thread is unreachable — it
+    /// failed to spawn or terminated unexpectedly (panic), so its
+    /// shard's sessions can no longer be served.
+    WorkerLost {
+        /// Index of the unreachable shard.
+        shard: usize,
+    },
     /// DSP substrate error.
     Sigproc(SigprocError),
     /// Compressed-sensing error.
@@ -147,6 +157,9 @@ impl core::fmt::Display for WbsnError {
                 )
             }
             WbsnError::UnknownSession { id } => write!(f, "unknown session id {id}"),
+            WbsnError::WorkerLost { shard } => {
+                write!(f, "fleet shard worker {shard} is unreachable")
+            }
             WbsnError::Sigproc(e) => write!(f, "sigproc: {e}"),
             WbsnError::Cs(e) => write!(f, "cs: {e}"),
             WbsnError::Delineation(e) => write!(f, "delineation: {e}"),

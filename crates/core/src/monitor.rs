@@ -232,6 +232,7 @@ impl MonitorBuilder {
             stage,
             sink: PayloadSink::new(),
             n_frames: 0,
+            interleave_scratch: Vec::new(),
         })
     }
 }
@@ -244,6 +245,9 @@ pub struct CardiacMonitor {
     stage: Box<dyn PipelineStage>,
     sink: PayloadSink,
     n_frames: u64,
+    // Reusable interleave buffer for `process_record`, so repeated
+    // record replays allocate nothing in the steady state.
+    interleave_scratch: Vec<i32>,
 }
 
 impl CardiacMonitor {
@@ -360,13 +364,17 @@ impl CardiacMonitor {
         }
         let n = record.n_samples();
         let n_leads = self.cfg.n_leads;
-        let mut interleaved = vec![0i32; n * n_leads];
+        let mut interleaved = core::mem::take(&mut self.interleave_scratch);
+        interleaved.clear();
+        interleaved.resize(n * n_leads, 0);
         for (l, lead) in (0..n_leads).map(|l| (l, record.lead(l))) {
             for (i, &s) in lead.iter().enumerate() {
                 interleaved[i * n_leads + l] = s;
             }
         }
-        let mut payloads = self.push_block(&interleaved, n)?;
+        let result = self.push_block(&interleaved, n);
+        self.interleave_scratch = interleaved;
+        let mut payloads = result?;
         payloads.extend(self.flush()?);
         Ok(payloads)
     }

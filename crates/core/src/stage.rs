@@ -444,6 +444,9 @@ pub struct ClassifyStage {
     af: AfDetector,
     af_beats: Vec<AfBeat>,
     ring: Vec<i32>,
+    // Scratch for materializing one beat window out of the ring;
+    // reused across beats so the steady-state path never allocates.
+    beat_scratch: Vec<i32>,
     n_pushed: usize,
     last_beat_r: Option<usize>,
     af_active: bool,
@@ -496,6 +499,7 @@ impl ClassifyStage {
             })?,
             af_beats: Vec::new(),
             ring: vec![0; fs_hz as usize * 3],
+            beat_scratch: Vec::new(),
             n_pushed: 0,
             last_beat_r: None,
             af_active: false,
@@ -518,10 +522,13 @@ impl ClassifyStage {
             let fc = self.features.config();
             let oldest = self.n_pushed.saturating_sub(ring_len);
             if r >= fc.pre_samples + oldest && r + fc.post_samples <= self.n_pushed {
-                // Materialize the beat window from the ring.
+                // Materialize the beat window from the ring into the
+                // reusable scratch buffer.
                 let lo = r - fc.pre_samples;
                 let hi = r + fc.post_samples;
-                let window: Vec<i32> = (lo..hi).map(|i| self.ring[i % ring_len]).collect();
+                self.beat_scratch.clear();
+                self.beat_scratch
+                    .extend((lo..hi).map(|i| self.ring[i % ring_len]));
                 let rr_prev = self
                     .last_beat_r
                     .map(|p| r.saturating_sub(p))
@@ -529,7 +536,7 @@ impl ClassifyStage {
                 // Streaming node has no rr_next yet; reuse rr_prev.
                 self.classified_beats += 1;
                 self.features
-                    .extract(&window, fc.pre_samples, rr_prev, rr_prev)
+                    .extract(&self.beat_scratch, fc.pre_samples, rr_prev, rr_prev)
                     .map(|f| clf.predict(&f))
                     .unwrap_or(0)
             } else {

@@ -1,15 +1,18 @@
 //! Fleet serving: one process terminating the streams of a thousand
-//! wearable nodes — the first rung of the production-scale ladder.
+//! wearable nodes, scaled across cores by the sharded serving layer.
 //!
 //! Spins up 1200 independent monitor sessions across the abstraction
-//! ladder, replays per-patient synthetic ECG through the batched
-//! ingestion path, then prints the aggregated activity and energy
-//! picture a fleet operator would watch.
+//! ladder, replays per-patient synthetic ECG through the cross-session
+//! `ingest_batch` entry point, and sweeps the `ShardedFleet` worker
+//! count (1, 2, 4, 8) against the sequential `NodeFleet` baseline.
+//! Results are byte-identical at every worker count — the sharded
+//! driver only changes *where* sessions run, never *what* they
+//! produce — so the printed aggregate report is the same regardless.
 //!
 //! Run with: `cargo run --release --example fleet_serving`
 
 use std::time::Instant;
-use wbsn_core::fleet::NodeFleet;
+use wbsn_core::fleet::{NodeFleet, SessionId, ShardedFleet};
 use wbsn_core::level::ProcessingLevel;
 use wbsn_core::monitor::MonitorBuilder;
 use wbsn_ecg_synth::noise::NoiseConfig;
@@ -20,33 +23,21 @@ const SECONDS_PER_SESSION: f64 = 10.0;
 /// Patients share a small pool of synthetic records so the demo
 /// starts fast; sessions remain fully independent.
 const RECORD_POOL: usize = 24;
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// A realistic mix: most nodes at the frugal classified / delineated
+/// levels, some streaming CS or raw for diagnosis.
+fn level_for(s: usize) -> ProcessingLevel {
+    match s % 10 {
+        0 => ProcessingLevel::RawStreaming,
+        1 | 2 => ProcessingLevel::CompressedSingleLead,
+        3 => ProcessingLevel::CompressedMultiLead,
+        4..=6 => ProcessingLevel::Delineated,
+        _ => ProcessingLevel::Classified,
+    }
+}
 
 fn main() {
-    // ---- enrol the fleet ----
-    let t0 = Instant::now();
-    let mut fleet = NodeFleet::with_capacity(N_SESSIONS);
-    let ids: Vec<_> = (0..N_SESSIONS)
-        .map(|s| {
-            // A realistic mix: most nodes at the frugal classified /
-            // delineated levels, some streaming CS or raw for diagnosis.
-            let level = match s % 10 {
-                0 => ProcessingLevel::RawStreaming,
-                1 | 2 => ProcessingLevel::CompressedSingleLead,
-                3 => ProcessingLevel::CompressedMultiLead,
-                4..=6 => ProcessingLevel::Delineated,
-                _ => ProcessingLevel::Classified,
-            };
-            fleet
-                .add_session(MonitorBuilder::new().level(level).n_leads(3))
-                .expect("valid session config")
-        })
-        .collect();
-    println!(
-        "enrolled {} sessions in {:.0} ms",
-        fleet.len(),
-        t0.elapsed().as_secs_f64() * 1e3
-    );
-
     // ---- per-patient input pool ----
     let records: Vec<(Vec<i32>, usize)> = (0..RECORD_POOL)
         .map(|k| {
@@ -65,43 +56,107 @@ fn main() {
             (buf, n)
         })
         .collect();
+    let signal_s = N_SESSIONS as f64 * SECONDS_PER_SESSION;
 
-    // ---- batched replay through every session ----
+    // ---- sequential baseline (NodeFleet) ----
+    let t0 = Instant::now();
+    let mut baseline = NodeFleet::with_capacity(N_SESSIONS);
+    let ids: Vec<_> = (0..N_SESSIONS)
+        .map(|s| {
+            baseline
+                .add_session(MonitorBuilder::new().level(level_for(s)).n_leads(3))
+                .expect("valid session config")
+        })
+        .collect();
+    println!(
+        "enrolled {} sessions in {:.0} ms",
+        baseline.len(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    let batch: Vec<(SessionId, &[i32])> = ids
+        .iter()
+        .enumerate()
+        .map(|(s, &id)| (id, records[s % RECORD_POOL].0.as_slice()))
+        .collect();
+
     let t1 = Instant::now();
-    let mut total_payloads = 0usize;
-    for (s, &id) in ids.iter().enumerate() {
-        let (buf, n) = &records[s % RECORD_POOL];
-        total_payloads += fleet.push_block(id, buf, *n).expect("shape matches").len();
-    }
-    for (_, tail) in fleet.flush_all().expect("flush") {
+    let mut total_payloads: usize = baseline
+        .ingest_batch(&batch)
+        .expect("shape matches")
+        .iter()
+        .map(|(_, p)| p.len())
+        .sum();
+    for (_, tail) in baseline.flush_all().expect("flush") {
         total_payloads += tail.len();
     }
-    let wall = t1.elapsed().as_secs_f64();
-    let signal_s = N_SESSIONS as f64 * SECONDS_PER_SESSION;
+    let seq_wall = t1.elapsed().as_secs_f64();
     println!(
-        "replayed {signal_s:.0} session-seconds in {wall:.2} s wall \
+        "sequential NodeFleet: {signal_s:.0} session-seconds in {seq_wall:.2} s wall \
          ({:.0}x realtime), {total_payloads} payloads",
-        signal_s / wall
+        signal_s / seq_wall
     );
 
-    // ---- aggregated fleet report ----
-    let agg = fleet.aggregate_counters();
+    // ---- sharded sweep: same work, N worker threads ----
+    println!("\nsharded sweep ({N_SESSIONS} sessions, {SECONDS_PER_SESSION:.0} s each):");
+    println!("  workers |   wall s | x realtime | speedup vs seq");
+    let mut report = None;
+    for workers in WORKER_SWEEP {
+        let mut fleet = ShardedFleet::new(workers).expect("spawn workers");
+        let ids: Vec<_> = (0..N_SESSIONS)
+            .map(|s| {
+                fleet
+                    .add_session(MonitorBuilder::new().level(level_for(s)).n_leads(3))
+                    .expect("valid session config")
+            })
+            .collect();
+        let batch: Vec<(SessionId, &[i32])> = ids
+            .iter()
+            .enumerate()
+            .map(|(s, &id)| (id, records[s % RECORD_POOL].0.as_slice()))
+            .collect();
+        let t = Instant::now();
+        fleet.ingest_batch(&batch).expect("shape matches");
+        fleet.flush_all().expect("flush");
+        let wall = t.elapsed().as_secs_f64();
+        println!(
+            "  {workers:>7} | {wall:>8.2} | {:>10.0} | {:>6.2}x",
+            signal_s / wall,
+            seq_wall / wall
+        );
+        if workers == *WORKER_SWEEP.last().unwrap() {
+            report = Some((
+                fleet.aggregate_counters().expect("workers alive"),
+                fleet.energy_report().expect("workers alive"),
+            ));
+        }
+    }
+
+    // ---- aggregated fleet report (identical to the baseline's) ----
+    let (agg, energy) = report.expect("sweep ran");
+    assert_eq!(agg, baseline.aggregate_counters(), "sharded != sequential");
     println!(
         "\nfleet activity: {} samples in, {} beats delineated, {} CS windows, {} payload bytes",
         agg.samples_in, agg.beats, agg.cs_windows, agg.payload_bytes
     );
-    let report = fleet.energy_report();
     println!(
         "fleet energy: {} sessions | mean node power {:.3} mW | fleet total {:.1} mW | worst battery {:.1} days",
-        report.sessions,
-        report.mean_power_mw,
-        report.total_power_mw,
-        report.min_lifetime_days
+        energy.sessions,
+        energy.mean_power_mw,
+        energy.total_power_mw,
+        energy.min_lifetime_days
     );
 
     // ---- churn: drop a tenth of the fleet, keep serving ----
+    let mut fleet = ShardedFleet::new(4).expect("spawn workers");
+    let ids: Vec<_> = (0..N_SESSIONS)
+        .map(|s| {
+            fleet
+                .add_session(MonitorBuilder::new().level(level_for(s)).n_leads(3))
+                .expect("valid session config")
+        })
+        .collect();
     for &id in ids.iter().step_by(10) {
-        fleet.remove_session(id);
+        fleet.remove_session(id).expect("workers alive");
     }
     let (buf, n) = &records[0];
     let survivor = ids[1];
@@ -109,8 +164,10 @@ fn main() {
         .push_block(survivor, buf, *n)
         .expect("surviving session still ingests");
     println!(
-        "\nafter churn: {} sessions still live, {} remains responsive",
+        "\nafter churn: {} sessions still live across {} shards {:?}, {} remains responsive",
         fleet.len(),
+        fleet.num_workers(),
+        fleet.shard_loads(),
         survivor
     );
 }

@@ -1,9 +1,13 @@
 //! The fleet layer's core guarantee: N sessions multiplexed through
 //! one `NodeFleet` produce byte-identical payload streams to N
 //! `CardiacMonitor`s run sequentially, and aggregated counters are the
-//! exact element-wise sums.
+//! exact element-wise sums. The same guarantee extends to the
+//! multi-threaded driver: a `ShardedFleet` with any worker count
+//! produces byte-identical payloads and bit-identical aggregated
+//! reports to the sequential `NodeFleet` on the same input, even while
+//! sessions are added and removed mid-stream.
 
-use wbsn_core::fleet::NodeFleet;
+use wbsn_core::fleet::{NodeFleet, SessionId, ShardedFleet};
 use wbsn_core::level::ProcessingLevel;
 use wbsn_core::monitor::MonitorBuilder;
 use wbsn_core::payload::Payload;
@@ -38,6 +42,66 @@ fn builder_for(session: usize) -> MonitorBuilder {
 
 fn payload_bytes(payloads: &[Payload]) -> Vec<u8> {
     payloads.iter().flat_map(Payload::encode).collect()
+}
+
+/// Uniform handle over both fleet drivers, so equivalence tests feed
+/// the sequential reference and the sharded runs through one code
+/// path (any asymmetry in the feeding schedule would weaken the
+/// comparison).
+enum Driver {
+    Seq(NodeFleet),
+    Sharded(ShardedFleet),
+}
+
+impl Driver {
+    fn new(workers: Option<usize>) -> Self {
+        match workers {
+            None => Driver::Seq(NodeFleet::new()),
+            Some(w) => Driver::Sharded(ShardedFleet::new(w).unwrap()),
+        }
+    }
+
+    fn add(&mut self, builder: MonitorBuilder) -> SessionId {
+        match self {
+            Driver::Seq(f) => f.add_session(builder).unwrap(),
+            Driver::Sharded(f) => f.add_session(builder).unwrap(),
+        }
+    }
+
+    fn remove(&mut self, id: SessionId) -> wbsn_core::monitor::CardiacMonitor {
+        match self {
+            Driver::Seq(f) => f.remove_session(id).unwrap(),
+            Driver::Sharded(f) => f.remove_session(id).unwrap().unwrap(),
+        }
+    }
+
+    fn ingest(&mut self, batch: &[(SessionId, &[i32])]) -> Vec<(SessionId, Vec<Payload>)> {
+        match self {
+            Driver::Seq(f) => f.ingest_batch(batch).unwrap(),
+            Driver::Sharded(f) => f.ingest_batch(batch).unwrap(),
+        }
+    }
+
+    fn flush(&mut self) -> Vec<(SessionId, Vec<Payload>)> {
+        match self {
+            Driver::Seq(f) => f.flush_all().unwrap(),
+            Driver::Sharded(f) => f.flush_all().unwrap(),
+        }
+    }
+
+    fn counters(&self) -> wbsn_core::monitor::ActivityCounters {
+        match self {
+            Driver::Seq(f) => f.aggregate_counters(),
+            Driver::Sharded(f) => f.aggregate_counters().unwrap(),
+        }
+    }
+
+    fn energy(&self) -> wbsn_core::fleet::FleetEnergyReport {
+        match self {
+            Driver::Seq(f) => f.energy_report(),
+            Driver::Sharded(f) => f.energy_report().unwrap(),
+        }
+    }
 }
 
 #[test]
@@ -131,6 +195,154 @@ fn fleet_runs_are_reproducible() {
         payload_bytes(&all)
     };
     assert_eq!(run(), run());
+}
+
+/// The tentpole guarantee: a `ShardedFleet` with 1, 2 or 4 workers is
+/// indistinguishable — payload bytes, counters, energy floats — from
+/// the sequential `NodeFleet` fed the same chunked batches.
+#[test]
+fn sharded_fleet_matches_sequential_for_any_worker_count() {
+    let inputs: Vec<_> = (0..N_SESSIONS).map(session_input).collect();
+    let chunk_frames = 97; // deliberately not a divisor of the input
+
+    // One feeding schedule for every driver, so the comparison is
+    // like-for-like by construction.
+    let run = |workers: Option<usize>| {
+        let mut fleet = Driver::new(workers);
+        let ids: Vec<_> = (0..N_SESSIONS).map(|s| fleet.add(builder_for(s))).collect();
+        let mut outputs = vec![Vec::new(); N_SESSIONS];
+        let mut offset = 0;
+        loop {
+            let mut batch: Vec<(SessionId, &[i32])> = Vec::new();
+            let mut batch_sessions = Vec::new();
+            for (s, (buf, n)) in inputs.iter().enumerate() {
+                if offset >= *n {
+                    continue;
+                }
+                let take = chunk_frames.min(n - offset);
+                batch.push((ids[s], &buf[offset * 3..(offset + take) * 3]));
+                batch_sessions.push(s);
+            }
+            if batch.is_empty() {
+                break;
+            }
+            for (entry, s) in fleet.ingest(&batch).into_iter().zip(batch_sessions) {
+                outputs[s].extend(entry.1);
+            }
+            offset += chunk_frames;
+        }
+        for (id, tail) in fleet.flush() {
+            let idx = ids.iter().position(|&i| i == id).unwrap();
+            outputs[idx].extend(tail);
+        }
+        let bytes: Vec<Vec<u8>> = outputs.iter().map(|p| payload_bytes(p)).collect();
+        (bytes, fleet.counters(), fleet.energy())
+    };
+
+    let (ref_bytes, ref_counters, ref_energy) = run(None);
+    for workers in [1usize, 2, 4] {
+        let (bytes, counters, energy) = run(Some(workers));
+        for (s, out) in bytes.iter().enumerate() {
+            assert_eq!(
+                out, &ref_bytes[s],
+                "session {s} diverged with {workers} workers"
+            );
+        }
+        // Aggregations fold in the same order as the sequential
+        // driver, so floats (seconds, mW, lifetime) match exactly.
+        assert_eq!(counters, ref_counters);
+        assert_eq!(energy, ref_energy);
+    }
+}
+
+/// Sessions can be enrolled and retired between batches without
+/// disturbing anyone else — on both drivers, with identical results.
+#[test]
+fn add_remove_while_ingesting_matches_sequential() {
+    const ROUNDS: usize = 6;
+    let inputs: Vec<_> = (0..N_SESSIONS).map(session_input).collect();
+    let chunk = 250; // one second per round
+
+    // Scripted churn: sessions 0..4 live from the start; 4.. are
+    // enrolled mid-stream; session 1 is retired halfway through.
+    let run = |workers: Option<usize>| {
+        let mut fleet = Driver::new(workers);
+        let mut ids: Vec<Option<SessionId>> = vec![None; N_SESSIONS];
+        for (s, slot) in ids.iter_mut().enumerate().take(4) {
+            *slot = Some(fleet.add(builder_for(s)));
+        }
+        let mut outputs = vec![Vec::new(); N_SESSIONS];
+        let mut removed_counters = Vec::new();
+        for round in 0..ROUNDS {
+            // Enroll one new session per early round.
+            let newcomer = 4 + round;
+            if newcomer < N_SESSIONS && round < 3 {
+                ids[newcomer] = Some(fleet.add(builder_for(newcomer)));
+            }
+            // Retire session 1 halfway through; its monitor leaves
+            // with its counters intact.
+            if round == 3 {
+                let id = ids[1].take().unwrap();
+                removed_counters.push(fleet.remove(id).counters());
+            }
+            let offset = round * chunk;
+            let mut batch: Vec<(SessionId, &[i32])> = Vec::new();
+            let mut batch_sessions = Vec::new();
+            for (s, id) in ids.iter().enumerate() {
+                let Some(id) = id else { continue };
+                let (buf, n) = &inputs[s];
+                if offset >= *n {
+                    continue;
+                }
+                let take = chunk.min(n - offset);
+                batch.push((*id, &buf[offset * 3..(offset + take) * 3]));
+                batch_sessions.push(s);
+            }
+            for (entry, s) in fleet.ingest(&batch).into_iter().zip(batch_sessions) {
+                outputs[s].extend(entry.1);
+            }
+        }
+        for (id, tail) in fleet.flush() {
+            let idx = ids.iter().position(|&i| i == Some(id)).unwrap();
+            outputs[idx].extend(tail);
+        }
+        let bytes: Vec<Vec<u8>> = outputs.iter().map(|p| payload_bytes(p)).collect();
+        (bytes, fleet.counters(), removed_counters)
+    };
+
+    let reference = run(None);
+    for workers in [1usize, 2, 4] {
+        let sharded = run(Some(workers));
+        assert_eq!(
+            sharded.0, reference.0,
+            "payloads diverged at {workers} workers"
+        );
+        assert_eq!(
+            sharded.1, reference.1,
+            "counters diverged at {workers} workers"
+        );
+        assert_eq!(sharded.2, reference.2, "removed-session counters diverged");
+    }
+}
+
+/// Routing is stable: a session stays on `raw % workers` for life.
+#[test]
+fn sharded_session_placement_follows_raw_id() {
+    let mut fleet = ShardedFleet::new(3).unwrap();
+    let ids = fleet.add_sessions(&MonitorBuilder::new(), 9).unwrap();
+    assert_eq!(fleet.shard_loads(), &[3, 3, 3]);
+    // Remove a few; survivors must keep serving (no rebalance).
+    fleet.remove_session(ids[0]).unwrap();
+    fleet.remove_session(ids[4]).unwrap();
+    let (buf, n) = session_input(0);
+    for &id in &[ids[1], ids[2], ids[3], ids[5]] {
+        fleet.push_block(id, &buf, n).unwrap();
+    }
+    assert_eq!(fleet.len(), 7);
+    assert_eq!(
+        fleet.session_counters(ids[1]).unwrap().samples_in,
+        3 * n as u64
+    );
 }
 
 #[test]
