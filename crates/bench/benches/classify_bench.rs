@@ -7,7 +7,7 @@ use wbsn_classify::fuzzy::{FuzzyClassifier, MembershipMode};
 use wbsn_ecg_synth::suite::ectopy_suite;
 
 fn bench_classify(c: &mut Criterion) {
-    let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+    let mut fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
     let recs = ectopy_suite(1, 9);
     let rec = &recs[0];
     let lead = rec.lead(0).to_vec();

@@ -20,7 +20,7 @@ fn bench_delineation(c: &mut Criterion) {
         b.iter(|| QrsDetector::detect(black_box(&lead), QrsConfig::default()).unwrap())
     });
     let rs = QrsDetector::detect(&lead, QrsConfig::default()).unwrap();
-    let wd = WaveletDelineator::new(WaveletConfig::default()).unwrap();
+    let mut wd = WaveletDelineator::new(WaveletConfig::default()).unwrap();
     g.bench_function("wavelet_delineate_30s", |b| {
         b.iter(|| wd.delineate(black_box(&lead), black_box(&rs)))
     });

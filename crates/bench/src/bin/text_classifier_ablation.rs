@@ -22,7 +22,7 @@ fn label_of(t: BeatType) -> usize {
     }
 }
 
-fn dataset(recs: &[Record], fe: &BeatFeatureExtractor) -> (Vec<Vec<f64>>, Vec<usize>) {
+fn dataset(recs: &[Record], fe: &mut BeatFeatureExtractor) -> (Vec<Vec<f64>>, Vec<usize>) {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for rec in recs {
@@ -67,13 +67,13 @@ fn main() {
         "dims", "exact [%]", "PWL [%]", "kNN(5) [%]", "agree [%]", "proj bytes"
     );
     for dims in [4usize, 8, 16, 32, 64] {
-        let fe = BeatFeatureExtractor::new(FeatureConfig {
+        let mut fe = BeatFeatureExtractor::new(FeatureConfig {
             projected_dims: dims,
             ..FeatureConfig::default()
         })
         .unwrap();
-        let (train_x, train_y) = dataset(&train_recs, &fe);
-        let (test_x, test_y) = dataset(&test_recs, &fe);
+        let (train_x, train_y) = dataset(&train_recs, &mut fe);
+        let (test_x, test_y) = dataset(&test_recs, &mut fe);
         let exact =
             FuzzyClassifier::train(&train_x, &train_y, MembershipMode::ExactGaussian).unwrap();
         let pwl = exact.with_mode(MembershipMode::PiecewiseLinear);
@@ -98,9 +98,9 @@ fn main() {
     }
 
     // Detailed confusion at the default dimensionality.
-    let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
-    let (train_x, train_y) = dataset(&train_recs, &fe);
-    let (test_x, test_y) = dataset(&test_recs, &fe);
+    let mut fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+    let (train_x, train_y) = dataset(&train_recs, &mut fe);
+    let (test_x, test_y) = dataset(&test_recs, &mut fe);
     let pwl = FuzzyClassifier::train(&train_x, &train_y, MembershipMode::PiecewiseLinear).unwrap();
     let (_, cm) = accuracy(|x| pwl.predict(x), &test_x, &test_y);
     println!("\nPWL fuzzy classifier at 16 dims (classes: 0=N, 1=PVC, 2=APC):");

@@ -42,6 +42,11 @@ impl Default for FeatureConfig {
 pub struct BeatFeatureExtractor {
     cfg: FeatureConfig,
     projection: PackedTernaryMatrix,
+    // Reused per-beat buffers (centered window, projection output), so
+    // the streaming classify path allocates only the returned feature
+    // vector itself.
+    centered_scratch: Vec<i32>,
+    proj_scratch: Vec<i64>,
 }
 
 impl BeatFeatureExtractor {
@@ -72,7 +77,12 @@ impl BeatFeatureExtractor {
             what: "projection",
             detail: e.to_string(),
         })?;
-        Ok(BeatFeatureExtractor { cfg, projection })
+        Ok(BeatFeatureExtractor {
+            cfg,
+            projection,
+            centered_scratch: Vec::new(),
+            proj_scratch: Vec::new(),
+        })
     }
 
     /// Configuration in use.
@@ -104,22 +114,36 @@ impl BeatFeatureExtractor {
     /// amplitude-normalized so electrode gain cancels.
     ///
     /// Returns `None` when the window does not fit inside `x`.
-    pub fn extract(&self, x: &[i32], r: usize, rr_prev: usize, rr_next: usize) -> Option<Vec<f64>> {
+    ///
+    /// The centering and projection intermediates live in reused
+    /// scratch (hence `&mut self`); only the returned feature vector
+    /// is allocated.
+    pub fn extract(
+        &mut self,
+        x: &[i32],
+        r: usize,
+        rr_prev: usize,
+        rr_next: usize,
+    ) -> Option<Vec<f64>> {
         if r < self.cfg.pre_samples || r + self.cfg.post_samples > x.len() {
             return None;
         }
         let window = &x[r - self.cfg.pre_samples..r + self.cfg.post_samples];
         // Remove window mean and normalize by peak magnitude.
         let mean = window.iter().map(|&v| v as i64).sum::<i64>() / window.len() as i64;
-        let centered: Vec<i32> = window.iter().map(|&v| (v as i64 - mean) as i32).collect();
+        let centered = &mut self.centered_scratch;
+        centered.clear();
+        centered.extend(window.iter().map(|&v| (v as i64 - mean) as i32));
         let peak = centered
             .iter()
             .map(|v| v.unsigned_abs())
             .max()
             .unwrap_or(1)
             .max(1);
-        let y = self.projection.apply_i32(&centered);
-        let mut features: Vec<f64> = y.iter().map(|&v| v as f64 / peak as f64).collect();
+        self.projection
+            .apply_i32_into(centered, &mut self.proj_scratch);
+        let mut features: Vec<f64> = Vec::with_capacity(self.proj_scratch.len() + 2);
+        features.extend(self.proj_scratch.iter().map(|&v| v as f64 / peak as f64));
         // RR context, normalized to ~1 at a resting rate.
         let rr_ref = 0.8 * self.cfg.fs_hz as f64;
         features.push(rr_prev as f64 / rr_ref);
@@ -144,7 +168,7 @@ mod tests {
 
     #[test]
     fn features_have_expected_shape() {
-        let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let mut fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
         let x = beat_signal(500, 250, false);
         let f = fe.extract(&x, 250, 200, 200).unwrap();
         assert_eq!(f.len(), fe.dims());
@@ -153,7 +177,7 @@ mod tests {
 
     #[test]
     fn window_bounds_are_enforced() {
-        let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let mut fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
         let x = beat_signal(500, 250, false);
         assert!(fe.extract(&x, 30, 200, 200).is_none());
         assert!(fe.extract(&x, 490, 200, 200).is_none());
@@ -161,7 +185,7 @@ mod tests {
 
     #[test]
     fn amplitude_invariance() {
-        let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let mut fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
         let x = beat_signal(500, 250, false);
         let x2: Vec<i32> = x.iter().map(|&v| v * 2).collect();
         let f1 = fe.extract(&x, 250, 200, 200).unwrap();
@@ -173,7 +197,7 @@ mod tests {
 
     #[test]
     fn wide_and_narrow_beats_separate() {
-        let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let mut fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
         let narrow = fe
             .extract(&beat_signal(500, 250, false), 250, 200, 200)
             .unwrap();
@@ -191,7 +215,7 @@ mod tests {
 
     #[test]
     fn rr_features_reflect_prematurity() {
-        let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let mut fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
         let x = beat_signal(500, 250, false);
         let normal = fe.extract(&x, 250, 200, 200).unwrap();
         let premature = fe.extract(&x, 250, 120, 260).unwrap();
@@ -211,8 +235,8 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let a = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
-        let b = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let mut a = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+        let mut b = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
         let x = beat_signal(400, 200, false);
         assert_eq!(a.extract(&x, 200, 200, 200), b.extract(&x, 200, 200, 200));
     }

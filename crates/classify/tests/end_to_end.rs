@@ -27,7 +27,7 @@ fn label_of(t: BeatType) -> usize {
 
 /// Extracts (features, labels) from a record using ground-truth beat
 /// locations (isolating classifier quality from detector quality).
-fn dataset(rec: &Record, fe: &BeatFeatureExtractor) -> (Vec<Vec<f64>>, Vec<usize>) {
+fn dataset(rec: &Record, fe: &mut BeatFeatureExtractor) -> (Vec<Vec<f64>>, Vec<usize>) {
     let lead = rec.lead(0);
     let beats = rec.beats();
     let mut xs = Vec::new();
@@ -46,20 +46,20 @@ fn dataset(rec: &Record, fe: &BeatFeatureExtractor) -> (Vec<Vec<f64>>, Vec<usize
 
 #[test]
 fn fuzzy_classifier_beats_90_percent_on_held_out_records() {
-    let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+    let mut fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
     let train_recs = ectopy_suite(3, 1000);
     let test_recs = ectopy_suite(2, 2000);
     let mut train_x = Vec::new();
     let mut train_y = Vec::new();
     for r in &train_recs {
-        let (xs, ys) = dataset(r, &fe);
+        let (xs, ys) = dataset(r, &mut fe);
         train_x.extend(xs);
         train_y.extend(ys);
     }
     let clf = FuzzyClassifier::train(&train_x, &train_y, MembershipMode::PiecewiseLinear).unwrap();
     let mut cm = ConfusionMatrix::new(3);
     for r in &test_recs {
-        let (xs, ys) = dataset(r, &fe);
+        let (xs, ys) = dataset(r, &mut fe);
         for (x, y) in xs.iter().zip(&ys) {
             cm.record(*y, clf.predict(x));
         }
@@ -76,12 +76,12 @@ fn fuzzy_classifier_beats_90_percent_on_held_out_records() {
 
 #[test]
 fn pwl_mode_tracks_exact_mode() {
-    let fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
+    let mut fe = BeatFeatureExtractor::new(FeatureConfig::default()).unwrap();
     let recs = ectopy_suite(2, 3000);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for r in &recs {
-        let (x, y) = dataset(r, &fe);
+        let (x, y) = dataset(r, &mut fe);
         xs.extend(x);
         ys.extend(y);
     }

@@ -161,7 +161,11 @@ impl Shard {
     }
 
     /// Batched ingestion into one session (see
-    /// [`CardiacMonitor::push_block`]).
+    /// [`CardiacMonitor::push_block`]). Routes through the stage's
+    /// block kernel: in the steady state (warm session, no payload
+    /// due) this performs **zero heap allocations per frame** — pinned
+    /// by the counting-allocator harness in
+    /// `tests/alloc_steady_state.rs`.
     ///
     /// # Errors
     ///

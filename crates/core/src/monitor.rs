@@ -320,8 +320,11 @@ impl CardiacMonitor {
 
     /// Batched ingestion hot path for server-side replay: consumes
     /// `n_frames` interleaved frames (`frames[i * n_leads + l]` is
-    /// lead `l` of frame `i`) with one validation, one dispatch loop
-    /// and one payload drain.
+    /// lead `l` of frame `i`) with one validation, one block dispatch
+    /// into the stage's [`PipelineStage::process_block`] kernel, and
+    /// one payload drain. In the steady state (reused session, no
+    /// payload due) this path performs zero heap allocations — pinned
+    /// by the counting-allocator test `tests/alloc_steady_state.rs`.
     ///
     /// # Errors
     ///
@@ -340,9 +343,7 @@ impl CardiacMonitor {
                 ),
             });
         }
-        for frame in frames.chunks_exact(n_leads) {
-            self.stage.push_frame(frame, &mut self.sink)?;
-        }
+        self.stage.process_block(frames, n_leads, &mut self.sink)?;
         self.n_frames += n_frames as u64;
         Ok(self.sink.drain())
     }

@@ -142,6 +142,33 @@ pub trait PipelineStage: core::fmt::Debug + Send {
     /// Stage-specific processing failures.
     fn push_frame(&mut self, frame: &[i32], sink: &mut PayloadSink) -> Result<()>;
 
+    /// Consumes a block of interleaved frames
+    /// (`frames[i * n_leads + l]` is lead `l` of frame `i`;
+    /// `frames.len()` is an exact multiple of `n_leads` — the engine
+    /// validates before dispatch) in one call.
+    ///
+    /// Must emit byte-identical payloads and identical counters to
+    /// pushing the frames one at a time — the monitor equivalence
+    /// tests pin this for every stage. The default implementation is
+    /// the per-frame loop; stages override it with block kernels so
+    /// steady-state ingestion performs no per-frame trait dispatch and
+    /// no per-frame heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Stage-specific processing failures.
+    fn process_block(
+        &mut self,
+        frames: &[i32],
+        n_leads: usize,
+        sink: &mut PayloadSink,
+    ) -> Result<()> {
+        for frame in frames.chunks_exact(n_leads) {
+            self.push_frame(frame, sink)?;
+        }
+        Ok(())
+    }
+
     /// Emits any buffered partial state (end of session).
     ///
     /// # Errors
@@ -222,6 +249,40 @@ impl PipelineStage for RawForwarder {
         Ok(())
     }
 
+    fn process_block(
+        &mut self,
+        frames: &[i32],
+        n_leads: usize,
+        sink: &mut PayloadSink,
+    ) -> Result<()> {
+        // All per-lead buffers fill in lockstep (one sample per lead
+        // per frame), so sub-blocks can run to each chunk boundary and
+        // emit lead-by-lead exactly as the per-frame path does.
+        let mut rest = frames;
+        while !rest.is_empty() {
+            let take = (self.chunk_len - self.buffers[0].len()).min(rest.len() / n_leads);
+            let (sub, tail) = rest.split_at(take * n_leads);
+            rest = tail;
+            for (lead, buf) in self.buffers.iter_mut().enumerate() {
+                buf.extend(
+                    sub[lead..]
+                        .iter()
+                        .step_by(n_leads)
+                        .map(|&s| s.clamp(-2048, 2047) as i16),
+                );
+            }
+            if self.buffers[0].len() >= self.chunk_len {
+                for (lead, buf) in self.buffers.iter_mut().enumerate() {
+                    sink.emit(Payload::RawChunk {
+                        lead: lead as u8,
+                        samples: core::mem::take(buf),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn flush(&mut self, sink: &mut PayloadSink) -> Result<()> {
         for (lead, buf) in self.buffers.iter_mut().enumerate() {
             if !buf.is_empty() {
@@ -250,6 +311,10 @@ pub struct CsStage {
     window: usize,
     encoders: Vec<CsEncoder>,
     buffers: Vec<Vec<i32>>,
+    // Reused measurement buffer shared by every lead's encode, so the
+    // steady-state path performs no per-window allocation beyond the
+    // emitted payload itself.
+    y_scratch: Vec<i64>,
     window_seq: u32,
     cs_windows: u64,
     cs_adds: u64,
@@ -291,10 +356,34 @@ impl CsStage {
             window,
             encoders,
             buffers: vec![Vec::with_capacity(window); n_leads],
+            y_scratch: Vec::with_capacity(m),
             window_seq: 0,
             cs_windows: 0,
             cs_adds: 0,
         })
+    }
+
+    /// Encodes and emits one full window per lead (the buffers fill in
+    /// lockstep), clearing the buffers for the next window. Shared by
+    /// the per-frame and block paths so their payloads are identical.
+    fn emit_full_windows(&mut self, sink: &mut PayloadSink) {
+        for (lead, (buf, enc)) in self.buffers.iter_mut().zip(&self.encoders).enumerate() {
+            enc.encode_into(buf, &mut self.y_scratch)
+                .expect("window length enforced by construction");
+            buf.clear();
+            self.cs_windows += 1;
+            self.cs_adds += enc.adds_per_window() as u64;
+            sink.emit(Payload::CsWindow {
+                lead: lead as u8,
+                window_seq: self.window_seq,
+                measurements: self
+                    .y_scratch
+                    .iter()
+                    .map(|&v| v.clamp(i16::MIN as i64, i16::MAX as i64) as i16)
+                    .collect(),
+            });
+        }
+        self.window_seq += 1;
     }
 }
 
@@ -308,23 +397,31 @@ impl PipelineStage for CsStage {
             self.buffers[lead].push(s);
         }
         if self.buffers[0].len() >= self.window {
-            for (lead, (buf, enc)) in self.buffers.iter_mut().zip(&self.encoders).enumerate() {
-                let y = enc
-                    .encode(buf)
-                    .expect("window length enforced by construction");
-                buf.clear();
-                self.cs_windows += 1;
-                self.cs_adds += enc.adds_per_window() as u64;
-                sink.emit(Payload::CsWindow {
-                    lead: lead as u8,
-                    window_seq: self.window_seq,
-                    measurements: y
-                        .iter()
-                        .map(|&v| v.clamp(i16::MIN as i64, i16::MAX as i64) as i16)
-                        .collect(),
-                });
+            self.emit_full_windows(sink);
+        }
+        Ok(())
+    }
+
+    fn process_block(
+        &mut self,
+        frames: &[i32],
+        n_leads: usize,
+        sink: &mut PayloadSink,
+    ) -> Result<()> {
+        // Deinterleave straight into the per-lead window buffers in
+        // window-sized gulps; the buffers fill in lockstep, so each
+        // gulp either tops up a partial window or completes one.
+        let mut rest = frames;
+        while !rest.is_empty() {
+            let take = (self.window - self.buffers[0].len()).min(rest.len() / n_leads);
+            let (sub, tail) = rest.split_at(take * n_leads);
+            rest = tail;
+            for (lead, buf) in self.buffers.iter_mut().enumerate() {
+                buf.extend(sub[lead..].iter().step_by(n_leads));
             }
-            self.window_seq += 1;
+            if self.buffers[0].len() >= self.window {
+                self.emit_full_windows(sink);
+            }
         }
         Ok(())
     }
@@ -355,6 +452,11 @@ pub struct DelineationStage {
     combiner: RmsCombiner,
     delineator: StreamingDelineator,
     queue: Vec<BeatFiducials>,
+    // Reused block buffers (RMS-combined samples, beats emitted by the
+    // delineator per block), so the block path allocates nothing per
+    // frame.
+    combined_scratch: Vec<i32>,
+    beat_scratch: Vec<BeatFiducials>,
     beats_per_payload: usize,
     beats: u64,
 }
@@ -381,9 +483,24 @@ impl DelineationStage {
                 ..StreamingConfig::default()
             })?,
             queue: Vec::new(),
+            combined_scratch: Vec::new(),
+            beat_scratch: Vec::new(),
             beats_per_payload,
             beats: 0,
         })
+    }
+
+    /// Queues one delineated beat and emits a `Beats` payload when the
+    /// batch is full. Shared by the per-frame and block paths.
+    #[inline]
+    fn enqueue_beat(&mut self, beat: BeatFiducials, sink: &mut PayloadSink) {
+        self.beats += 1;
+        self.queue.push(beat);
+        if self.queue.len() >= self.beats_per_payload {
+            sink.emit(Payload::Beats {
+                beats: core::mem::take(&mut self.queue),
+            });
+        }
     }
 }
 
@@ -395,14 +512,30 @@ impl PipelineStage for DelineationStage {
     fn push_frame(&mut self, frame: &[i32], sink: &mut PayloadSink) -> Result<()> {
         let combined = self.combiner.push(frame);
         if let Some(beat) = self.delineator.push(combined) {
-            self.beats += 1;
-            self.queue.push(beat);
-            if self.queue.len() >= self.beats_per_payload {
-                sink.emit(Payload::Beats {
-                    beats: core::mem::take(&mut self.queue),
-                });
-            }
+            self.enqueue_beat(beat, sink);
         }
+        Ok(())
+    }
+
+    fn process_block(
+        &mut self,
+        frames: &[i32],
+        _n_leads: usize,
+        sink: &mut PayloadSink,
+    ) -> Result<()> {
+        // RMS-combine the whole block in one sweep (one shape check,
+        // vectorizable squares), then run the delineator's block form
+        // over the combined buffer and queue whatever beats came out.
+        let mut combined = core::mem::take(&mut self.combined_scratch);
+        let mut beats = core::mem::take(&mut self.beat_scratch);
+        self.combiner.combine_block_into(frames, &mut combined);
+        beats.clear();
+        self.delineator.push_block(&combined, &mut beats);
+        for beat in beats.drain(..) {
+            self.enqueue_beat(beat, sink);
+        }
+        self.combined_scratch = combined;
+        self.beat_scratch = beats;
         Ok(())
     }
 
@@ -444,9 +577,14 @@ pub struct ClassifyStage {
     af: AfDetector,
     af_beats: Vec<AfBeat>,
     ring: Vec<i32>,
+    // Write cursor into `ring` (== n_pushed % ring.len(), maintained
+    // incrementally so the per-sample path never takes a modulo).
+    ring_pos: usize,
     // Scratch for materializing one beat window out of the ring;
     // reused across beats so the steady-state path never allocates.
     beat_scratch: Vec<i32>,
+    // Reused block buffer for the RMS-combined samples.
+    combined_scratch: Vec<i32>,
     n_pushed: usize,
     last_beat_r: Option<usize>,
     af_active: bool,
@@ -499,7 +637,9 @@ impl ClassifyStage {
             })?,
             af_beats: Vec::new(),
             ring: vec![0; fs_hz as usize * 3],
+            ring_pos: 0,
             beat_scratch: Vec::new(),
+            combined_scratch: Vec::new(),
             n_pushed: 0,
             last_beat_r: None,
             af_active: false,
@@ -592,17 +732,17 @@ impl ClassifyStage {
         self.last_event_at = self.n_pushed as f64 / self.fs_hz as f64;
         p
     }
-}
 
-impl PipelineStage for ClassifyStage {
-    fn name(&self) -> &'static str {
-        "classify"
-    }
-
-    fn push_frame(&mut self, frame: &[i32], sink: &mut PayloadSink) -> Result<()> {
-        let combined = self.combiner.push(frame);
-        let ring_len = self.ring.len();
-        self.ring[self.n_pushed % ring_len] = combined;
+    /// Advances the pipeline by one combined sample: ring bookkeeping,
+    /// delineation, beat handling, periodic event emission. Shared by
+    /// the per-frame and block paths.
+    #[inline]
+    fn step(&mut self, combined: i32, sink: &mut PayloadSink) {
+        self.ring[self.ring_pos] = combined;
+        self.ring_pos += 1;
+        if self.ring_pos == self.ring.len() {
+            self.ring_pos = 0;
+        }
         if let Some(beat) = self.delineator.push(combined) {
             self.beats += 1;
             if self.handle_beat(beat) {
@@ -616,6 +756,32 @@ impl PipelineStage for ClassifyStage {
             sink.emit(events);
         }
         self.n_pushed += 1;
+    }
+}
+
+impl PipelineStage for ClassifyStage {
+    fn name(&self) -> &'static str {
+        "classify"
+    }
+
+    fn push_frame(&mut self, frame: &[i32], sink: &mut PayloadSink) -> Result<()> {
+        let combined = self.combiner.push(frame);
+        self.step(combined, sink);
+        Ok(())
+    }
+
+    fn process_block(
+        &mut self,
+        frames: &[i32],
+        _n_leads: usize,
+        sink: &mut PayloadSink,
+    ) -> Result<()> {
+        let mut combined = core::mem::take(&mut self.combined_scratch);
+        self.combiner.combine_block_into(frames, &mut combined);
+        for &c in &combined {
+            self.step(c, sink);
+        }
+        self.combined_scratch = combined;
         Ok(())
     }
 

@@ -60,12 +60,14 @@ impl CsEncoder {
         compression_ratio(self.window_len(), self.measurements())
     }
 
-    /// Encodes one window of ADC counts.
+    /// Encodes one window of ADC counts into a caller-owned measurement
+    /// buffer (cleared and resized to `m` first) — the zero-allocation
+    /// form of [`CsEncoder::encode`].
     ///
     /// # Errors
     ///
     /// Fails when `window.len() != n`.
-    pub fn encode(&self, window: &[i32]) -> Result<Vec<i64>> {
+    pub fn encode_into(&self, window: &[i32], y: &mut Vec<i64>) -> Result<()> {
         if window.len() != self.window_len() {
             return Err(CsError::ShapeMismatch {
                 what: "encode window",
@@ -73,7 +75,50 @@ impl CsEncoder {
                 got: window.len(),
             });
         }
-        Ok(self.phi.apply_i32(window))
+        self.phi.apply_i32_into(window, y);
+        Ok(())
+    }
+
+    /// Encodes a batch of back-to-back windows (`windows.len()` must be
+    /// a multiple of `n`) into one measurement buffer: window `k`'s
+    /// measurements land at `y[k * m..(k + 1) * m]`. Returns the number
+    /// of windows encoded. One buffer, one shape check, no per-window
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `windows.len()` is not a multiple of `n`.
+    pub fn encode_batch_into(&self, windows: &[i32], y: &mut Vec<i64>) -> Result<usize> {
+        let n = self.window_len();
+        if windows.len() % n != 0 {
+            return Err(CsError::ShapeMismatch {
+                what: "encode batch",
+                expected: windows.len().next_multiple_of(n),
+                got: windows.len(),
+            });
+        }
+        let n_windows = windows.len() / n;
+        let m = self.measurements();
+        y.clear();
+        y.resize(n_windows * m, 0);
+        for (window, out) in windows.chunks_exact(n).zip(y.chunks_exact_mut(m)) {
+            self.phi.apply_i32_to_slice(window, out);
+        }
+        Ok(n_windows)
+    }
+
+    /// Encodes one window of ADC counts.
+    ///
+    /// Allocates the output; hot paths should prefer
+    /// [`CsEncoder::encode_into`] or [`CsEncoder::encode_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when `window.len() != n`.
+    pub fn encode(&self, window: &[i32]) -> Result<Vec<i64>> {
+        let mut y = Vec::new();
+        self.encode_into(window, &mut y)?;
+        Ok(y)
     }
 
     /// Integer additions per encoded window (`n·d`) — the MCU cost the

@@ -32,6 +32,34 @@ proptest! {
     }
 
     #[test]
+    fn encode_into_and_batch_match_per_window(
+        seed in 0u64..500,
+        windows in 1usize..6,
+        x in prop::collection::vec(-2048i32..2048, 64 * 6),
+    ) {
+        let enc = CsEncoder::new(64, 32, 3, seed).unwrap();
+        let x = &x[..64 * windows];
+        // Per-window allocating reference.
+        let mut want = Vec::new();
+        for w in x.chunks_exact(64) {
+            want.extend(enc.encode(w).unwrap());
+        }
+        // `_into` form, window by window, reusing one dirty buffer.
+        let mut y = vec![i64::MIN; 5];
+        let mut got = Vec::new();
+        for w in x.chunks_exact(64) {
+            enc.encode_into(w, &mut y).unwrap();
+            got.extend_from_slice(&y);
+        }
+        prop_assert_eq!(&want, &got);
+        // Batched form over all windows at once.
+        let mut batch = vec![i64::MAX; 2];
+        let n_windows = enc.encode_batch_into(x, &mut batch).unwrap();
+        prop_assert_eq!(n_windows, windows);
+        prop_assert_eq!(&want[..], &batch[..]);
+    }
+
+    #[test]
     fn encoder_is_linear(seed in 0u64..500) {
         let enc = CsEncoder::new(64, 32, 3, seed).unwrap();
         let x1: Vec<i32> = (0..64).map(|i| ((i * 31 + seed as usize) % 101) as i32 - 50).collect();

@@ -7,6 +7,7 @@
 //! `i64` at worst (squares of 12-bit samples times short windows).
 
 use crate::{DelineationError, Result};
+use wbsn_sigproc::div::ExactDiv;
 
 /// Configuration of the QRS detector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,8 +63,16 @@ pub struct QrsDetector {
     ma_long: MovingSum,
     bp_hist: [i64; 5],
     mwi: MovingSum,
+    // Exact multiply-shift normalizers for the three window widths —
+    // bit-identical to `/ width`, without a hardware divide per sample.
+    inv_short: ExactDiv,
+    inv_long: ExactDiv,
+    inv_mwi: ExactDiv,
     // Recent history for peak localization.
     bp_ring: Vec<i64>,
+    // Write cursor into `bp_ring` (== n % bp_ring.len(), maintained
+    // incrementally so the hot path never takes a modulo).
+    bp_pos: usize,
     // MWI local-maximum tracking.
     mwi_prev: i64,
     mwi_prev2: i64,
@@ -74,6 +83,11 @@ pub struct QrsDetector {
     n: usize,
     last_beat: Option<usize>,
     rr_avg: f64,
+    // Cached `learning_s * fs` and `1.66 * rr_avg` so the per-sample
+    // path compares instead of multiplying (values are recomputed only
+    // when `rr_avg` moves, i.e. per beat).
+    learning_limit: f64,
+    searchback_limit: f64,
     sub_threshold_peaks: Vec<(usize, i64)>,
     refractory: usize,
     mwi_delay: usize,
@@ -96,10 +110,14 @@ impl MovingSum {
             sum: 0,
         }
     }
+    #[inline]
     fn push(&mut self, v: i64) -> i64 {
         self.sum += v - self.buf[self.pos];
         self.buf[self.pos] = v;
-        self.pos = (self.pos + 1) % self.buf.len();
+        self.pos += 1;
+        if self.pos == self.buf.len() {
+            self.pos = 0;
+        }
         self.sum
     }
     fn width(&self) -> usize {
@@ -136,7 +154,11 @@ impl QrsDetector {
             ma_long: MovingSum::new(w_long),
             bp_hist: [0; 5],
             mwi: MovingSum::new(w_mwi),
+            inv_short: ExactDiv::new(w_short).expect("width >= 2"),
+            inv_long: ExactDiv::new(w_long).expect("width >= 8"),
+            inv_mwi: ExactDiv::new(w_mwi).expect("width >= 4"),
             bp_ring: vec![0; ring_len],
+            bp_pos: 0,
             mwi_prev: 0,
             mwi_prev2: 0,
             spki: 0.0,
@@ -144,6 +166,8 @@ impl QrsDetector {
             n: 0,
             last_beat: None,
             rr_avg: fs * 0.8,
+            learning_limit: cfg.learning_s * fs,
+            searchback_limit: 1.66 * (fs * 0.8),
             sub_threshold_peaks: Vec::new(),
             refractory: (cfg.refractory_s * fs) as usize,
             mwi_delay,
@@ -174,23 +198,26 @@ impl QrsDetector {
 
     /// Processes one sample; returns a confirmed R-peak index when a
     /// beat is recognized (indices refer to pushed-sample positions).
+    #[inline]
     pub fn push(&mut self, x: i32) -> Option<usize> {
-        let fs = self.cfg.fs_hz as f64;
         let n = self.n;
         self.n += 1;
         // Band-pass: short MA minus long MA (keeps ≈2–12 Hz).
         let s_short = self.ma_short.push(x as i64);
         let s_long = self.ma_long.push(x as i64);
-        let bp = s_short / self.ma_short.width() as i64 - s_long / self.ma_long.width() as i64;
-        let ring_len = self.bp_ring.len();
-        self.bp_ring[n % ring_len] = bp;
+        let bp = self.inv_short.div(s_short) - self.inv_long.div(s_long);
+        self.bp_ring[self.bp_pos] = bp;
+        self.bp_pos += 1;
+        if self.bp_pos == self.bp_ring.len() {
+            self.bp_pos = 0;
+        }
         // Five-point derivative.
         self.bp_hist.rotate_left(1);
         self.bp_hist[4] = bp;
         let d = 2 * self.bp_hist[4] + self.bp_hist[3] - self.bp_hist[1] - 2 * self.bp_hist[0];
         // Square + moving window integral (normalized by width).
         let sq = (d * d) >> 6; // headroom shift
-        let mwi = self.mwi.push(sq) / self.mwi.width() as i64;
+        let mwi = self.inv_mwi.div(self.mwi.push(sq));
 
         // Local-maximum detection on the MWI.
         let is_peak = self.mwi_prev > 0 && self.mwi_prev >= self.mwi_prev2 && mwi < self.mwi_prev;
@@ -200,7 +227,7 @@ impl QrsDetector {
         self.mwi_prev = mwi;
 
         let mut emitted = None;
-        let learning = (n as f64) < self.cfg.learning_s * fs;
+        let learning = (n as f64) < self.learning_limit;
         if is_peak {
             if learning {
                 // Learning phase: seed the running estimates.
@@ -231,7 +258,7 @@ impl QrsDetector {
         // sub-threshold peak above half the threshold.
         if !learning && emitted.is_none() {
             if let Some(lb) = self.last_beat {
-                if (n - lb) as f64 > 1.66 * self.rr_avg {
+                if (n - lb) as f64 > self.searchback_limit {
                     let threshold2 =
                         0.5 * (self.npki + self.cfg.threshold_coeff * (self.spki - self.npki));
                     if let Some(&(at, val)) = self
@@ -250,15 +277,24 @@ impl QrsDetector {
         emitted
     }
 
+    /// Processes a block of samples, appending every confirmed R-peak
+    /// index to `beats`. Detections are identical to calling
+    /// [`QrsDetector::push`] per sample — this is that loop, packaged
+    /// so block callers collect beats without per-sample `Option`
+    /// handling at the call site.
+    pub fn push_block(&mut self, xs: &[i32], beats: &mut Vec<usize>) {
+        for &v in xs {
+            if let Some(r) = self.push(v) {
+                beats.push(r);
+            }
+        }
+    }
+
     /// Batch convenience: detect all beats in `x`.
     pub fn detect(x: &[i32], cfg: QrsConfig) -> Result<Vec<usize>> {
         let mut det = QrsDetector::new(cfg)?;
         let mut beats = Vec::new();
-        for &v in x {
-            if let Some(r) = det.push(v) {
-                beats.push(r);
-            }
-        }
+        det.push_block(x, &mut beats);
         Ok(beats)
     }
 
@@ -290,6 +326,7 @@ impl QrsDetector {
             let rr = (r.saturating_sub(lb)) as f64;
             if rr > 0.0 {
                 self.rr_avg = 0.875 * self.rr_avg + 0.125 * rr;
+                self.searchback_limit = 1.66 * self.rr_avg;
             }
         }
         self.last_beat = Some(r.max(1));

@@ -11,7 +11,7 @@
 
 use crate::fiducials::{BeatFiducials, FiducialKind};
 use crate::{DelineationError, Result};
-use wbsn_sigproc::wavelet::AtrousQspline;
+use wbsn_sigproc::wavelet::{AtrousQspline, AtrousScratch};
 
 /// Wavelet delineator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +47,12 @@ impl Default for WaveletConfig {
 pub struct WaveletDelineator {
     cfg: WaveletConfig,
     transform: AtrousQspline,
+    // Reused transform working memory and detail signals, so the
+    // per-beat streaming path performs no transform allocations after
+    // warm-up (delineation takes `&mut self` for exactly this reason).
+    scratch: AtrousScratch,
+    details: Vec<Vec<i32>>,
+    floor_scratch: Vec<u32>,
 }
 
 impl WaveletDelineator {
@@ -64,7 +70,13 @@ impl WaveletDelineator {
             });
         }
         let transform = AtrousQspline::new(4).expect("4 levels always valid");
-        Ok(WaveletDelineator { cfg, transform })
+        Ok(WaveletDelineator {
+            cfg,
+            transform,
+            scratch: AtrousScratch::default(),
+            details: Vec::new(),
+            floor_scratch: Vec::new(),
+        })
     }
 
     /// Configuration in use.
@@ -75,7 +87,7 @@ impl WaveletDelineator {
     /// Delineates `x` around the given approximate R positions
     /// (typically from [`crate::QrsDetector`]). Returns one
     /// [`BeatFiducials`] per input beat, in order.
-    pub fn delineate(&self, x: &[i32], approx_r: &[usize]) -> Vec<BeatFiducials> {
+    pub fn delineate(&mut self, x: &[i32], approx_r: &[usize]) -> Vec<BeatFiducials> {
         self.delineate_with_context(x, approx_r, None)
     }
 
@@ -84,7 +96,7 @@ impl WaveletDelineator {
     /// beat's P search out of the preceding T wave when the caller
     /// processes one beat at a time (the streaming engine).
     pub fn delineate_with_context(
-        &self,
+        &mut self,
         x: &[i32],
         approx_r: &[usize],
         prev_t_off: Option<usize>,
@@ -92,24 +104,23 @@ impl WaveletDelineator {
         if x.is_empty() || approx_r.is_empty() {
             return Vec::new();
         }
-        let details = self.transform.transform(x);
-        let w2 = &details[1]; // scale 2² — QRS band
-        let w4 = &details[3]; // scale 2⁴ — P/T band
-                              // Global atrial-band activity floor: isolated P waves barely
-                              // move the low percentiles of |w4|, while the continuous
-                              // fibrillatory activity of AF raises it to P-wave order — the
-                              // per-beat acceptance below exploits exactly that.
+        self.transform
+            .transform_into(x, &mut self.scratch, &mut self.details);
+        let w2 = &self.details[1]; // scale 2² — QRS band
+        let w4 = &self.details[3]; // scale 2⁴ — P/T band
+                                   // Global atrial-band activity floor: isolated P waves barely
+                                   // move the low percentiles of |w4|, while the continuous
+                                   // fibrillatory activity of AF raises it to P-wave order — the
+                                   // per-beat acceptance below exploits exactly that.
         let global_floor = {
             // Exclude the transform's edge margins: delay compensation
             // zero-fills the tail, which would drag the percentile to
             // zero on short (streaming) segments.
             let margin = 32.min(w4.len() / 4);
             let interior = &w4[margin..w4.len().saturating_sub(margin).max(margin)];
-            let mut v: Vec<u32> = interior
-                .iter()
-                .step_by(4)
-                .map(|x| x.unsigned_abs())
-                .collect();
+            let v = &mut self.floor_scratch;
+            v.clear();
+            v.extend(interior.iter().step_by(4).map(|x| x.unsigned_abs()));
             v.sort_unstable();
             v.get(v.len() / 5).copied().unwrap_or(0)
         };
@@ -393,7 +404,7 @@ mod tests {
     fn locates_all_waves_on_clean_beat() {
         let fs = 250.0;
         let x = beat_signal(500, 250, fs);
-        let del = WaveletDelineator::new(WaveletConfig::default()).unwrap();
+        let mut del = WaveletDelineator::new(WaveletConfig::default()).unwrap();
         let beats = del.delineate(&x, &[250]);
         assert_eq!(beats.len(), 1);
         let b = &beats[0];
@@ -429,7 +440,7 @@ mod tests {
                 }
             }
         }
-        let del = WaveletDelineator::new(WaveletConfig::default()).unwrap();
+        let mut del = WaveletDelineator::new(WaveletConfig::default()).unwrap();
         let beats = del.delineate(&x, &[250]);
         assert!(!beats[0].has_p(), "no P should be reported");
         assert!(beats[0].has_t());
@@ -439,7 +450,7 @@ mod tests {
     fn inverted_lead_still_delineates() {
         let fs = 250.0;
         let x: Vec<i32> = beat_signal(500, 250, fs).iter().map(|&v| -v).collect();
-        let del = WaveletDelineator::new(WaveletConfig::default()).unwrap();
+        let mut del = WaveletDelineator::new(WaveletConfig::default()).unwrap();
         let beats = del.delineate(&x, &[250]);
         assert!(beats[0].r_peak.abs_diff(250) <= 3);
         assert!(beats[0].has_t());
@@ -455,7 +466,7 @@ mod tests {
                 *xi += bi;
             }
         }
-        let del = WaveletDelineator::new(WaveletConfig::default()).unwrap();
+        let mut del = WaveletDelineator::new(WaveletConfig::default()).unwrap();
         let beats = del.delineate(&x, &[250, 500, 750, 1000]);
         assert_eq!(beats.len(), 4);
         for (i, b) in beats.iter().enumerate() {
@@ -466,7 +477,7 @@ mod tests {
 
     #[test]
     fn empty_inputs_are_harmless() {
-        let del = WaveletDelineator::new(WaveletConfig::default()).unwrap();
+        let mut del = WaveletDelineator::new(WaveletConfig::default()).unwrap();
         assert!(del.delineate(&[], &[5]).is_empty());
         assert!(del.delineate(&[0; 100], &[]).is_empty());
     }
@@ -484,7 +495,7 @@ mod tests {
     fn flatten_lists_all_located_points() {
         let fs = 250.0;
         let x = beat_signal(500, 250, fs);
-        let del = WaveletDelineator::new(WaveletConfig::default()).unwrap();
+        let mut del = WaveletDelineator::new(WaveletConfig::default()).unwrap();
         let beats = del.delineate(&x, &[250]);
         let flat = flatten(&beats);
         assert_eq!(flat.len(), beats[0].located_count());

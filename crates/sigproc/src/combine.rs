@@ -7,6 +7,7 @@
 //! runs entirely in integer arithmetic (sum of squares + integer square
 //! root), as the node would.
 
+use crate::div::ExactDiv;
 use crate::stats::isqrt_u64;
 use crate::{Result, SigprocError};
 
@@ -67,6 +68,11 @@ pub fn rms_combine<S: AsRef<[i32]>>(leads: &[S]) -> Result<Vec<i32>> {
 #[derive(Debug, Clone)]
 pub struct RmsCombiner {
     n_leads: usize,
+    /// Multiply-shift reciprocal of `n_leads` (exact: same quotients
+    /// as `/`), plus the largest sum-of-squares it is valid for —
+    /// larger sums take the hardware divide.
+    inv_leads: ExactDiv,
+    fast_max: u64,
 }
 
 impl RmsCombiner {
@@ -82,7 +88,11 @@ impl RmsCombiner {
                 got: 0,
             });
         }
-        Ok(RmsCombiner { n_leads })
+        Ok(RmsCombiner {
+            n_leads,
+            inv_leads: ExactDiv::new(n_leads).expect("n_leads >= 1"),
+            fast_max: (1u64 << 62) / n_leads as u64,
+        })
     }
 
     /// Number of leads expected per call.
@@ -90,11 +100,23 @@ impl RmsCombiner {
         self.n_leads
     }
 
+    /// Mean of the squared samples — `ss / n_leads` without a hardware
+    /// divide on the common path.
+    #[inline]
+    fn mean_square(&self, ss: u64) -> u64 {
+        if ss <= self.fast_max {
+            self.inv_leads.div(ss as i64) as u64
+        } else {
+            ss / self.n_leads as u64
+        }
+    }
+
     /// Combines one simultaneous sample from each lead.
     ///
     /// # Panics
     ///
     /// Panics when `samples.len() != n_leads`.
+    #[inline]
     pub fn push(&self, samples: &[i32]) -> i32 {
         assert_eq!(samples.len(), self.n_leads, "lead count");
         let ss: u64 = samples
@@ -104,7 +126,36 @@ impl RmsCombiner {
                 (v * v) as u64
             })
             .sum();
-        isqrt_u64(ss / self.n_leads as u64) as i32
+        isqrt_u64(self.mean_square(ss)) as i32
+    }
+
+    /// Combines a block of interleaved frames
+    /// (`interleaved[i * n_leads + l]` is lead `l` of frame `i`) into
+    /// `out` (cleared first), one combined sample per frame —
+    /// bit-identical to calling [`RmsCombiner::push`] per frame, with
+    /// the shape checked once per block instead of once per frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `interleaved.len()` is not a multiple of `n_leads`.
+    pub fn combine_block_into(&self, interleaved: &[i32], out: &mut Vec<i32>) {
+        assert_eq!(
+            interleaved.len() % self.n_leads,
+            0,
+            "interleaved frame alignment"
+        );
+        out.clear();
+        out.reserve(interleaved.len() / self.n_leads);
+        for frame in interleaved.chunks_exact(self.n_leads) {
+            let ss: u64 = frame
+                .iter()
+                .map(|&v| {
+                    let v = v as i64;
+                    (v * v) as u64
+                })
+                .sum();
+            out.push(isqrt_u64(self.mean_square(ss)) as i32);
+        }
     }
 }
 

@@ -1,0 +1,158 @@
+//! Exact division by a small loop-invariant constant.
+//!
+//! The streaming detectors normalize moving sums by their window width
+//! on every sample. With a runtime divisor the compiler must emit a
+//! hardware divide (20+ cycles) per sample — on the node that is real
+//! energy, on the serving host it dominates the per-frame budget. This
+//! module precomputes a Granlund–Montgomery style multiply-shift
+//! reciprocal once per filter instance, turning each per-sample divide
+//! into one widening multiply. Results are **bit-identical** to `/`
+//! (truncated division) for every input, which the block-kernel
+//! equivalence tests rely on.
+
+/// Truncated division by a positive constant, implemented as a
+/// multiply-high by `ceil(2^64 / d)`.
+///
+/// The multiply-shift result is exact whenever `|x| · d ≤ 2^63`;
+/// dividends outside that range (only reachable when the divisor is
+/// large) take the hardware divide, so `div` is correct for **any**
+/// `i64` dividend and any non-zero divisor. The filters' window widths
+/// and sums stay deep inside the fast range.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_sigproc::div::ExactDiv;
+///
+/// let d = ExactDiv::new(7).unwrap();
+/// assert_eq!(d.div(100), 100 / 7);
+/// assert_eq!(d.div(-100), -100 / 7);
+/// assert_eq!(d.div(i64::MIN), i64::MIN / 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactDiv {
+    d: u64,
+    /// `ceil(2^64 / d)`; fits in a `u128` even for `d == 1`.
+    magic: u128,
+    /// Largest `|x|` the multiply-shift is exact for: `2^63 / d`.
+    max_fast_abs: u64,
+}
+
+impl ExactDiv {
+    /// Builds a divider for `d`; returns `None` when `d == 0`.
+    pub fn new(d: usize) -> Option<Self> {
+        if d == 0 {
+            return None;
+        }
+        let d = d as u64;
+        Some(ExactDiv {
+            d,
+            magic: (1u128 << 64).div_ceil(d as u128),
+            max_fast_abs: (1u64 << 63) / d,
+        })
+    }
+
+    /// The divisor.
+    pub fn divisor(&self) -> u64 {
+        self.d
+    }
+
+    /// Computes `x / self.divisor()` with Rust's truncated-division
+    /// semantics, bit-identical to the `/` operator for every `x`
+    /// (including `i64::MIN`).
+    #[inline]
+    pub fn div(&self, x: i64) -> i64 {
+        let ux = x.unsigned_abs();
+        if ux > self.max_fast_abs {
+            // Hardware divide on magnitudes (truncated division is
+            // symmetric), so divisors above i64::MAX stay exact too.
+            let q = (ux / self.d) as i64;
+            return if x < 0 { -q } else { q };
+        }
+        // Exact: |x|·d ≤ 2^63, so the multiply-shift error term
+        // x·(d·magic − 2^64) < x·d ≤ 2^63 < 2^64 cannot reach the
+        // quotient bit. The wrapping negation is only exercised by
+        // x == i64::MIN with d == 1, where q == 2^63 wraps to exactly
+        // i64::MIN — the correct quotient.
+        let q = ((ux as u128 * self.magic) >> 64) as i64;
+        if x < 0 {
+            q.wrapping_neg()
+        } else {
+            q
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hardware_division_over_a_grid() {
+        for d in [1usize, 2, 3, 5, 7, 37, 250, 625, 1000, 65535, 1 << 20] {
+            let e = ExactDiv::new(d).unwrap();
+            for &x in &[
+                0i64,
+                1,
+                -1,
+                42,
+                -42,
+                1 << 20,
+                -(1 << 20),
+                (1 << 46) + 12345,
+                -((1 << 46) + 12345),
+                i64::MAX,
+                i64::MIN,
+                i64::MAX - 1,
+                i64::MIN + 1,
+            ] {
+                assert_eq!(e.div(x), x / d as i64, "{x} / {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn pseudo_random_sweep() {
+        // xorshift-style sweep over mixed magnitudes and divisors,
+        // including dividends beyond the fast range.
+        let mut s = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..20_000 {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            let d = (s % 65535 + 1) as usize;
+            let x = s.wrapping_mul(0x2545_F491_4F6C_DD1D) as i64;
+            let e = ExactDiv::new(d).unwrap();
+            assert_eq!(e.div(x), x / d as i64, "{x} / {d}");
+        }
+    }
+
+    #[test]
+    fn extreme_dividends_take_the_fallback_and_stay_exact() {
+        let e = ExactDiv::new(3).unwrap();
+        assert_eq!(e.div(i64::MAX), i64::MAX / 3);
+        assert_eq!(e.div(i64::MIN), i64::MIN / 3);
+        // d == 1 keeps the whole i64 range on the fast path.
+        let one = ExactDiv::new(1).unwrap();
+        assert_eq!(one.div(i64::MIN), i64::MIN);
+        assert_eq!(one.div(i64::MAX), i64::MAX);
+    }
+
+    #[test]
+    fn zero_divisor_is_rejected() {
+        assert!(ExactDiv::new(0).is_none());
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn divisors_beyond_i64_stay_exact() {
+        // Magnitude-based fallback: no i64 cast of the divisor, so
+        // d ≥ 2^63 neither wraps negative nor hits i64::MIN / -1.
+        let huge = ExactDiv::new(1usize << 63).unwrap();
+        assert_eq!(huge.div(i64::MIN), -1);
+        assert_eq!(huge.div(i64::MAX), 0);
+        let max = ExactDiv::new(usize::MAX).unwrap();
+        assert_eq!(max.div(i64::MIN), 0);
+        assert_eq!(max.div(42), 0);
+    }
+}

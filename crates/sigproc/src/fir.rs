@@ -11,6 +11,18 @@ use crate::{Result, SigprocError};
 /// Streaming FIR filter with `i32` coefficients in Q15 and an `i64`
 /// accumulator, matching a 16×16→32 MAC datapath with headroom.
 ///
+/// # Block processing
+///
+/// The history is a **contiguous double buffer**: every sample is
+/// written twice, `n` apart, so the most recent `n` samples are always
+/// available as one contiguous slice and the convolution never takes a
+/// per-tap branch or modulo. [`FirFilter::process_block_into`] splits a
+/// block into a short *history prologue* (outputs whose window still
+/// overlaps pre-block state) and a *steady-state slice loop* (pure
+/// forward dot products over the input block, the autovectorizable
+/// path). Both paths are bit-identical to calling [`FirFilter::push`]
+/// per sample.
+///
 /// # Example
 ///
 /// ```
@@ -25,6 +37,12 @@ use crate::{Result, SigprocError};
 #[derive(Debug, Clone)]
 pub struct FirFilter {
     taps_q15: Vec<i32>,
+    /// Taps in reversed order, so the steady-state block loop is a
+    /// forward·forward dot product.
+    taps_rev: Vec<i32>,
+    /// Double-buffered history, `2n` long: sample written at `pos` is
+    /// mirrored at `pos + n`, and `history[pos..pos + n]` is always the
+    /// last `n` samples, newest first.
     history: Vec<i32>,
     pos: usize,
 }
@@ -43,9 +61,11 @@ impl FirFilter {
             });
         }
         let n = taps.len();
+        let taps_rev: Vec<i32> = taps.iter().rev().copied().collect();
         Ok(FirFilter {
             taps_q15: taps,
-            history: vec![0; n],
+            taps_rev,
+            history: vec![0; 2 * n],
             pos: 0,
         })
     }
@@ -75,23 +95,73 @@ impl FirFilter {
     }
 
     /// Pushes one sample, returning the filtered output.
+    #[inline]
     pub fn push(&mut self, x: i32) -> i32 {
-        self.history[self.pos] = x;
         let n = self.taps_q15.len();
-        let mut acc: i64 = 0;
-        let mut idx = self.pos;
-        for &t in &self.taps_q15 {
-            acc += t as i64 * self.history[idx] as i64;
-            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        self.pos = if self.pos == 0 { n - 1 } else { self.pos - 1 };
+        self.history[self.pos] = x;
+        self.history[self.pos + n] = x;
+        // history[pos..pos + n] is newest→oldest: one contiguous dot
+        // product, no per-tap branch, no modulo.
+        let window = &self.history[self.pos..self.pos + n];
+        let acc: i64 = self
+            .taps_q15
+            .iter()
+            .zip(window)
+            .map(|(&t, &h)| t as i64 * h as i64)
+            .sum();
+        round_q15(acc)
+    }
+
+    /// Filters a block into `out` (cleared first), continuing from the
+    /// current history — bit-identical to pushing every sample through
+    /// [`FirFilter::push`], at block speed.
+    ///
+    /// The first `n-1` outputs (fewer when the block is shorter) go
+    /// through the history prologue, mixing pre-block state with the
+    /// block head; every later output is a pure dot product of the
+    /// reversed taps against a sliding window of `x` — contiguous,
+    /// branch-free and vectorizable.
+    pub fn process_block_into(&mut self, x: &[i32], out: &mut Vec<i32>) {
+        out.clear();
+        out.reserve(x.len());
+        let n = self.taps_q15.len();
+        let m = n - 1;
+        // History prologue: windows still overlapping pre-block state.
+        let prologue = m.min(x.len());
+        for &v in &x[..prologue] {
+            let y = self.push(v);
+            out.push(y);
         }
-        self.pos = (self.pos + 1) % n;
-        // Q15 -> integer with rounding.
-        ((acc + (1 << 14)) >> 15) as i32
+        // Steady state: window i covers x[i-m ..= i] only.
+        for window in x.windows(n) {
+            let acc: i64 = self
+                .taps_rev
+                .iter()
+                .zip(window)
+                .map(|(&t, &h)| t as i64 * h as i64)
+                .sum();
+            out.push(round_q15(acc));
+        }
+        // Rebuild the double-buffered history from the block tail.
+        if x.len() > prologue {
+            let tail = &x[x.len() - n..];
+            for (i, &v) in tail.iter().enumerate() {
+                self.history[n - 1 - i] = v;
+                self.history[2 * n - 1 - i] = v;
+            }
+            self.pos = 0;
+        }
     }
 
     /// Filters a whole slice (stateful; continues from current history).
+    ///
+    /// Allocates the output vector; hot paths should prefer
+    /// [`FirFilter::process_block_into`] with a caller-owned buffer.
     pub fn filter(&mut self, x: &[i32]) -> Vec<i32> {
-        x.iter().map(|&v| self.push(v)).collect()
+        let mut out = Vec::new();
+        self.process_block_into(x, &mut out);
+        out
     }
 
     /// Resets the history to zero.
@@ -99,6 +169,13 @@ impl FirFilter {
         self.history.fill(0);
         self.pos = 0;
     }
+}
+
+/// Q15 → integer with rounding (shared by the per-sample and block
+/// paths so they stay bit-identical by construction).
+#[inline]
+fn round_q15(acc: i64) -> i32 {
+    ((acc + (1 << 14)) >> 15) as i32
 }
 
 /// Windowed-sinc low-pass design with a Hamming window.

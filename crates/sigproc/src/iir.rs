@@ -101,6 +101,7 @@ impl Biquad {
     }
 
     /// Processes one sample.
+    #[inline]
     pub fn push(&mut self, x: f64) -> f64 {
         let y = self.b0 * x + self.z1;
         self.z1 = self.b1 * x - self.a1 * y + self.z2;
@@ -108,16 +109,52 @@ impl Biquad {
         y
     }
 
+    /// Filters a block in place — bit-identical to pushing each sample
+    /// (the recursion is inherently sequential; the win is keeping the
+    /// section's coefficients and state in registers across the block).
+    pub fn process_block(&mut self, xs: &mut [f64]) {
+        // Lift state/coefficients out of `self` so the loop carries
+        // them in registers instead of reloading through the pointer.
+        let (b0, b1, b2, a1, a2) = (self.b0, self.b1, self.b2, self.a1, self.a2);
+        let (mut z1, mut z2) = (self.z1, self.z2);
+        for v in xs.iter_mut() {
+            let x = *v;
+            let y = b0 * x + z1;
+            z1 = b1 * x - a1 * y + z2;
+            z2 = b2 * x - a2 * y;
+            *v = y;
+        }
+        self.z1 = z1;
+        self.z2 = z2;
+    }
+
+    /// Filters integer samples into `out` (cleared first), rounding
+    /// each output — the zero-allocation form of
+    /// [`Biquad::filter_i32`].
+    pub fn process_block_i32_into(&mut self, x: &[i32], out: &mut Vec<i32>) {
+        out.clear();
+        out.reserve(x.len());
+        out.extend(x.iter().map(|&v| self.push(v as f64).round() as i32));
+    }
+
     /// Filters a slice (stateful).
+    ///
+    /// Allocates the output; hot paths should prefer
+    /// [`Biquad::process_block`] on a caller-owned buffer.
     pub fn filter(&mut self, x: &[f64]) -> Vec<f64> {
-        x.iter().map(|&v| self.push(v)).collect()
+        let mut out = x.to_vec();
+        self.process_block(&mut out);
+        out
     }
 
     /// Filters integer samples, rounding the output.
+    ///
+    /// Allocates the output; hot paths should prefer
+    /// [`Biquad::process_block_i32_into`].
     pub fn filter_i32(&mut self, x: &[i32]) -> Vec<i32> {
-        x.iter()
-            .map(|&v| self.push(v as f64).round() as i32)
-            .collect()
+        let mut out = Vec::new();
+        self.process_block_i32_into(x, &mut out);
+        out
     }
 
     /// Resets internal state.
@@ -174,9 +211,50 @@ impl BiquadCascade {
         self.sections.iter_mut().fold(x, |v, s| s.push(v))
     }
 
+    /// Filters a block in place, section-major: each section sweeps the
+    /// whole block before the next starts. Because a section's output
+    /// depends only on its own input sequence, this is bit-identical to
+    /// per-sample [`BiquadCascade::push`] while touching each section's
+    /// coefficients once per block instead of once per sample.
+    pub fn process_block(&mut self, xs: &mut [f64]) {
+        for s in &mut self.sections {
+            s.process_block(xs);
+        }
+    }
+
+    /// Filters integer samples into `out` (cleared first) through the
+    /// full cascade, rounding each output after the final section —
+    /// the zero-allocation integer entry point.
+    ///
+    /// Runs sample-major: short cascades (2–3 sections) keep every
+    /// section's state in registers across the whole block, which
+    /// beats a section-major sweep that would stream the block through
+    /// memory once per section.
+    pub fn process_block_i32_into(&mut self, x: &[i32], out: &mut Vec<i32>) {
+        out.clear();
+        out.reserve(x.len());
+        match self.sections.as_mut_slice() {
+            // The dominant shapes, unrolled so coefficients and state
+            // live in registers for the whole block.
+            [s] => out.extend(x.iter().map(|&v| s.push(v as f64).round() as i32)),
+            [s1, s2] => out.extend(x.iter().map(|&v| s2.push(s1.push(v as f64)).round() as i32)),
+            _ => out.extend(x.iter().map(|&v| {
+                self.sections
+                    .iter_mut()
+                    .fold(v as f64, |acc, s| s.push(acc))
+                    .round() as i32
+            })),
+        }
+    }
+
     /// Filters a slice (stateful).
+    ///
+    /// Allocates the output; hot paths should prefer
+    /// [`BiquadCascade::process_block`] on a caller-owned buffer.
     pub fn filter(&mut self, x: &[f64]) -> Vec<f64> {
-        x.iter().map(|&v| self.push(v)).collect()
+        let mut out = x.to_vec();
+        self.process_block(&mut out);
+        out
     }
 
     /// Resets all sections.

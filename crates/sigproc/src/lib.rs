@@ -26,10 +26,17 @@
 //! * [`combine`] — multi-lead combination (RMS aggregation).
 //! * [`stats`] — summary statistics, SNR/PRD reconstruction metrics and
 //!   integer square roots.
+//! * [`div`] — exact multiply-shift division by loop-invariant window
+//!   widths, backing the per-sample normalizations of the streaming
+//!   detectors.
 //!
 //! The streaming paths allocate only at construction time, mirroring
 //! the constant-memory regime of the embedded targets the paper
-//! describes.
+//! describes. The filters additionally expose `process_block_into`
+//! block kernels with caller-owned output buffers; these are
+//! bit-identical to their per-sample `push` loops (pinned by the
+//! crate's proptest equivalence suite) and are the zero-allocation
+//! hot path of the serving layer.
 //!
 //! ## Example
 //!
@@ -45,6 +52,7 @@
 //! ```
 
 pub mod combine;
+pub mod div;
 pub mod fir;
 pub mod fixed;
 pub mod iir;

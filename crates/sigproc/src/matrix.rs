@@ -286,15 +286,17 @@ impl PackedTernaryMatrix {
         self.packed.len()
     }
 
-    /// Integer projection `y = P x` — additions/subtractions only, as
-    /// on the node.
+    /// Integer projection `y = P x` into a caller-owned buffer
+    /// (cleared and resized first) — additions/subtractions only, no
+    /// per-call allocation.
     ///
     /// # Panics
     ///
     /// Panics when `x.len() != cols`.
-    pub fn apply_i32(&self, x: &[i32]) -> Vec<i64> {
+    pub fn apply_i32_into(&self, x: &[i32], out: &mut Vec<i64>) {
         assert_eq!(x.len(), self.cols, "apply shape");
-        let mut out = vec![0i64; self.rows];
+        // No clear(): every element is unconditionally overwritten.
+        out.resize(self.rows, 0);
         for (r, o) in out.iter_mut().enumerate() {
             let mut acc = 0i64;
             for (c, &xv) in x.iter().enumerate() {
@@ -306,6 +308,20 @@ impl PackedTernaryMatrix {
             }
             *o = acc;
         }
+    }
+
+    /// Integer projection `y = P x` — additions/subtractions only, as
+    /// on the node.
+    ///
+    /// Allocates the output; hot paths should prefer
+    /// [`PackedTernaryMatrix::apply_i32_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols`.
+    pub fn apply_i32(&self, x: &[i32]) -> Vec<i64> {
+        let mut out = Vec::new();
+        self.apply_i32_into(x, &mut out);
         out
     }
 
@@ -359,12 +375,22 @@ impl PackedTernaryMatrix {
 /// Column-sparse ternary sensing matrix: exactly `d` non-zeros (±1) at
 /// random rows of each column. Encoding `y = Φx` costs `n·d` signed
 /// additions — the ultra-low-power CS encoder of references \[4\]/\[16\].
+///
+/// Stored in **CSC layout split by sign**: column `c`'s non-zero row
+/// indices occupy `row_idx[col_ptr[c]..col_ptr[c+1]]`, positives first
+/// (`pos_len[c]` of them) then negatives. The encode kernel is a pure
+/// add/sub sweep over two contiguous index runs per column — no sign
+/// values are stored, loaded or multiplied.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SparseTernaryMatrix {
     rows: usize,
     cols: usize,
-    /// Per column: `d` entries of (row index, sign).
-    entries: Vec<(u32, i8)>,
+    /// CSC column extents into `row_idx` (`cols + 1` entries).
+    col_ptr: Vec<u32>,
+    /// Count of positive entries at the head of each column's run.
+    pos_len: Vec<u32>,
+    /// Row indices, per column: positives first, then negatives.
+    row_idx: Vec<u32>,
     d_per_col: usize,
 }
 
@@ -389,26 +415,41 @@ impl SparseTernaryMatrix {
             });
         }
         let mut rng = XorShift64::new(seed);
-        let mut entries = Vec::with_capacity(cols * d_per_col);
+        let mut col_ptr = Vec::with_capacity(cols + 1);
+        let mut pos_len = Vec::with_capacity(cols);
+        let mut row_idx = Vec::with_capacity(cols * d_per_col);
         let mut scratch: Vec<u32> = Vec::with_capacity(d_per_col);
+        let mut negs: Vec<u32> = Vec::with_capacity(d_per_col);
+        col_ptr.push(0);
         for _ in 0..cols {
             scratch.clear();
-            // Rejection-sample d distinct rows.
+            // Rejection-sample d distinct rows (RNG consumption is
+            // identical to the historical entry-list layout, so seeds
+            // keep producing the same matrix).
             while scratch.len() < d_per_col {
                 let r = rng.next_below(rows as u64) as u32;
                 if !scratch.contains(&r) {
                     scratch.push(r);
                 }
             }
+            negs.clear();
             for &r in scratch.iter() {
-                let sign = if rng.next_u64() & 1 == 0 { 1i8 } else { -1i8 };
-                entries.push((r, sign));
+                if rng.next_u64() & 1 == 0 {
+                    row_idx.push(r);
+                } else {
+                    negs.push(r);
+                }
             }
+            pos_len.push((d_per_col - negs.len()) as u32);
+            row_idx.extend_from_slice(&negs);
+            col_ptr.push(row_idx.len() as u32);
         }
         Ok(SparseTernaryMatrix {
             rows,
             cols,
-            entries,
+            col_ptr,
+            pos_len,
+            row_idx,
             d_per_col,
         })
     }
@@ -428,20 +469,63 @@ impl SparseTernaryMatrix {
         self.d_per_col
     }
 
+    /// Column `c`'s row indices as `(positives, negatives)` slices.
+    #[inline]
+    fn column(&self, c: usize) -> (&[u32], &[u32]) {
+        let start = self.col_ptr[c] as usize;
+        let end = self.col_ptr[c + 1] as usize;
+        let split = start + self.pos_len[c] as usize;
+        (&self.row_idx[start..split], &self.row_idx[split..end])
+    }
+
+    /// Integer encode `y = Φ x` into a caller-owned buffer (cleared and
+    /// resized first) — a pure add/sub sweep over the CSC runs, no sign
+    /// loads and no per-call allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols`.
+    pub fn apply_i32_into(&self, x: &[i32], y: &mut Vec<i64>) {
+        // No clear(): resize only zero-fills newly grown elements, and
+        // apply_i32_to_slice re-zeroes the whole output anyway.
+        y.resize(self.rows, 0);
+        self.apply_i32_to_slice(x, y);
+    }
+
+    /// Slice form of [`SparseTernaryMatrix::apply_i32_into`] for
+    /// callers that own a larger measurement buffer (batched encodes
+    /// write each window's `m` measurements in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols` or `y.len() != rows`.
+    pub fn apply_i32_to_slice(&self, x: &[i32], y: &mut [i64]) {
+        assert_eq!(x.len(), self.cols, "apply shape");
+        assert_eq!(y.len(), self.rows, "apply output shape");
+        y.fill(0);
+        for (col, &xv) in x.iter().enumerate() {
+            let xv = xv as i64;
+            let (pos, neg) = self.column(col);
+            for &r in pos {
+                y[r as usize] += xv;
+            }
+            for &r in neg {
+                y[r as usize] -= xv;
+            }
+        }
+    }
+
     /// Integer encode `y = Φ x` with an `i64` accumulator.
+    ///
+    /// Allocates the output; hot paths should prefer
+    /// [`SparseTernaryMatrix::apply_i32_into`].
     ///
     /// # Panics
     ///
     /// Panics when `x.len() != cols`.
     pub fn apply_i32(&self, x: &[i32]) -> Vec<i64> {
-        assert_eq!(x.len(), self.cols, "apply shape");
-        let mut y = vec![0i64; self.rows];
-        for (col, chunk) in self.entries.chunks(self.d_per_col).enumerate() {
-            let xv = x[col] as i64;
-            for &(r, s) in chunk {
-                y[r as usize] += s as i64 * xv;
-            }
-        }
+        let mut y = Vec::new();
+        self.apply_i32_into(x, &mut y);
         y
     }
 
@@ -453,9 +537,13 @@ impl SparseTernaryMatrix {
     pub fn apply(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "apply shape");
         let mut y = vec![0.0; self.rows];
-        for (col, chunk) in self.entries.chunks(self.d_per_col).enumerate() {
-            for &(r, s) in chunk {
-                y[r as usize] += s as f64 * x[col];
+        for (col, &xv) in x.iter().enumerate() {
+            let (pos, neg) = self.column(col);
+            for &r in pos {
+                y[r as usize] += xv;
+            }
+            for &r in neg {
+                y[r as usize] -= xv;
             }
         }
         y
@@ -469,12 +557,11 @@ impl SparseTernaryMatrix {
     pub fn apply_t(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.rows, "apply_t shape");
         let mut x = vec![0.0; self.cols];
-        for (col, chunk) in self.entries.chunks(self.d_per_col).enumerate() {
-            let mut acc = 0.0;
-            for &(r, s) in chunk {
-                acc += s as f64 * y[r as usize];
-            }
-            x[col] = acc;
+        for (col, out) in x.iter_mut().enumerate() {
+            let (pos, neg) = self.column(col);
+            let p: f64 = pos.iter().map(|&r| y[r as usize]).sum();
+            let n: f64 = neg.iter().map(|&r| y[r as usize]).sum();
+            *out = p - n;
         }
         x
     }
@@ -482,9 +569,13 @@ impl SparseTernaryMatrix {
     /// Expands to dense (verification only).
     pub fn to_dense(&self) -> DenseMatrix {
         let mut m = DenseMatrix::zeros(self.rows, self.cols).expect("non-zero dims");
-        for (col, chunk) in self.entries.chunks(self.d_per_col).enumerate() {
-            for &(r, s) in chunk {
-                *m.at_mut(r as usize, col) += s as f64;
+        for col in 0..self.cols {
+            let (pos, neg) = self.column(col);
+            for &r in pos {
+                *m.at_mut(r as usize, col) += 1.0;
+            }
+            for &r in neg {
+                *m.at_mut(r as usize, col) -= 1.0;
             }
         }
         m

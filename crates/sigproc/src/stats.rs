@@ -8,28 +8,26 @@
 
 /// Integer square root of a `u64` (floor).
 ///
-/// Runs in constant 32 iterations — the same routine an integer-only
-/// MCU would ship for the RMS lead combiner.
+/// Seeds with the hardware `f64` square root and corrects the result
+/// exactly; the `f64` estimate is always within ±1 of the true floor
+/// (the relative error of rounding `v` to 53 bits plus one ulp from
+/// `sqrt` is far below one at magnitude `√v`), so the correction loops
+/// run at most once. Same results as the classic 32-iteration
+/// bit-by-bit routine — this is the RMS lead combiner's per-frame
+/// inner call, so the host takes the ~10× faster path while an
+/// integer-only MCU would ship the shift-subtract version.
 pub fn isqrt_u64(v: u64) -> u64 {
-    if v == 0 {
-        return 0;
+    let mut r = (v as f64).sqrt() as u64;
+    // `r` can overshoot (or reach 2^32 for v near u64::MAX, where r*r
+    // overflows — treat overflow as "too big").
+    while r.checked_mul(r).is_none_or(|rr| rr > v) {
+        r -= 1;
     }
-    let mut x = v;
-    let mut res = 0u64;
-    let mut bit = 1u64 << 62;
-    while bit > x {
-        bit >>= 2;
+    // ... or undershoot by one.
+    while (r + 1).checked_mul(r + 1).is_some_and(|rr| rr <= v) {
+        r += 1;
     }
-    while bit != 0 {
-        if x >= res + bit {
-            x -= res + bit;
-            res = (res >> 1) + bit;
-        } else {
-            res >>= 1;
-        }
-        bit >>= 2;
-    }
-    res
+    r
 }
 
 /// Arithmetic mean; 0 for empty input.

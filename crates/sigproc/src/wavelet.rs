@@ -189,6 +189,14 @@ pub struct AtrousQspline {
     levels: usize,
 }
 
+/// Reusable working memory for [`AtrousQspline::transform_into`]: the
+/// approximation ping-pong buffers of the filter bank.
+#[derive(Debug, Clone, Default)]
+pub struct AtrousScratch {
+    approx: Vec<i64>,
+    next: Vec<i64>,
+}
+
 impl AtrousQspline {
     /// Transform computing `levels` dyadic scales (1 ≤ levels ≤ 8).
     ///
@@ -211,42 +219,71 @@ impl AtrousQspline {
     }
 
     /// Computes the detail signals `w_1 … w_levels`, index 0 = scale 2¹.
+    ///
+    /// Allocates every buffer; the per-beat streaming path should
+    /// prefer [`AtrousQspline::transform_into`] with reused scratch.
     pub fn transform(&self, x: &[i32]) -> Vec<Vec<i32>> {
+        let mut scratch = AtrousScratch::default();
+        let mut details = Vec::new();
+        self.transform_into(x, &mut scratch, &mut details);
+        details
+    }
+
+    /// [`AtrousQspline::transform`] into caller-owned buffers:
+    /// `details` is resized to `levels` signals of `x.len()` samples
+    /// and `scratch` holds the approximation ping-pong buffers, so a
+    /// warm caller allocates nothing. Outputs are bit-identical to
+    /// [`AtrousQspline::transform`].
+    ///
+    /// Each level runs as two loops: a short clamped prologue for the
+    /// indices whose filter taps would reach before the segment, and a
+    /// branch-free steady-state sweep (the à-trous delay `2^{k+1}-1`
+    /// is at least the hole spacing `2^k`, so the delay-compensated
+    /// detail needs no boundary clamp at all).
+    pub fn transform_into(
+        &self,
+        x: &[i32],
+        scratch: &mut AtrousScratch,
+        details: &mut Vec<Vec<i32>>,
+    ) {
         let n = x.len();
-        let mut details = Vec::with_capacity(self.levels);
-        let mut approx: Vec<i64> = x.iter().map(|&v| v as i64).collect();
-        for k in 0..self.levels {
+        details.resize_with(self.levels, Vec::new);
+        let approx = &mut scratch.approx;
+        let next = &mut scratch.next;
+        approx.clear();
+        approx.extend(x.iter().map(|&v| v as i64));
+        for (k, wk) in details.iter_mut().enumerate() {
             let hole = 1usize << k; // spacing between taps at this level
-                                    // g = [1, -1] with holes: w[n] = a[n] - a[n - hole]
-                                    // (then delay-compensated below).
-            let mut w = vec![0i64; n];
-            for i in 0..n {
-                let prev = approx[i.saturating_sub(hole).min(n - 1)];
-                let cur = approx[i];
-                w[i] = cur - prev;
+            let delay = (1usize << (k + 1)) - 1;
+            // g = [1, -1] with holes, fused with the delay
+            // compensation: wk[i] = a[i+delay] - a[i+delay-hole]
+            // (i+delay ≥ delay ≥ hole, so the clamped-prologue case of
+            // the unfused form never occurs; the tail stays zero as
+            // before).
+            wk.clear();
+            wk.resize(n, 0);
+            for (i, wv) in wk.iter_mut().enumerate().take(n.saturating_sub(delay)) {
+                let j = i + delay;
+                *wv = (approx[j] - approx[j - hole]) as i32;
             }
-            // h = [1,3,3,1]/8 with holes.
-            let mut a_next = vec![0i64; n];
-            for (i, a) in a_next.iter_mut().enumerate() {
-                let tap = |off: usize| {
-                    let j = i.saturating_sub(off);
-                    approx[j]
-                };
-                let s = tap(0) + 3 * tap(hole) + 3 * tap(2 * hole) + tap(3 * hole);
+            // h = [1,3,3,1]/8 with holes: clamped prologue, then a
+            // branch-free sweep.
+            next.clear();
+            next.resize(n, 0);
+            let h3 = 3 * hole;
+            for (i, a) in next.iter_mut().enumerate().take(h3.min(n)) {
+                let tap = |off: usize| approx[i.saturating_sub(off)];
+                let s = tap(0) + 3 * tap(hole) + 3 * tap(2 * hole) + tap(h3);
                 // Round-to-nearest shift keeps the integer pipeline stable.
                 *a = (s + 4) >> 3;
             }
-            // Delay compensation: shift left by round(2^{k+1} - 3/2).
-            let delay = (1usize << (k + 1)).saturating_sub(1);
-            let mut wk = vec![0i32; n];
-            for (i, wv) in wk.iter_mut().enumerate() {
-                let j = i + delay;
-                *wv = if j < n { w[j] as i32 } else { 0 };
+            for (i, a) in next.iter_mut().enumerate().skip(h3) {
+                let s =
+                    approx[i] + 3 * approx[i - hole] + 3 * approx[i - 2 * hole] + approx[i - h3];
+                *a = (s + 4) >> 3;
             }
-            details.push(wk);
-            approx = a_next;
+            core::mem::swap(approx, next);
         }
-        details
     }
 
     /// RMS magnitude of each scale's detail signal — the adaptive

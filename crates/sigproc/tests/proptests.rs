@@ -1,7 +1,13 @@
-//! Property-based tests on the DSP substrate's invariants.
+//! Property-based tests on the DSP substrate's invariants, including
+//! the bit-exact equivalence of every block kernel
+//! (`process_block_into` / `apply_i32_into`) with its per-sample
+//! reference loop.
 
 use proptest::prelude::*;
-use wbsn_sigproc::combine::rms_combine;
+use wbsn_sigproc::combine::{rms_combine, RmsCombiner};
+use wbsn_sigproc::div::ExactDiv;
+use wbsn_sigproc::fir::FirFilter;
+use wbsn_sigproc::iir::{Biquad, BiquadCascade};
 use wbsn_sigproc::matrix::{PackedTernaryMatrix, SparseTernaryMatrix};
 use wbsn_sigproc::morphology::{close, dilate, erode, open, sliding_extreme_naive};
 use wbsn_sigproc::stats::{isqrt_u64, prd_percent, snr_db};
@@ -141,6 +147,137 @@ proptest! {
             prop_assert!((v - a[i].abs()).abs() <= 1);
             prop_assert!(v >= 0);
         }
+    }
+
+    #[test]
+    fn fir_block_kernel_matches_per_sample(
+        taps in prop::collection::vec(-32768i32..32768, 1..48),
+        x in prop::collection::vec(-4096i32..4096, 0..300),
+        split in 0usize..301,
+    ) {
+        let mut per = FirFilter::from_q15(taps.clone()).unwrap();
+        let mut blk = per.clone();
+        let want: Vec<i32> = x.iter().map(|&v| per.push(v)).collect();
+        // Feed the same signal as two blocks of arbitrary (possibly
+        // empty, possibly shorter-than-the-filter) sizes.
+        let s = split.min(x.len());
+        let mut got = Vec::new();
+        let mut out = Vec::new();
+        blk.process_block_into(&x[..s], &mut out);
+        got.extend_from_slice(&out);
+        blk.process_block_into(&x[s..], &mut out);
+        got.extend_from_slice(&out);
+        prop_assert_eq!(want, got);
+        // History state carried across: subsequent pushes agree too.
+        for v in [12345i32, -4096, 77] {
+            prop_assert_eq!(per.push(v), blk.push(v));
+        }
+    }
+
+    #[test]
+    fn iir_block_kernels_match_per_sample(
+        lp_cut in 5.0f64..100.0,
+        hp_cut in 0.1f64..4.0,
+        x in prop::collection::vec(-4096i32..4096, 0..300),
+        split in 0usize..301,
+    ) {
+        let mut cascade = BiquadCascade::new();
+        cascade
+            .section(Biquad::butterworth_highpass(250.0, hp_cut).unwrap())
+            .section(Biquad::butterworth_lowpass(250.0, lp_cut).unwrap());
+        let mut per = cascade.clone();
+        let mut blk = cascade;
+        // Per-sample reference: push each sample, round at the end.
+        let want: Vec<i32> = x.iter().map(|&v| per.push(v as f64).round() as i32).collect();
+        let s = split.min(x.len());
+        let mut got = Vec::new();
+        let mut out = Vec::new();
+        blk.process_block_i32_into(&x[..s], &mut out);
+        got.extend_from_slice(&out);
+        blk.process_block_i32_into(&x[s..], &mut out);
+        got.extend_from_slice(&out);
+        prop_assert_eq!(want, got);
+        // f64 state is bit-identical afterwards.
+        for v in [0.5f64, -3.25, 100.0] {
+            prop_assert_eq!(per.push(v).to_bits(), blk.push(v).to_bits());
+        }
+    }
+
+    #[test]
+    fn biquad_block_matches_push_bitwise(
+        f0 in 1.0f64..120.0,
+        x in prop::collection::vec(-1000.0f64..1000.0, 0..200),
+    ) {
+        let mut per = Biquad::notch(250.0, f0.min(124.0), 30.0).unwrap();
+        let mut blk = per.clone();
+        let want: Vec<u64> = x.iter().map(|&v| per.push(v).to_bits()).collect();
+        let mut buf = x.clone();
+        blk.process_block(&mut buf);
+        let got: Vec<u64> = buf.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(want, got);
+    }
+
+    #[test]
+    fn csc_encode_matches_dense_and_into_forms(
+        seed in 0u64..1000,
+        rows in 1usize..24,
+        cols in 1usize..96,
+        x in prop::collection::vec(-4096i32..4096, 96),
+    ) {
+        let d = 1 + (seed as usize % rows);
+        let phi = SparseTernaryMatrix::random(rows, cols, d, seed).unwrap();
+        let x = &x[..cols];
+        let want = phi.apply_i32(x);
+        // Dense reference.
+        let dense = phi.to_dense();
+        let xf: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let yd = dense.matvec(&xf);
+        for (a, b) in want.iter().zip(&yd) {
+            prop_assert_eq!(*a as f64, *b);
+        }
+        // `_into` form reuses a dirty buffer and must still agree.
+        let mut y = vec![i64::MIN; 3];
+        phi.apply_i32_into(x, &mut y);
+        prop_assert_eq!(&want, &y);
+        // Slice form over a larger buffer.
+        let mut big = vec![i64::MAX; rows + 7];
+        phi.apply_i32_to_slice(x, &mut big[3..3 + rows]);
+        prop_assert_eq!(&want[..], &big[3..3 + rows]);
+    }
+
+    #[test]
+    fn packed_into_form_matches_allocating(
+        seed in 0u64..500,
+        x in prop::collection::vec(-4096i32..4096, 24),
+    ) {
+        let p = PackedTernaryMatrix::random_achlioptas(8, 24, seed).unwrap();
+        let want = p.apply_i32(&x);
+        let mut got = vec![42i64; 1];
+        p.apply_i32_into(&x, &mut got);
+        prop_assert_eq!(want, got);
+    }
+
+    #[test]
+    fn rms_block_matches_per_frame(
+        frames in prop::collection::vec(-300_000i32..300_000, 0..240),
+        n_leads in 1usize..8,
+    ) {
+        let usable = frames.len() - frames.len() % n_leads;
+        let frames = &frames[..usable];
+        let c = RmsCombiner::new(n_leads).unwrap();
+        let want: Vec<i32> = frames.chunks_exact(n_leads).map(|f| c.push(f)).collect();
+        let mut got = vec![-1i32; 2];
+        c.combine_block_into(frames, &mut got);
+        prop_assert_eq!(want, got);
+    }
+
+    #[test]
+    fn exact_div_matches_hardware(
+        d in 1usize..70_000,
+        x in -(1i64 << 46)..(1i64 << 46),
+    ) {
+        let e = ExactDiv::new(d).unwrap();
+        prop_assert_eq!(e.div(x), x / d as i64);
     }
 
     #[test]

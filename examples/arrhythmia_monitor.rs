@@ -19,7 +19,7 @@ use wbsn_ecg_synth::{BeatType, RecordBuilder, Rhythm};
 
 fn main() {
     // ---- train the beat classifier (offline, as the paper does) ----
-    let fe = BeatFeatureExtractor::new(FeatureConfig::default()).expect("default config");
+    let mut fe = BeatFeatureExtractor::new(FeatureConfig::default()).expect("default config");
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for rec in ectopy_suite(3, 0xA11) {
