@@ -91,5 +91,52 @@ fn bench_fleet(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_monitor, bench_fleet);
+/// The governor's runtime costs: a live mode switch at a stream
+/// boundary, and a fully governed session (epoch accounting + rhythm
+/// sentinel + controller) against the bare monitor it wraps — the
+/// overhead of closing the control loop.
+fn bench_governor(c: &mut Criterion) {
+    use wbsn_core::governor::{GovernedMonitor, GovernorConfig};
+    use wbsn_core::level::OperatingMode;
+
+    let (buf, n_frames) = frames(3, 10.0);
+    let mut g = c.benchmark_group("governor");
+    g.sample_size(10);
+    g.bench_function("live_switch_roundtrip", |b| {
+        // Classified -> delineated -> classified, with 1 s of signal
+        // between switches so each new stage does real work.
+        let second = &buf[..250 * 3];
+        b.iter(|| {
+            let mut m = monitor(ProcessingLevel::Classified);
+            let mut total = 0usize;
+            for _ in 0..5 {
+                m.push_block(black_box(second), 250).unwrap();
+                total += m
+                    .switch_mode(OperatingMode::new(ProcessingLevel::Delineated, 3))
+                    .unwrap()
+                    .len();
+                m.push_block(black_box(second), 250).unwrap();
+                total += m
+                    .switch_mode(OperatingMode::new(ProcessingLevel::Classified, 1))
+                    .unwrap()
+                    .len();
+            }
+            total
+        })
+    });
+    g.bench_function("governed_push_block_10s", |b| {
+        b.iter(|| {
+            let mut gm = GovernedMonitor::new(
+                MonitorBuilder::new().n_leads(3),
+                GovernorConfig::for_leads(3),
+                Default::default(),
+            )
+            .unwrap();
+            gm.push_block(black_box(&buf), n_frames).unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_monitor, bench_fleet, bench_governor);
 criterion_main!(benches);

@@ -5,6 +5,10 @@
 //! value next to the measured one so EXPERIMENTS.md can be filled by
 //! running them.
 
+// Every public item carries documentation; rustdoc runs with
+// `-D warnings` in CI, so a gap fails the build.
+#![warn(missing_docs)]
+
 /// Prints a standard experiment header.
 pub fn header(id: &str, what: &str, paper_expectation: &str) {
     println!("================================================================");

@@ -19,6 +19,10 @@
 //!   with hysteresis into episodes (the 96% Se / 93% Sp text claim).
 //! * [`eval`] — confusion matrices and sensitivity/specificity.
 
+// Every public item carries documentation; rustdoc runs with
+// `-D warnings` in CI, so a gap fails the build.
+#![warn(missing_docs)]
+
 pub mod af;
 pub mod eval;
 pub mod features;

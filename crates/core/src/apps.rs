@@ -13,6 +13,14 @@
 //!   classified pipeline.
 //! * [`BpTrendApp`] — PAT-based blood-pressure trending from the
 //!   ECG+PPG pair (Section IV-C).
+//!
+//! Applications consume the payload stream of a session at whatever
+//! fidelity the node currently transmits. Under the
+//! [power governor](crate::governor) that fidelity moves at runtime:
+//! an [`AfMonitorApp`] sees per-beat fiducials while an episode keeps
+//! the session escalated, and sparse event summaries once the governor
+//! steps the node back down — the application-level view of the
+//! energy/diagnostic-detail trade the governor arbitrates.
 
 use wbsn_classify::af::{AfBeat, AfConfig, AfDetector};
 use wbsn_multimodal::pat::{BpEstimator, PatDetector};

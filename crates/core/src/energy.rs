@@ -6,8 +6,8 @@
 //! platforms use (1–5 cycles per integer op; memory-bound DSP loops
 //! average ≈4 cycles per elementary operation).
 
-use crate::level::ProcessingLevel;
-use crate::monitor::ActivityCounters;
+use crate::level::{OperatingMode, ProcessingLevel};
+use crate::monitor::{ActivityCounters, MonitorConfig};
 use wbsn_platform::node::{EnergyBreakdown, NodeModel, WorkloadProfile};
 
 /// Cycle-cost constants for the processing stages.
@@ -124,16 +124,88 @@ pub fn report(
 
 impl crate::monitor::CardiacMonitor {
     /// Energy report for the activity observed so far, on the default
-    /// SmartCardia-class node model.
+    /// SmartCardia-class node model, priced at the *current* operating
+    /// mode (level + powered leads). For a session whose mode changed
+    /// mid-stream this is an approximation over mixed history; the
+    /// [governor](crate::governor) prices each constant-mode epoch
+    /// exactly instead.
     pub fn energy_report(&self) -> EnergyReport {
         report(
             self.config().level,
             &self.counters(),
-            self.config().n_leads,
+            self.active_leads(),
             self.config().fs_hz as f64,
             &NodeModel::default(),
             &CycleCosts::default(),
         )
+    }
+}
+
+/// Predicts the steady-state per-second workload of running one
+/// candidate operating mode, **before** switching to it — the pricing
+/// input of the [governor](crate::governor): for each candidate
+/// [`OperatingMode`] it derives the expected MCU cycles, radio bytes
+/// and radio wake-ups from the session configuration and the observed
+/// beat rate, so candidates can be compared on projected battery
+/// lifetime and radio budget without running them.
+///
+/// The derivation mirrors [`workload_from_counters`] with expected
+/// activity substituted for measured counters:
+///
+/// * raw streaming emits one chunk per powered lead per second,
+/// * CS emits `fs / window` windows of `m(CR)` 16-bit measurements
+///   per powered lead and spends `d_per_col` additions per sample,
+/// * delineation emits one `Beats` payload per `beats_per_payload`
+///   beats at the observed beat rate,
+/// * classification emits one `Events` payload per `event_interval_s`.
+pub fn predicted_workload(
+    mode: OperatingMode,
+    cfg: &MonitorConfig,
+    beats_per_s: f64,
+    costs: &CycleCosts,
+) -> WorkloadProfile {
+    let level = mode.level;
+    let n_leads = mode.active_leads;
+    let fs_hz = cfg.fs_hz as f64;
+    let samples_per_s = fs_hz * n_leads as f64;
+    let beats_per_s = beats_per_s.max(0.0);
+    let mut cycles = costs.pack_per_sample * samples_per_s;
+    let (bytes_per_s, payloads_per_s) = match level {
+        ProcessingLevel::RawStreaming => {
+            // One 1 s chunk per lead: 4-byte header + 12-bit packing.
+            let chunk = 4 + 3 * (cfg.fs_hz as usize).div_ceil(2);
+            (chunk as f64 * n_leads as f64, n_leads as f64)
+        }
+        ProcessingLevel::CompressedSingleLead | ProcessingLevel::CompressedMultiLead => {
+            let m = wbsn_cs::measurements_for_cr(cfg.cs_window, cfg.cs_cr_percent);
+            let windows_per_s = fs_hz / cfg.cs_window as f64 * n_leads as f64;
+            cycles += costs.cs_per_add * cfg.cs_d_per_col as f64 * samples_per_s;
+            ((8 + 2 * m) as f64 * windows_per_s, windows_per_s)
+        }
+        ProcessingLevel::Delineated => {
+            let payloads = beats_per_s / cfg.beats_per_payload as f64;
+            ((3 + 12 * cfg.beats_per_payload) as f64 * payloads, payloads)
+        }
+        ProcessingLevel::Classified => {
+            let payloads = 1.0 / cfg.event_interval_s.max(1e-9);
+            (25.0 * payloads, payloads)
+        }
+    };
+    if level.delineates() {
+        cycles += costs.filter_per_sample * samples_per_s;
+        cycles += (costs.rms_per_sample + costs.delineation_per_sample) * fs_hz;
+        cycles += costs.delineation_per_beat * beats_per_s;
+    }
+    if level == ProcessingLevel::Classified {
+        cycles += costs.classify_per_beat * beats_per_s;
+        cycles += costs.af_per_window * beats_per_s;
+    }
+    WorkloadProfile {
+        n_leads,
+        fs_hz,
+        app_cycles_per_s: cycles,
+        radio_payload_bytes_per_s: bytes_per_s,
+        radio_wakeups_per_s: payloads_per_s.clamp(0.05, 4.0),
     }
 }
 

@@ -65,6 +65,7 @@ pub use shard::{SessionSnapshot, Shard};
 pub use sharded::ShardedFleet;
 
 use crate::energy::EnergyReport;
+use crate::level::{OperatingMode, ProcessingLevel};
 use crate::monitor::{ActivityCounters, CardiacMonitor, MonitorBuilder};
 use crate::payload::Payload;
 use crate::{Result, WbsnError};
@@ -266,6 +267,27 @@ impl NodeFleet {
     /// session's lead count (the frame count is derived per session).
     /// Returns one `(id, payloads)` per entry, in batch order.
     ///
+    /// ```
+    /// use wbsn_core::fleet::{NodeFleet, SessionId};
+    /// use wbsn_core::monitor::MonitorBuilder;
+    /// use wbsn_core::level::ProcessingLevel;
+    ///
+    /// let mut fleet = NodeFleet::new();
+    /// let ids = fleet
+    ///     .add_sessions(
+    ///         &MonitorBuilder::new().level(ProcessingLevel::RawStreaming),
+    ///         3,
+    ///     )
+    ///     .unwrap();
+    /// // One second of zeroed 3-lead signal for every session.
+    /// let frames = [0i32; 3 * 250];
+    /// let batch: Vec<(SessionId, &[i32])> =
+    ///     ids.iter().map(|&id| (id, &frames[..])).collect();
+    /// let results = fleet.ingest_batch(&batch).unwrap();
+    /// assert_eq!(results.len(), 3);
+    /// assert!(results.iter().all(|(_, payloads)| !payloads.is_empty()));
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`WbsnError::UnknownSession`] and shape mismatches
@@ -297,6 +319,43 @@ impl NodeFleet {
             .iter()
             .map(|&(id, frames)| self.shard.ingest_one(id, frames).map(|p| (id, p)))
             .collect()
+    }
+
+    /// Switches one session's operating mode live — the per-session
+    /// reconfigure command of the power governor
+    /// ([`crate::governor`]). Returns the boundary flush payloads; the
+    /// switched session is bit-identical to a fresh one at the new
+    /// mode from the same boundary (see
+    /// [`CardiacMonitor::switch_mode`]), so fleet determinism is
+    /// preserved for any driver and worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for a stale id, plus mode
+    /// validation errors (the session is untouched on error).
+    pub fn switch_mode(&mut self, id: SessionId, mode: OperatingMode) -> Result<Vec<Payload>> {
+        self.shard.switch_mode(id, mode)
+    }
+
+    /// Switches one session's processing level, keeping its powered
+    /// lead count (see [`Self::switch_mode`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::switch_mode`].
+    pub fn switch_level(&mut self, id: SessionId, level: ProcessingLevel) -> Result<Vec<Payload>> {
+        let active = self
+            .shard
+            .get(id)
+            .ok_or(WbsnError::UnknownSession { id: id.raw() })?
+            .active_leads();
+        self.shard.switch_mode(
+            id,
+            OperatingMode {
+                level,
+                active_leads: active,
+            },
+        )
     }
 
     /// Flushes every session, returning whatever payloads were still

@@ -11,6 +11,7 @@
 //! handed out monotonically and never reused).
 
 use crate::energy::{CycleCosts, EnergyReport};
+use crate::level::OperatingMode;
 use crate::monitor::{ActivityCounters, CardiacMonitor};
 use crate::payload::Payload;
 use crate::{Result, WbsnError};
@@ -180,6 +181,19 @@ impl Shard {
         self.monitor_mut(id)?.push_block(frames, n_frames)
     }
 
+    /// Switches one session's operating mode live — the per-session
+    /// reconfigure command the power governor issues through the
+    /// serving layer. Returns the boundary flush payloads (see
+    /// [`CardiacMonitor::switch_mode`] for the determinism contract).
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for a stale id, plus the
+    /// session's own mode-switch validation errors.
+    pub fn switch_mode(&mut self, id: SessionId, mode: OperatingMode) -> Result<Vec<Payload>> {
+        self.monitor_mut(id)?.switch_mode(mode)
+    }
+
     /// Ingests one cross-session entry: the frame count is derived
     /// from the session's configured lead count (`push_block` rejects
     /// buffers that are not an exact multiple).
@@ -256,10 +270,13 @@ impl Shard {
             .map(|s| {
                 let cfg = s.monitor.config();
                 let counters = s.monitor.counters();
+                // Price at the powered lead count, exactly like
+                // `CardiacMonitor::energy_report` — gated leads draw
+                // no AFE/ADC energy.
                 let energy = crate::energy::report(
                     cfg.level,
                     &counters,
-                    cfg.n_leads,
+                    s.monitor.active_leads(),
                     cfg.fs_hz as f64,
                     &node,
                     &costs,

@@ -31,6 +31,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 use crate::energy::EnergyReport;
+use crate::level::{OperatingMode, ProcessingLevel};
 use crate::monitor::{ActivityCounters, CardiacMonitor, MonitorBuilder};
 use crate::payload::Payload;
 use crate::{Result, WbsnError};
@@ -55,6 +56,10 @@ enum ShardCmd {
     Ingest {
         entries: Vec<IngestEntry>,
     },
+    SwitchMode {
+        id: SessionId,
+        mode: OperatingMode,
+    },
     FlushAll,
     Counters {
         id: SessionId,
@@ -70,6 +75,7 @@ enum ShardReply {
         recycled: Vec<i32>,
     },
     Ingested(IngestOutcome),
+    Switched(Result<Vec<Payload>>),
     Flushed(Result<Vec<(SessionId, Vec<Payload>)>>),
     Counters(Option<ActivityCounters>),
     Snapshot(Vec<SessionSnapshot>),
@@ -96,6 +102,7 @@ fn worker_loop(mut shard: Shard, cmds: Receiver<ShardCmd>, replies: Sender<Shard
                 }
             }
             ShardCmd::Ingest { entries } => ShardReply::Ingested(shard.ingest_entries(entries)),
+            ShardCmd::SwitchMode { id, mode } => ShardReply::Switched(shard.switch_mode(id, mode)),
             ShardCmd::FlushAll => ShardReply::Flushed(shard.flush_all()),
             ShardCmd::Counters { id } => ShardReply::Counters(shard.counters_of(id)),
             ShardCmd::Snapshot => ShardReply::Snapshot(shard.snapshots()),
@@ -114,6 +121,15 @@ struct Worker {
     handle: Option<JoinHandle<()>>,
 }
 
+/// Control-side cache of one session's lead configuration.
+#[derive(Debug, Clone, Copy)]
+struct SessionLeads {
+    /// Frame width (samples per frame).
+    n_leads: usize,
+    /// Leads currently powered.
+    active: usize,
+}
+
 /// N independent sessions served by N worker threads — the
 /// multi-threaded counterpart of [`NodeFleet`](super::NodeFleet) with
 /// the same deterministic results (see the module docs).
@@ -121,10 +137,12 @@ pub struct ShardedFleet {
     router: ShardRouter,
     workers: Vec<Worker>,
     next_id: u64,
-    // Lead count per live session, so `ingest_batch` can validate
-    // every entry's shape upfront — before any samples are shipped —
-    // without a worker round trip.
-    session_leads: std::collections::HashMap<u64, usize>,
+    // Frame width and powered-lead count per live session, so
+    // `ingest_batch` can validate every entry's shape upfront — before
+    // any samples are shipped — and `switch_level` can keep the lead
+    // count, without a worker round trip. Only the control thread
+    // issues mode switches, so the cached active count stays accurate.
+    session_leads: std::collections::HashMap<u64, SessionLeads>,
     // Cleared frame buffers returned by workers, reused by the next
     // ingest so steady-state serving allocates nothing per entry.
     frame_pool: Vec<Vec<i32>>,
@@ -245,7 +263,10 @@ impl ShardedFleet {
     fn enroll(&mut self, monitor: CardiacMonitor) -> Result<SessionId> {
         let id = SessionId::from_raw(self.next_id);
         let shard = ShardRouter::placement(self.router.n_shards(), id);
-        let n_leads = monitor.config().n_leads;
+        let leads = SessionLeads {
+            n_leads: monitor.config().n_leads,
+            active: monitor.active_leads(),
+        };
         self.send(
             shard,
             ShardCmd::Add {
@@ -257,7 +278,7 @@ impl ShardedFleet {
         // leaves the fleet consistent.
         self.next_id += 1;
         self.router.assign(id);
-        self.session_leads.insert(id.raw(), n_leads);
+        self.session_leads.insert(id.raw(), leads);
         Ok(id)
     }
 
@@ -364,7 +385,7 @@ impl ShardedFleet {
                 .router
                 .route(id)
                 .ok_or(WbsnError::UnknownSession { id: id.raw() })?;
-            let n_leads = self.session_leads[&id.raw()];
+            let n_leads = self.session_leads[&id.raw()].n_leads;
             if frames.len() % n_leads != 0 {
                 return Err(WbsnError::InvalidParameter {
                     what: "frames",
@@ -442,6 +463,59 @@ impl ShardedFleet {
             .into_iter()
             .map(|slot| slot.expect("entry"))
             .collect())
+    }
+
+    /// Switches one session's operating mode live — the per-session
+    /// reconfigure command of the power governor
+    /// ([`crate::governor`]), routed to the session's shard like any
+    /// other command: commands to one shard execute in submission
+    /// order, so a switch interleaved with ingests produces exactly
+    /// the payload stream the sequential driver produces for the same
+    /// command order (pinned by `tests/fleet_determinism.rs`). Returns
+    /// the boundary flush payloads.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for a stale id, the session's own
+    /// mode validation errors, and [`WbsnError::WorkerLost`] for a
+    /// dead shard.
+    pub fn switch_mode(&mut self, id: SessionId, mode: OperatingMode) -> Result<Vec<Payload>> {
+        let shard = self
+            .router
+            .route(id)
+            .ok_or(WbsnError::UnknownSession { id: id.raw() })?;
+        self.send(shard, ShardCmd::SwitchMode { id, mode })?;
+        match self.recv(shard)? {
+            ShardReply::Switched(result) => {
+                let payloads = result?;
+                if let Some(leads) = self.session_leads.get_mut(&id.raw()) {
+                    leads.active = mode.active_leads;
+                }
+                Ok(payloads)
+            }
+            _ => Err(WbsnError::WorkerLost { shard }),
+        }
+    }
+
+    /// Switches one session's processing level, keeping its powered
+    /// lead count (see [`Self::switch_mode`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::switch_mode`].
+    pub fn switch_level(&mut self, id: SessionId, level: ProcessingLevel) -> Result<Vec<Payload>> {
+        let active = self
+            .session_leads
+            .get(&id.raw())
+            .ok_or(WbsnError::UnknownSession { id: id.raw() })?
+            .active;
+        self.switch_mode(
+            id,
+            OperatingMode {
+                level,
+                active_leads: active,
+            },
+        )
     }
 
     /// Flushes every session, returning whatever payloads were still

@@ -64,6 +64,42 @@ impl core::fmt::Display for ProcessingLevel {
     }
 }
 
+/// A runtime operating point of a monitoring session: the processing
+/// level *and* the number of acquisition leads powered.
+///
+/// The [power governor](crate::governor) re-selects the operating mode
+/// while a session is live: it escalates fidelity (down the abstraction
+/// ladder, more leads) when the rhythm turns interesting, and sheds
+/// radio bytes, MCU cycles and analog front-end bias (each unused lead
+/// saves its AFE+ADC power) when the signal is quiet or the battery is
+/// low. [`CardiacMonitor::switch_mode`](crate::CardiacMonitor::switch_mode)
+/// applies a mode change at a deterministic stream boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperatingMode {
+    /// Processing level on the abstraction ladder.
+    pub level: ProcessingLevel,
+    /// Acquisition leads powered (1 ..= the session's configured lead
+    /// count). Frames keep their configured width; gated leads are
+    /// acquired as unpowered and ignored by the pipeline.
+    pub active_leads: usize,
+}
+
+impl OperatingMode {
+    /// Mode at `level` with `active_leads` powered leads.
+    pub fn new(level: ProcessingLevel, active_leads: usize) -> Self {
+        OperatingMode {
+            level,
+            active_leads,
+        }
+    }
+}
+
+impl core::fmt::Display for OperatingMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} @ {} lead(s)", self.level, self.active_leads)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

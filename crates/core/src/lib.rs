@@ -32,7 +32,13 @@
 //! * [`payload`] — the on-air payload formats with exact byte costs.
 //! * [`energy`] — per-stage cycle accounting composed with the
 //!   `wbsn-platform` node model into Figure 6-style breakdowns and
-//!   battery lifetimes.
+//!   battery lifetimes, plus per-mode workload prediction for the
+//!   governor.
+//! * [`governor`] — the closed-loop power governor: a deterministic
+//!   per-session controller that re-selects the [`OperatingMode`]
+//!   (processing level + powered leads) at runtime from rhythm state,
+//!   battery state-of-charge and a radio budget, applied through
+//!   [`CardiacMonitor::switch_mode`] live level switching.
 //! * [`apps`] — the application layer the paper motivates: arrhythmia
 //!   /AF monitoring, sleep/HRV analysis, and PAT-based blood-pressure
 //!   trending.
@@ -74,9 +80,14 @@
 //! assert_eq!(fleet.aggregate_counters().samples_in, 16 * 3);
 //! ```
 
+// Every public item carries documentation; rustdoc runs with
+// `-D warnings` in CI, so a gap fails the build.
+#![warn(missing_docs)]
+
 pub mod apps;
 pub mod energy;
 pub mod fleet;
+pub mod governor;
 pub mod level;
 pub mod monitor;
 pub mod payload;
@@ -84,7 +95,8 @@ pub mod stage;
 
 pub use energy::EnergyReport;
 pub use fleet::{FleetEnergyReport, NodeFleet, SessionId, Shard, ShardRouter, ShardedFleet};
-pub use level::ProcessingLevel;
+pub use governor::{GovernedMonitor, GovernorConfig, PowerGovernor};
+pub use level::{OperatingMode, ProcessingLevel};
 pub use monitor::{CardiacMonitor, MonitorBuilder, MonitorConfig};
 pub use payload::Payload;
 pub use stage::{ActivityCounters, PayloadSink, PipelineStage};

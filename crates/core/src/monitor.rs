@@ -25,7 +25,7 @@
 //! assert!(node.try_push(&[0, 0]).is_err()); // lead mismatch, no panic
 //! ```
 
-use crate::level::ProcessingLevel;
+use crate::level::{OperatingMode, ProcessingLevel};
 use crate::payload::Payload;
 pub use crate::stage::ActivityCounters;
 use crate::stage::{
@@ -47,6 +47,12 @@ pub struct MonitorConfig {
     pub n_leads: usize,
     /// Processing level.
     pub level: ProcessingLevel,
+    /// Acquisition leads initially powered (`None` = all `n_leads`).
+    /// Frames always carry `n_leads` samples; gated leads are ignored
+    /// by the pipeline and priced as unpowered by the energy model.
+    /// The [power governor](crate::governor) adjusts this at runtime
+    /// through [`CardiacMonitor::switch_mode`].
+    pub active_leads: Option<usize>,
     /// CS window length (samples).
     pub cs_window: usize,
     /// CS compression ratio in percent.
@@ -70,6 +76,7 @@ impl Default for MonitorConfig {
             fs_hz: 250,
             n_leads: 3,
             level: ProcessingLevel::Delineated,
+            active_leads: None,
             cs_window: 512,
             cs_cr_percent: 65.9,
             cs_d_per_col: 4,
@@ -82,6 +89,30 @@ impl Default for MonitorConfig {
 }
 
 /// Fluent, validating builder for [`CardiacMonitor`] sessions.
+///
+/// Invalid combinations are rejected at [`MonitorBuilder::build`]
+/// time, never at ingest time:
+///
+/// ```
+/// use wbsn_core::monitor::MonitorBuilder;
+/// use wbsn_core::level::ProcessingLevel;
+///
+/// let monitor = MonitorBuilder::new()
+///     .level(ProcessingLevel::CompressedSingleLead)
+///     .n_leads(2)
+///     .cs_window(256)
+///     .cs_compression_ratio(60.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(monitor.stage_name(), "cs-encoder");
+///
+/// // A non-dyadic CS window cannot produce a session at all.
+/// assert!(MonitorBuilder::new()
+///     .level(ProcessingLevel::CompressedSingleLead)
+///     .cs_window(300)
+///     .build()
+///     .is_err());
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct MonitorBuilder {
     cfg: MonitorConfig,
@@ -117,6 +148,13 @@ impl MonitorBuilder {
     #[must_use]
     pub fn level(mut self, level: ProcessingLevel) -> Self {
         self.cfg.level = level;
+        self
+    }
+
+    /// Acquisition leads initially powered (1 ..= `n_leads`).
+    #[must_use]
+    pub fn active_leads(mut self, active: usize) -> Self {
+        self.cfg.active_leads = Some(active);
         self
     }
 
@@ -201,40 +239,76 @@ impl MonitorBuilder {
                 detail: "must be positive".into(),
             });
         }
-        let stage: Box<dyn PipelineStage> = match cfg.level {
-            ProcessingLevel::RawStreaming => {
-                // 1 s chunks.
-                Box::new(RawForwarder::new(cfg.n_leads, cfg.fs_hz as usize)?)
-            }
-            ProcessingLevel::CompressedSingleLead | ProcessingLevel::CompressedMultiLead => {
-                Box::new(CsStage::new(
-                    cfg.n_leads,
-                    cfg.cs_window,
-                    cfg.cs_cr_percent,
-                    cfg.cs_d_per_col,
-                    cfg.seed,
-                )?)
-            }
-            ProcessingLevel::Delineated => Box::new(DelineationStage::new(
-                cfg.n_leads,
-                cfg.fs_hz,
-                cfg.beats_per_payload,
-            )?),
-            ProcessingLevel::Classified => Box::new(ClassifyStage::new(
-                cfg.n_leads,
-                cfg.fs_hz,
-                cfg.event_interval_s,
-                cfg.classifier.clone(),
-            )?),
-        };
+        let active = cfg.active_leads.unwrap_or(cfg.n_leads);
+        check_active_leads(active, cfg.n_leads)?;
+        let stage = build_stage(&cfg, active)?;
         Ok(CardiacMonitor {
             cfg,
             stage,
+            active_leads: active,
             sink: PayloadSink::new(),
             n_frames: 0,
+            samples_acquired: 0,
+            retired: ActivityCounters::default(),
             interleave_scratch: Vec::new(),
+            gate_scratch: Vec::new(),
         })
     }
+}
+
+fn check_active_leads(active: usize, n_leads: usize) -> Result<()> {
+    if active == 0 || active > n_leads {
+        return Err(WbsnError::InvalidParameter {
+            what: "active_leads",
+            detail: format!("{active} outside 1..={n_leads}"),
+        });
+    }
+    Ok(())
+}
+
+/// Validates that `mode` could be constructed under `cfg` by building
+/// (and discarding) its stage. The governor pre-flights every tier's
+/// mode with this at session creation, so a later live switch cannot
+/// fail for configuration reasons mid-stream.
+pub(crate) fn validate_mode(cfg: &MonitorConfig, mode: OperatingMode) -> Result<()> {
+    check_active_leads(mode.active_leads, cfg.n_leads)?;
+    let mut cfg = cfg.clone();
+    cfg.level = mode.level;
+    build_stage(&cfg, mode.active_leads).map(|_| ())
+}
+
+/// Constructs the pipeline stage for one operating point: `level`
+/// processing over the first `active` leads of every frame. Shared by
+/// [`MonitorBuilder::build`] and [`CardiacMonitor::switch_mode`], so a
+/// live switch installs exactly the stage a fresh session at the new
+/// mode would start with.
+fn build_stage(cfg: &MonitorConfig, active: usize) -> Result<Box<dyn PipelineStage>> {
+    Ok(match cfg.level {
+        ProcessingLevel::RawStreaming => {
+            // 1 s chunks.
+            Box::new(RawForwarder::new(active, cfg.fs_hz as usize)?)
+        }
+        ProcessingLevel::CompressedSingleLead | ProcessingLevel::CompressedMultiLead => {
+            Box::new(CsStage::new(
+                active,
+                cfg.cs_window,
+                cfg.cs_cr_percent,
+                cfg.cs_d_per_col,
+                cfg.seed,
+            )?)
+        }
+        ProcessingLevel::Delineated => Box::new(DelineationStage::new(
+            active,
+            cfg.fs_hz,
+            cfg.beats_per_payload,
+        )?),
+        ProcessingLevel::Classified => Box::new(ClassifyStage::new(
+            active,
+            cfg.fs_hz,
+            cfg.event_interval_s,
+            cfg.classifier.clone(),
+        )?),
+    })
 }
 
 /// One monitoring session: the streaming engine orchestrating a
@@ -243,11 +317,23 @@ impl MonitorBuilder {
 pub struct CardiacMonitor {
     cfg: MonitorConfig,
     stage: Box<dyn PipelineStage>,
+    // Leads currently powered; the stage is built over exactly this
+    // many leads and every frame is gated down to them.
+    active_leads: usize,
     sink: PayloadSink,
     n_frames: u64,
+    // Per-lead samples actually acquired (gated leads draw no AFE/ADC
+    // energy and are not counted).
+    samples_acquired: u64,
+    // Stage-specific activity accumulated by stages retired through
+    // `switch_mode`, so session counters survive live reconfiguration.
+    retired: ActivityCounters,
     // Reusable interleave buffer for `process_record`, so repeated
     // record replays allocate nothing in the steady state.
     interleave_scratch: Vec<i32>,
+    // Reusable lead-gating buffer for `push_block` when fewer leads
+    // are active than the frame width carries.
+    gate_scratch: Vec<i32>,
 }
 
 impl CardiacMonitor {
@@ -277,15 +363,90 @@ impl CardiacMonitor {
         self.stage.name()
     }
 
+    /// The operating point currently in effect (level + powered leads).
+    pub fn mode(&self) -> OperatingMode {
+        OperatingMode {
+            level: self.cfg.level,
+            active_leads: self.active_leads,
+        }
+    }
+
+    /// Leads currently powered (≤ the configured frame width).
+    pub fn active_leads(&self) -> usize {
+        self.active_leads
+    }
+
     /// Activity accumulated so far: engine-level frame/byte totals
-    /// merged with the stage's own counters.
+    /// merged with the stage's own counters, including the activity of
+    /// stages retired by [`Self::switch_mode`]. `samples_in` counts
+    /// only samples from powered leads (gated leads acquire nothing).
     pub fn counters(&self) -> ActivityCounters {
-        let mut c = self.stage.activity();
-        c.samples_in = self.n_frames * self.cfg.n_leads as u64;
+        let mut c = self.stage.activity().merged(&self.retired);
+        c.samples_in = self.samples_acquired;
         c.seconds = self.n_frames as f64 / self.cfg.fs_hz as f64;
         c.payload_bytes = self.sink.total_bytes();
         c.payloads = self.sink.total_payloads();
         c
+    }
+
+    /// Switches the session to a new operating mode **live**, at the
+    /// boundary between the frames already pushed and the frames still
+    /// to come.
+    ///
+    /// Boundary semantics (the determinism contract pinned by
+    /// `tests/governor_properties.rs`):
+    ///
+    /// * Buffered partial state of the outgoing stage is **flushed,
+    ///   not dropped** — queued beats, partial raw chunks and the
+    ///   final event summary are emitted as payloads and returned
+    ///   (torn CS windows are dropped, as on every shutdown path).
+    /// * The outgoing stage's activity counters are retired into the
+    ///   session totals, so [`Self::counters`] keeps accumulating
+    ///   across switches.
+    /// * The incoming stage starts from a clean history boundary and
+    ///   is **bit-identical to a fresh monitor built at the new mode**
+    ///   and fed the same post-boundary frames: every payload byte and
+    ///   stage counter matches. The short delineator warm-up after a
+    ///   switch is the price of that reproducibility; the governor's
+    ///   dwell hysteresis amortizes it.
+    ///
+    /// Switching to the current mode is a no-op returning no payloads.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] when `mode.active_leads` is not
+    /// in `1..=n_leads`, plus stage construction failures (in which
+    /// case the session keeps its previous stage untouched).
+    pub fn switch_mode(&mut self, mode: OperatingMode) -> Result<Vec<Payload>> {
+        check_active_leads(mode.active_leads, self.cfg.n_leads)?;
+        if mode == self.mode() {
+            return Ok(Vec::new());
+        }
+        let mut cfg = self.cfg.clone();
+        cfg.level = mode.level;
+        cfg.active_leads = Some(mode.active_leads);
+        // Build first: a failing construction must leave the session
+        // running at its previous mode.
+        let fresh = build_stage(&cfg, mode.active_leads)?;
+        self.stage.flush(&mut self.sink)?;
+        let retiring = core::mem::replace(&mut self.stage, fresh);
+        self.retired = self.retired.merged(&retiring.activity());
+        self.cfg = cfg;
+        self.active_leads = mode.active_leads;
+        Ok(self.sink.drain())
+    }
+
+    /// Switches the processing level, keeping the powered lead count —
+    /// see [`Self::switch_mode`] for the boundary semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::switch_mode`].
+    pub fn switch_level(&mut self, level: ProcessingLevel) -> Result<Vec<Payload>> {
+        self.switch_mode(OperatingMode {
+            level,
+            active_leads: self.active_leads,
+        })
     }
 
     /// Pushes one simultaneous sample per lead; returns any payloads
@@ -302,8 +463,10 @@ impl CardiacMonitor {
                 got: frame.len(),
             });
         }
-        self.stage.push_frame(frame, &mut self.sink)?;
+        self.stage
+            .push_frame(&frame[..self.active_leads], &mut self.sink)?;
         self.n_frames += 1;
+        self.samples_acquired += self.active_leads as u64;
         Ok(self.sink.drain())
     }
 
@@ -343,8 +506,24 @@ impl CardiacMonitor {
                 ),
             });
         }
-        self.stage.process_block(frames, n_leads, &mut self.sink)?;
+        let active = self.active_leads;
+        if active == n_leads {
+            self.stage.process_block(frames, n_leads, &mut self.sink)?;
+        } else {
+            // Gate the frames down to the powered leads; the scratch
+            // buffer is reused, so the steady state allocates nothing.
+            let mut gated = core::mem::take(&mut self.gate_scratch);
+            gated.clear();
+            gated.reserve(n_frames * active);
+            for frame in frames.chunks_exact(n_leads) {
+                gated.extend_from_slice(&frame[..active]);
+            }
+            let result = self.stage.process_block(&gated, active, &mut self.sink);
+            self.gate_scratch = gated;
+            result?;
+        }
         self.n_frames += n_frames as u64;
+        self.samples_acquired += (n_frames * active) as u64;
         Ok(self.sink.drain())
     }
 

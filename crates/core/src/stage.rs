@@ -58,6 +58,34 @@ pub struct ActivityCounters {
 }
 
 impl ActivityCounters {
+    /// Element-wise difference `self − earlier` (saturating), the
+    /// activity of the interval between two snapshots of one session —
+    /// the per-epoch accounting input of the
+    /// [governor](crate::governor).
+    ///
+    /// `af_windows` is special: the classify stage reports it as a
+    /// *gauge* (windows currently under sliding analysis, which drops
+    /// when the beat buffer drains), not a monotone counter, so the
+    /// delta carries the later snapshot instead of a subtraction —
+    /// subtracting two gauge readings would report zero AF work for
+    /// every epoch after the first buffer drain.
+    #[must_use]
+    pub fn delta(&self, earlier: &ActivityCounters) -> ActivityCounters {
+        ActivityCounters {
+            samples_in: self.samples_in.saturating_sub(earlier.samples_in),
+            seconds: (self.seconds - earlier.seconds).max(0.0),
+            payload_bytes: self.payload_bytes.saturating_sub(earlier.payload_bytes),
+            payloads: self.payloads.saturating_sub(earlier.payloads),
+            cs_windows: self.cs_windows.saturating_sub(earlier.cs_windows),
+            cs_adds: self.cs_adds.saturating_sub(earlier.cs_adds),
+            beats: self.beats.saturating_sub(earlier.beats),
+            classified_beats: self
+                .classified_beats
+                .saturating_sub(earlier.classified_beats),
+            af_windows: self.af_windows,
+        }
+    }
+
     /// Element-wise sum (used by the fleet aggregator; `seconds` adds
     /// too, i.e. the result counts session-seconds).
     #[must_use]

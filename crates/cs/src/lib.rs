@@ -40,6 +40,10 @@
 //! assert!(snr > 15.0, "snr {snr}");
 //! ```
 
+// Every public item carries documentation; rustdoc runs with
+// `-D warnings` in CI, so a gap fails the build.
+#![warn(missing_docs)]
+
 pub mod encoder;
 pub mod joint;
 pub mod omp;

@@ -21,6 +21,10 @@
 //! pipeline in a fixed-memory streaming engine whose exact buffer
 //! budget is reported, reproducing the paper's memory claim.
 
+// Every public item carries documentation; rustdoc runs with
+// `-D warnings` in CI, so a gap fails the build.
+#![warn(missing_docs)]
+
 pub mod eval;
 pub mod fiducials;
 pub mod mmd;

@@ -36,6 +36,10 @@
 //! assert!(record.beats().len() >= 10);
 //! ```
 
+// Every public item carries documentation; rustdoc runs with
+// `-D warnings` in CI, so a gap fails the build.
+#![warn(missing_docs)]
+
 pub mod generator;
 pub mod model;
 pub mod noise;
@@ -48,4 +52,4 @@ pub use generator::RecordBuilder;
 pub use model::{AdcModel, BeatMorphology, BeatType, WaveKind};
 pub use ppg::{PpgConfig, PpgSignal};
 pub use record::{Annotation, Beat, FiducialKind, Record, RhythmSpan};
-pub use rhythm::{Rhythm, RhythmLabel};
+pub use rhythm::{Rhythm, RhythmLabel, RhythmPhase};

@@ -137,6 +137,21 @@ impl Record {
         &self.leads
     }
 
+    /// The record as interleaved frames — `out[i * n_leads + l]` is
+    /// lead `l` of sample instant `i` — the exact layout the
+    /// `wbsn-core` monitor/fleet block-ingestion paths consume.
+    pub fn interleaved_frames(&self) -> Vec<i32> {
+        let n = self.n_samples();
+        let n_leads = self.leads.len();
+        let mut out = vec![0i32; n * n_leads];
+        for (l, lead) in self.leads.iter().enumerate() {
+            for (i, &s) in lead.iter().enumerate() {
+                out[i * n_leads + l] = s;
+            }
+        }
+        out
+    }
+
     /// Clean (noise-free) millivolt trace of lead `l`.
     ///
     /// # Panics

@@ -50,6 +50,29 @@ pub enum Rhythm {
         /// Mean heart rate in beats per minute.
         mean_hr_bpm: f64,
     },
+    /// A scripted sequence of rhythm phases with exact boundaries —
+    /// the controlled counterpart of [`Rhythm::EpisodicAf`] for
+    /// closed-loop scenarios (e.g. the power governor's quiet night →
+    /// AF episode → recovery trace), where the experiment needs to
+    /// know *when* each regime starts and ends.
+    Phased(Vec<RhythmPhase>),
+}
+
+/// One phase of a [`Rhythm::Phased`] script.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RhythmPhase {
+    /// The rhythm running during this phase. Nested `Phased` scripts
+    /// are allowed and flatten naturally.
+    pub rhythm: Rhythm,
+    /// Phase length in seconds.
+    pub duration_s: f64,
+}
+
+impl RhythmPhase {
+    /// A phase of `rhythm` lasting `duration_s` seconds.
+    pub fn new(rhythm: Rhythm, duration_s: f64) -> Self {
+        RhythmPhase { rhythm, duration_s }
+    }
 }
 
 /// Per-span rhythm label for ground truth (AF detection scoring).
@@ -117,6 +140,25 @@ impl Rhythm {
                     beats.append(&mut chunk);
                     t = end;
                     in_af = !in_af;
+                }
+                beats.sort_by(|a, b| a.r_time_s.partial_cmp(&b.r_time_s).expect("no NaN"));
+                fix_rr(&mut beats);
+                beats
+            }
+            Rhythm::Phased(ref phases) => {
+                let mut beats = Vec::new();
+                let mut t = 0.0;
+                for phase in phases {
+                    if t >= duration_s {
+                        break;
+                    }
+                    let span = phase.duration_s.min(duration_s - t);
+                    let mut chunk = phase.rhythm.schedule(span, rng);
+                    for b in &mut chunk {
+                        b.r_time_s += t;
+                    }
+                    beats.extend(chunk);
+                    t += span;
                 }
                 beats.sort_by(|a, b| a.r_time_s.partial_cmp(&b.r_time_s).expect("no NaN"));
                 fix_rr(&mut beats);
@@ -336,6 +378,31 @@ mod tests {
             "pvc frac {}",
             pvc as f64 / beats.len() as f64
         );
+    }
+
+    #[test]
+    fn phased_script_places_regimes_at_exact_boundaries() {
+        let beats = Rhythm::Phased(vec![
+            RhythmPhase::new(Rhythm::NormalSinus { mean_hr_bpm: 55.0 }, 60.0),
+            RhythmPhase::new(Rhythm::AtrialFibrillation { mean_hr_bpm: 110.0 }, 30.0),
+            RhythmPhase::new(Rhythm::NormalSinus { mean_hr_bpm: 70.0 }, 60.0),
+        ])
+        .schedule(150.0, &mut rng(11));
+        assert!(beats
+            .iter()
+            .all(|b| (b.label == RhythmLabel::Af) == (60.0..90.0).contains(&b.r_time_s)));
+        // Each regime is populated and times strictly increase.
+        let af = beats.iter().filter(|b| b.label == RhythmLabel::Af).count();
+        assert!(af > 30, "af beats {af}");
+        assert!(af < beats.len() - 60);
+        assert!(beats.windows(2).all(|w| w[1].r_time_s > w[0].r_time_s));
+        // The record duration truncates an over-long script.
+        let truncated = Rhythm::Phased(vec![RhythmPhase::new(
+            Rhythm::NormalSinus { mean_hr_bpm: 60.0 },
+            1000.0,
+        )])
+        .schedule(30.0, &mut rng(12));
+        assert!(truncated.last().unwrap().r_time_s < 30.0);
     }
 
     #[test]

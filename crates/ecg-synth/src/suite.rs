@@ -103,6 +103,35 @@ pub fn episodic_af_suite(n: usize, base_seed: u64) -> Vec<Record> {
         .collect()
 }
 
+/// Phase lengths of [`governor_scenario`], seconds:
+/// (quiet night, AF episode, recovery).
+pub const GOVERNOR_SCENARIO_PHASES_S: (f64, f64, f64) = (240.0, 120.0, 240.0);
+
+/// The power governor's acceptance trace: a quiet night (sinus at
+/// 52 bpm), a sustained AF episode (115 bpm ventricular response), and
+/// recovery (sinus at 68 bpm), as one continuous 3-lead record with
+/// exact regime boundaries ([`GOVERNOR_SCENARIO_PHASES_S`]).
+///
+/// Both `examples/power_governor.rs` and `tests/governor_scenario.rs`
+/// in the workspace root consume *this* function, so the demo output
+/// and the pinned lifetime ordering can never drift apart.
+pub fn governor_scenario() -> Record {
+    let (quiet_s, af_s, recovery_s) = GOVERNOR_SCENARIO_PHASES_S;
+    RecordBuilder::new(0xD1A6)
+        .duration_s(quiet_s + af_s + recovery_s)
+        .n_leads(3)
+        .rhythm(Rhythm::Phased(vec![
+            crate::rhythm::RhythmPhase::new(Rhythm::NormalSinus { mean_hr_bpm: 52.0 }, quiet_s),
+            crate::rhythm::RhythmPhase::new(
+                Rhythm::AtrialFibrillation { mean_hr_bpm: 115.0 },
+                af_s,
+            ),
+            crate::rhythm::RhythmPhase::new(Rhythm::NormalSinus { mean_hr_bpm: 68.0 }, recovery_s),
+        ]))
+        .noise(NoiseConfig::ambulatory(22.0))
+        .build()
+}
+
 /// Records for the compressed-sensing SNR-vs-CR sweep (Figure 5):
 /// 3-lead, mildly noisy so that reconstruction quality is dominated by
 /// the compression itself.

@@ -29,6 +29,10 @@
 //! implementations; [`power`] runs the single-core vs multi-core
 //! iso-throughput comparison that regenerates the figure.
 
+// Every public item carries documentation; rustdoc runs with
+// `-D warnings` in CI, so a gap fails the build.
+#![warn(missing_docs)]
+
 pub mod energy;
 pub mod isa;
 pub mod kernels;

@@ -50,9 +50,106 @@ impl Battery {
     }
 }
 
+/// Mutable charge state of a [`Battery`]: tracks the energy actually
+/// drained so a runtime controller (the power governor in `wbsn-core`)
+/// can read state-of-charge and project remaining lifetime while the
+/// node runs.
+///
+/// ```
+/// use wbsn_platform::battery::{Battery, BatteryState};
+///
+/// let mut state = BatteryState::new(Battery::default());
+/// assert!((state.soc() - 1.0).abs() < 1e-12);
+/// state.drain_j(state.battery().energy_j() / 2.0);
+/// assert!((state.soc() - 0.5).abs() < 1e-12);
+/// assert!(state.projected_days(1.8e-3) > 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryState {
+    battery: Battery,
+    remaining_j: f64,
+}
+
+impl BatteryState {
+    /// A fully charged battery.
+    pub fn new(battery: Battery) -> Self {
+        BatteryState {
+            battery,
+            remaining_j: battery.energy_j(),
+        }
+    }
+
+    /// The underlying battery description.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Usable energy remaining, joules.
+    pub fn remaining_j(&self) -> f64 {
+        self.remaining_j
+    }
+
+    /// State of charge as a fraction of usable energy (0 when empty).
+    pub fn soc(&self) -> f64 {
+        let full = self.battery.energy_j();
+        if full <= 0.0 {
+            0.0
+        } else {
+            (self.remaining_j / full).clamp(0.0, 1.0)
+        }
+    }
+
+    /// True once the usable energy is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.remaining_j <= 0.0
+    }
+
+    /// Removes `energy_j` joules (clamped at empty; negative drains
+    /// are ignored).
+    pub fn drain_j(&mut self, energy_j: f64) {
+        if energy_j > 0.0 {
+            self.remaining_j = (self.remaining_j - energy_j).max(0.0);
+        }
+    }
+
+    /// Restores the battery to full charge.
+    pub fn recharge(&mut self) {
+        self.remaining_j = self.battery.energy_j();
+    }
+
+    /// Days the *remaining* energy lasts at a constant power draw
+    /// (`f64::INFINITY` for non-positive power).
+    pub fn projected_days(&self, avg_power_w: f64) -> f64 {
+        if avg_power_w <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.remaining_j / avg_power_w / 86_400.0
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn state_tracks_drain_and_projects_remaining_life() {
+        let mut s = BatteryState::new(Battery::default());
+        let full = s.battery().energy_j();
+        assert!(!s.is_empty());
+        s.drain_j(full * 0.75);
+        assert!((s.soc() - 0.25).abs() < 1e-12);
+        // Projection uses remaining energy, not nameplate capacity.
+        let days_full = Battery::default().lifetime_days(1e-3);
+        assert!((s.projected_days(1e-3) - 0.25 * days_full).abs() < 1e-9);
+        s.drain_j(-5.0); // ignored
+        assert!((s.soc() - 0.25).abs() < 1e-12);
+        s.drain_j(full);
+        assert!(s.is_empty());
+        assert_eq!(s.soc(), 0.0);
+        s.recharge();
+        assert!((s.soc() - 1.0).abs() < 1e-12);
+    }
 
     #[test]
     fn hundred_mah_at_1_8mw_lasts_about_a_week() {

@@ -22,6 +22,10 @@
 //! * [`node`] — the composed node model producing the Figure 6-style
 //!   radio/sampling/computation/OS breakdowns.
 
+// Every public item carries documentation; rustdoc runs with
+// `-D warnings` in CI, so a gap fails the build.
+#![warn(missing_docs)]
+
 pub mod battery;
 pub mod frontend;
 pub mod mcu;

@@ -51,6 +51,10 @@
 //! }
 //! ```
 
+// Every public item carries documentation; rustdoc runs with
+// `-D warnings` in CI, so a gap fails the build.
+#![warn(missing_docs)]
+
 pub mod combine;
 pub mod div;
 pub mod fir;

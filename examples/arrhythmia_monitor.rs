@@ -1,5 +1,9 @@
 //! Arrhythmia monitoring: the paper's headline application.
 //!
+//! Paper section: Section II (application requirements) + Section
+//! IV-B — on-node beat classification by random projections and the
+//! AF detector of reference [25], at the top of the Figure 1 ladder.
+//!
 //! Trains the embedded classifier on synthetic ectopy records, then
 //! monitors a patient with PVCs and an AF episode: every beat is
 //! classified on-node and AF episodes are extracted — only event

@@ -1,4 +1,8 @@
-//! Cuffless blood-pressure trending from ECG + PPG (Section IV-C).
+//! Cuffless blood-pressure trending from ECG + PPG.
+//!
+//! Paper section: Section IV-C — multi-modal pulse-arrival-time
+//! estimation as the paper's example of fusing a second sensing
+//! modality on the same ultra-low-power node.
 //!
 //! Generates a subject whose blood pressure rises over twenty minutes
 //! (pulse-transit time falls), measures the pulse arrival time from

@@ -1,6 +1,10 @@
 //! Compressed streaming: CS encode on the node, reconstruct at the
 //! base station, compare quality and battery impact against raw
-//! streaming (the Figure 5 + Figure 6 story in one program).
+//! streaming.
+//!
+//! Paper section: Section III (compressed sensing) — the Figure 5
+//! reconstruction-quality story and the Figure 6 energy story in one
+//! program.
 //!
 //! Run with: `cargo run --release --example compressed_streaming`
 

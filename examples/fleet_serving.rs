@@ -1,6 +1,10 @@
 //! Fleet serving: one process terminating the streams of a thousand
 //! wearable nodes, scaled across cores by the sharded serving layer.
 //!
+//! Paper section: none directly — this is the base-station/cloud side
+//! the paper's nodes transmit to, scaled far beyond the paper's
+//! single-node experiments (the ROADMAP's serving north star).
+//!
 //! Spins up 1200 independent monitor sessions across the abstraction
 //! ladder, replays per-patient synthetic ECG through the cross-session
 //! `ingest_batch` entry point, and sweeps the `ShardedFleet` worker

@@ -2,6 +2,9 @@
 //! pipeline at the "delineated" abstraction level, and print what the
 //! node would transmit plus its energy budget.
 //!
+//! Paper section: Figure 1 + Section IV-A — the delineated rung of
+//! the abstraction ladder with its Figure 6-style energy breakdown.
+//!
 //! Run with: `cargo run --example quickstart`
 
 use wbsn_core::level::ProcessingLevel;

@@ -2,6 +2,10 @@
 //! names "autonomous sleep monitoring for critical scenarios, such as
 //! monitoring of the sleep state of airline pilots".
 //!
+//! Paper section: Abstract + Section II — behavioural applications
+//! that "only require processing of beat-to-beat intervals", the
+//! cheapest workload class of the ladder.
+//!
 //! Simulates a subject drifting from wakefulness into rest (heart rate
 //! falls, vagal tone rises) and shows the on-node HRV metrics + sleep
 //! score tracking the transition.

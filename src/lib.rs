@@ -20,6 +20,10 @@
 //!   [`core::MonitorBuilder`], [`core::stage`]) and the serving layer
 //!   ([`core::fleet::NodeFleet`]).
 
+// Every public item carries documentation; rustdoc runs with
+// `-D warnings` in CI, so a gap fails the build.
+#![warn(missing_docs)]
+
 pub use wbsn_classify as classify;
 pub use wbsn_core as core;
 pub use wbsn_cs as cs;

@@ -8,7 +8,7 @@
 //! sessions are added and removed mid-stream.
 
 use wbsn_core::fleet::{NodeFleet, SessionId, ShardedFleet};
-use wbsn_core::level::ProcessingLevel;
+use wbsn_core::level::{OperatingMode, ProcessingLevel};
 use wbsn_core::monitor::MonitorBuilder;
 use wbsn_core::payload::Payload;
 use wbsn_ecg_synth::noise::NoiseConfig;
@@ -86,6 +86,13 @@ impl Driver {
         match self {
             Driver::Seq(f) => f.flush_all().unwrap(),
             Driver::Sharded(f) => f.flush_all().unwrap(),
+        }
+    }
+
+    fn switch(&mut self, id: SessionId, mode: OperatingMode) -> Vec<Payload> {
+        match self {
+            Driver::Seq(f) => f.switch_mode(id, mode).unwrap(),
+            Driver::Sharded(f) => f.switch_mode(id, mode).unwrap(),
         }
     }
 
@@ -322,6 +329,112 @@ fn add_remove_while_ingesting_matches_sequential() {
             "counters diverged at {workers} workers"
         );
         assert_eq!(sharded.2, reference.2, "removed-session counters diverged");
+    }
+}
+
+/// Live mode switches (the power governor's reconfigure command)
+/// preserve the whole determinism story: a scripted schedule of
+/// switches interleaved with chunked ingestion produces byte-identical
+/// payloads and bit-identical counters on the sequential driver, on
+/// the sharded driver at every worker count, and on bare
+/// `CardiacMonitor`s switched at the same frame boundaries.
+#[test]
+fn mode_switching_churn_matches_sequential_and_bare_monitors() {
+    const ROUNDS: usize = 10;
+    let chunk = 300; // 1.2 s per round
+    let inputs: Vec<_> = (0..N_SESSIONS).map(session_input).collect();
+    // Scripted switch plan: (round, session, mode) — covers level
+    // changes, lead shedding and re-powering, and a no-op switch.
+    let plan: &[(usize, usize, OperatingMode)] = &[
+        (2, 0, OperatingMode::new(ProcessingLevel::Delineated, 3)),
+        (2, 3, OperatingMode::new(ProcessingLevel::Classified, 1)),
+        (
+            4,
+            1,
+            OperatingMode::new(ProcessingLevel::CompressedSingleLead, 2),
+        ),
+        (5, 3, OperatingMode::new(ProcessingLevel::Delineated, 3)),
+        (6, 0, OperatingMode::new(ProcessingLevel::Delineated, 3)), // no-op
+        (7, 2, OperatingMode::new(ProcessingLevel::RawStreaming, 1)),
+        (8, 1, OperatingMode::new(ProcessingLevel::Classified, 3)),
+    ];
+
+    // Bare-monitor reference: the same frames and the same switch
+    // boundaries, no fleet involved.
+    let mut reference: Vec<(Vec<u8>, _)> = Vec::new();
+    for (s, (buf, n)) in inputs.iter().enumerate() {
+        let mut m = builder_for(s).build().unwrap();
+        let mut payloads = Vec::new();
+        for round in 0..ROUNDS {
+            for &(r, sess, mode) in plan {
+                if r == round && sess == s {
+                    payloads.extend(m.switch_mode(mode).unwrap());
+                }
+            }
+            let offset = round * chunk;
+            if offset >= *n {
+                continue;
+            }
+            let take = chunk.min(n - offset);
+            payloads.extend(
+                m.push_block(&buf[offset * 3..(offset + take) * 3], take)
+                    .unwrap(),
+            );
+        }
+        payloads.extend(m.flush().unwrap());
+        reference.push((payload_bytes(&payloads), m.counters()));
+    }
+
+    let run = |workers: Option<usize>| {
+        let mut fleet = Driver::new(workers);
+        let ids: Vec<_> = (0..N_SESSIONS).map(|s| fleet.add(builder_for(s))).collect();
+        let mut outputs = vec![Vec::new(); N_SESSIONS];
+        for round in 0..ROUNDS {
+            for &(r, sess, mode) in plan {
+                if r == round {
+                    outputs[sess].extend(fleet.switch(ids[sess], mode));
+                }
+            }
+            let mut batch: Vec<(SessionId, &[i32])> = Vec::new();
+            let mut batch_sessions = Vec::new();
+            let offset = round * chunk;
+            for (s, (buf, n)) in inputs.iter().enumerate() {
+                if offset >= *n {
+                    continue;
+                }
+                let take = chunk.min(n - offset);
+                batch.push((ids[s], &buf[offset * 3..(offset + take) * 3]));
+                batch_sessions.push(s);
+            }
+            for (entry, s) in fleet.ingest(&batch).into_iter().zip(batch_sessions) {
+                outputs[s].extend(entry.1);
+            }
+        }
+        for (id, tail) in fleet.flush() {
+            let idx = ids.iter().position(|&i| i == id).unwrap();
+            outputs[idx].extend(tail);
+        }
+        let bytes: Vec<Vec<u8>> = outputs.iter().map(|p| payload_bytes(p)).collect();
+        (bytes, fleet.counters(), fleet.energy())
+    };
+
+    let (seq_bytes, seq_counters, seq_energy) = run(None);
+    for (s, (ref_bytes, _)) in reference.iter().enumerate() {
+        assert_eq!(
+            &seq_bytes[s], ref_bytes,
+            "session {s} diverged from its switched bare-monitor reference"
+        );
+    }
+    let ref_counter_sum = reference.iter().fold(
+        wbsn_core::monitor::ActivityCounters::default(),
+        |acc, (_, c)| acc.merged(c),
+    );
+    assert_eq!(seq_counters, ref_counter_sum);
+    for workers in [1usize, 2, 4] {
+        let (bytes, counters, energy) = run(Some(workers));
+        assert_eq!(bytes, seq_bytes, "payloads diverged at {workers} workers");
+        assert_eq!(counters, seq_counters);
+        assert_eq!(energy, seq_energy);
     }
 }
 

@@ -1,0 +1,205 @@
+//! Property pins for the power governor's two contracts:
+//!
+//! 1. **Live-switch determinism** — switching a running monitor to a
+//!    new operating mode is bit-identical (payload bytes and stage
+//!    counters) to a fresh monitor built at that mode and fed the same
+//!    post-boundary frames, for random levels, lead gates and switch
+//!    points.
+//! 2. **Hysteresis** — under arbitrarily noisy rhythm observations the
+//!    governor never oscillates: de-escalations require a sustained
+//!    quiet run plus a minimum dwell, so the switch count is bounded
+//!    by the policy, not by the noise.
+
+use proptest::prelude::*;
+use wbsn_core::governor::{EpochObservation, GovernorConfig, PowerGovernor};
+use wbsn_core::level::{OperatingMode, ProcessingLevel};
+use wbsn_core::monitor::{MonitorBuilder, MonitorConfig};
+use wbsn_core::payload::Payload;
+use wbsn_ecg_synth::noise::NoiseConfig;
+use wbsn_ecg_synth::RecordBuilder;
+use wbsn_platform::node::NodeModel;
+
+fn interleaved(seed: u64, secs: f64, n_leads: usize) -> (Vec<i32>, usize) {
+    let rec = RecordBuilder::new(seed)
+        .duration_s(secs)
+        .n_leads(n_leads)
+        .noise(NoiseConfig::ambulatory(20.0))
+        .build();
+    (rec.interleaved_frames(), rec.n_samples())
+}
+
+fn payload_bytes(payloads: &[Payload]) -> Vec<u8> {
+    payloads.iter().flat_map(Payload::encode).collect()
+}
+
+// A switched monitor and a fresh monitor at the target mode see the
+// same post-boundary frames and must emit the same bytes and count the
+// same work. (Comments live outside the macro: the vendored proptest
+// only matches bare `#[test] fn` items.)
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn live_switch_is_bit_identical_to_fresh_monitor(
+        seed in 0u64..10_000,
+        from_idx in 0usize..5,
+        to_idx in 0usize..5,
+        from_leads in 1usize..4,
+        to_leads in 1usize..4,
+        switch_at_frames in 1usize..1500,
+    ) {
+        let n_leads = 3;
+        let (frames, n) = interleaved(seed, 10.0, n_leads);
+        let switch_at = switch_at_frames.min(n - 1);
+        let from = OperatingMode::new(ProcessingLevel::ALL[from_idx], from_leads);
+        let to = OperatingMode::new(ProcessingLevel::ALL[to_idx], to_leads);
+
+        let builder = || MonitorBuilder::new().n_leads(n_leads).cs_window(64);
+
+        // Switched run: history at `from`, then live switch to `to`.
+        let mut switched = builder()
+            .level(from.level)
+            .active_leads(from.active_leads)
+            .build()
+            .unwrap();
+        switched.push_block(&frames[..switch_at * n_leads], switch_at).unwrap();
+        let boundary = switched.switch_mode(to).unwrap();
+        prop_assert_eq!(switched.mode(), to);
+        if from == to {
+            // Switching to the current mode is a documented no-op: no
+            // boundary, no flush, stage state continues untouched.
+            prop_assert!(boundary.is_empty());
+            let mut unswitched = builder()
+                .level(from.level)
+                .active_leads(from.active_leads)
+                .build()
+                .unwrap();
+            let mut reference = unswitched.push_block(&frames, n).unwrap();
+            reference.extend(unswitched.flush().unwrap());
+            let mut continued = switched
+                .push_block(&frames[switch_at * n_leads..], n - switch_at)
+                .unwrap();
+            continued.extend(switched.flush().unwrap());
+            // The unswitched reference saw the pre-boundary frames too;
+            // compare only the byte stream from the boundary on.
+            let all = payload_bytes(&reference);
+            let tail = payload_bytes(&continued);
+            prop_assert_eq!(&all[all.len() - tail.len()..], &tail[..]);
+            continue;
+        }
+        let after_switch = switched.counters();
+        // The boundary flush is complete: nothing the old stage
+        // buffered may leak into the post-switch stream (CS drops torn
+        // windows by design, like every shutdown path).
+        drop(boundary);
+        let mut switched_payloads = switched
+            .push_block(&frames[switch_at * n_leads..], n - switch_at)
+            .unwrap();
+        switched_payloads.extend(switched.flush().unwrap());
+
+        // Fresh run at the target mode, from the same boundary.
+        let mut fresh = builder()
+            .level(to.level)
+            .active_leads(to.active_leads)
+            .build()
+            .unwrap();
+        let mut fresh_payloads = fresh
+            .push_block(&frames[switch_at * n_leads..], n - switch_at)
+            .unwrap();
+        fresh_payloads.extend(fresh.flush().unwrap());
+
+        prop_assert_eq!(
+            payload_bytes(&switched_payloads),
+            payload_bytes(&fresh_payloads),
+            "{} -> {} at frame {}", from, to, switch_at
+        );
+        // Stage-side counters advance exactly as the fresh monitor's.
+        let delta = switched.counters().delta(&after_switch);
+        let fresh_c = fresh.counters();
+        prop_assert_eq!(delta.samples_in, fresh_c.samples_in);
+        prop_assert_eq!(delta.beats, fresh_c.beats);
+        prop_assert_eq!(delta.cs_windows, fresh_c.cs_windows);
+        prop_assert_eq!(delta.cs_adds, fresh_c.cs_adds);
+        prop_assert_eq!(delta.classified_beats, fresh_c.classified_beats);
+        prop_assert_eq!(delta.payload_bytes, fresh_c.payload_bytes);
+        prop_assert_eq!(delta.payloads, fresh_c.payloads);
+    }
+}
+
+// Arbitrarily flickering AF/ectopy observations cannot make the
+// governor oscillate: every de-escalation needs `deescalate_after`
+// consecutive quiet epochs *and* `min_dwell_epochs` since the last
+// switch, so the total switch count is bounded by the policy.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hysteresis_bounds_switching_under_noisy_rhythm(
+        seed in 0u64..1_000_000,
+        epochs in 50usize..400,
+        deescalate_after in 1u32..8,
+        min_dwell in 0u32..6,
+        af_bias in 0.0f64..1.0,
+    ) {
+        let mut cfg = GovernorConfig::for_leads(3);
+        cfg.deescalate_after = deescalate_after;
+        cfg.min_dwell_epochs = min_dwell;
+        // Full battery throughout: this property isolates the rhythm
+        // hysteresis from the (monotone) battery guards.
+        cfg.target_days = 0.0;
+        let mut g = PowerGovernor::new(cfg, MonitorConfig::default(), NodeModel::default()).unwrap();
+
+        // Deterministic noise from the seed (xorshift), biased by
+        // `af_bias` so runs range from mostly-quiet to mostly-AF.
+        let mut state = seed | 1;
+        let mut rand01 = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+
+        let mut switches = Vec::new();
+        let mut epochs_since_switch = 0u32;
+        for epoch in 0..epochs {
+            let obs = EpochObservation {
+                seconds: 10.0,
+                beats: 12,
+                af_active: rand01() < af_bias,
+                ectopic_ratio: 0.0,
+                soc: 1.0,
+            };
+            let before = g.tier();
+            let d = g.decide(&obs);
+            if d.changed {
+                // De-escalations respect the dwell; escalations are
+                // intentionally immediate.
+                if d.tier < before {
+                    prop_assert!(
+                        epochs_since_switch >= min_dwell,
+                        "de-escalation after {} epochs, dwell {}",
+                        epochs_since_switch,
+                        min_dwell
+                    );
+                }
+                switches.push(epoch);
+                epochs_since_switch = 0;
+            } else {
+                epochs_since_switch += 1;
+            }
+        }
+
+        // Rate bound: one escalate/de-escalate pair needs at least
+        // 1 + max(deescalate_after, min_dwell) epochs (an escalation
+        // epoch, then a sustained quiet run no shorter than the dwell).
+        let period = 1 + deescalate_after.max(min_dwell) as usize;
+        let bound = 2 * epochs.div_ceil(period) + 2;
+        prop_assert!(
+            switches.len() <= bound,
+            "{} switches in {} epochs exceeds the hysteresis bound {}",
+            switches.len(),
+            epochs,
+            bound
+        );
+    }
+}
