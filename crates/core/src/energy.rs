@@ -170,27 +170,11 @@ pub fn predicted_workload(
     let samples_per_s = fs_hz * n_leads as f64;
     let beats_per_s = beats_per_s.max(0.0);
     let mut cycles = costs.pack_per_sample * samples_per_s;
-    let (bytes_per_s, payloads_per_s) = match level {
-        ProcessingLevel::RawStreaming => {
-            // One 1 s chunk per lead: 4-byte header + 12-bit packing.
-            let chunk = 4 + 3 * (cfg.fs_hz as usize).div_ceil(2);
-            (chunk as f64 * n_leads as f64, n_leads as f64)
-        }
-        ProcessingLevel::CompressedSingleLead | ProcessingLevel::CompressedMultiLead => {
-            let m = wbsn_cs::measurements_for_cr(cfg.cs_window, cfg.cs_cr_percent);
-            let windows_per_s = fs_hz / cfg.cs_window as f64 * n_leads as f64;
-            cycles += costs.cs_per_add * cfg.cs_d_per_col as f64 * samples_per_s;
-            ((8 + 2 * m) as f64 * windows_per_s, windows_per_s)
-        }
-        ProcessingLevel::Delineated => {
-            let payloads = beats_per_s / cfg.beats_per_payload as f64;
-            ((3 + 12 * cfg.beats_per_payload) as f64 * payloads, payloads)
-        }
-        ProcessingLevel::Classified => {
-            let payloads = 1.0 / cfg.event_interval_s.max(1e-9);
-            (25.0 * payloads, payloads)
-        }
-    };
+    let (payload_len, payloads_per_s) = predicted_emission(mode, cfg, beats_per_s);
+    let bytes_per_s = payload_len as f64 * payloads_per_s;
+    if level.compresses() {
+        cycles += costs.cs_per_add * cfg.cs_d_per_col as f64 * samples_per_s;
+    }
     if level.delineates() {
         cycles += costs.filter_per_sample * samples_per_s;
         cycles += (costs.rms_per_sample + costs.delineation_per_sample) * fs_hz;
@@ -206,6 +190,40 @@ pub fn predicted_workload(
         app_cycles_per_s: cycles,
         radio_payload_bytes_per_s: bytes_per_s,
         radio_wakeups_per_s: payloads_per_s.clamp(0.05, 4.0),
+    }
+}
+
+/// Predicted steady-state payload emission of one candidate mode:
+/// `(bytes per payload, payloads per second)`. Every level emits
+/// fixed-size payloads at a predictable rate, so the pair is enough to
+/// derive both the application byte rate
+/// (`len × rate`, what [`predicted_workload`] reports) and the on-wire
+/// byte rate after per-payload link framing
+/// (`link::wire_bytes_for(len, mtu) × rate`, what the
+/// [governor](crate::governor)'s radio budget prices).
+pub fn predicted_emission(
+    mode: OperatingMode,
+    cfg: &MonitorConfig,
+    beats_per_s: f64,
+) -> (usize, f64) {
+    let n_leads = mode.active_leads;
+    let fs_hz = cfg.fs_hz as f64;
+    match mode.level {
+        ProcessingLevel::RawStreaming => {
+            // One 1 s chunk per lead: 4-byte header + 12-bit packing.
+            let chunk = 4 + 3 * (cfg.fs_hz as usize).div_ceil(2);
+            (chunk, n_leads as f64)
+        }
+        ProcessingLevel::CompressedSingleLead | ProcessingLevel::CompressedMultiLead => {
+            let m = wbsn_cs::measurements_for_cr(cfg.cs_window, cfg.cs_cr_percent);
+            let windows_per_s = fs_hz / cfg.cs_window as f64 * n_leads as f64;
+            (8 + 2 * m, windows_per_s)
+        }
+        ProcessingLevel::Delineated => {
+            let payloads = beats_per_s.max(0.0) / cfg.beats_per_payload as f64;
+            (3 + 12 * cfg.beats_per_payload, payloads)
+        }
+        ProcessingLevel::Classified => (25, 1.0 / cfg.event_interval_s.max(1e-9)),
     }
 }
 

@@ -137,9 +137,17 @@ pub struct GovernorConfig {
     pub deescalate_after: u32,
     /// Minimum epochs between a switch and any later de-escalation.
     pub min_dwell_epochs: u32,
-    /// Radio budget: candidate modes predicted to exceed this payload
-    /// rate (bytes/s) are rejected.
+    /// Radio budget: candidate modes predicted to exceed this
+    /// **on-wire** byte rate (application payloads plus per-packet
+    /// link framing overhead, bytes/s) are rejected — the same bytes
+    /// the uplink framer ([`crate::link`]) emits and the battery pays
+    /// for.
     pub radio_budget_bytes_per_s: f64,
+    /// Link MTU the uplink frames payloads at — used for the wire-byte
+    /// pricing above and the battery books, so the governor counts the
+    /// same bytes as the deployment's [`crate::link::Uplink`]. Must
+    /// exceed [`crate::link::LINK_OVERHEAD_BYTES`].
+    pub link_mtu: usize,
     /// State of charge below which the tier is capped at `Vigilant`.
     pub low_soc: f64,
     /// State of charge below which the tier is forced to `Economy`.
@@ -164,6 +172,7 @@ impl GovernorConfig {
             deescalate_after: 6,
             min_dwell_epochs: 3,
             radio_budget_bytes_per_s: 600.0,
+            link_mtu: crate::link::DEFAULT_MTU,
             low_soc: 0.30,
             critical_soc: 0.10,
             target_days: 7.0,
@@ -208,6 +217,16 @@ impl GovernorConfig {
             return Err(WbsnError::InvalidParameter {
                 what: "escalate_after/deescalate_after",
                 detail: "hysteresis runs must be at least 1 epoch".into(),
+            });
+        }
+        if self.link_mtu <= crate::link::LINK_OVERHEAD_BYTES {
+            return Err(WbsnError::InvalidParameter {
+                what: "link_mtu",
+                detail: format!(
+                    "{} does not exceed the per-packet link overhead {}",
+                    self.link_mtu,
+                    crate::link::LINK_OVERHEAD_BYTES
+                ),
             });
         }
         if !(0.0..=1.0).contains(&self.low_soc)
@@ -320,18 +339,36 @@ impl PowerGovernor {
     }
 
     /// Prices one candidate mode at an assumed beat rate: predicted
-    /// steady-state average node power in watts.
+    /// steady-state average node power in watts. The radio term is
+    /// priced at **wire** bytes (payloads framed at the policy's
+    /// [`GovernorConfig::link_mtu`]), matching what
+    /// [`GovernedMonitor`] actually drains from the battery — so the
+    /// mission guard's lifetime projections and the battery books
+    /// count the same bytes.
     pub fn predicted_power_w(&self, mode: OperatingMode, beats_per_s: f64) -> f64 {
-        let wl =
+        let mut wl =
             crate::energy::predicted_workload(mode, &self.monitor_cfg, beats_per_s, &self.costs);
+        wl.radio_payload_bytes_per_s = self.predicted_wire_bytes_per_s(mode, beats_per_s);
         self.node.breakdown(&wl).total_j()
     }
 
     /// Predicted steady-state radio payload rate of a candidate mode,
-    /// bytes per second.
+    /// application bytes per second (before link framing).
     pub fn predicted_bytes_per_s(&self, mode: OperatingMode, beats_per_s: f64) -> f64 {
         crate::energy::predicted_workload(mode, &self.monitor_cfg, beats_per_s, &self.costs)
             .radio_payload_bytes_per_s
+    }
+
+    /// Predicted steady-state **on-wire** byte rate of a candidate
+    /// mode: application bytes plus the per-packet link header/CRC
+    /// overhead of framing every payload at the policy's
+    /// [`GovernorConfig::link_mtu`] ([`crate::link::wire_bytes_for`]).
+    /// This is what the [`GovernorConfig::radio_budget_bytes_per_s`]
+    /// budget is compared against, so the budget and the uplink framer
+    /// count the same bytes.
+    pub fn predicted_wire_bytes_per_s(&self, mode: OperatingMode, beats_per_s: f64) -> f64 {
+        let (len, rate) = crate::energy::predicted_emission(mode, &self.monitor_cfg, beats_per_s);
+        crate::link::wire_bytes_for(len, self.cfg.link_mtu) as f64 * rate
     }
 
     /// Consumes one epoch observation and decides the next mode.
@@ -391,9 +428,9 @@ impl PowerGovernor {
             ceiling = ceiling.step_down();
             cap_reason = Some(SwitchReason::MissionGuard);
         }
-        // Radio budget.
+        // Radio budget, priced at on-wire bytes (after link framing).
         while ceiling > FidelityTier::Economy
-            && self.predicted_bytes_per_s(self.cfg.mode_of(ceiling), beats_per_s)
+            && self.predicted_wire_bytes_per_s(self.cfg.mode_of(ceiling), beats_per_s)
                 > self.cfg.radio_budget_bytes_per_s
         {
             ceiling = ceiling.step_down();
@@ -518,6 +555,11 @@ pub struct GovernedMonitor {
     // Ectopic evidence accumulated over the current epoch.
     epoch_ectopic: u64,
     epoch_classified: u64,
+    // Exact on-wire bytes of the payloads observed since the last
+    // battery drain: each payload priced at its per-payload link
+    // framing cost, so the battery pays for the bytes the uplink
+    // framer actually puts on the wire, not just the payload bytes.
+    epoch_wire_bytes: u64,
     drained_j: f64,
     switches: Vec<SwitchEvent>,
 }
@@ -576,6 +618,7 @@ impl GovernedMonitor {
             frame_base: 0,
             epoch_ectopic: 0,
             epoch_classified: 0,
+            epoch_wire_bytes: 0,
             drained_j: 0.0,
             switches: Vec::new(),
         })
@@ -696,14 +739,53 @@ impl GovernedMonitor {
     pub fn finish(&mut self) -> Result<Vec<Payload>> {
         let out = self.monitor.flush()?;
         self.observe_payloads(&out);
-        self.drain_epoch_energy();
+        if self.frames_into_epoch == 0 {
+            // The flush landed exactly on an epoch boundary: there is
+            // no signal time to attribute it to, so price it directly
+            // as a burst — a flush never transmits for free.
+            self.epoch_wire_bytes = 0;
+            if !out.is_empty() {
+                let burst_j = self.price_burst(&out);
+                self.battery.drain_j(burst_j);
+                self.drained_j += burst_j;
+            }
+        } else {
+            self.drain_epoch_energy();
+        }
         self.epoch_start = self.monitor.counters();
         self.frames_into_epoch = 0;
         Ok(out)
     }
 
+    /// Radio energy of transmitting `payloads` as one burst, each
+    /// payload packetized by the uplink framer at the policy's link
+    /// MTU: the frame count is the payload's link fragment count and
+    /// the bytes are its exact wire bytes, priced through
+    /// [`wbsn_platform::radio::RadioModel::transmit_packets`] (one
+    /// wakeup per payload, matching the stream model's payload-count
+    /// wakeups).
+    fn price_burst(&self, payloads: &[Payload]) -> f64 {
+        let mtu = self.governor.config().link_mtu;
+        payloads
+            .iter()
+            .map(|p| {
+                let len = p.byte_len();
+                self.node
+                    .radio
+                    .transmit_packets(
+                        crate::link::wire_bytes_for(len, mtu),
+                        crate::link::fragments_for(len, mtu),
+                        1,
+                    )
+                    .energy_j
+            })
+            .sum()
+    }
+
     /// Prices the epoch-so-far at the mode in effect and drains the
-    /// battery by it.
+    /// battery by it. The radio term is priced at the epoch's exact
+    /// on-wire bytes (per-payload link framing included), so the bytes
+    /// the battery pays for are the bytes the uplink puts on the wire.
     fn drain_epoch_energy(&mut self) {
         let counters = self.monitor.counters();
         let delta = counters.delta(&self.epoch_start);
@@ -711,13 +793,15 @@ impl GovernedMonitor {
             return;
         }
         let mode = self.monitor.mode();
-        let wl = workload_from_counters(
+        let mut wl = workload_from_counters(
             mode.level,
             &delta,
             mode.active_leads,
             self.monitor.config().fs_hz as f64,
             &self.costs,
         );
+        wl.radio_payload_bytes_per_s =
+            core::mem::take(&mut self.epoch_wire_bytes) as f64 / delta.seconds;
         let power = self.node.breakdown(&wl).total_j();
         let energy = power * delta.seconds;
         self.battery.drain_j(energy);
@@ -760,21 +844,23 @@ impl GovernedMonitor {
             // Boundary flush payloads carry stage-relative indices of
             // the *retired* stage; observe them before rebasing.
             self.observe_payloads(&boundary);
-            out.extend(boundary);
             self.frame_base = self.frames_total;
             // The flush bytes fall between two epoch deltas (the epoch
             // just priced and the one starting now), so price them
-            // directly as one radio burst — a switch never transmits
-            // for free.
-            let flush = self.monitor.counters().delta(&counters);
-            if flush.payloads > 0 {
-                let tx = self
-                    .node
-                    .radio
-                    .transmit(flush.payload_bytes as usize, flush.payloads as usize);
-                self.battery.drain_j(tx.energy_j);
-                self.drained_j += tx.energy_j;
+            // directly as a burst — a switch never transmits for free.
+            // Each payload is its own link message, so its radio
+            // frames are its link fragments: price per payload through
+            // the framed path (one wakeup each, like the stream
+            // model's payload-count wakeups), and clear the wire-byte
+            // accumulator so the next epoch drain cannot price these
+            // bytes again.
+            if !boundary.is_empty() {
+                self.epoch_wire_bytes = 0;
+                let burst_j = self.price_burst(&boundary);
+                self.battery.drain_j(burst_j);
+                self.drained_j += burst_j;
             }
+            out.extend(boundary);
             self.switches.push(SwitchEvent {
                 at_s: counters.seconds,
                 from,
@@ -790,9 +876,12 @@ impl GovernedMonitor {
         Ok(())
     }
 
-    /// Feeds emitted payloads to the rhythm sentinel.
+    /// Feeds emitted payloads to the rhythm sentinel and accumulates
+    /// their exact on-wire (framed) byte cost for the battery books.
     fn observe_payloads(&mut self, payloads: &[Payload]) {
+        let mtu = self.governor.config().link_mtu;
         for p in payloads {
+            self.epoch_wire_bytes += crate::link::wire_bytes_for(p.byte_len(), mtu) as u64;
             match p {
                 Payload::Events {
                     af_active,

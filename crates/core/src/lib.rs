@@ -89,6 +89,7 @@ pub mod energy;
 pub mod fleet;
 pub mod governor;
 pub mod level;
+pub mod link;
 pub mod monitor;
 pub mod payload;
 pub mod stage;
@@ -97,6 +98,7 @@ pub use energy::EnergyReport;
 pub use fleet::{FleetEnergyReport, NodeFleet, SessionId, Shard, ShardRouter, ShardedFleet};
 pub use governor::{GovernedMonitor, GovernorConfig, PowerGovernor};
 pub use level::{OperatingMode, ProcessingLevel};
+pub use link::{LinkError, LinkFramer, LinkPacket, SessionHandshake, Uplink};
 pub use monitor::{CardiacMonitor, MonitorBuilder, MonitorConfig};
 pub use payload::Payload;
 pub use stage::{ActivityCounters, PayloadSink, PipelineStage};
@@ -142,6 +144,29 @@ pub enum WbsnError {
         /// Index of the unreachable shard.
         shard: usize,
     },
+    /// Decoding ran out of bytes: the input is shorter than its own
+    /// header/length fields claim. The receiver can distinguish a cut
+    /// transfer from a corrupted one ([`WbsnError::Malformed`]).
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes it got.
+        got: usize,
+    },
+    /// Decoding met structurally invalid input (unknown tag,
+    /// inconsistent fields) — the bytes can never become a valid value
+    /// no matter how many more arrive.
+    Malformed {
+        /// What was being decoded.
+        what: &'static str,
+        /// Explanation.
+        detail: String,
+    },
+    /// Link-layer error: packet framing, CRC or reassembly (see
+    /// [`link::LinkError`]).
+    Link(link::LinkError),
     /// DSP substrate error.
     Sigproc(SigprocError),
     /// Compressed-sensing error.
@@ -172,6 +197,13 @@ impl core::fmt::Display for WbsnError {
             WbsnError::WorkerLost { shard } => {
                 write!(f, "fleet shard worker {shard} is unreachable")
             }
+            WbsnError::Truncated { what, needed, got } => {
+                write!(f, "truncated {what}: needed {needed} bytes, got {got}")
+            }
+            WbsnError::Malformed { what, detail } => {
+                write!(f, "malformed {what}: {detail}")
+            }
+            WbsnError::Link(e) => write!(f, "link: {e}"),
             WbsnError::Sigproc(e) => write!(f, "sigproc: {e}"),
             WbsnError::Cs(e) => write!(f, "cs: {e}"),
             WbsnError::Delineation(e) => write!(f, "delineation: {e}"),
@@ -191,8 +223,15 @@ impl std::error::Error for WbsnError {
             WbsnError::Classify(e) => Some(e),
             WbsnError::Multimodal(e) => Some(e),
             WbsnError::Platform(e) => Some(e),
+            WbsnError::Link(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<link::LinkError> for WbsnError {
+    fn from(e: link::LinkError) -> Self {
+        WbsnError::Link(e)
     }
 }
 

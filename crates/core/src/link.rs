@@ -1,0 +1,849 @@
+//! The uplink wire layer: payloads framed into MTU-sized radio
+//! packets.
+//!
+//! The paper's node hands payloads to "a simple medium access control
+//! (MAC) scheme (IEEE 802.15.4)"; this module is the layer between the
+//! pipeline's [`Payload`]s and that radio. Each payload becomes one
+//! link-layer *message*, fragmented into packets that fit the radio's
+//! MTU (the 802.15.4 `MAX_PAYLOAD` of 116 bytes by default). Every
+//! packet carries a fixed header — session id, message sequence
+//! number, fragment index/count, payload kind — and a CRC32 trailer,
+//! so the receiving gateway (`wbsn-gateway`) can reassemble streams
+//! from many nodes, detect losses and reject corruption with typed
+//! [`LinkError`]s instead of ever surfacing a wrong payload.
+//!
+//! ```text
+//!   Payload::encode() ──► LinkFramer ──► [pkt][pkt][pkt] ──► radio
+//!                         (per session,   ≤ MTU each,
+//!                          msg_seq++)     header + CRC32)
+//! ```
+//!
+//! The byte accounting here is shared with the energy model:
+//! [`wire_bytes_for`] is exactly what
+//! [`RadioModel::transmit_framed`](wbsn_platform::radio::RadioModel::transmit_framed)
+//! prices and exactly what an [`Uplink`] counts, so the bytes the
+//! battery pays for are the bytes on the wire.
+//!
+//! ## Packet format (little-endian)
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 1    | payload kind (`0x00` = handshake, else payload tag) |
+//! | 1      | 8    | session id |
+//! | 9      | 4    | message sequence number |
+//! | 13     | 2    | fragment index |
+//! | 15     | 2    | fragment count |
+//! | 17     | 2    | body length `n` |
+//! | 19     | `n`  | body |
+//! | 19+`n` | 4    | CRC32 (IEEE) over bytes `0..19+n` |
+
+use crate::monitor::MonitorConfig;
+use crate::payload::Payload;
+use crate::{Result, WbsnError};
+use std::collections::BTreeMap;
+
+/// Fixed per-packet header size in bytes (everything before the body).
+pub const LINK_HEADER_BYTES: usize = 19;
+/// CRC32 trailer size in bytes.
+pub const LINK_TRAILER_BYTES: usize = 4;
+/// Total per-packet overhead: header + CRC trailer.
+pub const LINK_OVERHEAD_BYTES: usize = LINK_HEADER_BYTES + LINK_TRAILER_BYTES;
+/// Default MTU: one packet per 802.15.4 frame
+/// ([`wbsn_platform::radio::frame::MAX_PAYLOAD`]).
+pub const DEFAULT_MTU: usize = wbsn_platform::radio::frame::MAX_PAYLOAD;
+/// Kind byte of a session handshake message; payload messages carry
+/// their [`Payload`] tag (`0x01..=0x04`) instead.
+pub const KIND_HANDSHAKE: u8 = 0x00;
+
+/// Typed link-layer failures, shared by the node-side framer and the
+/// gateway-side reassembly (`wbsn-gateway`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A packet is shorter than its header and length field claim.
+    Truncated {
+        /// Bytes the parser needed.
+        needed: usize,
+        /// Bytes it got.
+        got: usize,
+    },
+    /// The CRC32 trailer does not match the packet bytes — the packet
+    /// was corrupted in flight and is rejected whole.
+    CrcMismatch {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the received bytes.
+        computed: u32,
+    },
+    /// A header field is structurally invalid (zero fragment count,
+    /// fragment index out of range, trailing bytes).
+    BadHeader {
+        /// Explanation.
+        detail: String,
+    },
+    /// Two fragments claimed the same slot of one message with
+    /// different contents or inconsistent metadata.
+    FragmentConflict {
+        /// Message sequence number.
+        msg_seq: u32,
+        /// Conflicting fragment index.
+        frag_index: u16,
+    },
+    /// A message could not be framed because it would need more
+    /// fragments than the 16-bit fragment counter can address.
+    Oversized {
+        /// Message length in bytes.
+        len: usize,
+        /// Largest length the MTU supports.
+        max: usize,
+    },
+    /// A compressed window arrived for a session whose handshake
+    /// (sensing-matrix seed and shape) was never received.
+    NoHandshake {
+        /// The session missing its handshake.
+        session: u64,
+    },
+}
+
+impl core::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LinkError::Truncated { needed, got } => {
+                write!(f, "truncated packet: needed {needed} bytes, got {got}")
+            }
+            LinkError::CrcMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            LinkError::BadHeader { detail } => write!(f, "bad packet header: {detail}"),
+            LinkError::FragmentConflict {
+                msg_seq,
+                frag_index,
+            } => {
+                write!(f, "conflicting fragment {frag_index} of message {msg_seq}")
+            }
+            LinkError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "message of {len} bytes exceeds the framable maximum {max}"
+                )
+            }
+            LinkError::NoHandshake { session } => {
+                write!(f, "no handshake received for session {session}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// CRC32 (IEEE 802.3, reflected) over `bytes` — the per-packet
+/// integrity check. Nibble-table implementation: fast enough for the
+/// gateway's ingest hot path, no 1 kB table in node RAM.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // 16-entry table of the reflected polynomial 0xEDB88320.
+    const TABLE: [u32; 16] = [
+        0x0000_0000,
+        0x1db7_1064,
+        0x3b6e_20c8,
+        0x26d9_30ac,
+        0x76dc_4190,
+        0x6b6b_51f4,
+        0x4db2_6158,
+        0x5005_713c,
+        0xedb8_8320,
+        0xf00f_9344,
+        0xd6d6_a3e8,
+        0xcb61_b38c,
+        0x9b64_c2b0,
+        0x86d3_d2d4,
+        0xa00a_e278,
+        0xbdbd_f21c,
+    ];
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0x0F) as usize] ^ (crc >> 4);
+        crc = TABLE[((crc ^ (b as u32 >> 4)) & 0x0F) as usize] ^ (crc >> 4);
+    }
+    !crc
+}
+
+/// One link-layer packet: a fragment of one message, with enough
+/// header to route, order and reassemble it, and a CRC32 trailer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkPacket {
+    /// Originating session ([`crate::fleet::SessionId::raw`]).
+    pub session: u64,
+    /// Per-session message sequence number (one message per payload).
+    pub msg_seq: u32,
+    /// Index of this fragment within the message.
+    pub frag_index: u16,
+    /// Total fragments of the message.
+    pub frag_count: u16,
+    /// Message kind: [`KIND_HANDSHAKE`] or the payload's tag byte.
+    pub kind: u8,
+    /// Fragment body bytes.
+    pub body: Vec<u8>,
+}
+
+impl LinkPacket {
+    /// Encoded size in bytes (header + body + CRC).
+    pub fn encoded_len(&self) -> usize {
+        LINK_OVERHEAD_BYTES + self.body.len()
+    }
+
+    /// Encodes to the on-air packet bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.push(self.kind);
+        out.extend(self.session.to_le_bytes());
+        out.extend(self.msg_seq.to_le_bytes());
+        out.extend(self.frag_index.to_le_bytes());
+        out.extend(self.frag_count.to_le_bytes());
+        out.extend((self.body.len() as u16).to_le_bytes());
+        out.extend(&self.body);
+        let crc = crc32(&out);
+        out.extend(crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes and integrity-checks one received packet.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Truncated`] when bytes are missing,
+    /// [`LinkError::BadHeader`] on structurally invalid fields or
+    /// trailing bytes, [`LinkError::CrcMismatch`] when the trailer
+    /// does not match — a corrupted packet is always rejected whole,
+    /// never decoded into a wrong payload (wrapped in
+    /// [`WbsnError::Link`]).
+    pub fn decode(bytes: &[u8]) -> Result<LinkPacket> {
+        if bytes.len() < LINK_OVERHEAD_BYTES {
+            return Err(LinkError::Truncated {
+                needed: LINK_OVERHEAD_BYTES,
+                got: bytes.len(),
+            }
+            .into());
+        }
+        let body_len = u16::from_le_bytes([bytes[17], bytes[18]]) as usize;
+        let needed = LINK_OVERHEAD_BYTES + body_len;
+        if bytes.len() < needed {
+            return Err(LinkError::Truncated {
+                needed,
+                got: bytes.len(),
+            }
+            .into());
+        }
+        if bytes.len() > needed {
+            return Err(LinkError::BadHeader {
+                detail: format!("{} trailing bytes after the CRC", bytes.len() - needed),
+            }
+            .into());
+        }
+        let stored = u32::from_le_bytes([
+            bytes[needed - 4],
+            bytes[needed - 3],
+            bytes[needed - 2],
+            bytes[needed - 1],
+        ]);
+        let computed = crc32(&bytes[..needed - 4]);
+        if stored != computed {
+            return Err(LinkError::CrcMismatch { stored, computed }.into());
+        }
+        let frag_index = u16::from_le_bytes([bytes[13], bytes[14]]);
+        let frag_count = u16::from_le_bytes([bytes[15], bytes[16]]);
+        if frag_count == 0 || frag_index >= frag_count {
+            return Err(LinkError::BadHeader {
+                detail: format!("fragment {frag_index} of {frag_count}"),
+            }
+            .into());
+        }
+        Ok(LinkPacket {
+            kind: bytes[0],
+            session: u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes")),
+            msg_seq: u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes")),
+            frag_index,
+            frag_count,
+            body: bytes[LINK_HEADER_BYTES..needed - 4].to_vec(),
+        })
+    }
+}
+
+/// Packets needed to carry a `payload_len`-byte message at `mtu`
+/// (an empty message still takes one packet).
+pub fn fragments_for(payload_len: usize, mtu: usize) -> usize {
+    let cap = mtu.saturating_sub(LINK_OVERHEAD_BYTES).max(1);
+    payload_len.div_ceil(cap).max(1)
+}
+
+/// Total on-wire bytes of a `payload_len`-byte message at `mtu`:
+/// the payload plus one [`LINK_OVERHEAD_BYTES`] header+CRC per
+/// fragment. This is the quantity the radio energy model prices
+/// ([`RadioModel::transmit_framed`](wbsn_platform::radio::RadioModel::transmit_framed))
+/// and the [`Uplink`] counts.
+pub fn wire_bytes_for(payload_len: usize, mtu: usize) -> usize {
+    payload_len + fragments_for(payload_len, mtu) * LINK_OVERHEAD_BYTES
+}
+
+/// The session handshake record the node sends (message 0) before any
+/// payload: everything the gateway needs to decode the stream and —
+/// for CS sessions — regenerate the sensing matrix Φ by seed and run
+/// reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionHandshake {
+    /// Session id.
+    pub session: u64,
+    /// Sampling rate per lead, Hz.
+    pub fs_hz: u32,
+    /// Configured lead count.
+    pub n_leads: u8,
+    /// CS window length in samples.
+    pub cs_window: u32,
+    /// CS measurements per window (`m`).
+    pub cs_measurements: u32,
+    /// CS sensing-matrix column density.
+    pub cs_d_per_col: u8,
+    /// Shared sensing-matrix seed (lead `l` uses
+    /// `seed.wrapping_add(l)`, matching the node's `CsStage`).
+    pub seed: u64,
+}
+
+impl SessionHandshake {
+    /// Encoded size in bytes.
+    pub const ENCODED_LEN: usize = 8 + 4 + 1 + 4 + 4 + 1 + 8;
+
+    /// Builds the handshake for a session's configuration.
+    pub fn for_config(session: u64, cfg: &MonitorConfig) -> Self {
+        SessionHandshake {
+            session,
+            fs_hz: cfg.fs_hz,
+            n_leads: cfg.n_leads.min(255) as u8,
+            cs_window: cfg.cs_window as u32,
+            cs_measurements: wbsn_cs::measurements_for_cr(cfg.cs_window, cfg.cs_cr_percent) as u32,
+            cs_d_per_col: cfg.cs_d_per_col.min(255) as u8,
+            seed: cfg.seed,
+        }
+    }
+
+    /// Encodes to the fixed-size wire record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        out.extend(self.session.to_le_bytes());
+        out.extend(self.fs_hz.to_le_bytes());
+        out.push(self.n_leads);
+        out.extend(self.cs_window.to_le_bytes());
+        out.extend(self.cs_measurements.to_le_bytes());
+        out.push(self.cs_d_per_col);
+        out.extend(self.seed.to_le_bytes());
+        out
+    }
+
+    /// Decodes the wire record.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::Truncated`] / [`WbsnError::Malformed`] on bad
+    /// input, like [`Payload::decode`].
+    pub fn decode(bytes: &[u8]) -> Result<SessionHandshake> {
+        if bytes.len() < Self::ENCODED_LEN {
+            return Err(WbsnError::Truncated {
+                what: "session handshake",
+                needed: Self::ENCODED_LEN,
+                got: bytes.len(),
+            });
+        }
+        if bytes.len() > Self::ENCODED_LEN {
+            return Err(WbsnError::Malformed {
+                what: "session handshake",
+                detail: format!("{} trailing bytes", bytes.len() - Self::ENCODED_LEN),
+            });
+        }
+        Ok(SessionHandshake {
+            session: u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")),
+            fs_hz: u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")),
+            n_leads: bytes[12],
+            cs_window: u32::from_le_bytes(bytes[13..17].try_into().expect("4 bytes")),
+            cs_measurements: u32::from_le_bytes(bytes[17..21].try_into().expect("4 bytes")),
+            cs_d_per_col: bytes[21],
+            seed: u64::from_le_bytes(bytes[22..30].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+/// Per-session framing state: turns messages into MTU-sized packets
+/// with monotonically increasing message sequence numbers.
+#[derive(Debug, Clone)]
+pub struct LinkFramer {
+    session: u64,
+    mtu: usize,
+    next_msg_seq: u32,
+    packets: u64,
+    wire_bytes: u64,
+}
+
+impl LinkFramer {
+    /// Framer for `session` at the default radio MTU
+    /// ([`DEFAULT_MTU`]).
+    pub fn new(session: u64) -> Self {
+        LinkFramer {
+            session,
+            mtu: DEFAULT_MTU,
+            next_msg_seq: 0,
+            packets: 0,
+            wire_bytes: 0,
+        }
+    }
+
+    /// Framer with an explicit MTU (must exceed the per-packet
+    /// overhead).
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] when `mtu` leaves no room for
+    /// body bytes.
+    pub fn with_mtu(session: u64, mtu: usize) -> Result<Self> {
+        if mtu <= LINK_OVERHEAD_BYTES {
+            return Err(WbsnError::InvalidParameter {
+                what: "mtu",
+                detail: format!("{mtu} does not exceed the packet overhead {LINK_OVERHEAD_BYTES}"),
+            });
+        }
+        Ok(LinkFramer {
+            mtu,
+            ..LinkFramer::new(session)
+        })
+    }
+
+    /// Session this framer serves.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// MTU in effect.
+    pub fn mtu(&self) -> usize {
+        self.mtu
+    }
+
+    /// Sequence number the next message will carry.
+    pub fn next_msg_seq(&self) -> u32 {
+        self.next_msg_seq
+    }
+
+    /// Packets emitted over the framer's lifetime.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// On-wire bytes emitted over the framer's lifetime (headers and
+    /// CRCs included).
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+
+    /// Frames one message of `kind` into packets, appending the
+    /// encoded packet bytes to `out`. Returns the message's sequence
+    /// number.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Oversized`] when the message needs more fragments
+    /// than the 16-bit counter can address.
+    pub fn frame_message(&mut self, kind: u8, body: &[u8], out: &mut Vec<Vec<u8>>) -> Result<u32> {
+        let cap = self.mtu - LINK_OVERHEAD_BYTES;
+        let frag_count = fragments_for(body.len(), self.mtu);
+        if frag_count > u16::MAX as usize {
+            return Err(LinkError::Oversized {
+                len: body.len(),
+                max: cap * u16::MAX as usize,
+            }
+            .into());
+        }
+        // The receiver's in-order release relies on message sequence
+        // numbers never wrapping; a session is bounded to 2^32 - 1
+        // messages (decades at physiological payload rates) and ends
+        // with a typed error instead of silently wrapping into
+        // permanent stale-packet loss at the gateway.
+        if self.next_msg_seq == u32::MAX {
+            return Err(WbsnError::InvalidParameter {
+                what: "msg_seq",
+                detail: format!(
+                    "session {} exhausted its message sequence space",
+                    self.session
+                ),
+            });
+        }
+        let msg_seq = self.next_msg_seq;
+        self.next_msg_seq += 1;
+        for frag_index in 0..frag_count {
+            let chunk = &body[frag_index * cap..body.len().min((frag_index + 1) * cap)];
+            let pkt = LinkPacket {
+                session: self.session,
+                msg_seq,
+                frag_index: frag_index as u16,
+                frag_count: frag_count as u16,
+                kind,
+                body: chunk.to_vec(),
+            };
+            let bytes = pkt.encode();
+            self.packets += 1;
+            self.wire_bytes += bytes.len() as u64;
+            out.push(bytes);
+        }
+        Ok(msg_seq)
+    }
+
+    /// Frames one payload (encoded with [`Payload::encode`], kind =
+    /// its tag byte).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::frame_message`].
+    pub fn frame_payload(&mut self, payload: &Payload, out: &mut Vec<Vec<u8>>) -> Result<u32> {
+        let body = payload.encode();
+        self.frame_message(body[0], &body, out)
+    }
+
+    /// Frames the session handshake record ([`KIND_HANDSHAKE`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::frame_message`].
+    pub fn frame_handshake(
+        &mut self,
+        hs: &SessionHandshake,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<u32> {
+        self.frame_message(KIND_HANDSHAKE, &hs.encode(), out)
+    }
+}
+
+/// The multi-session uplink front end the fleet's payload output wires
+/// through: one [`LinkFramer`] per session, shared MTU, exact wire
+/// byte accounting.
+///
+/// ```
+/// use wbsn_core::link::{SessionHandshake, Uplink};
+/// use wbsn_core::monitor::MonitorBuilder;
+/// use wbsn_core::fleet::NodeFleet;
+///
+/// let mut fleet = NodeFleet::new();
+/// let id = fleet.add_session(MonitorBuilder::new()).unwrap();
+/// let mut uplink = Uplink::new();
+/// let hs = SessionHandshake::for_config(
+///     id.raw(),
+///     fleet.session(id).unwrap().config(),
+/// );
+/// let mut packets = Vec::new();
+/// uplink.open_session(&hs, &mut packets).unwrap();
+/// assert_eq!(packets.len(), 1); // the handshake fits one packet
+///
+/// // Ingest a second of signal and put the results on the wire.
+/// let results = fleet.ingest_batch(&[(id, &[0i32; 3 * 250][..])]).unwrap();
+/// uplink.frame_fleet(&results, &mut packets).unwrap();
+/// assert_eq!(uplink.wire_bytes() as usize,
+///            packets.iter().map(Vec::len).sum::<usize>());
+/// ```
+#[derive(Debug, Default)]
+pub struct Uplink {
+    mtu: Option<usize>,
+    framers: BTreeMap<u64, LinkFramer>,
+    payload_bytes: u64,
+    // Totals of sessions closed by `close_session`, so lifetime wire
+    // accounting survives session churn.
+    retired_wire_bytes: u64,
+    retired_packets: u64,
+}
+
+impl Uplink {
+    /// Uplink at the default radio MTU.
+    pub fn new() -> Self {
+        Uplink::default()
+    }
+
+    /// Uplink with an explicit per-packet MTU.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] when `mtu` leaves no room for
+    /// body bytes.
+    pub fn with_mtu(mtu: usize) -> Result<Self> {
+        // Validate once via a throwaway framer.
+        LinkFramer::with_mtu(0, mtu)?;
+        Ok(Uplink {
+            mtu: Some(mtu),
+            ..Uplink::default()
+        })
+    }
+
+    /// Registered sessions.
+    pub fn len(&self) -> usize {
+        self.framers.len()
+    }
+
+    /// True when no sessions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.framers.is_empty()
+    }
+
+    /// Registers a session and frames its handshake record as message
+    /// 0, appending the packets to `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] when the session is already
+    /// registered.
+    pub fn open_session(&mut self, hs: &SessionHandshake, out: &mut Vec<Vec<u8>>) -> Result<()> {
+        if self.framers.contains_key(&hs.session) {
+            return Err(WbsnError::InvalidParameter {
+                what: "session",
+                detail: format!("session {} is already on the uplink", hs.session),
+            });
+        }
+        let mut framer = match self.mtu {
+            Some(mtu) => LinkFramer::with_mtu(hs.session, mtu)?,
+            None => LinkFramer::new(hs.session),
+        };
+        framer.frame_handshake(hs, out)?;
+        self.framers.insert(hs.session, framer);
+        Ok(())
+    }
+
+    /// Deregisters a session, retiring its byte/packet totals into the
+    /// uplink lifetime counters; returns whether it was registered.
+    pub fn close_session(&mut self, session: u64) -> bool {
+        match self.framers.remove(&session) {
+            Some(framer) => {
+                self.retired_wire_bytes += framer.wire_bytes();
+                self.retired_packets += framer.packets();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Frames one session's payloads onto the wire, appending the
+    /// encoded packets to `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for an unregistered session, plus
+    /// framing failures.
+    pub fn frame(
+        &mut self,
+        session: u64,
+        payloads: &[Payload],
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<()> {
+        let framer = self
+            .framers
+            .get_mut(&session)
+            .ok_or(WbsnError::UnknownSession { id: session })?;
+        for p in payloads {
+            framer.frame_payload(p, out)?;
+            // Counted only after framing succeeds, so the payload and
+            // wire accounting always describe the same traffic.
+            self.payload_bytes += p.byte_len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Frames a fleet ingestion result (the
+    /// [`NodeFleet::ingest_batch`](crate::fleet::NodeFleet::ingest_batch)
+    /// / [`ShardedFleet::ingest_batch`](crate::fleet::ShardedFleet::ingest_batch)
+    /// output shape) in batch order.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::frame`]; packets framed before a failing entry stay
+    /// in `out`.
+    pub fn frame_fleet(
+        &mut self,
+        results: &[(crate::fleet::SessionId, Vec<Payload>)],
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<()> {
+        for (id, payloads) in results {
+            self.frame(id.raw(), payloads, out)?;
+        }
+        Ok(())
+    }
+
+    /// Application payload bytes accepted so far (before framing).
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    /// Total on-wire bytes emitted over the uplink's lifetime (headers
+    /// and CRCs included, closed sessions too) — the number the
+    /// battery pays for.
+    pub fn wire_bytes(&self) -> u64 {
+        self.retired_wire_bytes
+            + self
+                .framers
+                .values()
+                .map(LinkFramer::wire_bytes)
+                .sum::<u64>()
+    }
+
+    /// Total packets emitted over the uplink's lifetime (closed
+    /// sessions included).
+    pub fn packets(&self) -> u64 {
+        self.retired_packets + self.framers.values().map(LinkFramer::packets).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_payload() -> Payload {
+        Payload::Events {
+            n_beats: 12,
+            class_counts: [10, 2, 0, 0],
+            mean_hr_x10: 731,
+            af_burden_pct: 4,
+            af_active: false,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn packet_round_trips() {
+        let pkt = LinkPacket {
+            session: 7,
+            msg_seq: 42,
+            frag_index: 1,
+            frag_count: 3,
+            kind: 0x02,
+            body: vec![1, 2, 3, 4, 5],
+        };
+        let bytes = pkt.encode();
+        assert_eq!(bytes.len(), pkt.encoded_len());
+        assert_eq!(LinkPacket::decode(&bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let pkt = LinkPacket {
+            session: 3,
+            msg_seq: 9,
+            frag_index: 0,
+            frag_count: 1,
+            kind: 0x04,
+            body: sample_payload().encode(),
+        };
+        let bytes = pkt.encode();
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupted = bytes.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            let res = LinkPacket::decode(&corrupted);
+            assert!(res.is_err(), "bit {bit} survived: {res:?}");
+        }
+    }
+
+    #[test]
+    fn framer_fragments_at_the_mtu() {
+        let mut f = LinkFramer::with_mtu(1, 40).unwrap(); // 17-byte bodies
+        let body = vec![9u8; 50];
+        let mut out = Vec::new();
+        f.frame_message(0x01, &body, &mut out).unwrap();
+        assert_eq!(out.len(), fragments_for(50, 40));
+        assert_eq!(out.len(), 3);
+        let pkts: Vec<LinkPacket> = out.iter().map(|b| LinkPacket::decode(b).unwrap()).collect();
+        assert!(pkts.iter().all(|p| p.frag_count == 3 && p.msg_seq == 0));
+        let total: Vec<u8> = pkts.iter().flat_map(|p| p.body.clone()).collect();
+        assert_eq!(total, body);
+        assert_eq!(
+            f.wire_bytes() as usize,
+            out.iter().map(Vec::len).sum::<usize>()
+        );
+        assert_eq!(f.wire_bytes() as usize, wire_bytes_for(50, 40));
+    }
+
+    #[test]
+    fn wire_accounting_agrees_with_the_radio_model() {
+        use wbsn_platform::radio::RadioModel;
+        let radio = RadioModel::default();
+        // The energy model's framed path and the link framer must
+        // agree packet-for-packet and byte-for-byte, so the bytes the
+        // battery pays for are exactly the bytes on the wire.
+        for len in [1usize, 92, 93, 94, 358, 1000] {
+            assert_eq!(
+                radio.frames_for_framed(len, LINK_OVERHEAD_BYTES),
+                fragments_for(len, DEFAULT_MTU),
+                "len {len}"
+            );
+            let mut framer = LinkFramer::new(0);
+            let mut out = Vec::new();
+            framer
+                .frame_message(0x01, &vec![0u8; len], &mut out)
+                .unwrap();
+            assert_eq!(
+                framer.wire_bytes() as usize,
+                wire_bytes_for(len, DEFAULT_MTU),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn handshake_round_trips() {
+        let hs = SessionHandshake {
+            session: 11,
+            fs_hz: 250,
+            n_leads: 3,
+            cs_window: 512,
+            cs_measurements: 175,
+            cs_d_per_col: 4,
+            seed: 0xCAFE,
+        };
+        let bytes = hs.encode();
+        assert_eq!(bytes.len(), SessionHandshake::ENCODED_LEN);
+        assert_eq!(SessionHandshake::decode(&bytes).unwrap(), hs);
+        assert!(matches!(
+            SessionHandshake::decode(&bytes[..10]),
+            Err(WbsnError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn uplink_tracks_sessions_and_bytes() {
+        let mut uplink = Uplink::new();
+        let hs = SessionHandshake {
+            session: 5,
+            fs_hz: 250,
+            n_leads: 3,
+            cs_window: 512,
+            cs_measurements: 175,
+            cs_d_per_col: 4,
+            seed: 1,
+        };
+        let mut packets = Vec::new();
+        uplink.open_session(&hs, &mut packets).unwrap();
+        assert!(uplink.open_session(&hs, &mut packets).is_err());
+        let p = sample_payload();
+        uplink
+            .frame(5, core::slice::from_ref(&p), &mut packets)
+            .unwrap();
+        assert!(matches!(
+            uplink.frame(6, core::slice::from_ref(&p), &mut packets),
+            Err(WbsnError::UnknownSession { id: 6 })
+        ));
+        assert_eq!(uplink.payload_bytes(), p.byte_len() as u64);
+        assert_eq!(
+            uplink.wire_bytes() as usize,
+            packets.iter().map(Vec::len).sum::<usize>()
+        );
+        // Closing a session retires its totals instead of erasing them.
+        let before = (uplink.wire_bytes(), uplink.packets());
+        assert!(uplink.close_session(5));
+        assert!(!uplink.close_session(5));
+        assert_eq!((uplink.wire_bytes(), uplink.packets()), before);
+    }
+}

@@ -6,6 +6,7 @@
 //! dependency; every format round-trips through `encode`/`decode` in
 //! tests.
 
+use crate::{Result, WbsnError};
 use wbsn_delineation::BeatFiducials;
 
 /// A unit of data handed to the radio.
@@ -141,21 +142,49 @@ impl Payload {
     /// Decodes an encoded payload (base-station side; lossy fields —
     /// the quantized fiducial offsets — come back quantized).
     ///
-    /// Returns `None` on malformed input.
-    pub fn decode(bytes: &[u8]) -> Option<Payload> {
-        let (&tag, rest) = bytes.split_first()?;
+    /// # Errors
+    ///
+    /// [`WbsnError::Truncated`] when the input is shorter than its own
+    /// header/length fields claim, [`WbsnError::Malformed`] when it is
+    /// structurally invalid (unknown tag) — so a receiving gateway can
+    /// report *why* a frame was rejected, not just that it was.
+    pub fn decode(bytes: &[u8]) -> Result<Payload> {
+        let Some((&tag, rest)) = bytes.split_first() else {
+            return Err(WbsnError::Truncated {
+                what: "payload tag",
+                needed: 1,
+                got: 0,
+            });
+        };
+        // Requires `rest` to hold at least `needed` bytes.
+        let need = |what: &'static str, needed: usize| -> Result<()> {
+            if rest.len() < needed {
+                return Err(WbsnError::Truncated {
+                    what,
+                    needed: needed + 1,
+                    got: bytes.len(),
+                });
+            }
+            Ok(())
+        };
         match tag {
             0x01 => {
-                let lead = *rest.first()?;
-                let n = u16::from_le_bytes([*rest.get(1)?, *rest.get(2)?]) as usize;
+                need("raw-chunk header", 3)?;
+                let lead = rest[0];
+                let n = u16::from_le_bytes([rest[1], rest[2]]) as usize;
                 let body = &rest[3..];
+                let groups = n.div_ceil(2);
+                if body.len() < 3 * groups {
+                    return Err(WbsnError::Truncated {
+                        what: "raw-chunk samples",
+                        needed: 4 + 3 * groups,
+                        got: bytes.len(),
+                    });
+                }
                 let mut samples = Vec::with_capacity(n);
-                for chunk in body.chunks(3) {
+                for chunk in body.chunks_exact(3) {
                     if samples.len() >= n {
                         break;
-                    }
-                    if chunk.len() < 3 {
-                        return None;
                     }
                     let a = (chunk[0] as u16 | ((chunk[1] as u16 & 0x0F) << 8)) as i16 - 2048;
                     samples.push(a);
@@ -164,39 +193,44 @@ impl Payload {
                         samples.push(b);
                     }
                 }
-                (samples.len() == n).then_some(Payload::RawChunk { lead, samples })
+                Ok(Payload::RawChunk { lead, samples })
             }
             0x02 => {
-                let lead = *rest.first()?;
-                let window_seq = u32::from_le_bytes([
-                    *rest.get(1)?,
-                    *rest.get(2)?,
-                    *rest.get(3)?,
-                    *rest.get(4)?,
-                ]);
-                let n = u16::from_le_bytes([*rest.get(5)?, *rest.get(6)?]) as usize;
+                need("cs-window header", 7)?;
+                let lead = rest[0];
+                let window_seq = u32::from_le_bytes([rest[1], rest[2], rest[3], rest[4]]);
+                let n = u16::from_le_bytes([rest[5], rest[6]]) as usize;
                 let body = &rest[7..];
                 if body.len() < 2 * n {
-                    return None;
+                    return Err(WbsnError::Truncated {
+                        what: "cs-window measurements",
+                        needed: 8 + 2 * n,
+                        got: bytes.len(),
+                    });
                 }
                 let measurements = body[..2 * n]
                     .chunks(2)
                     .map(|c| i16::from_le_bytes([c[0], c[1]]))
                     .collect();
-                Some(Payload::CsWindow {
+                Ok(Payload::CsWindow {
                     lead,
                     window_seq,
                     measurements,
                 })
             }
             0x03 => {
-                let n = u16::from_le_bytes([*rest.first()?, *rest.get(1)?]) as usize;
+                need("beats header", 2)?;
+                let n = u16::from_le_bytes([rest[0], rest[1]]) as usize;
                 let mut body = &rest[2..];
+                if body.len() < 12 * n {
+                    return Err(WbsnError::Truncated {
+                        what: "beat fiducials",
+                        needed: 3 + 12 * n,
+                        got: bytes.len(),
+                    });
+                }
                 let mut beats = Vec::with_capacity(n);
                 for _ in 0..n {
-                    if body.len() < 12 {
-                        return None;
-                    }
                     let r = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
                     let mut b = BeatFiducials::new(r);
                     let fields: [&mut Option<usize>; 8] = [
@@ -221,12 +255,10 @@ impl Payload {
                     beats.push(b);
                     body = &body[12..];
                 }
-                Some(Payload::Beats { beats })
+                Ok(Payload::Beats { beats })
             }
             0x04 => {
-                if rest.len() < 4 + 16 + 2 + 2 {
-                    return None;
-                }
+                need("events body", 4 + 16 + 2 + 2)?;
                 let n_beats = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
                 let mut class_counts = [0u32; 4];
                 for (i, c) in class_counts.iter_mut().enumerate() {
@@ -234,7 +266,7 @@ impl Payload {
                     *c = u32::from_le_bytes([rest[o], rest[o + 1], rest[o + 2], rest[o + 3]]);
                 }
                 let mean_hr_x10 = u16::from_le_bytes([rest[20], rest[21]]);
-                Some(Payload::Events {
+                Ok(Payload::Events {
                     n_beats,
                     class_counts,
                     mean_hr_x10,
@@ -242,7 +274,10 @@ impl Payload {
                     af_active: rest[23] != 0,
                 })
             }
-            _ => None,
+            _ => Err(WbsnError::Malformed {
+                what: "payload tag",
+                detail: format!("unknown tag 0x{tag:02x}"),
+            }),
         }
     }
 }
@@ -322,17 +357,45 @@ mod tests {
     }
 
     #[test]
-    fn malformed_input_is_rejected() {
-        assert!(Payload::decode(&[]).is_none());
-        assert!(Payload::decode(&[0x99, 1, 2]).is_none());
-        assert!(Payload::decode(&[0x02, 0]).is_none());
-        // Truncated beats payload.
+    fn malformed_input_is_rejected_with_typed_errors() {
+        // Empty input and short headers are truncations, not panics.
+        assert!(matches!(
+            Payload::decode(&[]),
+            Err(WbsnError::Truncated {
+                what: "payload tag",
+                ..
+            })
+        ));
+        assert!(matches!(
+            Payload::decode(&[0x02, 0]),
+            Err(WbsnError::Truncated { .. })
+        ));
+        // An unknown tag can never become valid: malformed, not truncated.
+        assert!(matches!(
+            Payload::decode(&[0x99, 1, 2]),
+            Err(WbsnError::Malformed {
+                what: "payload tag",
+                ..
+            })
+        ));
+        // Truncated beats payload reports what ran short.
         let p = Payload::Beats {
             beats: vec![BeatFiducials::new(5)],
         };
         let mut bytes = p.encode();
         bytes.truncate(bytes.len() - 2);
-        assert!(Payload::decode(&bytes).is_none());
+        let err = Payload::decode(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WbsnError::Truncated {
+                    what: "beat fiducials",
+                    needed: 15,
+                    got: 13,
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

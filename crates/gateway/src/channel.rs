@@ -1,0 +1,314 @@
+//! Deterministic lossy-link simulator.
+//!
+//! The node→base-station radio link loses, corrupts and reorders
+//! packets; remote-ECG systems are built around that fact. This
+//! channel models those impairments **deterministically**: every
+//! decision comes from one seeded RNG in a fixed draw order, so the
+//! same seed and packet stream replay bit-identically — which is what
+//! lets the end-to-end acceptance scenario pin "zero undetected
+//! corruptions" as a property instead of a probability.
+
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use wbsn_core::WbsnError;
+
+/// Link-impairment configuration. All rates are per-packet
+/// probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// Probability a packet is dropped outright.
+    pub drop_rate: f64,
+    /// Probability a single random bit of the packet is flipped.
+    pub corrupt_rate: f64,
+    /// Probability a packet is held back and delivered after the next
+    /// `reorder_depth` packets (out-of-order delivery).
+    pub reorder_rate: f64,
+    /// How many later packets overtake a held-back packet.
+    pub reorder_depth: usize,
+    /// RNG seed: same seed, same impairment pattern.
+    pub seed: u64,
+}
+
+impl ChannelConfig {
+    /// A perfect link: nothing dropped, corrupted or reordered. The
+    /// identity channel of the round-trip property tests.
+    pub fn ideal() -> Self {
+        ChannelConfig {
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            reorder_rate: 0.0,
+            reorder_depth: 0,
+            seed: 0,
+        }
+    }
+
+    /// A representative bad indoor link: 1% drop, 0.5% corruption,
+    /// 2% reordering by two packets.
+    pub fn lossy(seed: u64) -> Self {
+        ChannelConfig {
+            drop_rate: 0.01,
+            corrupt_rate: 0.005,
+            reorder_rate: 0.02,
+            reorder_depth: 2,
+            seed,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        for (what, rate) in [
+            ("drop_rate", self.drop_rate),
+            ("corrupt_rate", self.corrupt_rate),
+            ("reorder_rate", self.reorder_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(WbsnError::InvalidParameter {
+                    what: "channel rate",
+                    detail: format!("{what} = {rate} outside [0, 1]"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What the channel did to the traffic so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Packets offered to the channel.
+    pub offered: u64,
+    /// Packets delivered (corrupted ones included).
+    pub delivered: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Packets delivered with a flipped bit.
+    pub corrupted: u64,
+    /// Packets delivered out of order.
+    pub reordered: u64,
+}
+
+/// The seeded lossy channel. Packets go in via [`LossyChannel::send`],
+/// whatever survives comes out in delivery order.
+#[derive(Debug)]
+pub struct LossyChannel {
+    cfg: ChannelConfig,
+    rng: StdRng,
+    // Held-back packets: (bytes, deliveries remaining before release).
+    held: VecDeque<(Vec<u8>, usize)>,
+    stats: ChannelStats,
+}
+
+impl LossyChannel {
+    /// Channel with the given impairment configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] for rates outside `[0, 1]`.
+    pub fn new(cfg: ChannelConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(LossyChannel {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            held: VecDeque::new(),
+            stats: ChannelStats::default(),
+        })
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Offers one packet to the channel; returns the packets delivered
+    /// *now* (possibly none — dropped or held back — and possibly
+    /// several, when held packets become due).
+    pub fn send(&mut self, packet: Vec<u8>) -> Vec<Vec<u8>> {
+        self.stats.offered += 1;
+        let mut out = Vec::new();
+        // Packets already in the hold queue age by one send, whatever
+        // happens to the current packet; a packet held *this* send is
+        // excluded, so `reorder_depth` subsequent sends really do
+        // overtake it.
+        let aging = self.held.len();
+        if self.cfg.drop_rate > 0.0 && self.rng.gen_bool(self.cfg.drop_rate) {
+            self.stats.dropped += 1;
+        } else {
+            let mut packet = packet;
+            if !packet.is_empty()
+                && self.cfg.corrupt_rate > 0.0
+                && self.rng.gen_bool(self.cfg.corrupt_rate)
+            {
+                let bit = (self.rng.gen::<u64>() as usize) % (packet.len() * 8);
+                packet[bit / 8] ^= 1 << (bit % 8);
+                self.stats.corrupted += 1;
+            }
+            if self.cfg.reorder_rate > 0.0
+                && self.cfg.reorder_depth > 0
+                && self.rng.gen_bool(self.cfg.reorder_rate)
+            {
+                self.held.push_back((packet, self.cfg.reorder_depth));
+                self.stats.reordered += 1;
+            } else {
+                self.stats.delivered += 1;
+                out.push(packet);
+            }
+        }
+        self.release_due(aging, &mut out);
+        out
+    }
+
+    /// Offers a batch of packets; returns everything delivered, in
+    /// delivery order.
+    pub fn send_all(&mut self, packets: impl IntoIterator<Item = Vec<u8>>) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for p in packets {
+            out.extend(self.send(p));
+        }
+        out
+    }
+
+    /// Releases every held-back packet (end of transmission).
+    pub fn flush(&mut self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some((p, _)) = self.held.pop_front() {
+            self.stats.delivered += 1;
+            out.push(p);
+        }
+        out
+    }
+
+    /// Counts one delivery opportunity against the first `aging` held
+    /// packets (the ones that predate the current send) and releases
+    /// the ones that are due.
+    fn release_due(&mut self, aging: usize, out: &mut Vec<Vec<u8>>) {
+        for held in self.held.iter_mut().take(aging) {
+            held.1 = held.1.saturating_sub(1);
+        }
+        while let Some(&(_, remaining)) = self.held.front() {
+            if remaining > 0 {
+                break;
+            }
+            let (p, _) = self.held.pop_front().expect("checked front");
+            self.stats.delivered += 1;
+            out.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packets(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![i as u8; 8]).collect()
+    }
+
+    #[test]
+    fn ideal_channel_is_the_identity() {
+        let mut ch = LossyChannel::new(ChannelConfig::ideal()).unwrap();
+        let input = packets(50);
+        let mut out = ch.send_all(input.clone());
+        out.extend(ch.flush());
+        assert_eq!(out, input);
+        let s = ch.stats();
+        assert_eq!(s.offered, 50);
+        assert_eq!(s.delivered, 50);
+        assert_eq!(s.dropped + s.corrupted + s.reordered, 0);
+    }
+
+    #[test]
+    fn same_seed_same_impairments() {
+        let run = || {
+            let mut ch = LossyChannel::new(ChannelConfig::lossy(42)).unwrap();
+            let mut out = ch.send_all(packets(500));
+            out.extend(ch.flush());
+            (out, ch.stats())
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert!(sa.dropped > 0, "expected drops over 500 packets");
+        assert!(sa.reordered > 0, "expected reordering over 500 packets");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut ch = LossyChannel::new(ChannelConfig::lossy(seed)).unwrap();
+            let mut out = ch.send_all(packets(500));
+            out.extend(ch.flush());
+            out
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn reordering_preserves_content() {
+        let cfg = ChannelConfig {
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            reorder_rate: 0.3,
+            reorder_depth: 2,
+            seed: 7,
+        };
+        let mut ch = LossyChannel::new(cfg).unwrap();
+        let input = packets(100);
+        let mut out = ch.send_all(input.clone());
+        out.extend(ch.flush());
+        // Same multiset of packets, different order.
+        assert_eq!(out.len(), input.len());
+        let mut a = out.clone();
+        let mut b = input.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_ne!(out, input, "depth-2 reordering at 30% must reorder");
+    }
+
+    #[test]
+    fn a_held_packet_is_not_released_in_the_send_that_held_it() {
+        // Depth-1 reordering means exactly one later packet overtakes;
+        // releasing in the same send would make depth 1 a no-op.
+        let cfg = ChannelConfig {
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            reorder_rate: 1.0,
+            reorder_depth: 1,
+            seed: 3,
+        };
+        let mut ch = LossyChannel::new(cfg).unwrap();
+        assert!(ch.send(vec![1]).is_empty());
+        assert_eq!(ch.send(vec![2]), vec![vec![1]]);
+        assert_eq!(ch.flush(), vec![vec![2]]);
+    }
+
+    #[test]
+    fn empty_packets_survive_a_corrupting_channel() {
+        let cfg = ChannelConfig {
+            corrupt_rate: 1.0,
+            ..ChannelConfig::ideal()
+        };
+        let mut ch = LossyChannel::new(cfg).unwrap();
+        // Nothing to flip in a zero-length packet; it passes unharmed
+        // instead of panicking.
+        assert_eq!(ch.send(Vec::new()), vec![Vec::<u8>::new()]);
+        assert_eq!(ch.stats().corrupted, 0);
+    }
+
+    #[test]
+    fn rates_are_validated() {
+        let mut cfg = ChannelConfig::ideal();
+        cfg.drop_rate = 1.5;
+        assert!(LossyChannel::new(cfg).is_err());
+        let mut cfg = ChannelConfig::ideal();
+        cfg.corrupt_rate = -0.1;
+        assert!(LossyChannel::new(cfg).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Session decoding: reassembled link messages back into typed values.
+//!
+//! A [`SessionDecoder`] owns one session's [`Reassembler`] and turns
+//! its released messages into [`SessionItem`]s: the session handshake
+//! record, decoded [`Payload`]s, or loss notices. Decode failures keep
+//! their typed causes ([`WbsnError::Truncated`] /
+//! [`WbsnError::Malformed`] from [`Payload::decode`]), so the gateway
+//! can report *why* a frame was rejected.
+
+use crate::reassembler::{LinkEvent, Reassembler, ReassemblyStats};
+use crate::Result;
+use wbsn_core::link::{LinkError, LinkPacket, SessionHandshake, KIND_HANDSHAKE};
+use wbsn_core::{Payload, WbsnError};
+
+/// One decoded item of a session's stream, in message order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionItem {
+    /// The session handshake record (message 0 by convention).
+    Handshake(SessionHandshake),
+    /// One decoded payload.
+    Payload {
+        /// Message sequence number it travelled under.
+        msg_seq: u32,
+        /// The payload.
+        payload: Payload,
+    },
+    /// A run of consecutive messages lost on the link (gap proven by
+    /// the reassembler).
+    Lost {
+        /// First lost sequence number of the run.
+        first_seq: u32,
+        /// Number of consecutive lost messages.
+        count: u32,
+    },
+    /// A message that reassembled but failed to decode (truncated or
+    /// malformed sender output). Carried as an item rather than an
+    /// error so one bad message never discards the valid messages
+    /// released alongside it.
+    Rejected {
+        /// Sequence number of the undecodable message.
+        msg_seq: u32,
+        /// Why it was rejected.
+        error: WbsnError,
+    },
+}
+
+/// Reassembly + decoding for one session.
+#[derive(Debug)]
+pub struct SessionDecoder {
+    session: u64,
+    reassembler: Reassembler,
+}
+
+impl SessionDecoder {
+    /// Decoder for `session` with the default reorder window.
+    pub fn new(session: u64) -> Self {
+        SessionDecoder {
+            session,
+            reassembler: Reassembler::new(),
+        }
+    }
+
+    /// Decoder with an explicit reorder window.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] for a zero window.
+    pub fn with_window(session: u64, window: u32) -> Result<Self> {
+        Ok(SessionDecoder {
+            session,
+            reassembler: Reassembler::with_window(window)?,
+        })
+    }
+
+    /// Session this decoder serves.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Reassembly counters.
+    pub fn stats(&self) -> ReassemblyStats {
+        self.reassembler.stats()
+    }
+
+    /// Accepts one CRC-verified packet, appending every item that
+    /// becomes available to `out` in message order.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::BadHeader`] when the packet belongs to a different
+    /// session, reassembly errors, and typed payload decode failures.
+    pub fn accept(&mut self, pkt: &LinkPacket, out: &mut Vec<SessionItem>) -> Result<()> {
+        if pkt.session != self.session {
+            return Err(LinkError::BadHeader {
+                detail: format!(
+                    "packet for session {} routed to decoder {}",
+                    pkt.session, self.session
+                ),
+            }
+            .into());
+        }
+        let mut events = Vec::new();
+        self.reassembler.accept(pkt, &mut events)?;
+        Self::decode_events(events, out);
+        Ok(())
+    }
+
+    /// End of stream: drains the reassembler, decoding the tail.
+    pub fn flush(&mut self, out: &mut Vec<SessionItem>) {
+        let mut events = Vec::new();
+        self.reassembler.flush(&mut events);
+        Self::decode_events(events, out);
+    }
+
+    fn decode_events(events: Vec<LinkEvent>, out: &mut Vec<SessionItem>) {
+        for ev in events {
+            match ev {
+                LinkEvent::Lost { first_seq, count } => {
+                    out.push(SessionItem::Lost { first_seq, count })
+                }
+                LinkEvent::Message {
+                    msg_seq,
+                    kind,
+                    bytes,
+                } => out.push(Self::decode_message(msg_seq, kind, &bytes)),
+            }
+        }
+    }
+
+    /// Decodes one reassembled message; failures become typed
+    /// [`SessionItem::Rejected`] items, never a dropped batch.
+    fn decode_message(msg_seq: u32, kind: u8, bytes: &[u8]) -> SessionItem {
+        let decoded = if kind == KIND_HANDSHAKE {
+            SessionHandshake::decode(bytes).map(SessionItem::Handshake)
+        } else if bytes.first() != Some(&kind) {
+            // The header's kind byte is advisory routing metadata; a
+            // mismatch with the decoded tag is a malformed sender.
+            Err(WbsnError::Malformed {
+                what: "message kind",
+                detail: format!("header kind {kind:#04x} disagrees with payload tag"),
+            })
+        } else {
+            Payload::decode(bytes).map(|payload| SessionItem::Payload { msg_seq, payload })
+        };
+        decoded.unwrap_or_else(|error| SessionItem::Rejected { msg_seq, error })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsn_core::link::LinkFramer;
+
+    #[test]
+    fn decodes_handshake_then_payloads_in_order() {
+        let hs = SessionHandshake {
+            session: 9,
+            fs_hz: 250,
+            n_leads: 3,
+            cs_window: 256,
+            cs_measurements: 128,
+            cs_d_per_col: 4,
+            seed: 5,
+        };
+        let p = Payload::Events {
+            n_beats: 4,
+            class_counts: [4, 0, 0, 0],
+            mean_hr_x10: 650,
+            af_burden_pct: 0,
+            af_active: false,
+        };
+        let mut framer = LinkFramer::new(9);
+        let mut raw = Vec::new();
+        framer.frame_handshake(&hs, &mut raw).unwrap();
+        framer.frame_payload(&p, &mut raw).unwrap();
+        let mut dec = SessionDecoder::new(9);
+        let mut items = Vec::new();
+        for b in &raw {
+            dec.accept(&LinkPacket::decode(b).unwrap(), &mut items)
+                .unwrap();
+        }
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0], SessionItem::Handshake(hs));
+        assert_eq!(
+            items[1],
+            SessionItem::Payload {
+                msg_seq: 1,
+                payload: p
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_foreign_sessions() {
+        let mut framer = LinkFramer::new(3);
+        let mut raw = Vec::new();
+        framer.frame_message(0x01, &[0; 4], &mut raw).unwrap();
+        let pkt = LinkPacket::decode(&raw[0]).unwrap();
+        let mut dec = SessionDecoder::new(4);
+        let mut items = Vec::new();
+        assert!(matches!(
+            dec.accept(&pkt, &mut items),
+            Err(WbsnError::Link(LinkError::BadHeader { .. }))
+        ));
+    }
+}

@@ -1,0 +1,810 @@
+//! The gateway service: many sessions, one packet stream.
+//!
+//! A base station terminates the radio uplinks of a whole fleet. The
+//! [`Gateway`] routes every received packet to its session's
+//! [`SessionDecoder`], then acts on what comes out:
+//!
+//! * **Handshakes** open the session: they carry the CS sensing
+//!   parameters (window, measurement count, column density, seed), so
+//!   the gateway can regenerate the node's `SparseTernaryMatrix` per
+//!   lead (`seed + lead`, exactly as the node's `CsStage` builds them)
+//!   and reconstruct.
+//! * **`Events` payloads** drive per-session rhythm state: AF episode
+//!   onsets surface as [`GatewayEvent::AfAlert`]s and are kept in an
+//!   audit log, mirroring what a monitoring service would page on.
+//! * **`CsWindow` payloads** are reconstructed through the `wbsn-cs`
+//!   FISTA solver; when a reference signal is attached
+//!   ([`Gateway::attach_reference`]), each window reports its PRD
+//!   (percentage root-mean-square difference) against the transmitted
+//!   original — the Figure 5 quality metric, now measured end to end
+//!   through the lossy link.
+//! * **Losses** (gaps the reassembler proves) surface as
+//!   [`GatewayEvent::MessageLost`].
+//!
+//! Everything is deterministic: same packet stream, same events, same
+//! reconstructed samples — the end-to-end scenario test replays the
+//! whole node→channel→gateway path bit-identically.
+
+use crate::decoder::{SessionDecoder, SessionItem};
+use crate::Result;
+use std::collections::BTreeMap;
+use wbsn_core::link::{LinkError, LinkPacket, SessionHandshake};
+use wbsn_core::{Payload, WbsnError};
+use wbsn_cs::encoder::CsEncoder;
+use wbsn_cs::omp::{Omp, OmpConfig};
+use wbsn_cs::solver::{Fista, FistaConfig};
+use wbsn_sigproc::stats::prd_percent;
+
+/// Which `wbsn-cs` decoder the gateway runs per CS window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReconstructionSolver {
+    /// FISTA over a wavelet synthesis dictionary — the standard
+    /// decoder of the ECG-CS literature and the default.
+    Fista(FistaConfig),
+    /// Orthogonal matching pursuit — the greedy ablation baseline.
+    Omp(OmpConfig),
+}
+
+/// Gateway configuration.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Reorder window of each session's reassembler (messages).
+    pub reorder_window: u32,
+    /// Decoder run per CS window.
+    pub solver: ReconstructionSolver,
+    /// Whether CS windows are reconstructed at all (disable to bench
+    /// the pure reassembly/decode path).
+    pub reconstruct_cs: bool,
+}
+
+impl Default for GatewayConfig {
+    /// Defaults tuned for the base station, not the sweep harness: a
+    /// gateway has server-class cycles to spend per window, so it runs
+    /// FISTA longer and with lighter regularization than the
+    /// `wbsn-cs` default (mean PRD at 50% CR improves from ≈9.5% to
+    /// ≈6.5% on clean windows).
+    fn default() -> Self {
+        GatewayConfig {
+            reorder_window: crate::reassembler::DEFAULT_REORDER_WINDOW,
+            solver: ReconstructionSolver::Fista(FistaConfig {
+                lambda_rel: 0.001,
+                max_iters: 800,
+                tol: 1e-7,
+                ..FistaConfig::default()
+            }),
+            reconstruct_cs: true,
+        }
+    }
+}
+
+/// One AF alert surfaced by the gateway, kept in the session's audit
+/// log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlertEvent {
+    /// Message sequence number of the `Events` payload that raised it.
+    pub msg_seq: u32,
+    /// AF burden reported by the node at that point (percent).
+    pub af_burden_pct: u8,
+}
+
+/// Per-session rhythm state, driven by the node's `Events` payloads.
+#[derive(Debug, Clone, Default)]
+pub struct RhythmState {
+    /// Whether an AF episode is currently flagged.
+    pub af_active: bool,
+    /// Last reported AF burden (percent).
+    pub af_burden_pct: u8,
+    /// Last reported mean heart rate (bpm ×10).
+    pub mean_hr_x10: u16,
+    /// Beats reported across all `Events` payloads.
+    pub beats_reported: u64,
+    /// `Events` payloads seen.
+    pub events_seen: u64,
+    /// Delineated beats received via `Beats` payloads.
+    pub beats_received: u64,
+    /// Every AF episode onset, in arrival order.
+    pub alerts: Vec<AlertEvent>,
+}
+
+/// What the gateway tells its caller per ingested packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatewayEvent {
+    /// A session handshake arrived; the session is fully open.
+    SessionOpened {
+        /// The session.
+        session: u64,
+    },
+    /// An AF episode started (the node's `Events` payload flipped
+    /// `af_active` on).
+    AfAlert {
+        /// The session.
+        session: u64,
+        /// Message that raised the alert.
+        msg_seq: u32,
+        /// Reported AF burden (percent).
+        af_burden_pct: u8,
+    },
+    /// The ongoing AF episode ended.
+    AfCleared {
+        /// The session.
+        session: u64,
+        /// Message that cleared it.
+        msg_seq: u32,
+    },
+    /// One CS window was reconstructed.
+    WindowReconstructed {
+        /// The session.
+        session: u64,
+        /// Lead index.
+        lead: u8,
+        /// Window sequence number.
+        window_seq: u32,
+        /// PRD against the attached reference, when one covers the
+        /// window (percent; lower is better).
+        prd_percent: Option<f64>,
+    },
+    /// A run of consecutive messages lost on the link (reassembly
+    /// gap). Ranged so a long outage costs one event, not one per
+    /// missing message.
+    MessageLost {
+        /// The session.
+        session: u64,
+        /// First lost sequence number of the run.
+        first_seq: u32,
+        /// Number of consecutive lost messages.
+        count: u32,
+    },
+    /// A message reassembled but could not be decoded or processed
+    /// (malformed sender output, or a CS window with no handshake to
+    /// regenerate Φ from). Carried as an event so the valid messages
+    /// released alongside it are never discarded.
+    PayloadRejected {
+        /// The session.
+        session: u64,
+        /// Sequence number of the rejected message.
+        msg_seq: u32,
+        /// Why it was rejected.
+        error: WbsnError,
+    },
+}
+
+/// Gateway-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Packets offered to [`Gateway::ingest`].
+    pub packets: u64,
+    /// Packets rejected by the CRC check.
+    pub crc_rejected: u64,
+    /// Packets rejected for other typed reasons (truncation, bad
+    /// headers, fragment conflicts).
+    pub rejected: u64,
+    /// Messages that reassembled but failed to decode or process
+    /// (surfaced as [`GatewayEvent::PayloadRejected`]).
+    pub items_rejected: u64,
+    /// Payloads decoded across all sessions.
+    pub payloads: u64,
+    /// Messages proven lost across all sessions.
+    pub messages_lost: u64,
+    /// CS windows reconstructed.
+    pub windows_reconstructed: u64,
+}
+
+#[derive(Debug)]
+struct SessionState {
+    decoder: SessionDecoder,
+    handshake: Option<SessionHandshake>,
+    rhythm: RhythmState,
+    // Per-lead CS encoders, regenerated from the handshake on first
+    // use (lead l seeds with seed + l, matching the node's CsStage).
+    encoders: Vec<Option<CsEncoder>>,
+    // Reconstructed windows, keyed by (lead, window_seq).
+    windows: BTreeMap<(u8, u32), Vec<f64>>,
+    // Optional per-lead reference signals for PRD reporting.
+    references: BTreeMap<u8, Vec<f64>>,
+    // Reused measurement buffer.
+    y_scratch: Vec<i64>,
+}
+
+impl SessionState {
+    /// Installs a handshake; a *changed* handshake (new seed, shape)
+    /// invalidates the cached sensing matrices and the windows they
+    /// reconstructed, so stale Φ can never silently produce
+    /// plausible-looking garbage.
+    fn install_handshake(&mut self, hs: SessionHandshake) {
+        if self.handshake != Some(hs) {
+            self.encoders.clear();
+            self.windows.clear();
+        }
+        self.handshake = Some(hs);
+    }
+
+    fn new(session: u64, window: u32) -> Result<Self> {
+        Ok(SessionState {
+            decoder: SessionDecoder::with_window(session, window)?,
+            handshake: None,
+            rhythm: RhythmState::default(),
+            encoders: Vec::new(),
+            windows: BTreeMap::new(),
+            references: BTreeMap::new(),
+            y_scratch: Vec::new(),
+        })
+    }
+}
+
+#[derive(Debug)]
+enum SolverImpl {
+    Fista(Fista),
+    Omp(Omp),
+}
+
+impl SolverImpl {
+    fn reconstruct(&self, enc: &CsEncoder, y: &[i64]) -> Result<Vec<f64>> {
+        match self {
+            SolverImpl::Fista(f) => f.reconstruct(enc, y),
+            SolverImpl::Omp(o) => {
+                let yf: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+                o.reconstruct(enc.sensing_matrix(), &yf)
+            }
+        }
+        .map_err(Into::into)
+    }
+}
+
+/// The multi-session gateway service.
+#[derive(Debug)]
+pub struct Gateway {
+    cfg: GatewayConfig,
+    solver: SolverImpl,
+    sessions: BTreeMap<u64, SessionState>,
+    stats: GatewayStats,
+}
+
+impl Default for Gateway {
+    fn default() -> Self {
+        Gateway::new(GatewayConfig::default())
+    }
+}
+
+impl Gateway {
+    /// Gateway with the given configuration. A zero `reorder_window`
+    /// is clamped to 1 (the smallest meaningful window), so session
+    /// construction can never fail mid-ingest over a config typo.
+    pub fn new(mut cfg: GatewayConfig) -> Self {
+        cfg.reorder_window = cfg.reorder_window.max(1);
+        let solver = match cfg.solver {
+            ReconstructionSolver::Fista(f) => SolverImpl::Fista(Fista::new(f)),
+            ReconstructionSolver::Omp(o) => SolverImpl::Omp(Omp::new(o)),
+        };
+        Gateway {
+            cfg,
+            solver,
+            sessions: BTreeMap::new(),
+            stats: GatewayStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> GatewayStats {
+        self.stats
+    }
+
+    /// Sessions the gateway has seen packets (or registrations) for.
+    pub fn session_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.sessions.keys().copied()
+    }
+
+    /// Opens (or re-opens) a session out of band (control plane), as
+    /// an alternative to the in-band handshake message. Re-registering
+    /// an existing session resets its link stream — fresh reassembler
+    /// at sequence 0, cleared CS state — which is how a node restart
+    /// (whose framer restarts at message 0) is recovered: without it,
+    /// a long-lived reassembler would treat the reborn stream as stale
+    /// stragglers forever. The rhythm/alert history is kept (it is an
+    /// audit log of the subject, not of the link).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder construction failures.
+    pub fn register(&mut self, hs: SessionHandshake) -> Result<()> {
+        let window = self.cfg.reorder_window;
+        let state = self.session_state(hs.session)?;
+        state.decoder = SessionDecoder::with_window(hs.session, window)?;
+        state.install_handshake(hs);
+        Ok(())
+    }
+
+    /// Attaches the transmitted original of one lead so reconstructed
+    /// windows report PRD against it (evaluation harnesses only — a
+    /// production gateway has no original to compare with).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder construction failures for a new session.
+    pub fn attach_reference(&mut self, session: u64, lead: u8, samples: Vec<f64>) -> Result<()> {
+        let state = self.session_state(session)?;
+        state.references.insert(lead, samples);
+        Ok(())
+    }
+
+    /// Rhythm/alert state of one session.
+    pub fn rhythm(&self, session: u64) -> Option<&RhythmState> {
+        self.sessions.get(&session).map(|s| &s.rhythm)
+    }
+
+    /// The handshake of one session, when received.
+    pub fn handshake(&self, session: u64) -> Option<&SessionHandshake> {
+        self.sessions
+            .get(&session)
+            .and_then(|s| s.handshake.as_ref())
+    }
+
+    /// One reconstructed window's samples. Retained only for leads
+    /// with an attached reference ([`Gateway::attach_reference`]) —
+    /// unreferenced sessions do not accumulate sample history.
+    pub fn reconstructed_window(&self, session: u64, lead: u8, window_seq: u32) -> Option<&[f64]> {
+        self.sessions
+            .get(&session)?
+            .windows
+            .get(&(lead, window_seq))
+            .map(Vec::as_slice)
+    }
+
+    /// All reconstructed `(window_seq, samples)` of one lead, in
+    /// window order.
+    pub fn reconstructed_windows(
+        &self,
+        session: u64,
+        lead: u8,
+    ) -> impl Iterator<Item = (u32, &[f64])> + '_ {
+        self.sessions.get(&session).into_iter().flat_map(move |s| {
+            s.windows
+                .range((lead, 0)..=(lead, u32::MAX))
+                .map(|((_, seq), w)| (*seq, w.as_slice()))
+        })
+    }
+
+    /// Ingests one raw packet off the channel: CRC check, session
+    /// routing, reassembly, decoding, and whatever state updates the
+    /// decoded items imply. Returns the events this packet produced.
+    ///
+    /// # Errors
+    ///
+    /// Packet-level rejections are typed errors:
+    /// [`LinkError::CrcMismatch`] for corruption (counted in
+    /// [`GatewayStats::crc_rejected`]) and truncation/header/conflict
+    /// errors from the link layer; a rejected packet never changes
+    /// payload-visible state. Message-level problems — a payload that
+    /// reassembled but cannot be decoded, or a CS window whose session
+    /// has no handshake ([`LinkError::NoHandshake`]) — surface as
+    /// [`GatewayEvent::PayloadRejected`] events instead, so the valid
+    /// messages released by the same packet are never discarded.
+    pub fn ingest(&mut self, raw: &[u8]) -> Result<Vec<GatewayEvent>> {
+        self.stats.packets += 1;
+        let pkt = match LinkPacket::decode(raw) {
+            Ok(p) => p,
+            Err(e) => {
+                if matches!(e, WbsnError::Link(LinkError::CrcMismatch { .. })) {
+                    self.stats.crc_rejected += 1;
+                } else {
+                    self.stats.rejected += 1;
+                }
+                return Err(e);
+            }
+        };
+        let state = self.session_state(pkt.session)?;
+        let mut items = Vec::new();
+        if let Err(e) = state.decoder.accept(&pkt, &mut items) {
+            self.stats.rejected += 1;
+            return Err(e);
+        }
+        Ok(self.handle_items(pkt.session, items))
+    }
+
+    /// End of stream: drains every session's reassembler and processes
+    /// the tails (sessions in id order).
+    pub fn flush_sessions(&mut self) -> Vec<GatewayEvent> {
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        let mut events = Vec::new();
+        for id in ids {
+            let mut items = Vec::new();
+            self.sessions
+                .get_mut(&id)
+                .expect("listed id")
+                .decoder
+                .flush(&mut items);
+            events.extend(self.handle_items(id, items));
+        }
+        events
+    }
+
+    fn session_state(&mut self, session: u64) -> Result<&mut SessionState> {
+        let window = self.cfg.reorder_window;
+        Ok(match self.sessions.entry(session) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(SessionState::new(session, window)?)
+            }
+        })
+    }
+
+    fn handle_items(&mut self, session: u64, items: Vec<SessionItem>) -> Vec<GatewayEvent> {
+        let mut events = Vec::new();
+        for item in items {
+            match item {
+                SessionItem::Lost { first_seq, count } => {
+                    self.stats.messages_lost += u64::from(count);
+                    events.push(GatewayEvent::MessageLost {
+                        session,
+                        first_seq,
+                        count,
+                    });
+                }
+                SessionItem::Rejected { msg_seq, error } => {
+                    self.stats.items_rejected += 1;
+                    events.push(GatewayEvent::PayloadRejected {
+                        session,
+                        msg_seq,
+                        error,
+                    });
+                }
+                SessionItem::Handshake(hs) => {
+                    let state = self.sessions.get_mut(&session).expect("routed session");
+                    state.install_handshake(hs);
+                    events.push(GatewayEvent::SessionOpened { session });
+                }
+                SessionItem::Payload { msg_seq, payload } => {
+                    self.stats.payloads += 1;
+                    if let Err(error) = self.handle_payload(session, msg_seq, payload, &mut events)
+                    {
+                        self.stats.items_rejected += 1;
+                        events.push(GatewayEvent::PayloadRejected {
+                            session,
+                            msg_seq,
+                            error,
+                        });
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    fn handle_payload(
+        &mut self,
+        session: u64,
+        msg_seq: u32,
+        payload: Payload,
+        events: &mut Vec<GatewayEvent>,
+    ) -> Result<()> {
+        let state = self.sessions.get_mut(&session).expect("routed session");
+        match payload {
+            Payload::Events {
+                n_beats,
+                mean_hr_x10,
+                af_burden_pct,
+                af_active,
+                ..
+            } => {
+                let was_active = state.rhythm.af_active;
+                state.rhythm.af_active = af_active;
+                state.rhythm.af_burden_pct = af_burden_pct;
+                state.rhythm.mean_hr_x10 = mean_hr_x10;
+                state.rhythm.beats_reported += u64::from(n_beats);
+                state.rhythm.events_seen += 1;
+                if af_active && !was_active {
+                    state.rhythm.alerts.push(AlertEvent {
+                        msg_seq,
+                        af_burden_pct,
+                    });
+                    events.push(GatewayEvent::AfAlert {
+                        session,
+                        msg_seq,
+                        af_burden_pct,
+                    });
+                } else if !af_active && was_active {
+                    events.push(GatewayEvent::AfCleared { session, msg_seq });
+                }
+            }
+            Payload::Beats { beats } => {
+                state.rhythm.beats_received += beats.len() as u64;
+            }
+            Payload::CsWindow {
+                lead,
+                window_seq,
+                measurements,
+            } => {
+                if !self.cfg.reconstruct_cs {
+                    return Ok(());
+                }
+                let Some(hs) = state.handshake else {
+                    return Err(LinkError::NoHandshake { session }.into());
+                };
+                if state.encoders.len() <= lead as usize {
+                    state.encoders.resize(lead as usize + 1, None);
+                }
+                let slot = &mut state.encoders[lead as usize];
+                if slot.is_none() {
+                    // Regenerate the node's sensing matrix: CsStage
+                    // seeds lead l with seed + l.
+                    *slot = Some(CsEncoder::new(
+                        hs.cs_window as usize,
+                        hs.cs_measurements as usize,
+                        hs.cs_d_per_col as usize,
+                        hs.seed.wrapping_add(lead as u64),
+                    )?);
+                }
+                let enc = slot.as_ref().expect("just filled");
+                state.y_scratch.clear();
+                state
+                    .y_scratch
+                    .extend(measurements.iter().map(|&v| v as i64));
+                let xr = self.solver.reconstruct(enc, &state.y_scratch)?;
+                let n = hs.cs_window as usize;
+                let prd = state.references.get(&lead).and_then(|reference| {
+                    let start = window_seq as usize * n;
+                    let orig = reference.get(start..start + n)?;
+                    Some(prd_percent(orig, &xr))
+                });
+                // Samples are retained only for leads with an attached
+                // reference (the evaluation harness needs them for
+                // PRD/replay queries); a production session would
+                // otherwise grow ~4 kB per window forever.
+                if state.references.contains_key(&lead) {
+                    state.windows.insert((lead, window_seq), xr);
+                }
+                self.stats.windows_reconstructed += 1;
+                events.push(GatewayEvent::WindowReconstructed {
+                    session,
+                    lead,
+                    window_seq,
+                    prd_percent: prd,
+                });
+            }
+            Payload::RawChunk { .. } => {
+                // Raw chunks need no gateway-side processing; they are
+                // the signal. Counted via `stats.payloads`.
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsn_core::level::ProcessingLevel;
+    use wbsn_core::link::Uplink;
+    use wbsn_core::monitor::MonitorBuilder;
+    use wbsn_ecg_synth::noise::NoiseConfig;
+    use wbsn_ecg_synth::{RecordBuilder, Rhythm};
+
+    #[test]
+    fn af_alert_surfaces_and_logs() {
+        let rec = RecordBuilder::new(7)
+            .duration_s(60.0)
+            .n_leads(3)
+            .rhythm(Rhythm::AtrialFibrillation { mean_hr_bpm: 95.0 })
+            .noise(NoiseConfig::ambulatory(20.0))
+            .build();
+        let mut node = MonitorBuilder::new()
+            .level(ProcessingLevel::Classified)
+            .build()
+            .unwrap();
+        let payloads = node.process_record(&rec).unwrap();
+        let mut uplink = Uplink::new();
+        let mut packets = Vec::new();
+        uplink
+            .open_session(
+                &SessionHandshake::for_config(1, node.config()),
+                &mut packets,
+            )
+            .unwrap();
+        uplink.frame(1, &payloads, &mut packets).unwrap();
+        let mut gw = Gateway::default();
+        let mut events = Vec::new();
+        for p in &packets {
+            events.extend(gw.ingest(p).unwrap());
+        }
+        events.extend(gw.flush_sessions());
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, GatewayEvent::AfAlert { session: 1, .. })));
+        let rhythm = gw.rhythm(1).unwrap();
+        assert!(!rhythm.alerts.is_empty());
+        assert!(rhythm.events_seen > 0);
+    }
+
+    #[test]
+    fn cs_windows_reconstruct_with_prd_against_reference() {
+        let rec = RecordBuilder::new(21)
+            .duration_s(10.0)
+            .n_leads(1)
+            .noise(NoiseConfig::clean())
+            .build();
+        let mut node = MonitorBuilder::new()
+            .level(ProcessingLevel::CompressedSingleLead)
+            .n_leads(1)
+            .cs_compression_ratio(50.0)
+            .build()
+            .unwrap();
+        let payloads = node.process_record(&rec).unwrap();
+        let mut uplink = Uplink::new();
+        let mut packets = Vec::new();
+        uplink
+            .open_session(
+                &SessionHandshake::for_config(4, node.config()),
+                &mut packets,
+            )
+            .unwrap();
+        uplink.frame(4, &payloads, &mut packets).unwrap();
+        let mut gw = Gateway::default();
+        gw.attach_reference(4, 0, rec.lead(0).iter().map(|&v| v as f64).collect())
+            .unwrap();
+        let mut events = Vec::new();
+        for p in &packets {
+            events.extend(gw.ingest(p).unwrap());
+        }
+        events.extend(gw.flush_sessions());
+        let prds: Vec<f64> = events
+            .iter()
+            .filter_map(|e| match e {
+                GatewayEvent::WindowReconstructed {
+                    prd_percent: Some(prd),
+                    ..
+                } => Some(*prd),
+                _ => None,
+            })
+            .collect();
+        assert!(prds.len() >= 4, "windows {}", prds.len());
+        let avg = prds.iter().sum::<f64>() / prds.len() as f64;
+        assert!(avg < 9.0, "avg PRD {avg}%");
+        // The reconstructed signal is queryable window by window.
+        assert!(gw.reconstructed_window(4, 0, 0).is_some());
+        assert_eq!(
+            gw.reconstructed_windows(4, 0).count() as u64,
+            gw.stats().windows_reconstructed
+        );
+    }
+
+    #[test]
+    fn omp_solver_reconstructs_too() {
+        let rec = RecordBuilder::new(21)
+            .duration_s(4.1)
+            .n_leads(1)
+            .noise(NoiseConfig::clean())
+            .build();
+        let mut node = MonitorBuilder::new()
+            .level(ProcessingLevel::CompressedSingleLead)
+            .n_leads(1)
+            .cs_compression_ratio(40.0)
+            .build()
+            .unwrap();
+        let payloads = node.process_record(&rec).unwrap();
+        let mut uplink = Uplink::new();
+        let mut packets = Vec::new();
+        uplink
+            .open_session(
+                &SessionHandshake::for_config(2, node.config()),
+                &mut packets,
+            )
+            .unwrap();
+        uplink.frame(2, &payloads, &mut packets).unwrap();
+        let mut gw = Gateway::new(GatewayConfig {
+            solver: ReconstructionSolver::Omp(wbsn_cs::omp::OmpConfig::default()),
+            ..GatewayConfig::default()
+        });
+        gw.attach_reference(2, 0, rec.lead(0).iter().map(|&v| v as f64).collect())
+            .unwrap();
+        let mut prds = Vec::new();
+        for p in &packets {
+            for ev in gw.ingest(p).unwrap() {
+                if let GatewayEvent::WindowReconstructed {
+                    prd_percent: Some(prd),
+                    ..
+                } = ev
+                {
+                    prds.push(prd);
+                }
+            }
+        }
+        assert_eq!(prds.len(), 2);
+        // The greedy baseline reconstructs usable windows at a low CR;
+        // it is an ablation, not the production decoder, so the bar is
+        // looser than FISTA's.
+        assert!(prds.iter().all(|&p| p < 40.0), "{prds:?}");
+    }
+
+    #[test]
+    fn reregistration_recovers_a_restarted_node() {
+        let p = Payload::Events {
+            n_beats: 4,
+            class_counts: [4, 0, 0, 0],
+            mean_hr_x10: 650,
+            af_burden_pct: 0,
+            af_active: false,
+        };
+        let hs = SessionHandshake {
+            session: 3,
+            fs_hz: 250,
+            n_leads: 3,
+            cs_window: 512,
+            cs_measurements: 256,
+            cs_d_per_col: 4,
+            seed: 9,
+        };
+        let mut gw = Gateway::default();
+        // First life of the node: handshake + 5 payloads.
+        let mut framer = wbsn_core::link::LinkFramer::new(3);
+        let mut packets = Vec::new();
+        framer.frame_handshake(&hs, &mut packets).unwrap();
+        for _ in 0..5 {
+            framer.frame_payload(&p, &mut packets).unwrap();
+        }
+        for raw in &packets {
+            gw.ingest(raw).unwrap();
+        }
+        assert_eq!(gw.stats().payloads, 5);
+        // The node reboots: its framer restarts at message 0. Without
+        // re-registration the reborn stream is stale to the old
+        // reassembler...
+        let mut reborn = wbsn_core::link::LinkFramer::new(3);
+        let mut packets = Vec::new();
+        reborn.frame_handshake(&hs, &mut packets).unwrap();
+        reborn.frame_payload(&p, &mut packets).unwrap();
+        for raw in &packets {
+            assert!(gw.ingest(raw).unwrap().is_empty());
+        }
+        assert_eq!(gw.stats().payloads, 5, "stale stream must not decode");
+        // ... and with it, the stream decodes again from sequence 0.
+        gw.register(hs).unwrap();
+        let mut packets = Vec::new();
+        let mut reborn = wbsn_core::link::LinkFramer::new(3);
+        reborn.frame_handshake(&hs, &mut packets).unwrap();
+        reborn.frame_payload(&p, &mut packets).unwrap();
+        let mut events = Vec::new();
+        for raw in &packets {
+            events.extend(gw.ingest(raw).unwrap());
+        }
+        assert_eq!(gw.stats().payloads, 6);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, GatewayEvent::SessionOpened { session: 3 })));
+    }
+
+    #[test]
+    fn cs_without_handshake_is_a_typed_error() {
+        let mut node = MonitorBuilder::new()
+            .level(ProcessingLevel::CompressedSingleLead)
+            .n_leads(1)
+            .cs_window(256)
+            .build()
+            .unwrap();
+        let payloads = node.push_block(&vec![0i32; 256], 256).unwrap();
+        assert!(!payloads.is_empty());
+        // Frame the payloads on a session the gateway never got a
+        // handshake for.
+        let mut framer = wbsn_core::link::LinkFramer::new(8);
+        let mut packets = Vec::new();
+        for p in &payloads {
+            framer.frame_payload(p, &mut packets).unwrap();
+        }
+        let mut gw = Gateway::default();
+        let mut rejections = Vec::new();
+        for p in &packets {
+            for ev in gw.ingest(p).unwrap() {
+                if let GatewayEvent::PayloadRejected { session, error, .. } = ev {
+                    rejections.push((session, error));
+                }
+            }
+        }
+        assert!(!rejections.is_empty(), "missing handshake went unnoticed");
+        assert!(rejections
+            .iter()
+            .all(|(s, e)| *s == 8
+                && matches!(e, WbsnError::Link(LinkError::NoHandshake { session: 8 }))));
+        assert_eq!(gw.stats().items_rejected, rejections.len() as u64);
+        // The stream itself was otherwise healthy: nothing lost,
+        // nothing reconstructed.
+        assert_eq!(gw.stats().windows_reconstructed, 0);
+    }
+}

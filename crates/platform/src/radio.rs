@@ -111,8 +111,60 @@ impl RadioModel {
             };
         }
         let frames = payload_bytes.div_ceil(frame::MAX_PAYLOAD);
+        self.transmit_packets(payload_bytes, frames, wakeups)
+    }
+
+    /// Number of frames needed for `payload_bytes` when a link layer
+    /// adds `header_bytes` of its own header to every frame, shrinking
+    /// the per-frame application capacity to
+    /// `MAX_PAYLOAD − header_bytes`. With `header_bytes = 0` this is
+    /// [`RadioModel::frames_for`]. For every non-empty message the
+    /// uplink framer in `wbsn-core` (`link::fragments_for`) produces
+    /// exactly this many packets, so framing and energy pricing agree.
+    /// (The sole divergence is the degenerate zero-byte message, which
+    /// the framer ships as one header-only packet but the radio model
+    /// prices at zero frames, keeping [`RadioModel::transmit`]'s
+    /// zero-payload convention; no payload or handshake encodes to
+    /// zero bytes.)
+    pub fn frames_for_framed(&self, payload_bytes: usize, header_bytes: usize) -> usize {
+        if payload_bytes == 0 {
+            return 0;
+        }
+        let cap = frame::MAX_PAYLOAD.saturating_sub(header_bytes).max(1);
+        payload_bytes.div_ceil(cap)
+    }
+
+    /// Costs the transmission of `payload_bytes` application bytes
+    /// behind a link layer that adds `header_bytes` per frame — the
+    /// header-overhead-aware sibling of [`RadioModel::transmit`]: the
+    /// bytes priced are the bytes the wire actually carries (payload
+    /// plus link headers plus 802.15.4 PHY/MAC overhead per frame).
+    pub fn transmit_framed(
+        &self,
+        payload_bytes: usize,
+        header_bytes: usize,
+        wakeups: usize,
+    ) -> TxReport {
+        if payload_bytes == 0 {
+            return self.transmit(0, wakeups);
+        }
+        let frames = self.frames_for_framed(payload_bytes, header_bytes);
+        // Link-layer bytes in the MPDUs: application payload plus the
+        // link header each frame carries.
+        self.transmit_packets(payload_bytes + frames * header_bytes, frames, wakeups)
+    }
+
+    /// Costs the transmission of an **externally packetized** burst:
+    /// `link_bytes` total MPDU payload bytes already split into
+    /// `frames` frames by the caller's framer (which may use a smaller
+    /// MTU than the radio's maximum). The radio adds its own PHY/MAC
+    /// overhead and ACK/turnaround cost per frame — this is the
+    /// primitive [`RadioModel::transmit`] and
+    /// [`RadioModel::transmit_framed`] reduce to once their frame
+    /// count is decided.
+    pub fn transmit_packets(&self, link_bytes: usize, frames: usize, wakeups: usize) -> TxReport {
         let per_frame_overhead = frame::PHY_OVERHEAD + frame::MAC_HEADER + frame::FCS;
-        let data_bytes = payload_bytes + frames * per_frame_overhead;
+        let data_bytes = link_bytes + frames * per_frame_overhead;
         let ack_bytes = if self.acked {
             frames * (frame::PHY_OVERHEAD + frame::ACK_MPDU)
         } else {
@@ -192,6 +244,34 @@ mod tests {
         let r = RadioModel::default();
         let p = r.stream_power_w(1500.0, 1.0);
         assert!(p > 0.5e-3 && p < 10e-3, "raw stream power {p} W");
+    }
+
+    #[test]
+    fn framed_path_prices_link_headers() {
+        let r = RadioModel::default();
+        // A 23-byte link overhead shrinks the per-frame capacity from
+        // 116 to 93 bytes, so the same payload needs more frames …
+        assert_eq!(r.frames_for_framed(93, 23), 1);
+        assert_eq!(r.frames_for_framed(94, 23), 2);
+        assert_eq!(r.frames_for_framed(358, 23), 4);
+        assert_eq!(r.frames_for_framed(0, 23), 0);
+        // … and zero header reduces to the unframed path exactly.
+        for n in [1usize, 116, 117, 500] {
+            assert_eq!(r.frames_for_framed(n, 0), r.frames_for(n));
+            let a = r.transmit_framed(n, 0, 1);
+            let b = r.transmit(n, 1);
+            assert_eq!(a, b, "{n}");
+        }
+        // Framed transmission always costs at least the bare payload.
+        let framed = r.transmit_framed(358, 23, 1);
+        let bare = r.transmit(358, 1);
+        assert!(framed.energy_j > bare.energy_j);
+        assert!(framed.bytes_on_air > bare.bytes_on_air);
+        // The on-air bytes account payload + per-frame link headers +
+        // per-frame 802.15.4 overhead + ACKs, exactly.
+        let frames = 4;
+        let expected = 358 + frames * 23 + frames * (6 + 9 + 2) + frames * (6 + 5);
+        assert_eq!(framed.bytes_on_air, expected);
     }
 
     #[test]

@@ -17,8 +17,12 @@
 //! * [`platform`] — node hardware energy/timing models.
 //! * [`multicore`] — cycle-stepped multi-core WBSN simulator.
 //! * [`core`] — the session pipeline ([`core::CardiacMonitor`],
-//!   [`core::MonitorBuilder`], [`core::stage`]) and the serving layer
-//!   ([`core::fleet::NodeFleet`]).
+//!   [`core::MonitorBuilder`], [`core::stage`]), the serving layer
+//!   ([`core::fleet::NodeFleet`]) and the uplink wire layer
+//!   ([`core::link`]).
+//! * [`gateway`] — the base-station side: lossy-channel simulation,
+//!   per-session reassembly/decoding, rhythm/alert state and CS
+//!   reconstruction ([`gateway::Gateway`]).
 
 // Every public item carries documentation; rustdoc runs with
 // `-D warnings` in CI, so a gap fails the build.
@@ -29,6 +33,7 @@ pub use wbsn_core as core;
 pub use wbsn_cs as cs;
 pub use wbsn_delineation as delineation;
 pub use wbsn_ecg_synth as ecg_synth;
+pub use wbsn_gateway as gateway;
 pub use wbsn_multicore as multicore;
 pub use wbsn_multimodal as multimodal;
 pub use wbsn_platform as platform;

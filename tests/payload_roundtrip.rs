@@ -8,7 +8,7 @@ use wbsn_delineation::BeatFiducials;
 fn assert_roundtrip(p: &Payload) {
     let bytes = p.encode();
     assert_eq!(bytes.len(), p.byte_len(), "{p:?}: byte_len mismatch");
-    let back = Payload::decode(&bytes).unwrap_or_else(|| panic!("{p:?}: decode failed"));
+    let back = Payload::decode(&bytes).unwrap_or_else(|e| panic!("{p:?}: decode failed: {e}"));
     assert_eq!(&back, p, "not identity");
 }
 
@@ -127,8 +127,8 @@ fn truncations_of_valid_payloads_never_panic() {
     for p in &payloads {
         let bytes = p.encode();
         for cut in 0..bytes.len() {
-            // Any truncation decodes to None or to some shorter valid
-            // payload — it must never panic.
+            // Any truncation surfaces a typed error or a shorter
+            // valid payload — it must never panic.
             let _ = Payload::decode(&bytes[..cut]);
         }
     }
@@ -138,7 +138,10 @@ fn truncations_of_valid_payloads_never_panic() {
 fn unknown_tags_are_rejected() {
     for tag in [0x00u8, 0x05, 0x7F, 0xFF] {
         assert!(
-            Payload::decode(&[tag, 0, 0, 0, 0]).is_none(),
+            matches!(
+                Payload::decode(&[tag, 0, 0, 0, 0]),
+                Err(wbsn_core::WbsnError::Malformed { .. })
+            ),
             "tag {tag:#x}"
         );
     }

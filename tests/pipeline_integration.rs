@@ -25,7 +25,8 @@ fn every_level_produces_decodable_payloads() {
         assert!(!payloads.is_empty(), "{level}: no payloads");
         for p in &payloads {
             let bytes = p.encode();
-            let back = Payload::decode(&bytes).unwrap_or_else(|| panic!("{level}: decode failed"));
+            let back =
+                Payload::decode(&bytes).unwrap_or_else(|e| panic!("{level}: decode failed: {e}"));
             // Size is self-consistent.
             assert_eq!(back.encode().len(), bytes.len(), "{level}");
         }
@@ -68,7 +69,7 @@ fn transmitted_r_peaks_are_accurate() {
     let mut total = 0usize;
     for p in &payloads {
         // Round-trip through the on-air encoding, as the server sees it.
-        let Some(Payload::Beats { beats }) = Payload::decode(&p.encode()) else {
+        let Ok(Payload::Beats { beats }) = Payload::decode(&p.encode()) else {
             continue;
         };
         for b in beats {
