@@ -1,0 +1,17 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Wall-clock fixture: determinism rule coverage.
+
+/// Seeded violation: wall-clock timing in library code (line 6).
+pub fn elapsed_ms(start: std::time::Instant) -> u128 {
+    start.elapsed().as_millis()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_exempt() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,45 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Hot-path fixture: seeded panic-freedom violations, reasoned
+//! suppressions, and `#[cfg(test)]` exemptions.
+
+/// Seeded violation: a bare unwrap in non-test code (line 8).
+pub fn bare_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+/// Seeded violation: a panic macro in non-test code (line 13).
+pub fn boom() {
+    panic!("seeded violation")
+}
+
+/// Suppressed with a reason: must stay silent.
+pub fn vetted_expect(v: Option<u32>) -> u32 {
+    // wbsn-allow(no-panic): fixture proves a reasoned suppression holds
+    v.expect("fixture invariant")
+}
+
+/// Same-line pragma form: must stay silent.
+pub fn vetted_inline(v: Option<u32>) -> u32 {
+    v.unwrap() // wbsn-allow(no-panic): own-line suppression form
+}
+
+/// Not violations: `unwrap_or` is a different method, and `.unwrap()`
+/// or `panic!()` inside a string or comment is data, not code.
+pub fn lookalikes(v: Option<u32>) -> (u32, &'static str) {
+    (v.unwrap_or(0), "call .unwrap() and panic!() here")
+}
+
+/// Seeded violation: `HashMap` in non-test code (line 36).
+pub struct Registry {
+    /// Insert-order-leaking map.
+    pub map: std::collections::HashMap<u64, u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! Pragma edge cases: broken suppressions are findings themselves,
+//! and a broken pragma never suppresses the violation under it.
+
+/// Bad pragma (no reason) at line 6; the unwrap at 7 still fires.
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    // wbsn-allow(no-panic)
+    v.unwrap()
+}
+
+/// Bad pragma (unknown rule) at line 12; the unwrap at 13 still fires.
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // wbsn-allow(no-such-rule): reason present but the rule id is unknown
+    v.unwrap()
+}
+
+/// Bad pragma (malformed) at line 18; the unwrap at 19 still fires.
+pub fn malformed(v: Option<u32>) -> u32 {
+    // wbsn-allow no-panic: missing parentheses around the rule id
+    v.unwrap()
+}
+
+/// Unused pragma at line 24: suppresses nothing, so it is a finding.
+pub fn clean() -> u32 {
+    // wbsn-allow(no-panic): nothing fires on the next line
+    7
+}
+
+/// Stacked pragmas (lines 31-32) cover the first code line after the
+/// run; line 33 carries one violation of each rule and stays silent.
+pub fn stacked(v: Option<u32>) -> u32 {
+    // wbsn-allow(no-unordered-map): stacked suppressions share one target line
+    // wbsn-allow(no-panic): both pragmas cover the line below
+    let m = std::collections::HashMap::from([(1u64, v.unwrap())]);
+    m.len() as u32
+}

@@ -1,0 +1,11 @@
+//! Lexer stress: nothing in this file is a violation — every
+//! forbidden token hides inside a literal the scrubber must blank.
+
+/// Raw strings, byte strings, char literals and lifetimes.
+pub fn tricky<'a>(s: &'a str) -> String {
+    let raw = r#"x.unwrap(); panic!("boom"); unsafe {}"#;
+    let byte = b"HashMap::new()";
+    let ch = 'u';
+    /* block comments too: y.expect("nope"); SystemTime::now() */
+    format!("{s}{raw}{} {ch}", byte.len())
+}

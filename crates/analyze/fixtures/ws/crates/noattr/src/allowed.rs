@@ -1,0 +1,7 @@
+//! Allow-listed file: `unsafe` here must not fire — this path is on
+//! the rule's scoped exception list.
+
+/// Stays silent despite the `unsafe` block.
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,7 @@
+//! Fixture crate missing both required crate-root attributes.
+
+/// Seeded violation: `unsafe` in a crate that should forbid it
+/// (line 6).
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,5 @@
+// Seeded violation: a plain comment is not a `//!` scenario header.
+
+fn main() {
+    println!("bad example");
+}

@@ -1,0 +1,5 @@
+//! Scenario header present: this example is clean.
+
+fn main() {
+    println!("good example");
+}

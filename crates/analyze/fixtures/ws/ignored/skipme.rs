@@ -1,0 +1,9 @@
+//! Excluded by the fixture workspace's `exclude` globs: none of
+//! these seeded violations may appear in the findings.
+
+pub fn everything_forbidden(v: Option<u32>) -> u32 {
+    let m: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    let _ = std::time::Instant::now();
+    let _ = unsafe { m.len() };
+    v.unwrap()
+}

@@ -1,0 +1,423 @@
+//! `analyze.toml` parsing: a hand-rolled subset-of-TOML reader.
+//!
+//! The build environment is offline, so the configuration format is a
+//! deliberately small TOML subset — exactly what `analyze.toml` needs
+//! and nothing more:
+//!
+//! * `[section]` and `[section.subsection]` headers,
+//! * `key = "string"`, `key = true|false`, `key = <integer>`,
+//! * `key = ["a", "b", ...]` string arrays, which may span lines,
+//! * `#` comments (outside string literals).
+//!
+//! Unknown rule kinds and structurally invalid tables are hard errors
+//! — a typo in the gate's own configuration must fail the gate, not
+//! silently disable a rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// One parsed configuration value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal.
+    Int(i64),
+    /// An array of quoted strings.
+    List(Vec<String>),
+}
+
+/// A parse/validation failure, with the offending line when known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in the config file; 0 when not line-specific.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "analyze.toml: {}", self.message)
+        } else {
+            write!(f, "analyze.toml:{}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ConfigError> {
+    Err(ConfigError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// The raw section → key → value table.
+#[derive(Debug, Default)]
+pub struct RawConfig {
+    /// `"rules.no-panic"` → (`"paths"` → value, ...), in section order.
+    pub sections: BTreeMap<String, BTreeMap<String, Value>>,
+}
+
+/// Strips a `#` comment, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses one quoted string starting at `s` (after trimming); returns
+/// the string and the rest of the input.
+fn parse_string(s: &str, line: usize) -> Result<(String, &str), ConfigError> {
+    let s = s.trim_start();
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return err(line, format!("expected a quoted string at `{s}`")),
+    }
+    let mut out = String::new();
+    let mut escaped = false;
+    for (i, c) in chars {
+        if escaped {
+            match c {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                other => return err(line, format!("unsupported escape `\\{other}`")),
+            }
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => return Ok((out, &s[i + 1..])),
+            other => out.push(other),
+        }
+    }
+    err(line, "unterminated string")
+}
+
+fn parse_value(text: &str, line: usize) -> Result<Value, ConfigError> {
+    let text = text.trim();
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('"') {
+        let (s, rest) = parse_string(text, line)?;
+        if !rest.trim().is_empty() {
+            return err(line, format!("trailing input after string: `{rest}`"));
+        }
+        return Ok(Value::Str(s));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let Some(body) = body.trim_end().strip_suffix(']') else {
+            return err(line, "unterminated array");
+        };
+        let mut items = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let (item, after) = parse_string(rest, line)?;
+            items.push(item);
+            rest = after.trim_start();
+            if let Some(after_comma) = rest.strip_prefix(',') {
+                rest = after_comma.trim_start();
+            } else if !rest.is_empty() {
+                return err(
+                    line,
+                    format!("expected `,` between array items at `{rest}`"),
+                );
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    match text.parse::<i64>() {
+        Ok(n) => Ok(Value::Int(n)),
+        Err(_) => err(line, format!("unsupported value `{text}`")),
+    }
+}
+
+impl RawConfig {
+    /// Parses the TOML subset.
+    pub fn parse(text: &str) -> Result<RawConfig, ConfigError> {
+        let mut cfg = RawConfig::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let Some(name) = header.strip_suffix(']') else {
+                    return err(lineno, "unterminated section header");
+                };
+                section = name.trim().to_string();
+                if section.is_empty() {
+                    return err(lineno, "empty section header");
+                }
+                cfg.sections.entry(section.clone()).or_default();
+                continue;
+            }
+            let Some((key, value_text)) = line.split_once('=') else {
+                return err(lineno, format!("expected `key = value`, got `{line}`"));
+            };
+            let key = key.trim().to_string();
+            if key.is_empty() {
+                return err(lineno, "empty key");
+            }
+            // Multi-line arrays: join lines until brackets balance.
+            let mut value_text = value_text.trim().to_string();
+            while value_text.starts_with('[') && !value_text.trim_end().ends_with(']') {
+                let Some((_, next_raw)) = lines.next() else {
+                    return err(lineno, "unterminated multi-line array");
+                };
+                value_text.push(' ');
+                value_text.push_str(strip_comment(next_raw).trim());
+            }
+            let value = parse_value(&value_text, lineno)?;
+            if section.is_empty() {
+                return err(lineno, "key outside any [section]");
+            }
+            let table = cfg.sections.entry(section.clone()).or_default();
+            if table.insert(key.clone(), value).is_some() {
+                return err(lineno, format!("duplicate key `{key}` in [{section}]"));
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// What a rule checks; dispatched by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Scans scrubbed source tokens against `methods`/`macros`/
+    /// `idents` deny lists.
+    Tokens,
+    /// Requires a crate-root inner attribute (`attr`) in every
+    /// workspace crate's `lib.rs`.
+    LibAttr,
+    /// Requires `[lints] workspace = true` in every workspace crate
+    /// manifest.
+    ManifestLints,
+    /// Requires a leading `//!` scenario header in matching files.
+    ExampleHeader,
+}
+
+/// One configured rule.
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    /// Rule id — the `rule-id` of findings and `wbsn-allow` pragmas.
+    pub id: String,
+    /// Dispatch kind.
+    pub kind: RuleKind,
+    /// Glob scopes (workspace-relative, `/`-separated). Token and
+    /// header rules only fire on files matching one of these.
+    pub paths: Vec<String>,
+    /// Exact workspace-relative files exempt from this rule (the
+    /// scoped exception list — e.g. the counting-allocator harness
+    /// for `no-unsafe`).
+    pub allow_files: Vec<String>,
+    /// Method names flagged when called as `.name(...)` / `::name(`.
+    pub methods: Vec<String>,
+    /// Macro names flagged when invoked as `name!`.
+    pub macros: Vec<String>,
+    /// Bare identifiers flagged wherever they appear in code.
+    pub idents: Vec<String>,
+    /// Required inner attribute for [`RuleKind::LibAttr`], without
+    /// the `#![...]` shell (e.g. `forbid(unsafe_code)`).
+    pub attr: String,
+    /// Whether `#[cfg(test)]` regions are exempt.
+    pub skip_test_code: bool,
+    /// Rationale appended to every finding of this rule.
+    pub message: String,
+}
+
+/// The validated analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct AnalyzeConfig {
+    /// Glob patterns excluded from every scan (relative to root).
+    pub exclude: Vec<String>,
+    /// Configured rules, in id order.
+    pub rules: Vec<RuleConfig>,
+}
+
+fn take_list(table: &BTreeMap<String, Value>, key: &str) -> Result<Vec<String>, ConfigError> {
+    match table.get(key) {
+        None => Ok(Vec::new()),
+        Some(Value::List(items)) => Ok(items.clone()),
+        Some(_) => err(0, format!("`{key}` must be an array of strings")),
+    }
+}
+
+fn take_str(table: &BTreeMap<String, Value>, key: &str) -> Result<String, ConfigError> {
+    match table.get(key) {
+        None => Ok(String::new()),
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(_) => err(0, format!("`{key}` must be a string")),
+    }
+}
+
+fn take_bool(
+    table: &BTreeMap<String, Value>,
+    key: &str,
+    default: bool,
+) -> Result<bool, ConfigError> {
+    match table.get(key) {
+        None => Ok(default),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(_) => err(0, format!("`{key}` must be true or false")),
+    }
+}
+
+impl AnalyzeConfig {
+    /// Reads and validates a configuration file.
+    pub fn load(path: &Path) -> Result<AnalyzeConfig, ConfigError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ConfigError {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Self::parse_str(&text)
+    }
+
+    /// Validates parsed raw sections into rules.
+    pub fn parse_str(text: &str) -> Result<AnalyzeConfig, ConfigError> {
+        let raw = RawConfig::parse(text)?;
+        let mut exclude = Vec::new();
+        let mut rules = Vec::new();
+        for (section, table) in &raw.sections {
+            if section == "workspace" {
+                exclude = take_list(table, "exclude")?;
+                continue;
+            }
+            let Some(id) = section.strip_prefix("rules.") else {
+                return err(0, format!("unknown section [{section}]"));
+            };
+            if id.is_empty() || !id.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+                return err(0, format!("invalid rule id `{id}`"));
+            }
+            let kind = match take_str(table, "kind")?.as_str() {
+                "tokens" => RuleKind::Tokens,
+                "lib-attr" => RuleKind::LibAttr,
+                "manifest-lints" => RuleKind::ManifestLints,
+                "example-header" => RuleKind::ExampleHeader,
+                other => return err(0, format!("rule `{id}`: unknown kind `{other}`")),
+            };
+            let rule = RuleConfig {
+                id: id.to_string(),
+                kind,
+                paths: take_list(table, "paths")?,
+                allow_files: take_list(table, "allow-files")?,
+                methods: take_list(table, "methods")?,
+                macros: take_list(table, "macros")?,
+                idents: take_list(table, "idents")?,
+                attr: take_str(table, "attr")?,
+                skip_test_code: take_bool(table, "skip-test-code", false)?,
+                message: take_str(table, "message")?,
+            };
+            match rule.kind {
+                RuleKind::Tokens => {
+                    if rule.paths.is_empty() {
+                        return err(0, format!("rule `{id}`: token rules need `paths`"));
+                    }
+                    if rule.methods.is_empty() && rule.macros.is_empty() && rule.idents.is_empty() {
+                        return err(
+                            0,
+                            format!("rule `{id}`: needs `methods`, `macros` or `idents`"),
+                        );
+                    }
+                }
+                RuleKind::LibAttr => {
+                    if rule.attr.is_empty() {
+                        return err(0, format!("rule `{id}`: lib-attr rules need `attr`"));
+                    }
+                }
+                RuleKind::ExampleHeader => {
+                    if rule.paths.is_empty() {
+                        return err(0, format!("rule `{id}`: header rules need `paths`"));
+                    }
+                }
+                RuleKind::ManifestLints => {}
+            }
+            rules.push(rule);
+        }
+        if rules.is_empty() {
+            return err(0, "no [rules.*] sections configured");
+        }
+        Ok(AnalyzeConfig { exclude, rules })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_multiline_arrays() {
+        let raw = RawConfig::parse(
+            "# top comment\n[workspace]\nexclude = [\"a/**\", # inline\n  \"b\"]\n\n[rules.x]\nkind = \"tokens\"\npaths = [\"src/**\"]\nidents = [\"Foo\"]\nskip-test-code = true\nn = 7\n",
+        )
+        .expect("parse");
+        assert_eq!(
+            raw.sections["workspace"]["exclude"],
+            Value::List(vec!["a/**".into(), "b".into()])
+        );
+        assert_eq!(raw.sections["rules.x"]["skip-test-code"], Value::Bool(true));
+        assert_eq!(raw.sections["rules.x"]["n"], Value::Int(7));
+    }
+
+    #[test]
+    fn string_escapes_and_comment_guards() {
+        let raw = RawConfig::parse("[s]\nk = \"a # not comment \\\" quote\"\n").expect("parse");
+        assert_eq!(
+            raw.sections["s"]["k"],
+            Value::Str("a # not comment \" quote".into())
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_kind_and_duplicate_keys() {
+        assert!(AnalyzeConfig::parse_str("[rules.x]\nkind = \"wat\"\n").is_err());
+        assert!(RawConfig::parse("[s]\nk = 1\nk = 2\n").is_err());
+        assert!(RawConfig::parse("orphan = 1\n").is_err());
+    }
+
+    #[test]
+    fn validates_rule_shape() {
+        // Token rule without token lists is rejected.
+        assert!(
+            AnalyzeConfig::parse_str("[rules.x]\nkind = \"tokens\"\npaths = [\"src/**\"]\n")
+                .is_err()
+        );
+        // lib-attr without attr is rejected.
+        assert!(AnalyzeConfig::parse_str("[rules.x]\nkind = \"lib-attr\"\n").is_err());
+        let ok = AnalyzeConfig::parse_str(
+            "[rules.x]\nkind = \"lib-attr\"\nattr = \"warn(missing_docs)\"\n",
+        )
+        .expect("valid");
+        assert_eq!(ok.rules.len(), 1);
+        assert_eq!(ok.rules[0].kind, RuleKind::LibAttr);
+    }
+}

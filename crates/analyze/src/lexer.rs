@@ -1,0 +1,676 @@
+//! Source scrubbing and token scanning.
+//!
+//! The pass never parses Rust properly — it only needs to know, per
+//! line, which identifiers appear *in code*. [`scrub`] walks a source
+//! file once and blanks out everything that is not code: line and
+//! (nested) block comments, string literals (`"…"`, raw `r#"…"#`,
+//! byte `b"…"` / `br#"…"#`), and character / byte-character literals
+//! — while preserving the line structure exactly, so every later
+//! match reports a true source line. Comments are captured on the
+//! side (the pragma grammar lives in them), and lifetimes are
+//! distinguished from character literals by lookahead.
+//!
+//! [`test_regions`] then walks the scrubbed code and brace-matches
+//! every item annotated `#[cfg(test)]` (or `#[test]`), yielding the
+//! line ranges rules treat as test code.
+
+/// One captured comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based source line the comment starts on.
+    pub line: usize,
+    /// Text after the `//` marker (doc markers excluded), untrimmed.
+    pub text: String,
+    /// Whether this is a doc comment (`///` or `//!`).
+    pub doc: bool,
+}
+
+/// A scrubbed source file.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// The source with comments and literal contents blanked; line
+    /// structure identical to the input.
+    pub code: String,
+    /// Every line comment, in order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Blanks comments and literal contents out of `src`.
+pub fn scrub(src: &str) -> Scrubbed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let mut prev_ident = false;
+
+    // Pushes a char to the scrubbed output verbatim.
+    macro_rules! keep {
+        ($c:expr) => {{
+            let c = $c;
+            if c == '\n' {
+                line += 1;
+            }
+            out.push(c);
+        }};
+    }
+    // Pushes a blank in place of a scrubbed char (newlines survive).
+    macro_rules! blank {
+        ($c:expr) => {{
+            let c = $c;
+            if c == '\n' {
+                line += 1;
+                out.push('\n');
+            } else {
+                out.push(' ');
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line comments (capturing) and nested block comments.
+        if c == '/' && next == Some('/') {
+            let start_line = line;
+            let mut j = i + 2;
+            let doc = matches!(chars.get(j), Some('!'))
+                || (matches!(chars.get(j), Some('/')) && !matches!(chars.get(j + 1), Some('/')));
+            if doc {
+                j += 1;
+            }
+            let mut text = String::new();
+            while j < chars.len() && chars[j] != '\n' {
+                text.push(chars[j]);
+                j += 1;
+            }
+            comments.push(Comment {
+                line: start_line,
+                text,
+                doc,
+            });
+            for &ch in &chars[i..j] {
+                blank!(ch);
+            }
+            i = j;
+            prev_ident = false;
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            for &ch in &chars[i..j.min(chars.len())] {
+                blank!(ch);
+            }
+            i = j;
+            prev_ident = false;
+            continue;
+        }
+
+        // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+        if !prev_ident && (c == 'r' || c == 'b') {
+            // Determine the candidate prefix run: [rb]#*" or b'.
+            let mut j = i;
+            let mut raw = false;
+            if c == 'b' {
+                j += 1;
+                if chars.get(j) == Some(&'r') {
+                    raw = true;
+                    j += 1;
+                }
+            } else {
+                raw = true;
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            if raw {
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+            }
+            if raw && hashes == 0 && chars.get(j) != Some(&'"') {
+                // `r` was just an identifier start (e.g. `r * 2`).
+            } else if chars.get(j) == Some(&'"') {
+                // String body: keep delimiters, blank contents.
+                for &ch in &chars[i..=j] {
+                    keep!(ch);
+                }
+                let mut k = j + 1;
+                loop {
+                    match chars.get(k) {
+                        None => break,
+                        Some('"') if raw => {
+                            // Need `hashes` following '#'s to close.
+                            let mut h = 0usize;
+                            while chars.get(k + 1 + h) == Some(&'#') {
+                                h += 1;
+                            }
+                            if h >= hashes {
+                                for &ch in &chars[k..=k + hashes] {
+                                    keep!(ch);
+                                }
+                                k += hashes + 1;
+                                break;
+                            }
+                            blank!('"');
+                            k += 1;
+                        }
+                        Some('"') => {
+                            keep!('"');
+                            k += 1;
+                            break;
+                        }
+                        Some('\\') if !raw => {
+                            blank!('\\');
+                            if let Some(&e) = chars.get(k + 1) {
+                                blank!(e);
+                            }
+                            k += 2;
+                        }
+                        Some(&other) => {
+                            blank!(other);
+                            k += 1;
+                        }
+                    }
+                }
+                i = k;
+                prev_ident = false;
+                continue;
+            } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                // Byte char literal b'…'.
+                keep!('b');
+                keep!('\'');
+                let mut k = i + 2;
+                loop {
+                    match chars.get(k) {
+                        None => break,
+                        Some('\\') => {
+                            blank!('\\');
+                            if let Some(&e) = chars.get(k + 1) {
+                                blank!(e);
+                            }
+                            k += 2;
+                        }
+                        Some('\'') => {
+                            keep!('\'');
+                            k += 1;
+                            break;
+                        }
+                        Some(&other) => {
+                            blank!(other);
+                            k += 1;
+                        }
+                    }
+                }
+                i = k;
+                prev_ident = false;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        if c == '"' {
+            keep!('"');
+            let mut k = i + 1;
+            loop {
+                match chars.get(k) {
+                    None => break,
+                    Some('\\') => {
+                        blank!('\\');
+                        if let Some(&e) = chars.get(k + 1) {
+                            blank!(e);
+                        }
+                        k += 2;
+                    }
+                    Some('"') => {
+                        keep!('"');
+                        k += 1;
+                        break;
+                    }
+                    Some(&other) => {
+                        blank!(other);
+                        k += 1;
+                    }
+                }
+            }
+            i = k;
+            prev_ident = false;
+            continue;
+        }
+
+        if c == '\'' {
+            // Char literal vs lifetime: a backslash next means a char
+            // literal; otherwise `'x'` (closing quote two ahead) is a
+            // char literal and anything else is a lifetime.
+            let is_char = matches!(
+                (chars.get(i + 1), chars.get(i + 2)),
+                (Some('\\'), _) | (Some(_), Some('\''))
+            );
+            if is_char {
+                keep!('\'');
+                let mut k = i + 1;
+                loop {
+                    match chars.get(k) {
+                        None => break,
+                        Some('\\') => {
+                            blank!('\\');
+                            if let Some(&e) = chars.get(k + 1) {
+                                blank!(e);
+                            }
+                            k += 2;
+                        }
+                        Some('\'') => {
+                            keep!('\'');
+                            k += 1;
+                            break;
+                        }
+                        Some(&other) => {
+                            blank!(other);
+                            k += 1;
+                        }
+                    }
+                }
+                i = k;
+                prev_ident = false;
+                continue;
+            }
+            keep!('\'');
+            i += 1;
+            prev_ident = false;
+            continue;
+        }
+
+        prev_ident = is_ident_char(c);
+        keep!(c);
+        i += 1;
+    }
+
+    Scrubbed {
+        code: out,
+        comments,
+    }
+}
+
+/// One identifier token in scrubbed code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdentTok {
+    /// The identifier text.
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Byte offset of the identifier start in the scrubbed code.
+    pub start: usize,
+    /// Byte offset one past the identifier end.
+    pub end: usize,
+}
+
+/// Scans every identifier (and keyword — keywords are identifiers to
+/// this pass) in scrubbed code.
+pub fn scan_idents(code: &str) -> Vec<IdentTok> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(IdentTok {
+                text: code[start..i].to_string(),
+                line,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        if b.is_ascii_digit() {
+            // Skip number bodies (incl. suffixes like 1u32) so the
+            // suffix is not scanned as an identifier.
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// First non-whitespace byte before `pos`, with its predecessor (for
+/// two-byte operators like `::`).
+pub fn prev_nonspace(code: &str, pos: usize) -> (Option<u8>, Option<u8>) {
+    let bytes = code.as_bytes();
+    let mut i = pos;
+    while i > 0 {
+        i -= 1;
+        if !bytes[i].is_ascii_whitespace() {
+            let before = if i > 0 { Some(bytes[i - 1]) } else { None };
+            return (Some(bytes[i]), before);
+        }
+    }
+    (None, None)
+}
+
+/// First non-whitespace byte at or after `pos`.
+pub fn next_nonspace(code: &str, pos: usize) -> Option<u8> {
+    code.as_bytes()[pos.min(code.len())..]
+        .iter()
+        .copied()
+        .find(|b| !b.is_ascii_whitespace())
+}
+
+/// Inclusive 1-based line ranges of `#[cfg(test)]` / `#[test]` items.
+///
+/// After a test attribute, any further attributes are skipped, then
+/// the item body is brace-matched (`{ … }`); an item ending in `;`
+/// before any `{` spans through that semicolon's line. Regions are
+/// reported outermost-only.
+pub fn test_regions(code: &str) -> Vec<(usize, usize)> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut regions = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c != '#' {
+            i += 1;
+            continue;
+        }
+        // Outer attribute? (`#!` inner attributes never open items.)
+        let (attr, j, nl) = read_attr(&chars, i, line);
+        if attr.is_empty() || !is_test_attr(&attr) {
+            i = j;
+            line = nl;
+            continue;
+        }
+        let start_line = line;
+        // Skip whitespace and any further attributes.
+        let (mut k, mut kline) = (j, nl);
+        loop {
+            while k < chars.len() && chars[k].is_whitespace() {
+                if chars[k] == '\n' {
+                    kline += 1;
+                }
+                k += 1;
+            }
+            if k < chars.len() && chars[k] == '#' {
+                let (a, nk, nkl) = read_attr(&chars, k, kline);
+                if a.is_empty() {
+                    break;
+                }
+                k = nk;
+                kline = nkl;
+                continue;
+            }
+            break;
+        }
+        // Scan to the item body: first `{` opens a brace-matched
+        // region; a `;` first means a braceless item.
+        let mut depth = 0usize;
+        let mut end_line = kline;
+        while k < chars.len() {
+            let ch = chars[k];
+            if ch == '\n' {
+                kline += 1;
+            } else if ch == '{' {
+                depth += 1;
+            } else if ch == '}' {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    end_line = kline;
+                    k += 1;
+                    break;
+                }
+            } else if ch == ';' && depth == 0 {
+                end_line = kline;
+                k += 1;
+                break;
+            }
+            k += 1;
+        }
+        if k >= chars.len() {
+            end_line = kline;
+        }
+        regions.push((start_line, end_line));
+        i = k;
+        line = kline;
+    }
+    regions
+}
+
+/// Reads an outer attribute starting at `#`; returns (normalized
+/// content without whitespace, next index, next line). Empty content
+/// means "not an outer attribute here".
+fn read_attr(chars: &[char], at: usize, line: usize) -> (String, usize, usize) {
+    let mut i = at + 1;
+    let mut l = line;
+    if chars.get(i) == Some(&'!') {
+        // Inner attribute: consume it wholesale, report no content.
+        i += 1;
+    }
+    let inner = chars.get(at + 1) == Some(&'!');
+    while i < chars.len() && chars[i].is_whitespace() {
+        if chars[i] == '\n' {
+            l += 1;
+        }
+        i += 1;
+    }
+    if chars.get(i) != Some(&'[') {
+        return (String::new(), at + 1, line);
+    }
+    let mut depth = 0usize;
+    let mut content = String::new();
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            l += 1;
+        }
+        if c == '[' {
+            depth += 1;
+            if depth == 1 {
+                i += 1;
+                continue;
+            }
+        } else if c == ']' {
+            depth -= 1;
+            if depth == 0 {
+                i += 1;
+                break;
+            }
+        }
+        if !c.is_whitespace() {
+            content.push(c);
+        }
+        i += 1;
+    }
+    if inner {
+        (String::new(), i, l)
+    } else {
+        (content, i, l)
+    }
+}
+
+fn is_test_attr(normalized: &str) -> bool {
+    normalized == "test"
+        || normalized == "cfg(test)"
+        || normalized.starts_with("cfg(test,")
+        || normalized.starts_with("cfg(any(test")
+        || normalized.starts_with("cfg(all(test")
+}
+
+/// Whether `line` falls inside any region.
+pub fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Scans scrubbed crate-root code for an inner attribute with the
+/// given normalized content (e.g. `forbid(unsafe_code)`).
+pub fn has_inner_attr(code: &str, attr: &str) -> bool {
+    let want: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] != '#' || chars.get(i + 1) != Some(&'!') {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 2;
+        while j < chars.len() && chars[j].is_whitespace() {
+            j += 1;
+        }
+        if chars.get(j) != Some(&'[') {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut content = String::new();
+        while j < chars.len() {
+            let c = chars[j];
+            if c == '[' {
+                depth += 1;
+                if depth == 1 {
+                    j += 1;
+                    continue;
+                }
+            } else if c == ']' {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if !c.is_whitespace() {
+                content.push(c);
+            }
+            j += 1;
+        }
+        if content == want {
+            return true;
+        }
+        i = j + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let a = \"x.unwrap()\"; // call .unwrap() here\nlet b = 1; /* unwrap\nunwrap */ let c = 2;\n";
+        let s = scrub(src);
+        assert!(!s.code.contains("unwrap"));
+        assert_eq!(s.code.lines().count(), src.lines().count());
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_blanked() {
+        let src = "let a = r#\"panic!(\"ha\")\"#; let b = br\"unsafe\"; let c = b\"HashMap\"; let d = b'x';\n";
+        let s = scrub(src);
+        for w in ["panic", "unsafe", "HashMap", "ha"] {
+            assert!(!s.code.contains(w), "{w} leaked: {}", s.code);
+        }
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(p: &'a str) -> char { let c = 'x'; let q = '\\''; c }\n";
+        let s = scrub(src);
+        assert!(s.code.contains("'a str"));
+        assert!(!s.code.contains('x'), "{}", s.code);
+        let idents: Vec<String> = scan_idents(&s.code).into_iter().map(|t| t.text).collect();
+        assert!(idents.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged_and_pragma_comments_are_not() {
+        let src = "/// doc .unwrap()\n//! inner doc\n// wbsn-allow(no-panic): reason\n//// not a doc comment\n";
+        let s = scrub(src);
+        assert_eq!(
+            s.comments.iter().map(|c| c.doc).collect::<Vec<_>>(),
+            vec![true, true, false, false]
+        );
+        assert!(s.comments[2].text.trim().starts_with("wbsn-allow"));
+    }
+
+    #[test]
+    fn ident_scan_sees_method_and_macro_context() {
+        let code = scrub("x.unwrap(); y.unwrap_or(0); panic!(\"no\"); Option::unwrap;\n").code;
+        let toks = scan_idents(&code);
+        let unwraps: Vec<&IdentTok> = toks.iter().filter(|t| t.text == "unwrap").collect();
+        assert_eq!(unwraps.len(), 2);
+        let (p, _) = prev_nonspace(&code, unwraps[0].start);
+        assert_eq!(p, Some(b'.'));
+        let (p1, p2) = prev_nonspace(&code, unwraps[1].start);
+        assert_eq!((p1, p2), (Some(b':'), Some(b':')));
+        let panics: Vec<&IdentTok> = toks.iter().filter(|t| t.text == "panic").collect();
+        assert_eq!(next_nonspace(&code, panics[0].end), Some(b'!'));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_tracked() {
+        let src = "\
+fn live() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() { x.unwrap(); }\n\
+}\n\
+fn live_again() {}\n\
+#[test]\n\
+fn top_level_test() { y.unwrap(); }\n";
+        let regions = test_regions(&scrub(src).code);
+        assert!(in_regions(&regions, 5), "{regions:?}");
+        assert!(!in_regions(&regions, 1));
+        assert!(!in_regions(&regions, 7));
+        assert!(in_regions(&regions, 9), "{regions:?}");
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_items_and_other_cfgs() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\n#[cfg(feature = \"x\")]\nfn not_test() {}\n";
+        let regions = test_regions(&scrub(src).code);
+        assert!(in_regions(&regions, 2));
+        assert!(!in_regions(&regions, 4));
+    }
+
+    #[test]
+    fn inner_attrs_are_found() {
+        let code = scrub("#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn x() {}\n").code;
+        assert!(has_inner_attr(&code, "forbid(unsafe_code)"));
+        assert!(has_inner_attr(&code, "warn(missing_docs)"));
+        assert!(!has_inner_attr(&code, "deny(warnings)"));
+    }
+}

@@ -1,0 +1,121 @@
+//! `wbsn-analyze` CLI.
+//!
+//! ```text
+//! wbsn-analyze check [--json] [--root <dir>] [--config <file>]
+//! wbsn-analyze rules [--root <dir>] [--config <file>]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage / config /
+//! I/O error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wbsn_analyze::config::AnalyzeConfig;
+use wbsn_analyze::{report, run_check};
+
+const USAGE: &str = "\
+usage: wbsn-analyze <check|rules> [--json] [--root <dir>] [--config <file>]
+
+  check    scan the workspace and report unsuppressed findings
+  rules    list the configured rules
+  --json   emit findings as a JSON array instead of text
+  --root   workspace root (default: nearest ancestor with analyze.toml)
+  --config rule configuration (default: <root>/analyze.toml)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("wbsn-analyze: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn discover_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        if dir.join("analyze.toml").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(
+                "no analyze.toml in this directory or any ancestor; pass --root".to_string(),
+            );
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut command: Option<&str> = None;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" | "rules" if command.is_none() => command = Some(arg.as_str()),
+            "--json" => json = true,
+            "--root" => {
+                let value = it.next().ok_or("--root needs a directory argument")?;
+                root = Some(PathBuf::from(value));
+            }
+            "--config" => {
+                let value = it.next().ok_or("--config needs a file argument")?;
+                config = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    let Some(command) = command else {
+        return Err(format!("missing subcommand\n{USAGE}"));
+    };
+
+    let root = match root {
+        Some(r) => r,
+        None => discover_root()?,
+    };
+    let config_path = config.unwrap_or_else(|| root.join("analyze.toml"));
+    let cfg = AnalyzeConfig::load(&config_path).map_err(|e| e.to_string())?;
+
+    if command == "rules" {
+        for rule in &cfg.rules {
+            println!(
+                "{:<18} {:?}  scopes: {}",
+                rule.id,
+                rule.kind,
+                rule.paths.join(", ")
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let findings =
+        run_check(&root, &cfg).map_err(|e| format!("scan of {} failed: {e}", root.display()))?;
+    if json {
+        print!("{}", report::to_json(&findings));
+    } else {
+        for finding in &findings {
+            println!("{finding}");
+        }
+        if findings.is_empty() {
+            eprintln!("wbsn-analyze: workspace clean ({} rules)", cfg.rules.len());
+        } else {
+            eprintln!("wbsn-analyze: {} finding(s)", findings.len());
+        }
+    }
+    Ok(if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}

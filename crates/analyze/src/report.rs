@@ -1,0 +1,90 @@
+//! Findings and their text / JSON renderings.
+
+use std::fmt;
+
+/// One rule violation (or pragma problem) at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative file path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id (`no-panic`, `bad-pragma`, ...).
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders findings as a JSON array (stable field order, sorted
+/// input expected).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"file\": \"");
+        json_escape(&f.file, &mut out);
+        out.push_str("\", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"rule\": \"");
+        json_escape(&f.rule, &mut out);
+        out.push_str("\", \"message\": \"");
+        json_escape(&f.message, &mut out);
+        out.push_str("\"}");
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_text_and_json() {
+        let f = Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            rule: "no-panic".into(),
+            message: "`.unwrap()` found \"here\"".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/x/src/lib.rs:3: no-panic: `.unwrap()` found \"here\""
+        );
+        let json = to_json(std::slice::from_ref(&f));
+        assert!(json.contains("\\\"here\\\""));
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+        assert_eq!(to_json(&[]), "[]\n");
+    }
+}

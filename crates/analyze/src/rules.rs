@@ -1,0 +1,430 @@
+//! The rule engine: loads the workspace tree, applies every
+//! configured rule, honours `wbsn-allow` pragmas, and reports what is
+//! left.
+//!
+//! Two findings are built in and never suppressible:
+//!
+//! * `bad-pragma` — a `wbsn-allow` comment that is malformed, names a
+//!   rule the configuration does not define, or omits the mandatory
+//!   reason.
+//! * `unused-pragma` — a well-formed pragma that suppressed nothing;
+//!   stale suppressions must be deleted, not accumulated.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use crate::config::{AnalyzeConfig, RuleConfig, RuleKind};
+use crate::lexer::{self, Scrubbed};
+use crate::report::Finding;
+use crate::walk::{self, matches_any};
+
+/// Rule id of findings about broken pragmas.
+pub const BAD_PRAGMA: &str = "bad-pragma";
+/// Rule id of findings about pragmas that suppress nothing.
+pub const UNUSED_PRAGMA: &str = "unused-pragma";
+
+/// One parsed, well-formed suppression.
+#[derive(Debug)]
+struct Pragma {
+    /// Line the pragma comment sits on.
+    line: usize,
+    /// The next non-pragma line (pragmas stack: a run of consecutive
+    /// pragma lines all cover the first line after the run).
+    target: usize,
+    /// Rule id being suppressed.
+    rule: String,
+    /// Whether any finding was actually suppressed by it.
+    used: bool,
+}
+
+/// Everything the engine needs about one `.rs` file.
+struct SourceFile {
+    raw: String,
+    scrubbed: Scrubbed,
+    regions: Vec<(usize, usize)>,
+    idents: Vec<lexer::IdentTok>,
+}
+
+fn bad(file: &str, line: usize, message: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule: BAD_PRAGMA.to_string(),
+        message,
+    }
+}
+
+/// Extracts `wbsn-allow` pragmas from a file's line comments.
+/// Well-formed pragmas come back as [`Pragma`]s; broken ones as
+/// `bad-pragma` findings. Doc comments are documentation, never
+/// pragmas.
+fn parse_pragmas(
+    path: &str,
+    scrubbed: &Scrubbed,
+    known_rules: &[String],
+) -> (Vec<Pragma>, Vec<Finding>) {
+    let mut pragmas = Vec::new();
+    let mut findings = Vec::new();
+    let mut pragma_lines = Vec::new();
+    for c in &scrubbed.comments {
+        if c.doc {
+            continue;
+        }
+        let text = c.text.trim_start();
+        let Some(rest) = text.strip_prefix("wbsn-allow") else {
+            continue;
+        };
+        pragma_lines.push(c.line);
+        let Some(rest) = rest.strip_prefix('(') else {
+            findings.push(bad(
+                path,
+                c.line,
+                "malformed pragma; expected `wbsn-allow(rule-id): reason`".into(),
+            ));
+            continue;
+        };
+        let Some((id, rest)) = rest.split_once(')') else {
+            findings.push(bad(
+                path,
+                c.line,
+                "malformed pragma; expected `wbsn-allow(rule-id): reason`".into(),
+            ));
+            continue;
+        };
+        let id = id.trim();
+        if !known_rules.iter().any(|r| r == id) {
+            findings.push(bad(
+                path,
+                c.line,
+                format!("pragma names unknown rule `{id}`"),
+            ));
+            continue;
+        }
+        let reason = match rest.trim_start().strip_prefix(':') {
+            Some(r) => r.trim(),
+            None => "",
+        };
+        if reason.is_empty() {
+            findings.push(bad(
+                path,
+                c.line,
+                format!("pragma has no reason; expected `wbsn-allow({id}): reason`"),
+            ));
+            continue;
+        }
+        pragmas.push(Pragma {
+            line: c.line,
+            target: 0,
+            rule: id.to_string(),
+            used: false,
+        });
+    }
+    for p in &mut pragmas {
+        let mut t = p.line + 1;
+        while pragma_lines.contains(&t) {
+            t += 1;
+        }
+        p.target = t;
+    }
+    (pragmas, findings)
+}
+
+/// Applies one token rule to one in-scope file.
+fn token_findings(path: &str, file: &SourceFile, rule: &RuleConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for tok in &file.idents {
+        if rule.skip_test_code && lexer::in_regions(&file.regions, tok.line) {
+            continue;
+        }
+        let what = if rule.methods.iter().any(|m| m == &tok.text) {
+            let (prev, before) = lexer::prev_nonspace(&file.scrubbed.code, tok.start);
+            let method_call = prev == Some(b'.') || (prev == Some(b':') && before == Some(b':'));
+            if !method_call {
+                continue;
+            }
+            format!("`.{}()` call", tok.text)
+        } else if rule.macros.iter().any(|m| m == &tok.text) {
+            if lexer::next_nonspace(&file.scrubbed.code, tok.end) != Some(b'!') {
+                continue;
+            }
+            format!("`{}!` invocation", tok.text)
+        } else if rule.idents.iter().any(|m| m == &tok.text) {
+            format!("`{}` use", tok.text)
+        } else {
+            continue;
+        };
+        let message = if rule.message.is_empty() {
+            what
+        } else {
+            format!("{what} — {}", rule.message)
+        };
+        out.push(Finding {
+            file: path.to_string(),
+            line: tok.line,
+            rule: rule.id.clone(),
+            message,
+        });
+    }
+    out
+}
+
+/// Whether a manifest's first non-empty line of each `[lints]` table
+/// opts into the workspace lint set.
+fn manifest_has_workspace_lints(text: &str) -> bool {
+    let mut in_lints = false;
+    for raw in text.lines() {
+        let line = match raw.split('#').next() {
+            Some(l) => l.trim(),
+            None => "",
+        };
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+            continue;
+        }
+        if in_lints {
+            if let Some(rest) = line.strip_prefix("workspace") {
+                if rest.trim_start().strip_prefix('=').map(str::trim) == Some("true") {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn manifest_package_line(text: &str) -> Option<usize> {
+    text.lines()
+        .position(|l| l.trim() == "[package]")
+        .map(|i| i + 1)
+}
+
+/// Runs every configured rule over the workspace at `root` and
+/// returns the surviving findings, sorted by (file, line, rule).
+pub fn run_check(root: &Path, cfg: &AnalyzeConfig) -> io::Result<Vec<Finding>> {
+    let tree = walk::collect(root, &cfg.exclude)?;
+    let known_rules: Vec<String> = cfg.rules.iter().map(|r| r.id.clone()).collect();
+
+    let mut files: BTreeMap<String, SourceFile> = BTreeMap::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut pragmas: BTreeMap<String, Vec<Pragma>> = BTreeMap::new();
+    for path in &tree.rs {
+        let raw = std::fs::read_to_string(root.join(path))?;
+        let scrubbed = lexer::scrub(&raw);
+        let regions = lexer::test_regions(&scrubbed.code);
+        let idents = lexer::scan_idents(&scrubbed.code);
+        let (file_pragmas, mut broken) = parse_pragmas(path, &scrubbed, &known_rules);
+        findings.append(&mut broken);
+        pragmas.insert(path.clone(), file_pragmas);
+        files.insert(
+            path.clone(),
+            SourceFile {
+                raw,
+                scrubbed,
+                regions,
+                idents,
+            },
+        );
+    }
+
+    let mut package_manifests: Vec<(String, String)> = Vec::new();
+    for path in &tree.manifests {
+        let text = std::fs::read_to_string(root.join(path))?;
+        if manifest_package_line(&text).is_some() {
+            package_manifests.push((path.clone(), text));
+        }
+    }
+
+    // Suppressible candidates, checked against pragmas below.
+    let mut candidates: Vec<Finding> = Vec::new();
+    for rule in &cfg.rules {
+        match rule.kind {
+            RuleKind::Tokens => {
+                for (path, file) in &files {
+                    if !matches_any(&rule.paths, path) || matches_any(&rule.allow_files, path) {
+                        continue;
+                    }
+                    candidates.extend(token_findings(path, file, rule));
+                }
+            }
+            RuleKind::ExampleHeader => {
+                for (path, file) in &files {
+                    if !matches_any(&rule.paths, path) || matches_any(&rule.allow_files, path) {
+                        continue;
+                    }
+                    let headed = file
+                        .raw
+                        .lines()
+                        .find(|l| !l.trim().is_empty())
+                        .is_some_and(|l| l.trim_start().starts_with("//!"));
+                    if !headed {
+                        let message = if rule.message.is_empty() {
+                            "missing leading `//!` scenario header".to_string()
+                        } else {
+                            format!("missing leading `//!` scenario header — {}", rule.message)
+                        };
+                        candidates.push(Finding {
+                            file: path.clone(),
+                            line: 1,
+                            rule: rule.id.clone(),
+                            message,
+                        });
+                    }
+                }
+            }
+            RuleKind::LibAttr => {
+                for (mpath, _) in &package_manifests {
+                    let dir = mpath.trim_end_matches("Cargo.toml").trim_end_matches('/');
+                    let librel = if dir.is_empty() {
+                        "src/lib.rs".to_string()
+                    } else {
+                        format!("{dir}/src/lib.rs")
+                    };
+                    if matches_any(&rule.allow_files, &librel) {
+                        continue;
+                    }
+                    let Some(file) = files.get(&librel) else {
+                        continue; // bin-only package: no crate root to check
+                    };
+                    if !lexer::has_inner_attr(&file.scrubbed.code, &rule.attr) {
+                        let message = if rule.message.is_empty() {
+                            format!("missing crate-root attribute `#![{}]`", rule.attr)
+                        } else {
+                            format!(
+                                "missing crate-root attribute `#![{}]` — {}",
+                                rule.attr, rule.message
+                            )
+                        };
+                        candidates.push(Finding {
+                            file: librel,
+                            line: 1,
+                            rule: rule.id.clone(),
+                            message,
+                        });
+                    }
+                }
+            }
+            RuleKind::ManifestLints => {
+                for (mpath, text) in &package_manifests {
+                    if matches_any(&rule.allow_files, mpath) {
+                        continue;
+                    }
+                    if !manifest_has_workspace_lints(text) {
+                        let message = if rule.message.is_empty() {
+                            "package does not opt into `[workspace.lints]` \
+                             (`[lints] workspace = true`)"
+                                .to_string()
+                        } else {
+                            format!(
+                                "package does not opt into `[workspace.lints]` — {}",
+                                rule.message
+                            )
+                        };
+                        candidates.push(Finding {
+                            file: mpath.clone(),
+                            line: manifest_package_line(text).unwrap_or(1),
+                            rule: rule.id.clone(),
+                            message,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    for cand in candidates {
+        let suppressed = pragmas.get_mut(&cand.file).is_some_and(|ps| {
+            let mut hit = false;
+            for p in ps.iter_mut() {
+                if p.rule == cand.rule && (cand.line == p.line || cand.line == p.target) {
+                    p.used = true;
+                    hit = true;
+                }
+            }
+            hit
+        });
+        if !suppressed {
+            findings.push(cand);
+        }
+    }
+
+    for (path, ps) in &pragmas {
+        for p in ps {
+            if !p.used {
+                findings.push(Finding {
+                    file: path.clone(),
+                    line: p.line,
+                    rule: UNUSED_PRAGMA.to_string(),
+                    message: format!("pragma for `{}` suppresses nothing; delete it", p.rule),
+                });
+            }
+        }
+    }
+
+    findings.sort();
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn known() -> Vec<String> {
+        vec!["no-panic".to_string(), "no-unsafe".to_string()]
+    }
+
+    #[test]
+    fn pragma_grammar_is_enforced() {
+        let src = "\
+// wbsn-allow(no-panic): invariant: lead count checked at construction\n\
+let x = y.unwrap();\n\
+// wbsn-allow(no-panic)\n\
+// wbsn-allow(nope): some reason\n\
+// wbsn-allow no-panic: missing parens\n\
+/// wbsn-allow(no-panic): doc comments are documentation\n";
+        let scrubbed = lexer::scrub(src);
+        let (pragmas, broken) = parse_pragmas("f.rs", &scrubbed, &known());
+        assert_eq!(pragmas.len(), 1);
+        assert_eq!(pragmas[0].rule, "no-panic");
+        assert_eq!(pragmas[0].target, 2);
+        let msgs: Vec<&str> = broken.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(broken.len(), 3, "{msgs:?}");
+        assert!(msgs[0].contains("no reason"), "{msgs:?}");
+        assert!(msgs[1].contains("unknown rule `nope`"), "{msgs:?}");
+        assert!(msgs[2].contains("malformed"), "{msgs:?}");
+    }
+
+    #[test]
+    fn stacked_pragmas_cover_the_first_code_line_after_the_run() {
+        let src = "\
+fn f() {\n\
+    // wbsn-allow(no-panic): a\n\
+    // wbsn-allow(no-unsafe): b\n\
+    dangerous();\n\
+}\n";
+        let scrubbed = lexer::scrub(src);
+        let (pragmas, broken) = parse_pragmas("f.rs", &scrubbed, &known());
+        assert!(broken.is_empty());
+        assert_eq!(pragmas.len(), 2);
+        assert_eq!(pragmas[0].target, 4);
+        assert_eq!(pragmas[1].target, 4);
+    }
+
+    #[test]
+    fn manifest_lints_detection() {
+        assert!(manifest_has_workspace_lints(
+            "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n"
+        ));
+        assert!(!manifest_has_workspace_lints(
+            "[package]\nname = \"x\"\n\n[lints]\nworkspace = false\n"
+        ));
+        assert!(!manifest_has_workspace_lints(
+            "[package]\nname = \"x\"\n\n[lints.rust]\nunsafe_code = \"deny\"\n"
+        ));
+        assert!(!manifest_has_workspace_lints("[package]\nname = \"x\"\n"));
+        assert_eq!(
+            manifest_package_line("# top\n[package]\nname = \"x\"\n"),
+            Some(2)
+        );
+    }
+}

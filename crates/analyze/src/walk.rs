@@ -1,0 +1,148 @@
+//! Deterministic workspace traversal and glob matching.
+//!
+//! `read_dir` order is OS-dependent; the walker sorts every directory
+//! level so the same tree always yields the same file list — the
+//! analyzer's own output must be as deterministic as the code it
+//! gates. Dot-directories (`.git`, `.github`) are always skipped;
+//! everything else is governed by the configured exclude globs.
+
+use std::io;
+use std::path::Path;
+
+/// Files the engine works on, as workspace-relative `/` paths.
+#[derive(Debug, Default)]
+pub struct WorkspaceFiles {
+    /// Every `.rs` source file, sorted.
+    pub rs: Vec<String>,
+    /// Every `Cargo.toml`, sorted.
+    pub manifests: Vec<String>,
+}
+
+/// Matches one path segment against a pattern segment supporting `*`
+/// and `?`.
+fn seg_match(pat: &str, seg: &str) -> bool {
+    let p: Vec<char> = pat.chars().collect();
+    let s: Vec<char> = seg.chars().collect();
+    seg_match_at(&p, 0, &s, 0)
+}
+
+fn seg_match_at(p: &[char], pi: usize, s: &[char], si: usize) -> bool {
+    if pi == p.len() {
+        return si == s.len();
+    }
+    match p[pi] {
+        '*' => (si..=s.len()).any(|k| seg_match_at(p, pi + 1, s, k)),
+        '?' => si < s.len() && seg_match_at(p, pi + 1, s, si + 1),
+        c => si < s.len() && s[si] == c && seg_match_at(p, pi + 1, s, si + 1),
+    }
+}
+
+fn glob_match_segs(pat: &[&str], path: &[&str]) -> bool {
+    match pat.first() {
+        None => path.is_empty(),
+        Some(&"**") => (0..=path.len()).any(|k| glob_match_segs(&pat[1..], &path[k..])),
+        Some(p) => {
+            !path.is_empty() && seg_match(p, path[0]) && glob_match_segs(&pat[1..], &path[1..])
+        }
+    }
+}
+
+/// Matches a `/`-separated relative path against a glob pattern.
+/// `**` spans zero or more whole segments; `*` and `?` match within
+/// one segment.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let pat: Vec<&str> = pattern.split('/').collect();
+    let segs: Vec<&str> = path.split('/').collect();
+    glob_match_segs(&pat, &segs)
+}
+
+/// True when `path` matches any pattern.
+pub fn matches_any(patterns: &[String], path: &str) -> bool {
+    patterns.iter().any(|p| glob_match(p, path))
+}
+
+fn walk_dir(
+    root: &Path,
+    rel: &str,
+    exclude: &[String],
+    out: &mut WorkspaceFiles,
+) -> io::Result<()> {
+    let dir = if rel.is_empty() {
+        root.to_path_buf()
+    } else {
+        root.join(rel)
+    };
+    let mut entries: Vec<(String, bool)> = Vec::new();
+    for entry in std::fs::read_dir(&dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_dir = entry.file_type()?.is_dir();
+        entries.push((name, is_dir));
+    }
+    entries.sort();
+    for (name, is_dir) in entries {
+        if name.starts_with('.') {
+            continue;
+        }
+        let rel_path = if rel.is_empty() {
+            name.clone()
+        } else {
+            format!("{rel}/{name}")
+        };
+        if matches_any(exclude, &rel_path) {
+            continue;
+        }
+        if is_dir {
+            walk_dir(root, &rel_path, exclude, out)?;
+        } else if name.ends_with(".rs") {
+            out.rs.push(rel_path);
+        } else if name == "Cargo.toml" {
+            out.manifests.push(rel_path);
+        }
+    }
+    Ok(())
+}
+
+/// Collects every `.rs` file and `Cargo.toml` under `root`, honouring
+/// excludes, in sorted order.
+pub fn collect(root: &Path, exclude: &[String]) -> io::Result<WorkspaceFiles> {
+    let mut out = WorkspaceFiles::default();
+    walk_dir(root, "", exclude, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match(
+            "crates/core/src/fleet/**",
+            "crates/core/src/fleet/router.rs"
+        ));
+        assert!(glob_match(
+            "crates/core/src/fleet/**",
+            "crates/core/src/fleet"
+        ));
+        assert!(glob_match("crates/*/src/**", "crates/cs/src/solver.rs"));
+        assert!(glob_match("src/**", "src/lib.rs"));
+        assert!(glob_match("**", "anything/at/all.rs"));
+        assert!(glob_match(
+            "crates/core/src/monitor.rs",
+            "crates/core/src/monitor.rs"
+        ));
+        assert!(!glob_match(
+            "crates/core/src/monitor.rs",
+            "crates/core/src/link.rs"
+        ));
+        assert!(!glob_match("src/**", "crates/core/src/lib.rs"));
+        assert!(glob_match("examples/*.rs", "examples/end_to_end.rs"));
+        assert!(!glob_match("examples/*.rs", "examples/sub/x.rs"));
+        assert!(glob_match("vendor/**", "vendor"));
+        assert!(glob_match(
+            "tests/alloc_*.rs",
+            "tests/alloc_steady_state.rs"
+        ));
+    }
+}

@@ -1,0 +1,123 @@
+//! Integration tests: the fixture corpus pins every rule's firing and
+//! suppression behaviour, and `workspace_is_clean` makes `cargo test`
+//! itself enforce the static-analysis gate on the real tree.
+
+use std::path::{Path, PathBuf};
+
+use wbsn_analyze::{report, run_check, AnalyzeConfig, Finding};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws")
+}
+
+fn check(root: &Path) -> Vec<Finding> {
+    let cfg = AnalyzeConfig::load(&root.join("analyze.toml")).expect("config parses");
+    run_check(root, &cfg).expect("scan succeeds")
+}
+
+/// The full fixture scan yields exactly the seeded violations — no
+/// false positives from strings/comments/test code, no misses.
+#[test]
+fn fixture_findings_are_exactly_the_seeded_ones() {
+    let findings = check(&fixture_root());
+    let got: Vec<(&str, usize, &str)> = findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.rule.as_str()))
+        .collect();
+    let expected: Vec<(&str, usize, &str)> = vec![
+        ("crates/clock/src/lib.rs", 6, "no-wallclock"),
+        ("crates/hot/src/lib.rs", 8, "no-panic"),
+        ("crates/hot/src/lib.rs", 13, "no-panic"),
+        ("crates/hot/src/lib.rs", 36, "no-unordered-map"),
+        ("crates/hot/src/pragmas.rs", 6, "bad-pragma"),
+        ("crates/hot/src/pragmas.rs", 7, "no-panic"),
+        ("crates/hot/src/pragmas.rs", 12, "bad-pragma"),
+        ("crates/hot/src/pragmas.rs", 13, "no-panic"),
+        ("crates/hot/src/pragmas.rs", 18, "bad-pragma"),
+        ("crates/hot/src/pragmas.rs", 19, "no-panic"),
+        ("crates/hot/src/pragmas.rs", 24, "unused-pragma"),
+        ("crates/noattr/Cargo.toml", 2, "lints-workspace"),
+        ("crates/noattr/src/lib.rs", 1, "forbid-unsafe"),
+        ("crates/noattr/src/lib.rs", 1, "missing-docs"),
+        ("crates/noattr/src/lib.rs", 6, "no-unsafe"),
+        ("examples/bad.rs", 1, "example-header"),
+    ];
+    assert_eq!(got, expected);
+}
+
+/// What must NOT fire, spelled out: reasoned suppressions hold (own
+/// line and line-above forms, stacked runs), `#[cfg(test)]` code is
+/// exempt where the rule says so, literals and comments are data,
+/// allow-listed files and excluded directories are out of scope, and
+/// clean crates/manifests/examples stay silent.
+#[test]
+fn suppressions_exemptions_and_lookalikes_stay_silent() {
+    let findings = check(&fixture_root());
+    // Suppressed / exempt / lookalike sites in hot/src/lib.rs.
+    for line in [19, 24, 30, 43] {
+        assert!(
+            !findings
+                .iter()
+                .any(|f| f.file == "crates/hot/src/lib.rs" && f.line == line),
+            "line {line} of hot/src/lib.rs should be silent"
+        );
+    }
+    // The stacked-pragma target line in pragmas.rs.
+    assert!(!findings
+        .iter()
+        .any(|f| f.file == "crates/hot/src/pragmas.rs" && f.line == 33));
+    // Whole files that must not appear at all.
+    for silent in [
+        "crates/hot/src/tricky.rs",
+        "crates/noattr/src/allowed.rs",
+        "crates/clock/Cargo.toml",
+        "crates/hot/Cargo.toml",
+        "examples/good.rs",
+        "ignored/skipme.rs",
+    ] {
+        assert!(
+            !findings.iter().any(|f| f.file == silent),
+            "{silent} should produce no findings"
+        );
+    }
+    // The test modules of clock (wall clock) and hot (unwrap).
+    assert!(!findings
+        .iter()
+        .any(|f| f.file == "crates/clock/src/lib.rs" && f.line > 9));
+}
+
+/// The machine-readable output carries the same findings with the
+/// stable field order the CI annotations rely on.
+#[test]
+fn json_rendering_round_trips_the_fields() {
+    let findings = check(&fixture_root());
+    let json = report::to_json(&findings);
+    assert!(json.starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    assert_eq!(json.matches("{\"file\": ").count(), findings.len());
+    assert!(
+        json.contains("{\"file\": \"examples/bad.rs\", \"line\": 1, \"rule\": \"example-header\"")
+    );
+}
+
+/// The real workspace holds the gate: zero unsuppressed findings.
+/// This is the same scan CI runs via `wbsn-analyze check`, so a
+/// violation fails `cargo test` locally before it ever reaches CI.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let findings = check(&root);
+    assert!(
+        findings.is_empty(),
+        "unsuppressed findings in the workspace:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

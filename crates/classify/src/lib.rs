@@ -21,6 +21,7 @@
 
 // Every public item carries documentation; rustdoc runs with
 // `-D warnings` in CI, so a gap fails the build.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod af;

@@ -9,7 +9,7 @@
 //! membership queries (`len`, unknown-id validation, global id order)
 //! without asking the shards.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use super::SessionId;
 
@@ -18,8 +18,10 @@ use super::SessionId;
 #[derive(Debug)]
 pub struct ShardRouter {
     n_shards: usize,
-    // raw id -> shard index, for every live session.
-    placements: HashMap<u64, usize>,
+    // raw id -> shard index, for every live session. Ordered so that
+    // `ids_in_order` (which feeds report and flush order) is the plain
+    // key sequence rather than a post-hoc sort of hashed buckets.
+    placements: BTreeMap<u64, usize>,
     loads: Vec<usize>,
 }
 
@@ -29,7 +31,7 @@ impl ShardRouter {
         let n_shards = n_shards.max(1);
         ShardRouter {
             n_shards,
-            placements: HashMap::new(),
+            placements: BTreeMap::new(),
             loads: vec![0; n_shards],
         }
     }
@@ -83,9 +85,11 @@ impl ShardRouter {
     /// Every live id, ascending (= global insertion order, since ids
     /// are monotonic).
     pub fn ids_in_order(&self) -> Vec<SessionId> {
-        let mut ids: Vec<u64> = self.placements.keys().copied().collect();
-        ids.sort_unstable();
-        ids.into_iter().map(SessionId::from_raw).collect()
+        self.placements
+            .keys()
+            .copied()
+            .map(SessionId::from_raw)
+            .collect()
     }
 }
 

@@ -142,7 +142,9 @@ pub struct ShardedFleet {
     // any samples are shipped — and `switch_level` can keep the lead
     // count, without a worker round trip. Only the control thread
     // issues mode switches, so the cached active count stays accurate.
-    session_leads: std::collections::HashMap<u64, SessionLeads>,
+    // Ordered for the same reason as the router's placements: nothing
+    // hash-ordered sits anywhere near report/flush order.
+    session_leads: std::collections::BTreeMap<u64, SessionLeads>,
     // Cleared frame buffers returned by workers, reused by the next
     // ingest so steady-state serving allocates nothing per entry.
     frame_pool: Vec<Vec<i32>>,
@@ -190,7 +192,7 @@ impl ShardedFleet {
             router: ShardRouter::new(n_workers),
             workers,
             next_id: 0,
-            session_leads: std::collections::HashMap::new(),
+            session_leads: std::collections::BTreeMap::new(),
             frame_pool: Vec::new(),
         })
     }
@@ -385,7 +387,11 @@ impl ShardedFleet {
                 .router
                 .route(id)
                 .ok_or(WbsnError::UnknownSession { id: id.raw() })?;
-            let n_leads = self.session_leads[&id.raw()].n_leads;
+            let n_leads = self
+                .session_leads
+                .get(&id.raw())
+                .ok_or(WbsnError::UnknownSession { id: id.raw() })?
+                .n_leads;
             if frames.len() % n_leads != 0 {
                 return Err(WbsnError::InvalidParameter {
                     what: "frames",
@@ -459,10 +465,13 @@ impl ShardedFleet {
         if let Some((_, err)) = first_error {
             return Err(err);
         }
-        Ok(merged
+        // A hole means the entry's shard never reported that batch
+        // index — surface it as a lost worker, not a panic.
+        merged
             .into_iter()
-            .map(|slot| slot.expect("entry"))
-            .collect())
+            .zip(&routes)
+            .map(|(slot, &shard)| slot.ok_or(WbsnError::WorkerLost { shard }))
+            .collect()
     }
 
     /// Switches one session's operating mode live — the per-session

@@ -861,13 +861,18 @@ impl GovernedMonitor {
                 self.drained_j += burst_j;
             }
             out.extend(boundary);
-            self.switches.push(SwitchEvent {
-                at_s: counters.seconds,
-                from,
-                to: decision.mode,
-                tier: decision.tier,
-                reason: decision.reason.expect("changed decisions carry a reason"),
-            });
+            // Changed decisions always carry a reason; an (impossible)
+            // reasonless change records no switch event rather than
+            // aborting mid-epoch.
+            if let Some(reason) = decision.reason {
+                self.switches.push(SwitchEvent {
+                    at_s: counters.seconds,
+                    from,
+                    to: decision.mode,
+                    tier: decision.tier,
+                    reason,
+                });
+            }
         }
         self.epoch_start = self.monitor.counters();
         self.frames_into_epoch = 0;

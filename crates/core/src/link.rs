@@ -261,13 +261,26 @@ impl LinkPacket {
         }
         Ok(LinkPacket {
             kind: bytes[0],
-            session: u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes")),
-            msg_seq: u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes")),
+            session: u64::from_le_bytes(le_array(bytes, 1)),
+            msg_seq: u32::from_le_bytes(le_array(bytes, 9)),
             frag_index,
             frag_count,
             body: bytes[LINK_HEADER_BYTES..needed - 4].to_vec(),
         })
     }
+}
+
+/// Copies `N` little-endian bytes starting at `at` into a fixed
+/// array, zero-filling when the slice is too short. Decoders check
+/// lengths upfront, so the zero-fill branch is unreachable in
+/// practice — but wire decoding stays panic-free by construction
+/// rather than by `expect`ed slice-length invariants.
+fn le_array<const N: usize>(bytes: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    if let Some(src) = bytes.get(at..at + N) {
+        out.copy_from_slice(src);
+    }
+    out
 }
 
 /// Packets needed to carry a `payload_len`-byte message at `mtu`
@@ -360,13 +373,13 @@ impl SessionHandshake {
             });
         }
         Ok(SessionHandshake {
-            session: u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes")),
-            fs_hz: u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")),
+            session: u64::from_le_bytes(le_array(bytes, 0)),
+            fs_hz: u32::from_le_bytes(le_array(bytes, 8)),
             n_leads: bytes[12],
-            cs_window: u32::from_le_bytes(bytes[13..17].try_into().expect("4 bytes")),
-            cs_measurements: u32::from_le_bytes(bytes[17..21].try_into().expect("4 bytes")),
+            cs_window: u32::from_le_bytes(le_array(bytes, 13)),
+            cs_measurements: u32::from_le_bytes(le_array(bytes, 17)),
             cs_d_per_col: bytes[21],
-            seed: u64::from_le_bytes(bytes[22..30].try_into().expect("8 bytes")),
+            seed: u64::from_le_bytes(le_array(bytes, 22)),
         })
     }
 }

@@ -190,13 +190,15 @@ impl LossyChannel {
         for held in self.held.iter_mut().take(aging) {
             held.1 = held.1.saturating_sub(1);
         }
-        while let Some(&(_, remaining)) = self.held.front() {
-            if remaining > 0 {
-                break;
+        while self
+            .held
+            .front()
+            .is_some_and(|&(_, remaining)| remaining == 0)
+        {
+            if let Some((p, _)) = self.held.pop_front() {
+                self.stats.delivered += 1;
+                out.push(p);
             }
-            let (p, _) = self.held.pop_front().expect("checked front");
-            self.stats.delivered += 1;
-            out.push(p);
         }
     }
 }

@@ -407,11 +407,9 @@ impl Gateway {
         let mut events = Vec::new();
         for id in ids {
             let mut items = Vec::new();
-            self.sessions
-                .get_mut(&id)
-                .expect("listed id")
-                .decoder
-                .flush(&mut items);
+            if let Some(state) = self.sessions.get_mut(&id) {
+                state.decoder.flush(&mut items);
+            }
             events.extend(self.handle_items(id, items));
         }
         events
@@ -448,9 +446,10 @@ impl Gateway {
                     });
                 }
                 SessionItem::Handshake(hs) => {
-                    let state = self.sessions.get_mut(&session).expect("routed session");
-                    state.install_handshake(hs);
-                    events.push(GatewayEvent::SessionOpened { session });
+                    if let Some(state) = self.sessions.get_mut(&session) {
+                        state.install_handshake(hs);
+                        events.push(GatewayEvent::SessionOpened { session });
+                    }
                 }
                 SessionItem::Payload { msg_seq, payload } => {
                     self.stats.payloads += 1;
@@ -476,7 +475,12 @@ impl Gateway {
         payload: Payload,
         events: &mut Vec<GatewayEvent>,
     ) -> Result<()> {
-        let state = self.sessions.get_mut(&session).expect("routed session");
+        let Some(state) = self.sessions.get_mut(&session) else {
+            // `ingest` routes through `session_state` before any item
+            // reaches here, but a typed error keeps the wire surface
+            // panic-free even if that routing ever changes.
+            return Err(LinkError::NoHandshake { session }.into());
+        };
         match payload {
             Payload::Events {
                 n_beats,
@@ -522,23 +526,26 @@ impl Gateway {
                 if state.encoders.len() <= lead as usize {
                     state.encoders.resize(lead as usize + 1, None);
                 }
-                let slot = &mut state.encoders[lead as usize];
-                if slot.is_none() {
+                let enc = match state.encoders[lead as usize].take() {
+                    Some(enc) => enc,
                     // Regenerate the node's sensing matrix: CsStage
                     // seeds lead l with seed + l.
-                    *slot = Some(CsEncoder::new(
+                    None => CsEncoder::new(
                         hs.cs_window as usize,
                         hs.cs_measurements as usize,
                         hs.cs_d_per_col as usize,
                         hs.seed.wrapping_add(lead as u64),
-                    )?);
-                }
-                let enc = slot.as_ref().expect("just filled");
+                    )?,
+                };
                 state.y_scratch.clear();
                 state
                     .y_scratch
                     .extend(measurements.iter().map(|&v| v as i64));
-                let xr = self.solver.reconstruct(enc, &state.y_scratch)?;
+                let result = self.solver.reconstruct(&enc, &state.y_scratch);
+                // Put the encoder back before propagating any solver
+                // error so the sensing matrix is not rebuilt per window.
+                state.encoders[lead as usize] = Some(enc);
+                let xr = result?;
                 let n = hs.cs_window as usize;
                 let prd = state.references.get(&lead).and_then(|reference| {
                     let start = window_seq as usize * n;

@@ -78,9 +78,11 @@ impl Partial {
     }
 
     fn into_bytes(self) -> Vec<u8> {
+        // Only called once `complete()` holds; a missing fragment
+        // would contribute nothing rather than abort the gateway.
         let mut out = Vec::new();
-        for f in self.frags {
-            out.extend(f.expect("complete message has every fragment"));
+        for f in self.frags.into_iter().flatten() {
+            out.extend(f);
         }
         out
     }
@@ -220,30 +222,33 @@ impl Reassembler {
     /// End of stream: releases every remaining completed message in
     /// order, declaring the incomplete ones before them lost.
     pub fn flush(&mut self, out: &mut Vec<LinkEvent>) {
-        if let Some((&last, _)) = self.pending.iter().next_back() {
-            // Resolve everything below the highest buffered sequence,
-            // then the highest itself — `advance_to`'s exclusive target
-            // cannot express `last + 1` when a (hostile) wire packet
-            // carried msg_seq == u32::MAX, and the gateway must never
-            // panic on wire input.
-            self.advance_to(last, out);
-            let p = self.pending.remove(&last).expect("next_back key");
+        let Some((&last, _)) = self.pending.iter().next_back() else {
+            return;
+        };
+        // Resolve everything below the highest buffered sequence,
+        // then the highest itself — `advance_to`'s exclusive target
+        // cannot express `last + 1` when a (hostile) wire packet
+        // carried msg_seq == u32::MAX, and the gateway must never
+        // panic on wire input. After `advance_to(last)` the map holds
+        // nothing below `last`, so `pop_last` yields exactly `last`.
+        self.advance_to(last, out);
+        if let Some((seq, p)) = self.pending.pop_last() {
             if p.complete() {
                 self.stats.messages += 1;
                 out.push(LinkEvent::Message {
-                    msg_seq: last,
+                    msg_seq: seq,
                     kind: p.kind,
                     bytes: p.into_bytes(),
                 });
             } else {
                 self.stats.lost += 1;
                 out.push(LinkEvent::Lost {
-                    first_seq: last,
+                    first_seq: seq,
                     count: 1,
                 });
             }
-            self.next_seq = last.saturating_add(1);
         }
+        self.next_seq = last.saturating_add(1);
     }
 
     /// Resolves every sequence number in `[next_seq, target)` in
@@ -270,20 +275,21 @@ impl Reassembler {
                         });
                         self.next_seq = s;
                     }
-                    let p = self.pending.remove(&s).expect("ranged key");
-                    if p.complete() {
-                        self.stats.messages += 1;
-                        out.push(LinkEvent::Message {
-                            msg_seq: s,
-                            kind: p.kind,
-                            bytes: p.into_bytes(),
-                        });
-                    } else {
-                        self.stats.lost += 1;
-                        out.push(LinkEvent::Lost {
-                            first_seq: s,
-                            count: 1,
-                        });
+                    if let Some(p) = self.pending.remove(&s) {
+                        if p.complete() {
+                            self.stats.messages += 1;
+                            out.push(LinkEvent::Message {
+                                msg_seq: s,
+                                kind: p.kind,
+                                bytes: p.into_bytes(),
+                            });
+                        } else {
+                            self.stats.lost += 1;
+                            out.push(LinkEvent::Lost {
+                                first_seq: s,
+                                count: 1,
+                            });
+                        }
                     }
                     self.next_seq = self.next_seq.saturating_add(1);
                 }
@@ -303,12 +309,13 @@ impl Reassembler {
     /// Releases the run of consecutive completed messages starting at
     /// `next_seq`.
     fn release_ready(&mut self, out: &mut Vec<LinkEvent>) {
-        while self
-            .pending
-            .get(&self.next_seq)
-            .is_some_and(Partial::complete)
-        {
-            let p = self.pending.remove(&self.next_seq).expect("checked");
+        // Every pending key is >= next_seq, so the first entry is the
+        // release candidate; stop at the first gap or incomplete head.
+        while let Some(entry) = self.pending.first_entry() {
+            if *entry.key() != self.next_seq || !entry.get().complete() {
+                break;
+            }
+            let p = entry.remove();
             self.stats.messages += 1;
             out.push(LinkEvent::Message {
                 msg_seq: self.next_seq,

@@ -88,9 +88,13 @@ impl RmsCombiner {
                 got: 0,
             });
         }
+        let inv_leads = ExactDiv::new(n_leads).ok_or(SigprocError::InvalidLength {
+            what: "n_leads",
+            got: 0,
+        })?;
         Ok(RmsCombiner {
             n_leads,
-            inv_leads: ExactDiv::new(n_leads).expect("n_leads >= 1"),
+            inv_leads,
             fast_max: (1u64 << 62) / n_leads as u64,
         })
     }

@@ -86,7 +86,11 @@ fn sliding_extreme<const MAX: bool>(x: &[i32], w: usize) -> Vec<i32> {
                 break;
             }
         }
-        out.push(at(*dq.front().expect("window is never empty")));
+        // The window just admitted index `center + half`, so the deque
+        // is never empty here; a defensive skip beats an abort.
+        if let Some(&front) = dq.front() {
+            out.push(at(front));
+        }
     }
     out
 }
@@ -100,21 +104,12 @@ pub fn sliding_extreme_naive(x: &[i32], w: usize, max: bool) -> Vec<i32> {
     let half = (w / 2) as isize;
     (0..n)
         .map(|c| {
-            let mut best = None::<i32>;
-            for j in c - half..=c + half {
-                let v = x[j.clamp(0, n - 1) as usize];
-                best = Some(match best {
-                    None => v,
-                    Some(b) => {
-                        if max {
-                            b.max(v)
-                        } else {
-                            b.min(v)
-                        }
-                    }
-                });
-            }
-            best.unwrap()
+            // `w >= 1`, so the window range is never empty and the
+            // reduction always yields a value; 0 is a dead fallback.
+            (c - half..=c + half)
+                .map(|j| x[j.clamp(0, n - 1) as usize])
+                .reduce(|b, v| if max { b.max(v) } else { b.min(v) })
+                .unwrap_or(0)
         })
         .collect()
 }

@@ -109,10 +109,7 @@ impl CubicSpline {
     pub fn eval(&self, x: f64) -> f64 {
         let n = self.t.len();
         // Locate segment by binary search.
-        let i = match self
-            .t
-            .binary_search_by(|probe| probe.partial_cmp(&x).expect("no NaN knots"))
-        {
+        let i = match self.t.binary_search_by(|probe| probe.total_cmp(&x)) {
             Ok(i) => i.min(n - 2),
             Err(0) => 0,
             Err(i) if i >= n => n - 2,

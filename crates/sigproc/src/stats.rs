@@ -68,7 +68,7 @@ pub fn median(x: &[f64]) -> f64 {
         return 0.0;
     }
     let mut v = x.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -86,7 +86,7 @@ pub fn percentile(x: &[f64], p: f64) -> f64 {
     assert!(!x.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
     let mut v = x.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    v.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

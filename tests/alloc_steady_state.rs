@@ -13,6 +13,13 @@
 //!
 //! Both scenarios live in ONE `#[test]` so the counter is never
 //! polluted by a concurrently running test.
+//!
+//! This file is the single workspace-wide exception to the
+//! unsafe-freedom policy (`[workspace.lints]` denies `unsafe_code`;
+//! `analyze.toml` allow-lists exactly this path): a `GlobalAlloc`
+//! wrapper cannot be written without `unsafe`.
+
+#![allow(unsafe_code)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,148 @@
+//! Regression test for the gateway's end-of-stream flush ordering.
+//!
+//! `Gateway::flush_sessions` drains every session's reassembly tail.
+//! The sessions live in a `BTreeMap`, so the drain order is the
+//! ascending session-id order — independent of the order handshakes
+//! arrived in. This test pins that contract two ways:
+//!
+//! * the flush events come out grouped by session, sessions in
+//!   ascending id order, even though the sessions were opened in a
+//!   scrambled order; and
+//! * two identically-seeded runs produce bit-identical event
+//!   sequences, so a switch to an iteration-order-dependent container
+//!   (or any other nondeterminism in the flush path) fails loudly.
+
+use wbsn_core::link::{SessionHandshake, Uplink};
+use wbsn_core::Payload;
+use wbsn_gateway::gateway::{Gateway, GatewayConfig, GatewayEvent};
+
+/// Sessions deliberately opened in non-sorted order.
+const SESSIONS: [u64; 4] = [9, 3, 7, 1];
+
+fn handshake(session: u64) -> SessionHandshake {
+    SessionHandshake {
+        session,
+        fs_hz: 250,
+        n_leads: 1,
+        cs_window: 256,
+        cs_measurements: 128,
+        cs_d_per_col: 4,
+        seed: 0xCAFE,
+    }
+}
+
+fn events_payload(af_active: bool) -> Payload {
+    Payload::Events {
+        n_beats: 12,
+        class_counts: [10, 2, 0, 0],
+        mean_hr_x10: 744,
+        af_burden_pct: if af_active { 40 } else { 0 },
+        af_active,
+    }
+}
+
+/// One full run: open the sessions in scrambled order, leave every
+/// session with a sequence gap (message 2 is dropped, message 3 held
+/// in the reorder buffer), then flush. Returns (ingest events, flush
+/// events).
+fn run() -> (Vec<GatewayEvent>, Vec<GatewayEvent>) {
+    let mut gw = Gateway::new(GatewayConfig::default());
+    let mut uplink = Uplink::new();
+    let mut live = Vec::new();
+
+    for &id in &SESSIONS {
+        let mut packets = Vec::new();
+        uplink.open_session(&handshake(id), &mut packets).unwrap();
+        for raw in packets {
+            live.extend(gw.ingest(&raw).unwrap());
+        }
+    }
+
+    for &id in &SESSIONS {
+        // Message 1 arrives and raises the AF alert.
+        let mut packets = Vec::new();
+        uplink
+            .frame(id, &[events_payload(true)], &mut packets)
+            .unwrap();
+        for raw in packets {
+            live.extend(gw.ingest(&raw).unwrap());
+        }
+        // Message 2 is framed but lost on the link.
+        let mut dropped = Vec::new();
+        uplink
+            .frame(id, &[events_payload(true)], &mut dropped)
+            .unwrap();
+        // Message 3 arrives out of order and is held pending message 2
+        // until the flush releases it.
+        let mut packets = Vec::new();
+        uplink
+            .frame(id, &[events_payload(false)], &mut packets)
+            .unwrap();
+        for raw in packets {
+            live.extend(gw.ingest(&raw).unwrap());
+        }
+    }
+
+    let flushed = gw.flush_sessions();
+    (live, flushed)
+}
+
+fn session_of(ev: &GatewayEvent) -> u64 {
+    match *ev {
+        GatewayEvent::SessionOpened { session }
+        | GatewayEvent::AfAlert { session, .. }
+        | GatewayEvent::AfCleared { session, .. }
+        | GatewayEvent::WindowReconstructed { session, .. }
+        | GatewayEvent::MessageLost { session, .. }
+        | GatewayEvent::PayloadRejected { session, .. } => session,
+    }
+}
+
+#[test]
+fn flush_drains_sessions_in_ascending_id_order() {
+    let (_, flushed) = run();
+
+    // Every session's tail produces the lost-message gap (message 2)
+    // and the held AF-clear (message 3).
+    let mut order = Vec::new();
+    for ev in &flushed {
+        let s = session_of(ev);
+        if order.last() != Some(&s) {
+            order.push(s);
+        }
+    }
+    let mut sorted = SESSIONS.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(
+        order, sorted,
+        "flush events must be grouped by session in ascending id order"
+    );
+
+    for &id in &SESSIONS {
+        assert!(
+            flushed.iter().any(|ev| matches!(
+                *ev,
+                GatewayEvent::MessageLost { session, first_seq: 2, count: 1 } if session == id
+            )),
+            "session {id}: the dropped message 2 must surface as a loss event"
+        );
+        assert!(
+            flushed.iter().any(|ev| matches!(
+                *ev,
+                GatewayEvent::AfCleared { session, msg_seq: 3 } if session == id
+            )),
+            "session {id}: the held message 3 must be released by the flush"
+        );
+    }
+}
+
+#[test]
+fn flush_order_is_identical_across_identical_runs() {
+    let (live_a, flushed_a) = run();
+    let (live_b, flushed_b) = run();
+    assert_eq!(live_a, live_b, "ingest event streams must be bit-identical");
+    assert_eq!(
+        flushed_a, flushed_b,
+        "flush event streams must be bit-identical"
+    );
+}
