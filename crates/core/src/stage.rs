@@ -377,8 +377,11 @@ impl CsStage {
             });
         }
         let m = measurements_for_cr(window, cr_percent);
+        // Lead l senses with the matrix seeded by the shared
+        // derivation rule (`CsEncoder::for_lead`), so the gateway can
+        // regenerate the exact same Φ from the session handshake.
         let encoders = (0..n_leads)
-            .map(|l| CsEncoder::new(window, m, d_per_col, seed.wrapping_add(l as u64)))
+            .map(|l| CsEncoder::for_lead(window, m, d_per_col, seed, l as u8))
             .collect::<core::result::Result<Vec<_>, _>>()?;
         Ok(CsStage {
             window,

@@ -35,6 +35,28 @@ impl CsEncoder {
         Ok(CsEncoder { phi, seed })
     }
 
+    /// Creates the encoder for one lead of a multi-lead session: lead
+    /// `l` senses with the matrix seeded `base_seed + l` (wrapping).
+    ///
+    /// This is *the* seed-derivation rule of the whole system — the
+    /// node's `CsStage` builds its per-lead encoders through it, and
+    /// the gateway regenerates Φ from the session handshake through
+    /// it, so both ends provably agree on the same matrix
+    /// (`tests/phi_handshake_identity.rs` pins the bit-identity).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CsEncoder::new`].
+    pub fn for_lead(
+        n: usize,
+        m: usize,
+        d_per_col: usize,
+        base_seed: u64,
+        lead: u8,
+    ) -> Result<Self> {
+        CsEncoder::new(n, m, d_per_col, base_seed.wrapping_add(u64::from(lead)))
+    }
+
     /// Window length `n`.
     pub fn window_len(&self) -> usize {
         self.phi.cols()
@@ -177,5 +199,16 @@ mod tests {
         let b = CsEncoder::new(128, 64, 4, 77).unwrap();
         let x: Vec<i32> = (0..128).collect();
         assert_eq!(a.encode(&x).unwrap(), b.encode(&x).unwrap());
+    }
+
+    #[test]
+    fn for_lead_derives_the_seed_by_wrapping_add() {
+        let direct = CsEncoder::new(128, 64, 4, 100 + 3).unwrap();
+        let derived = CsEncoder::for_lead(128, 64, 4, 100, 3).unwrap();
+        assert_eq!(derived.seed(), 103);
+        assert_eq!(direct.sensing_matrix(), derived.sensing_matrix());
+        // The derivation wraps instead of overflowing.
+        let wrapped = CsEncoder::for_lead(128, 64, 4, u64::MAX, 2).unwrap();
+        assert_eq!(wrapped.seed(), 1);
     }
 }

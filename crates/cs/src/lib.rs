@@ -53,7 +53,7 @@ pub mod sweep;
 
 pub use encoder::CsEncoder;
 pub use joint::{GroupFista, GroupFistaConfig};
-pub use solver::{Fista, FistaConfig};
+pub use solver::{Fista, FistaConfig, FistaSolve, FistaState};
 
 /// Errors produced by the CS pipeline.
 #[derive(Debug, Clone, PartialEq)]

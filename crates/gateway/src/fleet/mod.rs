@@ -1,0 +1,34 @@
+//! Sharded base-station gateway: parallel reassembly + decode.
+//!
+//! One [`Gateway`](crate::Gateway) serializes every session's FISTA
+//! solves onto one core; a base station terminating hundreds of
+//! uplinks has cores to spare. This module applies the workspace's
+//! shard/router/driver split (see `wbsn-core`'s `fleet` module) to
+//! the gateway:
+//!
+//! * [`router`] — [`GatewayRouter`]: a packet's session id (peeked
+//!   straight out of the fixed link header) names its worker,
+//!   `session % n_workers`, for the whole session lifetime.
+//! * [`sharded`] — [`ShardedGateway`]: N worker threads, each running
+//!   a full per-session `Gateway` over its share of the sessions,
+//!   all sharing one [`MatrixCache`](crate::MatrixCache) so a fleet
+//!   provisioned with identical CS geometry builds each Φ once per
+//!   process instead of once per worker.
+//!
+//! Sessions are fully isolated (separate reassemblers, decoders,
+//! rhythm state, warm solver state) and every per-session computation
+//! is deterministic, so the driver only has to merge worker replies
+//! back into the sequential order: ingest results by original batch
+//! index, flushes and reports in ascending session-id order, counters
+//! by commutative sums. The result is **byte-identical** to a single
+//! `Gateway` fed the same packets, for any worker count — pinned by
+//! `tests/gateway_shard_determinism.rs`, including lossy/corrupting
+//! channel replays (a corrupted session id may route a packet to a
+//! "wrong" worker, where the CRC check rejects it exactly as the
+//! right one would have).
+
+pub mod router;
+pub mod sharded;
+
+pub use router::GatewayRouter;
+pub use sharded::ShardedGateway;

@@ -1,0 +1,110 @@
+//! Session-to-worker routing.
+
+use crate::Result;
+use wbsn_core::WbsnError;
+
+/// Routes sessions to workers: session `s` is served by worker
+/// `s % n_workers`, forever. The mapping is stateless — the gateway
+/// opens sessions on first contact, so there is no registry to keep
+/// in sync — and depends only on the session id, never on arrival
+/// order, so every worker count observes the same per-session packet
+/// sequences.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayRouter {
+    n_workers: usize,
+}
+
+impl GatewayRouter {
+    /// Router over `n_workers` workers (at least 1).
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] for zero workers.
+    pub fn new(n_workers: usize) -> Result<Self> {
+        if n_workers == 0 {
+            return Err(WbsnError::InvalidParameter {
+                what: "n_workers",
+                detail: "must be at least 1".into(),
+            });
+        }
+        Ok(GatewayRouter { n_workers })
+    }
+
+    /// Number of workers routed over.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// The worker serving `session`.
+    pub fn route(&self, session: u64) -> usize {
+        (session % self.n_workers as u64) as usize
+    }
+
+    /// The worker for a raw packet: routes by the session id peeked
+    /// out of the link header ([`GatewayRouter::peek_session`]). A
+    /// packet too short to carry a header goes to worker 0, whose
+    /// `Gateway` rejects it with the same typed truncation error any
+    /// other worker would.
+    pub fn route_packet(&self, raw: &[u8]) -> usize {
+        match Self::peek_session(raw) {
+            Some(session) => self.route(session),
+            None => 0,
+        }
+    }
+
+    /// Reads the session id out of a raw packet's fixed header
+    /// (bytes 1..9, little endian — see `wbsn-core`'s link layer)
+    /// without validating anything else. The CRC still guards the
+    /// packet: a corrupted id merely routes the packet to a worker
+    /// that will CRC-reject it.
+    pub fn peek_session(raw: &[u8]) -> Option<u64> {
+        let bytes = raw.get(1..9)?;
+        let mut id = [0u8; 8];
+        id.copy_from_slice(bytes);
+        Some(u64::from_le_bytes(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsn_core::link::LinkFramer;
+    use wbsn_core::Payload;
+
+    #[test]
+    fn zero_workers_is_rejected() {
+        assert!(GatewayRouter::new(0).is_err());
+        assert_eq!(GatewayRouter::new(3).unwrap().n_workers(), 3);
+    }
+
+    #[test]
+    fn routing_is_modulo_and_stable() {
+        let r = GatewayRouter::new(4).unwrap();
+        assert_eq!(r.route(0), 0);
+        assert_eq!(r.route(7), 3);
+        assert_eq!(r.route(8), 0);
+        assert_eq!(r.route(u64::MAX), (u64::MAX % 4) as usize);
+    }
+
+    #[test]
+    fn peeks_the_framed_session_id() {
+        let mut framer = LinkFramer::new(0xDEAD_BEEF_0042);
+        let mut packets = Vec::new();
+        framer
+            .frame_payload(&Payload::Beats { beats: Vec::new() }, &mut packets)
+            .unwrap();
+        for p in &packets {
+            assert_eq!(GatewayRouter::peek_session(p), Some(0xDEAD_BEEF_0042));
+        }
+        let r = GatewayRouter::new(3).unwrap();
+        assert_eq!(r.route_packet(&packets[0]), r.route(0xDEAD_BEEF_0042));
+    }
+
+    #[test]
+    fn truncated_packets_route_to_worker_zero() {
+        let r = GatewayRouter::new(5).unwrap();
+        assert_eq!(GatewayRouter::peek_session(&[1, 2, 3]), None);
+        assert_eq!(r.route_packet(&[1, 2, 3]), 0);
+        assert_eq!(r.route_packet(&[]), 0);
+    }
+}

@@ -1,0 +1,546 @@
+//! The driver: a multi-worker sharded gateway.
+//!
+//! [`ShardedGateway`] owns N worker threads (plain `std::thread`),
+//! each running a full [`Gateway`] over the sessions the
+//! [`GatewayRouter`] assigns it, all sharing one
+//! [`MatrixCache`]. The control thread copies
+//! batched packets into pooled buffers (recycled by the workers, so
+//! steady-state serving allocates no new packet buffers), dispatches
+//! each to its session's worker, and merges replies back into the
+//! order a single gateway would have produced:
+//!
+//! * per-packet ingest results are re-merged by original batch index,
+//! * flushes and session listings are merged in ascending session-id
+//!   order,
+//! * [`GatewayStats`] are summed field-wise (commutative, so worker
+//!   order cannot show through).
+//!
+//! Sessions are fully isolated and every per-session computation is
+//! deterministic, so a sharded run is **byte-identical** to a
+//! sequential run of the same packets for any worker count — pinned
+//! by `tests/gateway_shard_determinism.rs`.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use wbsn_core::link::SessionHandshake;
+use wbsn_core::WbsnError;
+
+use crate::cache::{MatrixCache, MatrixCacheStats};
+use crate::gateway::{Gateway, GatewayConfig, GatewayEvent, GatewayStats, RhythmState};
+use crate::Result;
+
+use super::router::GatewayRouter;
+
+enum GwCmd {
+    Ingest {
+        // (batch index, pooled packet bytes)
+        entries: Vec<(usize, Vec<u8>)>,
+    },
+    Register {
+        hs: SessionHandshake,
+    },
+    AttachReference {
+        session: u64,
+        lead: u8,
+        samples: Vec<f64>,
+    },
+    FlushAll,
+    Close {
+        session: u64,
+    },
+    Stats,
+    Rhythm {
+        session: u64,
+    },
+    Handshake {
+        session: u64,
+    },
+    Windows {
+        session: u64,
+        lead: u8,
+    },
+    SessionIds,
+    Shutdown,
+}
+
+enum GwReply {
+    Ingested {
+        results: Vec<(usize, Result<Vec<GatewayEvent>>)>,
+        recycled: Vec<Vec<u8>>,
+    },
+    Registered(Result<()>),
+    ReferenceAttached(Result<()>),
+    Flushed(Vec<(u64, Vec<GatewayEvent>)>),
+    Closed(Option<Vec<GatewayEvent>>),
+    Stats(GatewayStats),
+    Rhythm(Option<RhythmState>),
+    Handshake(Option<SessionHandshake>),
+    Windows(Vec<(u32, Vec<f64>)>),
+    SessionIds(Vec<u64>),
+}
+
+fn worker_loop(mut gw: Gateway, cmds: Receiver<GwCmd>, replies: Sender<GwReply>) {
+    while let Ok(cmd) = cmds.recv() {
+        let reply = match cmd {
+            GwCmd::Ingest { entries } => {
+                let mut results = Vec::with_capacity(entries.len());
+                let mut recycled = Vec::with_capacity(entries.len());
+                for (batch_idx, mut raw) in entries {
+                    results.push((batch_idx, gw.ingest(&raw)));
+                    raw.clear();
+                    recycled.push(raw);
+                }
+                GwReply::Ingested { results, recycled }
+            }
+            GwCmd::Register { hs } => GwReply::Registered(gw.register(hs)),
+            GwCmd::AttachReference {
+                session,
+                lead,
+                samples,
+            } => GwReply::ReferenceAttached(gw.attach_reference(session, lead, samples)),
+            GwCmd::FlushAll => GwReply::Flushed(gw.flush_sessions_tagged()),
+            GwCmd::Close { session } => GwReply::Closed(gw.close_session(session)),
+            GwCmd::Stats => GwReply::Stats(gw.stats()),
+            GwCmd::Rhythm { session } => GwReply::Rhythm(gw.rhythm(session).cloned()),
+            GwCmd::Handshake { session } => GwReply::Handshake(gw.handshake(session).copied()),
+            GwCmd::Windows { session, lead } => GwReply::Windows(
+                gw.reconstructed_windows(session, lead)
+                    .map(|(seq, w)| (seq, w.to_vec()))
+                    .collect(),
+            ),
+            GwCmd::SessionIds => GwReply::SessionIds(gw.session_ids().collect()),
+            GwCmd::Shutdown => break,
+        };
+        if replies.send(reply).is_err() {
+            // Control side is gone; nothing left to serve.
+            break;
+        }
+    }
+}
+
+struct Worker {
+    cmds: Sender<GwCmd>,
+    replies: Receiver<GwReply>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A gateway sharded across N worker threads — the multi-threaded
+/// counterpart of [`Gateway`] with byte-identical results (see the
+/// module docs).
+pub struct ShardedGateway {
+    router: GatewayRouter,
+    workers: Vec<Worker>,
+    cache: Arc<MatrixCache>,
+    // Cleared packet buffers returned by workers, reused by the next
+    // ingest so steady-state serving allocates nothing per packet.
+    packet_pool: Vec<Vec<u8>>,
+}
+
+impl core::fmt::Debug for ShardedGateway {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShardedGateway")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ShardedGateway {
+    /// Spawns `n_workers` gateway threads (at least 1), each running
+    /// a [`Gateway`] with this configuration, all sharing one fresh
+    /// sensing-matrix cache.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] for zero workers;
+    /// [`WbsnError::WorkerLost`] when a thread cannot be spawned.
+    pub fn new(cfg: GatewayConfig, n_workers: usize) -> Result<Self> {
+        Self::with_cache(cfg, n_workers, Arc::new(MatrixCache::new()))
+    }
+
+    /// As [`ShardedGateway::new`], sharing an existing matrix cache
+    /// (e.g. with other gateways in the same process).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedGateway::new`].
+    pub fn with_cache(
+        cfg: GatewayConfig,
+        n_workers: usize,
+        cache: Arc<MatrixCache>,
+    ) -> Result<Self> {
+        let router = GatewayRouter::new(n_workers)?;
+        let mut workers = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let (cmd_tx, cmd_rx) = channel();
+            let (rep_tx, rep_rx) = channel();
+            let gw = Gateway::with_cache(cfg.clone(), Arc::clone(&cache));
+            let handle = std::thread::Builder::new()
+                .name(format!("wbsn-gw-{i}"))
+                .spawn(move || worker_loop(gw, cmd_rx, rep_tx))
+                .map_err(|_| WbsnError::WorkerLost { shard: i })?;
+            workers.push(Worker {
+                cmds: cmd_tx,
+                replies: rep_rx,
+                handle: Some(handle),
+            });
+        }
+        Ok(ShardedGateway {
+            router,
+            workers,
+            cache,
+            packet_pool: Vec::new(),
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Handle on the shared sensing-matrix cache.
+    pub fn matrix_cache(&self) -> Arc<MatrixCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Counters of the shared sensing-matrix cache.
+    pub fn cache_stats(&self) -> MatrixCacheStats {
+        self.cache.stats()
+    }
+
+    fn send(&self, shard: usize, cmd: GwCmd) -> Result<()> {
+        self.workers[shard]
+            .cmds
+            .send(cmd)
+            .map_err(|_| WbsnError::WorkerLost { shard })
+    }
+
+    fn recv(&self, shard: usize) -> Result<GwReply> {
+        self.workers[shard]
+            .replies
+            .recv()
+            .map_err(|_| WbsnError::WorkerLost { shard })
+    }
+
+    /// Sends one command to every reachable worker; returns the shards
+    /// actually dispatched to (each owes exactly one reply, which the
+    /// caller must drain even on failure) plus the first send error.
+    fn broadcast(&self, make_cmd: impl Fn() -> GwCmd) -> (Vec<usize>, Option<WbsnError>) {
+        let mut dispatched = Vec::with_capacity(self.workers.len());
+        let mut lost = None;
+        for shard in 0..self.workers.len() {
+            match self.send(shard, make_cmd()) {
+                Ok(()) => dispatched.push(shard),
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        (dispatched, lost)
+    }
+
+    /// Ingests a batch of raw packets: each is routed to its session's
+    /// worker (by the session id peeked from the link header), all
+    /// involved workers run concurrently, and the per-packet results
+    /// come back **in batch order** — byte-identical to calling
+    /// [`Gateway::ingest`] on each packet in order, for any worker
+    /// count. Per-packet rejections (CRC, truncation, …) are values in
+    /// the returned vector, exactly as the sequential gateway returns
+    /// them; they do not abort the batch.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] when a worker thread has died.
+    #[allow(clippy::type_complexity)]
+    pub fn ingest_batch(&mut self, packets: &[Vec<u8>]) -> Result<Vec<Result<Vec<GatewayEvent>>>> {
+        let mut per_shard: Vec<Vec<(usize, Vec<u8>)>> = Vec::new();
+        per_shard.resize_with(self.workers.len(), Vec::new);
+        for (batch_idx, raw) in packets.iter().enumerate() {
+            let shard = self.router.route_packet(raw);
+            let mut buf = self.packet_pool.pop().unwrap_or_default();
+            buf.extend_from_slice(raw);
+            per_shard[shard].push((batch_idx, buf));
+        }
+        // Dispatch to every involved shard, then drain one reply per
+        // *dispatched* shard even when something fails in between —
+        // leaving a reply queued would desynchronize the per-shard
+        // command/reply protocol for every later call.
+        let involved: Vec<usize> = (0..self.workers.len())
+            .filter(|&s| !per_shard[s].is_empty())
+            .collect();
+        let mut lost: Option<WbsnError> = None;
+        let mut dispatched = Vec::with_capacity(involved.len());
+        for &shard in &involved {
+            let entries = core::mem::take(&mut per_shard[shard]);
+            match self.send(shard, GwCmd::Ingest { entries }) {
+                Ok(()) => dispatched.push(shard),
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        let mut merged: Vec<Option<Result<Vec<GatewayEvent>>>> = Vec::new();
+        merged.resize_with(packets.len(), || None);
+        for &shard in &dispatched {
+            match self.recv(shard) {
+                Ok(GwReply::Ingested { results, recycled }) => {
+                    for (batch_idx, result) in results {
+                        merged[batch_idx] = Some(result);
+                    }
+                    self.packet_pool.extend(recycled);
+                }
+                Ok(_) => {
+                    lost.get_or_insert(WbsnError::WorkerLost { shard });
+                }
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = lost {
+            return Err(e);
+        }
+        // A hole means the packet's worker never reported that batch
+        // index — surface it as a lost worker, not a panic.
+        merged
+            .into_iter()
+            .zip(packets)
+            .map(|(slot, raw)| {
+                slot.ok_or(WbsnError::WorkerLost {
+                    shard: self.router.route_packet(raw),
+                })
+            })
+            .collect()
+    }
+
+    /// Single-packet convenience over [`ShardedGateway::ingest_batch`].
+    ///
+    /// # Errors
+    ///
+    /// The packet's own rejection, or [`WbsnError::WorkerLost`].
+    pub fn ingest(&mut self, raw: &[u8]) -> Result<Vec<GatewayEvent>> {
+        let batch = [raw.to_vec()];
+        let mut results = self.ingest_batch(&batch)?;
+        results
+            .pop()
+            .unwrap_or(Err(WbsnError::WorkerLost { shard: 0 }))
+    }
+
+    /// Opens (or re-opens) a session out of band on its worker — see
+    /// [`Gateway::register`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::register`], plus [`WbsnError::WorkerLost`].
+    pub fn register(&mut self, hs: SessionHandshake) -> Result<()> {
+        let shard = self.router.route(hs.session);
+        self.send(shard, GwCmd::Register { hs })?;
+        match self.recv(shard)? {
+            GwReply::Registered(result) => result,
+            _ => Err(WbsnError::WorkerLost { shard }),
+        }
+    }
+
+    /// Attaches a per-lead reference signal for PRD reporting — see
+    /// [`Gateway::attach_reference`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::attach_reference`], plus
+    /// [`WbsnError::WorkerLost`].
+    pub fn attach_reference(&mut self, session: u64, lead: u8, samples: Vec<f64>) -> Result<()> {
+        let shard = self.router.route(session);
+        self.send(
+            shard,
+            GwCmd::AttachReference {
+                session,
+                lead,
+                samples,
+            },
+        )?;
+        match self.recv(shard)? {
+            GwReply::ReferenceAttached(result) => result,
+            _ => Err(WbsnError::WorkerLost { shard }),
+        }
+    }
+
+    /// End of stream: drains every session's reassembler on every
+    /// worker and merges the tails in ascending session-id order —
+    /// identical to [`Gateway::flush_sessions`].
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead worker.
+    pub fn flush_sessions(&mut self) -> Result<Vec<GatewayEvent>> {
+        Ok(self
+            .flush_sessions_tagged()?
+            .into_iter()
+            .flat_map(|(_, ev)| ev)
+            .collect())
+    }
+
+    /// [`ShardedGateway::flush_sessions`] with each session's events
+    /// grouped under its id (ids ascending) — identical to
+    /// [`Gateway::flush_sessions_tagged`].
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead worker.
+    pub fn flush_sessions_tagged(&mut self) -> Result<Vec<(u64, Vec<GatewayEvent>)>> {
+        let (dispatched, mut lost) = self.broadcast(|| GwCmd::FlushAll);
+        let mut out: Vec<(u64, Vec<GatewayEvent>)> = Vec::new();
+        for shard in dispatched {
+            match self.recv(shard) {
+                Ok(GwReply::Flushed(tagged)) => out.extend(tagged),
+                Ok(_) => {
+                    lost.get_or_insert(WbsnError::WorkerLost { shard });
+                }
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = lost {
+            return Err(e);
+        }
+        // Ascending id = the sequential gateway's flush order.
+        out.sort_unstable_by_key(|(id, _)| *id);
+        Ok(out)
+    }
+
+    /// Closes one session on its worker — see
+    /// [`Gateway::close_session`].
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead worker.
+    pub fn close_session(&mut self, session: u64) -> Result<Option<Vec<GatewayEvent>>> {
+        let shard = self.router.route(session);
+        self.send(shard, GwCmd::Close { session })?;
+        match self.recv(shard)? {
+            GwReply::Closed(events) => Ok(events),
+            _ => Err(WbsnError::WorkerLost { shard }),
+        }
+    }
+
+    /// Field-wise sum of every worker's [`GatewayStats`] — identical
+    /// to the sequential gateway's counters for the same packets.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead worker.
+    pub fn stats(&self) -> Result<GatewayStats> {
+        let (dispatched, mut lost) = self.broadcast(|| GwCmd::Stats);
+        let mut total = GatewayStats::default();
+        for shard in dispatched {
+            match self.recv(shard) {
+                Ok(GwReply::Stats(s)) => {
+                    total.packets += s.packets;
+                    total.crc_rejected += s.crc_rejected;
+                    total.rejected += s.rejected;
+                    total.items_rejected += s.items_rejected;
+                    total.payloads += s.payloads;
+                    total.messages_lost += s.messages_lost;
+                    total.windows_reconstructed += s.windows_reconstructed;
+                    total.solver_iters += s.solver_iters;
+                }
+                Ok(_) => {
+                    lost.get_or_insert(WbsnError::WorkerLost { shard });
+                }
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        match lost {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    }
+
+    /// Sessions seen across all workers, ascending.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead worker.
+    pub fn session_ids(&self) -> Result<Vec<u64>> {
+        let (dispatched, mut lost) = self.broadcast(|| GwCmd::SessionIds);
+        let mut all = Vec::new();
+        for shard in dispatched {
+            match self.recv(shard) {
+                Ok(GwReply::SessionIds(ids)) => all.extend(ids),
+                Ok(_) => {
+                    lost.get_or_insert(WbsnError::WorkerLost { shard });
+                }
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        match lost {
+            Some(e) => Err(e),
+            None => {
+                all.sort_unstable();
+                Ok(all)
+            }
+        }
+    }
+
+    /// Rhythm/alert state of one session — see [`Gateway::rhythm`].
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead worker.
+    pub fn rhythm(&self, session: u64) -> Result<Option<RhythmState>> {
+        let shard = self.router.route(session);
+        self.send(shard, GwCmd::Rhythm { session })?;
+        match self.recv(shard)? {
+            GwReply::Rhythm(state) => Ok(state),
+            _ => Err(WbsnError::WorkerLost { shard }),
+        }
+    }
+
+    /// The handshake of one session — see [`Gateway::handshake`].
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead worker.
+    pub fn handshake(&self, session: u64) -> Result<Option<SessionHandshake>> {
+        let shard = self.router.route(session);
+        self.send(shard, GwCmd::Handshake { session })?;
+        match self.recv(shard)? {
+            GwReply::Handshake(hs) => Ok(hs),
+            _ => Err(WbsnError::WorkerLost { shard }),
+        }
+    }
+
+    /// All reconstructed `(window_seq, samples)` of one lead, in
+    /// window order — see [`Gateway::reconstructed_windows`].
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead worker.
+    #[allow(clippy::type_complexity)]
+    pub fn reconstructed_windows(&self, session: u64, lead: u8) -> Result<Vec<(u32, Vec<f64>)>> {
+        let shard = self.router.route(session);
+        self.send(shard, GwCmd::Windows { session, lead })?;
+        match self.recv(shard)? {
+            GwReply::Windows(windows) => Ok(windows),
+            _ => Err(WbsnError::WorkerLost { shard }),
+        }
+    }
+}
+
+impl Drop for ShardedGateway {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            let _ = worker.cmds.send(GwCmd::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}

@@ -25,14 +25,16 @@
 //! reconstructed samples — the end-to-end scenario test replays the
 //! whole node→channel→gateway path bit-identically.
 
+use crate::cache::{MatrixCache, MatrixCacheStats, MatrixKey};
 use crate::decoder::{SessionDecoder, SessionItem};
 use crate::Result;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use wbsn_core::link::{LinkError, LinkPacket, SessionHandshake};
 use wbsn_core::{Payload, WbsnError};
 use wbsn_cs::encoder::CsEncoder;
 use wbsn_cs::omp::{Omp, OmpConfig};
-use wbsn_cs::solver::{Fista, FistaConfig};
+use wbsn_cs::solver::{Fista, FistaConfig, FistaState};
 use wbsn_sigproc::stats::prd_percent;
 
 /// Which `wbsn-cs` decoder the gateway runs per CS window.
@@ -55,24 +57,35 @@ pub struct GatewayConfig {
     /// Whether CS windows are reconstructed at all (disable to bench
     /// the pure reassembly/decode path).
     pub reconstruct_cs: bool,
+    /// Whether FISTA solves are warm-started from each stream's
+    /// previous window (cached Lipschitz constant + previous
+    /// solution). Purely a speed knob — `tests/warm_start.rs` pins
+    /// that quality is unaffected — exposed so benches can measure
+    /// the cold baseline. Ignored by the OMP solver.
+    pub warm_start: bool,
 }
 
 impl Default for GatewayConfig {
     /// Defaults tuned for the base station, not the sweep harness: a
-    /// gateway has server-class cycles to spend per window, so it runs
-    /// FISTA longer and with lighter regularization than the
-    /// `wbsn-cs` default (mean PRD at 50% CR improves from ≈9.5% to
-    /// ≈6.5% on clean windows).
+    /// gateway has server-class cycles to spend per window, so it
+    /// runs FISTA with lighter regularization than the `wbsn-cs`
+    /// default, with gradient restart plus an early-exit tolerance
+    /// that stops each solve at its quality plateau (mean PRD at 50%
+    /// CR improves from ≈9.5% to ≈6.5% on clean windows; the old
+    /// fixed 800-iteration cold budget spent ≥2× the iterations for
+    /// the same PRD — see `tests/warm_start.rs`).
     fn default() -> Self {
         GatewayConfig {
             reorder_window: crate::reassembler::DEFAULT_REORDER_WINDOW,
             solver: ReconstructionSolver::Fista(FistaConfig {
                 lambda_rel: 0.001,
                 max_iters: 800,
-                tol: 1e-7,
+                tol: 3e-5,
+                restart: true,
                 ..FistaConfig::default()
             }),
             reconstruct_cs: true,
+            warm_start: true,
         }
     }
 }
@@ -187,6 +200,11 @@ pub struct GatewayStats {
     pub messages_lost: u64,
     /// CS windows reconstructed.
     pub windows_reconstructed: u64,
+    /// FISTA iterations spent across all reconstructions (0 under the
+    /// OMP solver). Deterministic for a given packet stream, so the
+    /// shard-determinism suite can pin that parallel decode does not
+    /// change the numerics.
+    pub solver_iters: u64,
 }
 
 #[derive(Debug)]
@@ -194,9 +212,13 @@ struct SessionState {
     decoder: SessionDecoder,
     handshake: Option<SessionHandshake>,
     rhythm: RhythmState,
-    // Per-lead CS encoders, regenerated from the handshake on first
-    // use (lead l seeds with seed + l, matching the node's CsStage).
-    encoders: Vec<Option<CsEncoder>>,
+    // Per-lead CS encoders, shared out of the gateway's MatrixCache
+    // on first use (lead l seeds with seed + l, matching the node's
+    // CsStage — see CsEncoder::for_lead).
+    encoders: Vec<Option<Arc<CsEncoder>>>,
+    // Per-lead warm-start state (previous window's solution + cached
+    // Lipschitz constant); only valid for the current handshake's Φ.
+    fista: Vec<FistaState>,
     // Reconstructed windows, keyed by (lead, window_seq).
     windows: BTreeMap<(u8, u32), Vec<f64>>,
     // Optional per-lead reference signals for PRD reporting.
@@ -207,12 +229,13 @@ struct SessionState {
 
 impl SessionState {
     /// Installs a handshake; a *changed* handshake (new seed, shape)
-    /// invalidates the cached sensing matrices and the windows they
-    /// reconstructed, so stale Φ can never silently produce
-    /// plausible-looking garbage.
+    /// invalidates the cached sensing matrices, the warm-start states
+    /// seeded through them, and the windows they reconstructed, so
+    /// stale Φ can never silently produce plausible-looking garbage.
     fn install_handshake(&mut self, hs: SessionHandshake) {
         if self.handshake != Some(hs) {
             self.encoders.clear();
+            self.fista.clear();
             self.windows.clear();
         }
         self.handshake = Some(hs);
@@ -224,6 +247,7 @@ impl SessionState {
             handshake: None,
             rhythm: RhythmState::default(),
             encoders: Vec::new(),
+            fista: Vec::new(),
             windows: BTreeMap::new(),
             references: BTreeMap::new(),
             y_scratch: Vec::new(),
@@ -238,15 +262,25 @@ enum SolverImpl {
 }
 
 impl SolverImpl {
-    fn reconstruct(&self, enc: &CsEncoder, y: &[i64]) -> Result<Vec<f64>> {
+    /// Reconstructs one window, warm-started when a state is given.
+    /// Returns the samples plus the iterations spent (0 for OMP).
+    fn reconstruct(
+        &self,
+        enc: &CsEncoder,
+        y: &[i64],
+        state: Option<&mut FistaState>,
+    ) -> Result<(Vec<f64>, usize)> {
         match self {
-            SolverImpl::Fista(f) => f.reconstruct(enc, y),
+            SolverImpl::Fista(f) => {
+                let yf: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+                let solve = f.solve(enc.sensing_matrix(), &yf, state)?;
+                Ok((solve.x, solve.iters))
+            }
             SolverImpl::Omp(o) => {
                 let yf: Vec<f64> = y.iter().map(|&v| v as f64).collect();
-                o.reconstruct(enc.sensing_matrix(), &yf)
+                Ok((o.reconstruct(enc.sensing_matrix(), &yf)?, 0))
             }
         }
-        .map_err(Into::into)
     }
 }
 
@@ -255,6 +289,7 @@ impl SolverImpl {
 pub struct Gateway {
     cfg: GatewayConfig,
     solver: SolverImpl,
+    cache: Arc<MatrixCache>,
     sessions: BTreeMap<u64, SessionState>,
     stats: GatewayStats,
 }
@@ -266,10 +301,18 @@ impl Default for Gateway {
 }
 
 impl Gateway {
-    /// Gateway with the given configuration. A zero `reorder_window`
-    /// is clamped to 1 (the smallest meaningful window), so session
-    /// construction can never fail mid-ingest over a config typo.
-    pub fn new(mut cfg: GatewayConfig) -> Self {
+    /// Gateway with the given configuration and a private
+    /// [`MatrixCache`]. A zero `reorder_window` is clamped to 1 (the
+    /// smallest meaningful window), so session construction can never
+    /// fail mid-ingest over a config typo.
+    pub fn new(cfg: GatewayConfig) -> Self {
+        Gateway::with_cache(cfg, Arc::new(MatrixCache::new()))
+    }
+
+    /// Gateway sharing an existing sensing-matrix cache — how the
+    /// sharded gateway's workers (and any co-located gateways) avoid
+    /// rebuilding identical Φ per worker.
+    pub fn with_cache(mut cfg: GatewayConfig, cache: Arc<MatrixCache>) -> Self {
         cfg.reorder_window = cfg.reorder_window.max(1);
         let solver = match cfg.solver {
             ReconstructionSolver::Fista(f) => SolverImpl::Fista(Fista::new(f)),
@@ -278,6 +321,7 @@ impl Gateway {
         Gateway {
             cfg,
             solver,
+            cache,
             sessions: BTreeMap::new(),
             stats: GatewayStats::default(),
         }
@@ -286,6 +330,18 @@ impl Gateway {
     /// Counters so far.
     pub fn stats(&self) -> GatewayStats {
         self.stats
+    }
+
+    /// Handle on the sensing-matrix cache this gateway resolves Φ
+    /// through.
+    pub fn matrix_cache(&self) -> Arc<MatrixCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Counters of the sensing-matrix cache (shared ones include the
+    /// traffic of every other gateway on the same cache).
+    pub fn cache_stats(&self) -> MatrixCacheStats {
+        self.cache.stats()
     }
 
     /// Sessions the gateway has seen packets (or registrations) for.
@@ -403,16 +459,40 @@ impl Gateway {
     /// End of stream: drains every session's reassembler and processes
     /// the tails (sessions in id order).
     pub fn flush_sessions(&mut self) -> Vec<GatewayEvent> {
+        self.flush_sessions_tagged()
+            .into_iter()
+            .flat_map(|(_, ev)| ev)
+            .collect()
+    }
+
+    /// [`Gateway::flush_sessions`] with each session's events grouped
+    /// under its id (ids ascending). The sharded gateway merges its
+    /// workers' flushes through this form so the merged order is
+    /// identical to a single gateway's.
+    pub fn flush_sessions_tagged(&mut self) -> Vec<(u64, Vec<GatewayEvent>)> {
         let ids: Vec<u64> = self.sessions.keys().copied().collect();
-        let mut events = Vec::new();
-        for id in ids {
-            let mut items = Vec::new();
-            if let Some(state) = self.sessions.get_mut(&id) {
-                state.decoder.flush(&mut items);
-            }
-            events.extend(self.handle_items(id, items));
-        }
-        events
+        ids.into_iter()
+            .map(|id| {
+                let mut items = Vec::new();
+                if let Some(state) = self.sessions.get_mut(&id) {
+                    state.decoder.flush(&mut items);
+                }
+                (id, self.handle_items(id, items))
+            })
+            .collect()
+    }
+
+    /// Closes one session: drains its reassembler tail, processes it,
+    /// and drops all per-session state (decoder, rhythm log, warm
+    /// solver state, reconstructed windows). Returns the tail's events,
+    /// or `None` for a session this gateway never saw.
+    pub fn close_session(&mut self, session: u64) -> Option<Vec<GatewayEvent>> {
+        let state = self.sessions.get_mut(&session)?;
+        let mut items = Vec::new();
+        state.decoder.flush(&mut items);
+        let events = self.handle_items(session, items);
+        self.sessions.remove(&session);
+        Some(events)
     }
 
     fn session_state(&mut self, session: u64) -> Result<&mut SessionState> {
@@ -475,6 +555,7 @@ impl Gateway {
         payload: Payload,
         events: &mut Vec<GatewayEvent>,
     ) -> Result<()> {
+        let cache = Arc::clone(&self.cache);
         let Some(state) = self.sessions.get_mut(&session) else {
             // `ingest` routes through `session_state` before any item
             // reaches here, but a typed error keeps the wire surface
@@ -525,27 +606,36 @@ impl Gateway {
                 };
                 if state.encoders.len() <= lead as usize {
                     state.encoders.resize(lead as usize + 1, None);
+                    state.fista.resize(lead as usize + 1, FistaState::new());
                 }
-                let enc = match state.encoders[lead as usize].take() {
-                    Some(enc) => enc,
-                    // Regenerate the node's sensing matrix: CsStage
-                    // seeds lead l with seed + l.
-                    None => CsEncoder::new(
-                        hs.cs_window as usize,
-                        hs.cs_measurements as usize,
-                        hs.cs_d_per_col as usize,
-                        hs.seed.wrapping_add(lead as u64),
-                    )?,
+                let enc = match &state.encoders[lead as usize] {
+                    Some(enc) => Arc::clone(enc),
+                    // Resolve the node's sensing matrix through the
+                    // shared cache (lead l seeds with seed + l,
+                    // matching the node's CsStage).
+                    None => {
+                        let enc = cache.get_or_build(MatrixKey {
+                            window: hs.cs_window,
+                            measurements: hs.cs_measurements,
+                            d_per_col: hs.cs_d_per_col,
+                            seed: hs.seed,
+                            lead,
+                        })?;
+                        state.encoders[lead as usize] = Some(Arc::clone(&enc));
+                        enc
+                    }
                 };
                 state.y_scratch.clear();
                 state
                     .y_scratch
                     .extend(measurements.iter().map(|&v| v as i64));
-                let result = self.solver.reconstruct(&enc, &state.y_scratch);
-                // Put the encoder back before propagating any solver
-                // error so the sensing matrix is not rebuilt per window.
-                state.encoders[lead as usize] = Some(enc);
-                let xr = result?;
+                let warm = if self.cfg.warm_start {
+                    Some(&mut state.fista[lead as usize])
+                } else {
+                    None
+                };
+                let (xr, iters) = self.solver.reconstruct(&enc, &state.y_scratch, warm)?;
+                self.stats.solver_iters += iters as u64;
                 let n = hs.cs_window as usize;
                 let prd = state.references.get(&lead).and_then(|reference| {
                     let start = window_seq as usize * n;
