@@ -1,0 +1,30 @@
+//! Retransmit-shaped fixture: the failure modes the downlink modules
+//! (core `retransmit.rs`, gateway `controller.rs`) must never regress
+//! into, seeded once each so the triple of rules guarding them
+//! (no-panic / no-wallclock / no-unordered-map) is pinned end to end.
+
+/// Seeded violation: ack-timeout taken from the wall clock instead of
+/// the logical epoch counter (line 9, no-wallclock).
+pub fn wallclock_timeout() -> u64 {
+    std::time::Instant::now().elapsed().as_secs()
+}
+
+/// Seeded violation: a retransmit queue keyed by a hashed map — resend
+/// order would leak iteration order onto the wire (line 17,
+/// no-unordered-map).
+pub struct UnorderedQueue {
+    /// Sequence → wire bytes, in hash order.
+    pub entries: std::collections::HashMap<u32, Vec<u8>>,
+}
+
+/// Seeded violation: a NACK for an evicted message must surface as a
+/// typed `unavailable`, never abort the node (line 23, no-panic).
+pub fn nack_lookup(queue: &UnorderedQueue, seq: u32) -> &[u8] {
+    queue.entries.get(&seq).expect("seq still buffered")
+}
+
+/// Suppressed with a reason: must stay silent.
+pub fn bounded_pop(v: &mut Vec<u32>) -> u32 {
+    // wbsn-allow(no-panic): fixture — caller checked is_empty above
+    v.pop().unwrap()
+}

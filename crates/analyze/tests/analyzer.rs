@@ -36,6 +36,9 @@ fn fixture_findings_are_exactly_the_seeded_ones() {
         ("crates/hot/src/pragmas.rs", 18, "bad-pragma"),
         ("crates/hot/src/pragmas.rs", 19, "no-panic"),
         ("crates/hot/src/pragmas.rs", 24, "unused-pragma"),
+        ("crates/hot/src/retransmit_like.rs", 9, "no-wallclock"),
+        ("crates/hot/src/retransmit_like.rs", 17, "no-unordered-map"),
+        ("crates/hot/src/retransmit_like.rs", 23, "no-panic"),
         ("crates/noattr/Cargo.toml", 2, "lints-workspace"),
         ("crates/noattr/src/lib.rs", 1, "forbid-unsafe"),
         ("crates/noattr/src/lib.rs", 1, "missing-docs"),
@@ -62,6 +65,10 @@ fn suppressions_exemptions_and_lookalikes_stay_silent() {
             "line {line} of hot/src/lib.rs should be silent"
         );
     }
+    // The reasoned suppression in the retransmit-shaped fixture.
+    assert!(!findings
+        .iter()
+        .any(|f| f.file == "crates/hot/src/retransmit_like.rs" && f.line == 29));
     // The stacked-pragma target line in pragmas.rs.
     assert!(!findings
         .iter()

@@ -337,6 +337,20 @@ impl NodeFleet {
         self.shard.switch_mode(id, mode)
     }
 
+    /// Renegotiates one session's CS compression ratio live — the
+    /// node-side application of a gateway downlink
+    /// [`SetCr`](crate::link::DirectiveAction::SetCr) directive,
+    /// routed to the owning session. Returns whether the running
+    /// stage applied it now (see [`CardiacMonitor::switch_cs_cr`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for a stale id, plus ratio
+    /// validation errors (the session is untouched on error).
+    pub fn switch_cs_cr(&mut self, id: SessionId, cr_percent: f64) -> Result<bool> {
+        self.shard.switch_cs_cr(id, cr_percent)
+    }
+
     /// Switches one session's processing level, keeping its powered
     /// lead count (see [`Self::switch_mode`]).
     ///

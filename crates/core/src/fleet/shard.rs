@@ -194,6 +194,20 @@ impl Shard {
         self.monitor_mut(id)?.switch_mode(mode)
     }
 
+    /// Renegotiates one session's CS compression ratio live — the
+    /// application path of a gateway downlink
+    /// [`SetCr`](crate::link::DirectiveAction::SetCr) directive routed
+    /// to the owning shard. Returns whether the running stage applied
+    /// it now (see [`CardiacMonitor::switch_cs_cr`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for a stale id, plus ratio
+    /// validation errors.
+    pub fn switch_cs_cr(&mut self, id: SessionId, cr_percent: f64) -> Result<bool> {
+        self.monitor_mut(id)?.switch_cs_cr(cr_percent)
+    }
+
     /// Ingests one cross-session entry: the frame count is derived
     /// from the session's configured lead count (`push_block` rejects
     /// buffers that are not an exact multiple).

@@ -60,6 +60,10 @@ enum ShardCmd {
         id: SessionId,
         mode: OperatingMode,
     },
+    SwitchCsCr {
+        id: SessionId,
+        cr_percent: f64,
+    },
     FlushAll,
     Counters {
         id: SessionId,
@@ -76,6 +80,7 @@ enum ShardReply {
     },
     Ingested(IngestOutcome),
     Switched(Result<Vec<Payload>>),
+    CrSwitched(Result<bool>),
     Flushed(Result<Vec<(SessionId, Vec<Payload>)>>),
     Counters(Option<ActivityCounters>),
     Snapshot(Vec<SessionSnapshot>),
@@ -103,6 +108,9 @@ fn worker_loop(mut shard: Shard, cmds: Receiver<ShardCmd>, replies: Sender<Shard
             }
             ShardCmd::Ingest { entries } => ShardReply::Ingested(shard.ingest_entries(entries)),
             ShardCmd::SwitchMode { id, mode } => ShardReply::Switched(shard.switch_mode(id, mode)),
+            ShardCmd::SwitchCsCr { id, cr_percent } => {
+                ShardReply::CrSwitched(shard.switch_cs_cr(id, cr_percent))
+            }
             ShardCmd::FlushAll => ShardReply::Flushed(shard.flush_all()),
             ShardCmd::Counters { id } => ShardReply::Counters(shard.counters_of(id)),
             ShardCmd::Snapshot => ShardReply::Snapshot(shard.snapshots()),
@@ -502,6 +510,32 @@ impl ShardedFleet {
                 }
                 Ok(payloads)
             }
+            _ => Err(WbsnError::WorkerLost { shard }),
+        }
+    }
+
+    /// Renegotiates one session's CS compression ratio live — a
+    /// gateway downlink
+    /// [`SetCr`](crate::link::DirectiveAction::SetCr) directive routed
+    /// deterministically to the owning shard, exactly like
+    /// [`Self::switch_mode`]: commands to one shard execute in
+    /// submission order, so a renegotiation interleaved with ingests
+    /// produces the payload stream the sequential driver produces for
+    /// the same command order. Returns whether the running stage
+    /// applied it now.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for a stale id, ratio validation
+    /// errors, and [`WbsnError::WorkerLost`] for a dead shard.
+    pub fn switch_cs_cr(&mut self, id: SessionId, cr_percent: f64) -> Result<bool> {
+        let shard = self
+            .router
+            .route(id)
+            .ok_or(WbsnError::UnknownSession { id: id.raw() })?;
+        self.send(shard, ShardCmd::SwitchCsCr { id, cr_percent })?;
+        match self.recv(shard)? {
+            ShardReply::CrSwitched(result) => result,
             _ => Err(WbsnError::WorkerLost { shard }),
         }
     }

@@ -97,6 +97,11 @@ pub enum SwitchReason {
     MissionGuard,
     /// Predicted radio bytes exceeded the configured budget.
     RadioBudget,
+    /// A gateway downlink directive
+    /// ([`crate::link::DirectiveAction::SetMode`]) requested the
+    /// change — the distributed half of the control loop, reacting to
+    /// receiver-side reality instead of local state.
+    Directive,
 }
 
 /// Tunable policy of the [`PowerGovernor`].
@@ -706,6 +711,77 @@ impl GovernedMonitor {
         Ok(out)
     }
 
+    /// Applies a gateway link-controller directive
+    /// ([`crate::link::DirectiveAction`], delivered downlink and
+    /// ordered by a
+    /// [`DirectiveHandler`](crate::retransmit::DirectiveHandler)) at
+    /// the current stream boundary.
+    ///
+    /// * `SetCr` renegotiates the CS ratio in place
+    ///   ([`CardiacMonitor::switch_cs_cr`]) — no stage rebuild, no
+    ///   payloads.
+    /// * `SetMode` switches through the same
+    ///   [`CardiacMonitor::switch_mode`] path as the governor's own
+    ///   decisions and is recorded in the switch log with
+    ///   [`SwitchReason::Directive`]; its boundary flush payloads are
+    ///   returned and their wire bytes priced with the running epoch.
+    /// * `SetMtu` is a no-op here: the MTU lives in the uplink framer
+    ///   ([`crate::link::Uplink::set_mtu`]), which the caller owns.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] for an unknown level index or
+    /// an out-of-range ratio/lead count — unlike the governor's
+    /// pre-flighted tiers, a directive is remote input and validated
+    /// like any other wire data. The session is unchanged on error.
+    pub fn apply_directive(
+        &mut self,
+        action: crate::link::DirectiveAction,
+    ) -> Result<Vec<Payload>> {
+        use crate::link::DirectiveAction;
+        match action {
+            DirectiveAction::SetCr { cr_x10 } => {
+                self.monitor.switch_cs_cr(cr_x10 as f64 / 10.0)?;
+                Ok(Vec::new())
+            }
+            DirectiveAction::SetMode {
+                level,
+                active_leads,
+            } => {
+                let Some(&level) = ProcessingLevel::ALL.get(level as usize) else {
+                    return Err(WbsnError::InvalidParameter {
+                        what: "level",
+                        detail: format!(
+                            "directive level index {level} exceeds the ladder ({} levels)",
+                            ProcessingLevel::ALL.len()
+                        ),
+                    });
+                };
+                let to = OperatingMode::new(level, active_leads as usize);
+                let from = self.monitor.mode();
+                if to == from {
+                    return Ok(Vec::new());
+                }
+                let boundary = self.monitor.switch_mode(to)?;
+                // Same bookkeeping as a governor-decided switch: the
+                // retired stage's payloads are observed before the
+                // sentinel rebases, and their wire bytes stay in the
+                // epoch accumulator so the next drain prices them.
+                self.observe_payloads(&boundary);
+                self.frame_base = self.frames_total;
+                self.switches.push(SwitchEvent {
+                    at_s: self.monitor.counters().seconds,
+                    from,
+                    to,
+                    tier: self.governor.tier(),
+                    reason: SwitchReason::Directive,
+                });
+                Ok(boundary)
+            }
+            DirectiveAction::SetMtu { .. } => Ok(Vec::new()),
+        }
+    }
+
     /// Convenience driver shared by the scenario example and its
     /// acceptance test: replays an entire synthetic record (batched
     /// ingestion plus [`Self::finish`]). Block size never affects
@@ -951,6 +1027,47 @@ mod tests {
             beats: 18,
             ..quiet(soc)
         }
+    }
+
+    #[test]
+    fn directives_apply_through_the_switch_plumbing() {
+        use crate::link::DirectiveAction;
+        let mut s = GovernedMonitor::new(
+            MonitorBuilder::new().n_leads(3),
+            GovernorConfig::for_leads(3),
+            NodeModel::default(),
+        )
+        .unwrap();
+        let from = s.mode();
+        // A mode directive lands in the switch log as Directive.
+        s.apply_directive(DirectiveAction::SetMode {
+            level: 3, // Delineated
+            active_leads: 3,
+        })
+        .unwrap();
+        assert_eq!(s.mode().level, ProcessingLevel::Delineated);
+        let log = s.switch_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].reason, SwitchReason::Directive);
+        assert_eq!(log[0].from, from);
+        // A CR directive updates the config without a stage rebuild
+        // or a switch-log entry; MTU directives are a node-link
+        // concern and a no-op here.
+        s.apply_directive(DirectiveAction::SetCr { cr_x10: 500 })
+            .unwrap();
+        assert!((s.monitor().config().cs_cr_percent - 50.0).abs() < 1e-12);
+        s.apply_directive(DirectiveAction::SetMtu { mtu: 64 })
+            .unwrap();
+        assert_eq!(s.switch_log().len(), 1);
+        // Hostile input: unknown ladder index is a typed error, the
+        // session untouched.
+        assert!(s
+            .apply_directive(DirectiveAction::SetMode {
+                level: 9,
+                active_leads: 1
+            })
+            .is_err());
+        assert_eq!(s.mode().level, ProcessingLevel::Delineated);
     }
 
     #[test]

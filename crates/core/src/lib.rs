@@ -93,15 +93,20 @@ pub mod level;
 pub mod link;
 pub mod monitor;
 pub mod payload;
+pub mod retransmit;
 pub mod stage;
 
 pub use energy::EnergyReport;
 pub use fleet::{FleetEnergyReport, NodeFleet, SessionId, Shard, ShardRouter, ShardedFleet};
 pub use governor::{GovernedMonitor, GovernorConfig, PowerGovernor};
 pub use level::{OperatingMode, ProcessingLevel};
-pub use link::{LinkError, LinkFramer, LinkPacket, SessionHandshake, Uplink};
+pub use link::{
+    DirectiveAction, DirectiveFrame, DownlinkFrame, LinkError, LinkFramer, LinkPacket,
+    SessionHandshake, Uplink,
+};
 pub use monitor::{CardiacMonitor, MonitorBuilder, MonitorConfig};
 pub use payload::Payload;
+pub use retransmit::{DirectiveHandler, RetransmitBuffer, RetransmitConfig, RetransmitEvent};
 pub use stage::{ActivityCounters, PayloadSink, PipelineStage};
 
 use wbsn_classify::ClassifyError;
@@ -165,6 +170,16 @@ pub enum WbsnError {
         /// Explanation.
         detail: String,
     },
+    /// The peer announced a wire-protocol version this build does not
+    /// speak (see [`link::PROTOCOL_VERSION`]). Negotiation is the
+    /// receiver's job: the session is rejected before any state is
+    /// created, never half-decoded.
+    UnsupportedVersion {
+        /// Version the peer announced.
+        got: u8,
+        /// Highest version this build supports.
+        supported: u8,
+    },
     /// Link-layer error: packet framing, CRC or reassembly (see
     /// [`link::LinkError`]).
     Link(link::LinkError),
@@ -203,6 +218,12 @@ impl core::fmt::Display for WbsnError {
             }
             WbsnError::Malformed { what, detail } => {
                 write!(f, "malformed {what}: {detail}")
+            }
+            WbsnError::UnsupportedVersion { got, supported } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (this build speaks up to {supported})"
+                )
             }
             WbsnError::Link(e) => write!(f, "link: {e}"),
             WbsnError::Sigproc(e) => write!(f, "sigproc: {e}"),

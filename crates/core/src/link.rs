@@ -1,5 +1,5 @@
-//! The uplink wire layer: payloads framed into MTU-sized radio
-//! packets.
+//! The wire layer: payloads framed into MTU-sized radio packets
+//! uplink, ACK/NACK/directive control frames downlink.
 //!
 //! The paper's node hands payloads to "a simple medium access control
 //! (MAC) scheme (IEEE 802.15.4)"; this module is the layer between the
@@ -36,6 +36,15 @@
 //! | 17     | 2    | body length `n` |
 //! | 19     | `n`  | body |
 //! | 19+`n` | 4    | CRC32 (IEEE) over bytes `0..19+n` |
+//!
+//! The same packet format carries the **downlink**: kinds
+//! `0xF0..=0xFF` are reserved for gateway→node control frames
+//! ([`DownlinkFrame`]), of which `0xF0`/`0xF1`/`0xF2` are assigned to
+//! cumulative ACKs, selective NACKs and controller directives. The
+//! handshake record leads with a [`PROTOCOL_VERSION`] byte so future
+//! wire changes are negotiable (typed
+//! [`WbsnError::UnsupportedVersion`]) instead of silently
+//! mis-decoding.
 
 use crate::monitor::MonitorConfig;
 use crate::payload::Payload;
@@ -54,6 +63,32 @@ pub const DEFAULT_MTU: usize = wbsn_platform::radio::frame::MAX_PAYLOAD;
 /// Kind byte of a session handshake message; payload messages carry
 /// their [`Payload`] tag (`0x01..=0x04`) instead.
 pub const KIND_HANDSHAKE: u8 = 0x00;
+/// Wire-protocol version this build speaks, announced as the first
+/// byte of every [`SessionHandshake`]. A gateway that receives a
+/// higher (or lower) version rejects the session with a typed
+/// [`WbsnError::UnsupportedVersion`] before creating any state.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// First kind byte of the reserved downlink/control range
+/// (`0xF0..=0xFF`). Uplink payload tags will never be assigned here,
+/// so a node can classify a packet by kind alone.
+pub const KIND_DOWNLINK_MIN: u8 = 0xF0;
+/// Downlink kind: cumulative acknowledgement ([`DownlinkFrame::Ack`]).
+pub const KIND_ACK: u8 = 0xF0;
+/// Downlink kind: cumulative ack + selective NACK
+/// ([`DownlinkFrame::Nack`]).
+pub const KIND_NACK: u8 = 0xF1;
+/// Downlink kind: link-controller directive
+/// ([`DownlinkFrame::Directive`]).
+pub const KIND_DIRECTIVE: u8 = 0xF2;
+/// Most missing-message ids one NACK frame carries; older gaps wait
+/// for the next pump so the downlink stays one packet per session per
+/// epoch.
+pub const NACK_MAX_MISSING: usize = 16;
+
+/// True for kind bytes in the reserved gateway→node control range.
+pub fn is_downlink_kind(kind: u8) -> bool {
+    kind >= KIND_DOWNLINK_MIN
+}
 
 /// Typed link-layer failures, shared by the node-side framer and the
 /// gateway-side reassembly (`wbsn-gateway`).
@@ -305,6 +340,10 @@ pub fn wire_bytes_for(payload_len: usize, mtu: usize) -> usize {
 /// reconstruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionHandshake {
+    /// Wire-protocol version ([`PROTOCOL_VERSION`]); encoded as the
+    /// first byte so a receiver can reject an unknown version before
+    /// trusting any other field.
+    pub version: u8,
     /// Session id.
     pub session: u64,
     /// Sampling rate per lead, Hz.
@@ -324,11 +363,12 @@ pub struct SessionHandshake {
 
 impl SessionHandshake {
     /// Encoded size in bytes.
-    pub const ENCODED_LEN: usize = 8 + 4 + 1 + 4 + 4 + 1 + 8;
+    pub const ENCODED_LEN: usize = 1 + 8 + 4 + 1 + 4 + 4 + 1 + 8;
 
     /// Builds the handshake for a session's configuration.
     pub fn for_config(session: u64, cfg: &MonitorConfig) -> Self {
         SessionHandshake {
+            version: PROTOCOL_VERSION,
             session,
             fs_hz: cfg.fs_hz,
             n_leads: cfg.n_leads.min(255) as u8,
@@ -342,6 +382,7 @@ impl SessionHandshake {
     /// Encodes to the fixed-size wire record.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        out.push(self.version);
         out.extend(self.session.to_le_bytes());
         out.extend(self.fs_hz.to_le_bytes());
         out.push(self.n_leads);
@@ -356,9 +397,26 @@ impl SessionHandshake {
     ///
     /// # Errors
     ///
-    /// [`WbsnError::Truncated`] / [`WbsnError::Malformed`] on bad
-    /// input, like [`Payload::decode`].
+    /// [`WbsnError::UnsupportedVersion`] when the leading version
+    /// byte is not [`PROTOCOL_VERSION`] — checked before any length
+    /// or field validation, since a future version may change the
+    /// record layout. Otherwise [`WbsnError::Truncated`] /
+    /// [`WbsnError::Malformed`] on bad input, like
+    /// [`Payload::decode`].
     pub fn decode(bytes: &[u8]) -> Result<SessionHandshake> {
+        let Some(&version) = bytes.first() else {
+            return Err(WbsnError::Truncated {
+                what: "session handshake",
+                needed: Self::ENCODED_LEN,
+                got: 0,
+            });
+        };
+        if version != PROTOCOL_VERSION {
+            return Err(WbsnError::UnsupportedVersion {
+                got: version,
+                supported: PROTOCOL_VERSION,
+            });
+        }
         if bytes.len() < Self::ENCODED_LEN {
             return Err(WbsnError::Truncated {
                 what: "session handshake",
@@ -373,14 +431,290 @@ impl SessionHandshake {
             });
         }
         Ok(SessionHandshake {
-            session: u64::from_le_bytes(le_array(bytes, 0)),
-            fs_hz: u32::from_le_bytes(le_array(bytes, 8)),
-            n_leads: bytes[12],
-            cs_window: u32::from_le_bytes(le_array(bytes, 13)),
-            cs_measurements: u32::from_le_bytes(le_array(bytes, 17)),
-            cs_d_per_col: bytes[21],
-            seed: u64::from_le_bytes(le_array(bytes, 22)),
+            version,
+            session: u64::from_le_bytes(le_array(bytes, 1)),
+            fs_hz: u32::from_le_bytes(le_array(bytes, 9)),
+            n_leads: bytes[13],
+            cs_window: u32::from_le_bytes(le_array(bytes, 14)),
+            cs_measurements: u32::from_le_bytes(le_array(bytes, 18)),
+            cs_d_per_col: bytes[22],
+            seed: u64::from_le_bytes(le_array(bytes, 23)),
         })
+    }
+}
+
+/// A control action the gateway's link controller asks the node to
+/// apply ([`DownlinkFrame::Directive`]). Applications happen at
+/// deterministic stream boundaries through
+/// [`DirectiveHandler`](crate::retransmit::DirectiveHandler), never
+/// mid-window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveAction {
+    /// Switch the CS compression ratio to `cr_x10 / 10` percent
+    /// (fixed-point so the wire stays integer; e.g. `659` = 65.9 %).
+    SetCr {
+        /// Compression ratio in tenths of a percent.
+        cr_x10: u16,
+    },
+    /// Switch the operating mode: `level` indexes
+    /// [`ProcessingLevel::ALL`](crate::level::ProcessingLevel::ALL),
+    /// `active_leads` is the powered lead count.
+    SetMode {
+        /// Index into the processing-level ladder.
+        level: u8,
+        /// Powered acquisition leads.
+        active_leads: u8,
+    },
+    /// Renegotiate the uplink MTU to `mtu` bytes per packet.
+    SetMtu {
+        /// New per-packet MTU in bytes.
+        mtu: u16,
+    },
+}
+
+// Wire tags of the directive actions.
+const DIRECTIVE_SET_CR: u8 = 0x01;
+const DIRECTIVE_SET_MODE: u8 = 0x02;
+const DIRECTIVE_SET_MTU: u8 = 0x03;
+
+/// One numbered directive: `directive_seq` increases per session so a
+/// node can drop duplicates and stale reorderings (latest wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectiveFrame {
+    /// Per-session directive sequence number.
+    pub directive_seq: u32,
+    /// The requested action.
+    pub action: DirectiveAction,
+}
+
+/// A gateway→node control frame, carried as a single-fragment
+/// [`LinkPacket`] whose kind byte is in the reserved downlink range
+/// (`0xF0..=0xFF`). The `msg_seq` field carries an independent
+/// per-session *downlink* sequence so the node-side channel replay
+/// stays deterministic; it does not interact with uplink sequencing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DownlinkFrame {
+    /// Cumulative acknowledgement: every uplink message with
+    /// `msg_seq < cum_ack` was delivered (or given up on) — the node
+    /// may drop them from its retransmit buffer.
+    Ack {
+        /// First sequence number not yet fully received.
+        cum_ack: u32,
+    },
+    /// Cumulative ack plus a bounded list of missing message ids past
+    /// it — the selective-retransmission request.
+    Nack {
+        /// First sequence number not yet fully received.
+        cum_ack: u32,
+        /// Missing ids in `cum_ack..` (ascending, at most
+        /// [`NACK_MAX_MISSING`]).
+        missing: Vec<u32>,
+    },
+    /// A link-controller directive ([`DirectiveFrame`]).
+    Directive(DirectiveFrame),
+}
+
+impl DownlinkFrame {
+    /// The kind byte this frame travels under.
+    pub fn kind(&self) -> u8 {
+        match self {
+            DownlinkFrame::Ack { .. } => KIND_ACK,
+            DownlinkFrame::Nack { .. } => KIND_NACK,
+            DownlinkFrame::Directive(_) => KIND_DIRECTIVE,
+        }
+    }
+
+    /// Encodes the frame body (everything inside the link packet).
+    pub fn encode_body(&self) -> Vec<u8> {
+        match self {
+            DownlinkFrame::Ack { cum_ack } => cum_ack.to_le_bytes().to_vec(),
+            DownlinkFrame::Nack { cum_ack, missing } => {
+                let n = missing.len().min(NACK_MAX_MISSING);
+                let mut out = Vec::with_capacity(5 + 4 * n);
+                out.extend(cum_ack.to_le_bytes());
+                out.push(n as u8);
+                for id in missing.iter().take(n) {
+                    out.extend(id.to_le_bytes());
+                }
+                out
+            }
+            DownlinkFrame::Directive(d) => {
+                let mut out = Vec::with_capacity(7);
+                out.extend(d.directive_seq.to_le_bytes());
+                match d.action {
+                    DirectiveAction::SetCr { cr_x10 } => {
+                        out.push(DIRECTIVE_SET_CR);
+                        out.extend(cr_x10.to_le_bytes());
+                    }
+                    DirectiveAction::SetMode {
+                        level,
+                        active_leads,
+                    } => {
+                        out.push(DIRECTIVE_SET_MODE);
+                        out.push(level);
+                        out.push(active_leads);
+                    }
+                    DirectiveAction::SetMtu { mtu } => {
+                        out.push(DIRECTIVE_SET_MTU);
+                        out.extend(mtu.to_le_bytes());
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Wraps the frame into a single-fragment [`LinkPacket`] for
+    /// `session` at downlink sequence `msg_seq`.
+    pub fn to_packet(&self, session: u64, msg_seq: u32) -> LinkPacket {
+        LinkPacket {
+            session,
+            msg_seq,
+            frag_index: 0,
+            frag_count: 1,
+            kind: self.kind(),
+            body: self.encode_body(),
+        }
+    }
+
+    /// Encodes straight to on-air bytes (packet header + CRC32).
+    pub fn to_wire(&self, session: u64, msg_seq: u32) -> Vec<u8> {
+        self.to_packet(session, msg_seq).encode()
+    }
+
+    /// Decodes a downlink frame out of a CRC-checked [`LinkPacket`].
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::BadHeader`] when the kind byte is not a known
+    /// downlink kind or the packet is fragmented;
+    /// [`WbsnError::Truncated`] / [`WbsnError::Malformed`] on body
+    /// length or field mismatches.
+    pub fn from_packet(pkt: &LinkPacket) -> Result<DownlinkFrame> {
+        if !is_downlink_kind(pkt.kind) {
+            return Err(LinkError::BadHeader {
+                detail: format!("kind {:#04x} is not a downlink frame", pkt.kind),
+            }
+            .into());
+        }
+        if pkt.frag_count != 1 {
+            return Err(LinkError::BadHeader {
+                detail: format!("downlink frame fragmented {}x", pkt.frag_count),
+            }
+            .into());
+        }
+        let body = &pkt.body;
+        let need = |needed: usize, what: &'static str| -> Result<()> {
+            if body.len() < needed {
+                Err(WbsnError::Truncated {
+                    what,
+                    needed,
+                    got: body.len(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match pkt.kind {
+            KIND_ACK => {
+                need(4, "ack frame")?;
+                if body.len() > 4 {
+                    return Err(WbsnError::Malformed {
+                        what: "ack frame",
+                        detail: format!("{} trailing bytes", body.len() - 4),
+                    });
+                }
+                Ok(DownlinkFrame::Ack {
+                    cum_ack: u32::from_le_bytes(le_array(body, 0)),
+                })
+            }
+            KIND_NACK => {
+                need(5, "nack frame")?;
+                let cum_ack = u32::from_le_bytes(le_array(body, 0));
+                let n = body[4] as usize;
+                if n > NACK_MAX_MISSING {
+                    return Err(WbsnError::Malformed {
+                        what: "nack frame",
+                        detail: format!("{n} missing ids exceed the cap {NACK_MAX_MISSING}"),
+                    });
+                }
+                let needed = 5 + 4 * n;
+                need(needed, "nack frame")?;
+                if body.len() > needed {
+                    return Err(WbsnError::Malformed {
+                        what: "nack frame",
+                        detail: format!("{} trailing bytes", body.len() - needed),
+                    });
+                }
+                let missing = (0..n)
+                    .map(|i| u32::from_le_bytes(le_array(body, 5 + 4 * i)))
+                    .collect();
+                Ok(DownlinkFrame::Nack { cum_ack, missing })
+            }
+            KIND_DIRECTIVE => {
+                need(5, "directive frame")?;
+                let directive_seq = u32::from_le_bytes(le_array(body, 0));
+                let (action, needed) = match body[4] {
+                    DIRECTIVE_SET_CR => {
+                        need(7, "directive frame")?;
+                        (
+                            DirectiveAction::SetCr {
+                                cr_x10: u16::from_le_bytes(le_array(body, 5)),
+                            },
+                            7,
+                        )
+                    }
+                    DIRECTIVE_SET_MODE => {
+                        need(7, "directive frame")?;
+                        (
+                            DirectiveAction::SetMode {
+                                level: body[5],
+                                active_leads: body[6],
+                            },
+                            7,
+                        )
+                    }
+                    DIRECTIVE_SET_MTU => {
+                        need(7, "directive frame")?;
+                        (
+                            DirectiveAction::SetMtu {
+                                mtu: u16::from_le_bytes(le_array(body, 5)),
+                            },
+                            7,
+                        )
+                    }
+                    other => {
+                        return Err(WbsnError::Malformed {
+                            what: "directive frame",
+                            detail: format!("unknown action tag {other:#04x}"),
+                        })
+                    }
+                };
+                if body.len() > needed {
+                    return Err(WbsnError::Malformed {
+                        what: "directive frame",
+                        detail: format!("{} trailing bytes", body.len() - needed),
+                    });
+                }
+                Ok(DownlinkFrame::Directive(DirectiveFrame {
+                    directive_seq,
+                    action,
+                }))
+            }
+            other => Err(WbsnError::Malformed {
+                what: "downlink frame",
+                detail: format!("reserved kind {other:#04x} is not assigned in this version"),
+            }),
+        }
+    }
+
+    /// Decodes a downlink frame from raw wire bytes (CRC-checked).
+    ///
+    /// # Errors
+    ///
+    /// As [`LinkPacket::decode`] and [`Self::from_packet`].
+    pub fn from_wire(bytes: &[u8]) -> Result<DownlinkFrame> {
+        DownlinkFrame::from_packet(&LinkPacket::decode(bytes)?)
     }
 }
 
@@ -436,6 +770,25 @@ impl LinkFramer {
     /// MTU in effect.
     pub fn mtu(&self) -> usize {
         self.mtu
+    }
+
+    /// Renegotiates the MTU mid-stream (a [`DirectiveAction::SetMtu`]
+    /// landing between messages). Already-framed packets are
+    /// untouched; the next message fragments at the new size.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] when `mtu` leaves no room for
+    /// body bytes; the framer is unchanged on error.
+    pub fn set_mtu(&mut self, mtu: usize) -> Result<()> {
+        if mtu <= LINK_OVERHEAD_BYTES {
+            return Err(WbsnError::InvalidParameter {
+                what: "mtu",
+                detail: format!("{mtu} does not exceed the packet overhead {LINK_OVERHEAD_BYTES}"),
+            });
+        }
+        self.mtu = mtu;
+        Ok(())
     }
 
     /// Sequence number the next message will carry.
@@ -661,6 +1014,64 @@ impl Uplink {
         Ok(())
     }
 
+    /// Frames one payload, returning the message sequence number it
+    /// was assigned — the handle a
+    /// [`RetransmitBuffer`](crate::retransmit::RetransmitBuffer)
+    /// records the packets under.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::frame`].
+    pub fn frame_one(
+        &mut self,
+        session: u64,
+        payload: &Payload,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<u32> {
+        let framer = self
+            .framers
+            .get_mut(&session)
+            .ok_or(WbsnError::UnknownSession { id: session })?;
+        let msg_seq = framer.frame_payload(payload, out)?;
+        self.payload_bytes += payload.byte_len() as u64;
+        Ok(msg_seq)
+    }
+
+    /// Re-announces a session's handshake mid-stream (after a CS
+    /// compression-ratio renegotiation the gateway must learn the new
+    /// measurement count before the next window arrives). The record
+    /// is framed as a regular in-sequence message, so ordering with
+    /// the surrounding payloads is preserved end to end.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for an unregistered session, plus
+    /// framing failures.
+    pub fn announce_handshake(
+        &mut self,
+        hs: &SessionHandshake,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<u32> {
+        let framer = self
+            .framers
+            .get_mut(&hs.session)
+            .ok_or(WbsnError::UnknownSession { id: hs.session })?;
+        framer.frame_handshake(hs, out)
+    }
+
+    /// Renegotiates one session's MTU ([`LinkFramer::set_mtu`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::UnknownSession`] for an unregistered session,
+    /// [`WbsnError::InvalidParameter`] for an unusable MTU.
+    pub fn set_mtu(&mut self, session: u64, mtu: usize) -> Result<()> {
+        self.framers
+            .get_mut(&session)
+            .ok_or(WbsnError::UnknownSession { id: session })?
+            .set_mtu(mtu)
+    }
+
     /// Frames a fleet ingestion result (the
     /// [`NodeFleet::ingest_batch`](crate::fleet::NodeFleet::ingest_batch)
     /// / [`ShardedFleet::ingest_batch`](crate::fleet::ShardedFleet::ingest_batch)
@@ -808,6 +1219,7 @@ mod tests {
     #[test]
     fn handshake_round_trips() {
         let hs = SessionHandshake {
+            version: PROTOCOL_VERSION,
             session: 11,
             fs_hz: 250,
             n_leads: 3,
@@ -826,9 +1238,118 @@ mod tests {
     }
 
     #[test]
+    fn unknown_protocol_version_is_rejected_before_anything_else() {
+        let hs = SessionHandshake::for_config(9, &crate::monitor::MonitorConfig::default());
+        let mut bytes = hs.encode();
+        bytes[0] = PROTOCOL_VERSION + 1;
+        // Version wins even over truncation: a future version may not
+        // share this record's length.
+        for cut in [bytes.len(), 10, 1] {
+            assert!(matches!(
+                SessionHandshake::decode(&bytes[..cut]),
+                Err(WbsnError::UnsupportedVersion {
+                    got,
+                    supported: PROTOCOL_VERSION,
+                }) if got == PROTOCOL_VERSION + 1
+            ));
+        }
+        assert!(matches!(
+            SessionHandshake::decode(&[]),
+            Err(WbsnError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn downlink_frames_round_trip() {
+        let frames = [
+            DownlinkFrame::Ack { cum_ack: 42 },
+            DownlinkFrame::Nack {
+                cum_ack: 7,
+                missing: vec![9, 11, 12],
+            },
+            DownlinkFrame::Nack {
+                cum_ack: 0,
+                missing: vec![],
+            },
+            DownlinkFrame::Directive(DirectiveFrame {
+                directive_seq: 3,
+                action: DirectiveAction::SetCr { cr_x10: 659 },
+            }),
+            DownlinkFrame::Directive(DirectiveFrame {
+                directive_seq: 4,
+                action: DirectiveAction::SetMode {
+                    level: 4,
+                    active_leads: 1,
+                },
+            }),
+            DownlinkFrame::Directive(DirectiveFrame {
+                directive_seq: 5,
+                action: DirectiveAction::SetMtu { mtu: 64 },
+            }),
+        ];
+        for (i, frame) in frames.iter().enumerate() {
+            let wire = frame.to_wire(17, i as u32);
+            let pkt = LinkPacket::decode(&wire).unwrap();
+            assert!(is_downlink_kind(pkt.kind), "{frame:?}");
+            assert_eq!(pkt.session, 17);
+            assert_eq!(pkt.msg_seq, i as u32);
+            assert_eq!(&DownlinkFrame::from_packet(&pkt).unwrap(), frame);
+        }
+        // Uplink kinds never parse as downlink frames.
+        let uplink = LinkPacket {
+            session: 1,
+            msg_seq: 0,
+            frag_index: 0,
+            frag_count: 1,
+            kind: 0x02,
+            body: vec![],
+        };
+        assert!(DownlinkFrame::from_packet(&uplink).is_err());
+    }
+
+    #[test]
+    fn nack_missing_list_is_capped_on_both_sides() {
+        let frame = DownlinkFrame::Nack {
+            cum_ack: 1,
+            missing: (0..40).collect(),
+        };
+        let body = frame.encode_body();
+        assert_eq!(body[4] as usize, NACK_MAX_MISSING);
+        assert_eq!(body.len(), 5 + 4 * NACK_MAX_MISSING);
+        // A forged over-cap count is rejected.
+        let mut pkt = frame.to_packet(1, 0);
+        pkt.body[4] = (NACK_MAX_MISSING + 1) as u8;
+        assert!(matches!(
+            DownlinkFrame::from_packet(&pkt),
+            Err(WbsnError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn mtu_renegotiation_applies_to_the_next_message() {
+        let mut uplink = Uplink::new();
+        let hs = SessionHandshake::for_config(4, &crate::monitor::MonitorConfig::default());
+        let mut packets = Vec::new();
+        uplink.open_session(&hs, &mut packets).unwrap();
+        assert!(uplink.set_mtu(4, LINK_OVERHEAD_BYTES).is_err());
+        assert!(matches!(
+            uplink.set_mtu(99, 64),
+            Err(WbsnError::UnknownSession { id: 99 })
+        ));
+        uplink.set_mtu(4, 40).unwrap(); // 17-byte bodies
+        packets.clear();
+        let p = sample_payload();
+        let seq = uplink.frame_one(4, &p, &mut packets).unwrap();
+        assert_eq!(seq, 1); // message 0 was the handshake
+        assert_eq!(packets.len(), fragments_for(p.byte_len(), 40));
+        assert!(packets.iter().all(|b| b.len() <= 40));
+    }
+
+    #[test]
     fn uplink_tracks_sessions_and_bytes() {
         let mut uplink = Uplink::new();
         let hs = SessionHandshake {
+            version: PROTOCOL_VERSION,
             session: 5,
             fs_hz: 250,
             n_leads: 3,

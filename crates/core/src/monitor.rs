@@ -436,6 +436,39 @@ impl CardiacMonitor {
         Ok(self.sink.drain())
     }
 
+    /// Renegotiates the CS compression ratio live — the application
+    /// path of a gateway
+    /// [`DirectiveAction::SetCr`](crate::link::DirectiveAction::SetCr).
+    /// Unlike [`Self::switch_mode`] this does **not** rebuild the
+    /// stage: the window length is unchanged, so the current stage
+    /// swaps its per-lead sensing matrices in place, keeps any
+    /// partially buffered window, and continues the `window_seq`
+    /// numbering — the gateway's reference alignment survives the
+    /// switch, it just needs the re-announced handshake
+    /// ([`Uplink::announce_handshake`](crate::link::Uplink::announce_handshake))
+    /// to regenerate Φ at the new measurement count.
+    ///
+    /// Returns `true` when the running stage compresses and applied
+    /// the ratio now; `false` when it does not (the ratio still lands
+    /// in the configuration, so a later switch to a CS level uses
+    /// it).
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] for a ratio outside `[0, 100)`
+    /// (the session is untouched on error).
+    pub fn switch_cs_cr(&mut self, cr_percent: f64) -> Result<bool> {
+        if !(0.0..100.0).contains(&cr_percent) {
+            return Err(WbsnError::InvalidParameter {
+                what: "cs_cr_percent",
+                detail: format!("{cr_percent} outside [0, 100)"),
+            });
+        }
+        let applied = self.stage.renegotiate_cs_cr(cr_percent)?;
+        self.cfg.cs_cr_percent = cr_percent;
+        Ok(applied)
+    }
+
     /// Switches the processing level, keeping the powered lead count —
     /// see [`Self::switch_mode`] for the boundary semantics.
     ///
@@ -590,6 +623,60 @@ mod tests {
         let mut m = MonitorBuilder::new().level(level).build().unwrap();
         let p = m.process_record(&rec).unwrap();
         (p, m.counters())
+    }
+
+    #[test]
+    fn switch_cs_cr_preserves_window_seq_and_partial_buffers() {
+        let mut m = MonitorBuilder::new()
+            .level(ProcessingLevel::CompressedSingleLead)
+            .n_leads(1)
+            .cs_window(256)
+            .cs_compression_ratio(50.0)
+            .build()
+            .unwrap();
+        // One full window at CR 50, then half a window, then the
+        // switch, then the other half: the straddling window must
+        // still come out — numbered 1 — at the new measurement count.
+        let mut out = m.push_block(&vec![7i32; 256], 256).unwrap();
+        out.extend(m.push_block(&vec![7i32; 128], 128).unwrap());
+        assert!(m.switch_cs_cr(65.9).unwrap());
+        assert!((m.config().cs_cr_percent - 65.9).abs() < 1e-12);
+        out.extend(m.push_block(&vec![7i32; 128], 128).unwrap());
+        let meta: Vec<(u32, usize)> = out
+            .iter()
+            .map(|p| match p {
+                Payload::CsWindow {
+                    window_seq,
+                    measurements,
+                    ..
+                } => (*window_seq, measurements.len()),
+                other => panic!("unexpected payload {other:?}"),
+            })
+            .collect();
+        let m50 = wbsn_cs::measurements_for_cr(256, 50.0);
+        let m659 = wbsn_cs::measurements_for_cr(256, 65.9);
+        assert_eq!(meta, vec![(0, m50), (1, m659)]);
+        // Out-of-range ratios leave the session untouched.
+        assert!(m.switch_cs_cr(100.0).is_err());
+        assert!((m.config().cs_cr_percent - 65.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switch_cs_cr_on_a_non_cs_stage_only_updates_config() {
+        let mut m = MonitorBuilder::new()
+            .level(ProcessingLevel::Classified)
+            .build()
+            .unwrap();
+        assert!(!m.switch_cs_cr(50.0).unwrap());
+        assert!((m.config().cs_cr_percent - 50.0).abs() < 1e-12);
+        // A later switch down to a CS level builds at the new ratio.
+        m.switch_level(ProcessingLevel::CompressedSingleLead)
+            .unwrap();
+        let hs = crate::link::SessionHandshake::for_config(1, m.config());
+        assert_eq!(
+            hs.cs_measurements as usize,
+            wbsn_cs::measurements_for_cr(m.config().cs_window, 50.0)
+        );
     }
 
     #[test]

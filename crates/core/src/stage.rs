@@ -207,6 +207,21 @@ pub trait PipelineStage: core::fmt::Debug + Send {
     /// Stage-specific work performed so far (the engine fills in the
     /// frame/byte totals it tracks itself).
     fn activity(&self) -> ActivityCounters;
+
+    /// Renegotiates the stage's CS compression ratio **in place**,
+    /// preserving buffered samples and the window sequence counter —
+    /// the [`crate::link::DirectiveAction::SetCr`] application path.
+    /// Returns `Ok(true)` when the stage compresses and applied the
+    /// change, `Ok(false)` when the ratio does not apply to this
+    /// stage (nothing happens). The default is the latter.
+    ///
+    /// # Errors
+    ///
+    /// Stage-specific validation/construction failures; the stage
+    /// must be unchanged on error.
+    fn renegotiate_cs_cr(&mut self, _cr_percent: f64) -> Result<bool> {
+        Ok(false)
+    }
 }
 
 fn check_leads(n_leads: usize) -> Result<()> {
@@ -337,6 +352,10 @@ impl PipelineStage for RawForwarder {
 #[derive(Debug)]
 pub struct CsStage {
     window: usize,
+    // Kept so a mid-stream CR renegotiation can rebuild the encoders
+    // with the same geometry and seed derivation.
+    d_per_col: usize,
+    seed: u64,
     encoders: Vec<CsEncoder>,
     buffers: Vec<Vec<i32>>,
     // Reused measurement buffer shared by every lead's encode, so the
@@ -385,6 +404,8 @@ impl CsStage {
             .collect::<core::result::Result<Vec<_>, _>>()?;
         Ok(CsStage {
             window,
+            d_per_col,
+            seed,
             encoders,
             buffers: vec![Vec::with_capacity(window); n_leads],
             y_scratch: Vec::with_capacity(m),
@@ -421,6 +442,30 @@ impl CsStage {
 impl PipelineStage for CsStage {
     fn name(&self) -> &'static str {
         "cs-encoder"
+    }
+
+    fn renegotiate_cs_cr(&mut self, cr_percent: f64) -> Result<bool> {
+        if !(0.0..100.0).contains(&cr_percent) {
+            return Err(WbsnError::InvalidParameter {
+                what: "cs_cr_percent",
+                detail: format!("{cr_percent} outside [0, 100)"),
+            });
+        }
+        let m = measurements_for_cr(self.window, cr_percent);
+        // Build every new encoder before touching the stage, so a
+        // failing construction leaves the old ratio running. The
+        // window length is unchanged, so partially filled buffers stay
+        // valid — Φ is only applied at emission — and `window_seq`
+        // continues uninterrupted: the switch is invisible except for
+        // the measurement count of subsequent windows.
+        let encoders = (0..self.encoders.len())
+            .map(|l| CsEncoder::for_lead(self.window, m, self.d_per_col, self.seed, l as u8))
+            .collect::<core::result::Result<Vec<_>, _>>()?;
+        self.encoders = encoders;
+        if self.y_scratch.capacity() < m {
+            self.y_scratch.reserve(m - self.y_scratch.capacity());
+        }
+        Ok(true)
     }
 
     fn push_frame(&mut self, frame: &[i32], sink: &mut PayloadSink) -> Result<()> {

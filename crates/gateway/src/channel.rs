@@ -125,6 +125,27 @@ impl LossyChannel {
         self.stats
     }
 
+    /// Re-scripts the drop probability mid-run — how the closed-loop
+    /// acceptance scenario ramps a channel from clean to degraded and
+    /// back, deterministically: the RNG stream and every other
+    /// impairment are untouched, only the per-packet drop threshold
+    /// moves.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] for a rate outside `[0, 1]`
+    /// (the channel is unchanged on error).
+    pub fn set_drop_rate(&mut self, drop_rate: f64) -> Result<()> {
+        if !(0.0..=1.0).contains(&drop_rate) {
+            return Err(WbsnError::InvalidParameter {
+                what: "channel rate",
+                detail: format!("drop_rate = {drop_rate} outside [0, 1]"),
+            });
+        }
+        self.cfg.drop_rate = drop_rate;
+        Ok(())
+    }
+
     /// Offers one packet to the channel; returns the packets delivered
     /// *now* (possibly none — dropped or held back — and possibly
     /// several, when held packets become due).
@@ -200,6 +221,79 @@ impl LossyChannel {
                 out.push(p);
             }
         }
+    }
+}
+
+/// Seed salt deriving the downlink RNG stream from an uplink seed
+/// (odd golden-ratio constant, so up/down streams never collide).
+const DOWNLINK_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A bidirectional link: two independently seeded [`LossyChannel`]s,
+/// one per direction, so the ACK/NACK/directive downlink suffers the
+/// same class of impairments as the uplink — and the whole
+/// closed-loop exchange still replays bit-identically per seed.
+///
+/// ```
+/// use wbsn_gateway::channel::{ChannelConfig, DuplexChannel};
+///
+/// let mut link = DuplexChannel::symmetric(ChannelConfig::lossy(7)).unwrap();
+/// let up = link.up().send_all(vec![vec![1u8; 32]]);
+/// let down = link.down().send_all(vec![vec![2u8; 24]]);
+/// assert!(up.len() + down.len() <= 2);
+/// ```
+#[derive(Debug)]
+pub struct DuplexChannel {
+    up: LossyChannel,
+    down: LossyChannel,
+}
+
+impl DuplexChannel {
+    /// Duplex link with independent per-direction configurations.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] for rates outside `[0, 1]`.
+    pub fn new(up: ChannelConfig, down: ChannelConfig) -> Result<Self> {
+        Ok(DuplexChannel {
+            up: LossyChannel::new(up)?,
+            down: LossyChannel::new(down)?,
+        })
+    }
+
+    /// Duplex link with the same impairment rates both ways; the
+    /// downlink RNG stream is derived from `cfg.seed` by a fixed salt
+    /// so the directions are decorrelated but jointly replayable from
+    /// the one seed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    pub fn symmetric(cfg: ChannelConfig) -> Result<Self> {
+        let down = ChannelConfig {
+            seed: cfg.seed ^ DOWNLINK_SEED_SALT,
+            ..cfg
+        };
+        DuplexChannel::new(cfg, down)
+    }
+
+    /// The node→gateway direction.
+    pub fn up(&mut self) -> &mut LossyChannel {
+        &mut self.up
+    }
+
+    /// The gateway→node direction.
+    pub fn down(&mut self) -> &mut LossyChannel {
+        &mut self.down
+    }
+
+    /// Uplink traffic statistics.
+    pub fn up_stats(&self) -> ChannelStats {
+        self.up.stats()
+    }
+
+    /// Downlink traffic statistics.
+    pub fn down_stats(&self) -> ChannelStats {
+        self.down.stats()
     }
 }
 
@@ -312,5 +406,50 @@ mod tests {
         let mut cfg = ChannelConfig::ideal();
         cfg.corrupt_rate = -0.1;
         assert!(LossyChannel::new(cfg).is_err());
+    }
+
+    #[test]
+    fn ramping_the_drop_rate_is_deterministic_and_validated() {
+        let run = || {
+            let mut ch = LossyChannel::new(ChannelConfig::ideal()).unwrap();
+            let mut out = Vec::new();
+            for step in 0..4u64 {
+                ch.set_drop_rate(step as f64 * 0.25).unwrap();
+                out.extend(ch.send_all(packets(16)));
+            }
+            (out, ch.stats().dropped)
+        };
+        let (a, dropped_a) = run();
+        let (b, dropped_b) = run();
+        assert_eq!(a, b, "a scripted ramp must replay bit-identically");
+        assert_eq!(dropped_a, dropped_b);
+        assert!(dropped_a > 0, "the degraded steps must actually drop");
+
+        let mut ch = LossyChannel::new(ChannelConfig::ideal()).unwrap();
+        assert!(ch.set_drop_rate(1.01).is_err());
+        assert!(ch.set_drop_rate(-0.5).is_err());
+        assert_eq!(ch.config().drop_rate, 0.0, "rejected rates leave config");
+    }
+
+    #[test]
+    fn duplex_directions_are_decorrelated_but_jointly_replayable() {
+        let run = || {
+            let mut link = DuplexChannel::symmetric(ChannelConfig {
+                drop_rate: 0.3,
+                ..ChannelConfig::lossy(11)
+            })
+            .unwrap();
+            let up = link.up().send_all(packets(64));
+            let down = link.down().send_all(packets(64));
+            (up, down)
+        };
+        let (up_a, down_a) = run();
+        let (up_b, down_b) = run();
+        assert_eq!(up_a, up_b);
+        assert_eq!(down_a, down_b);
+        assert_ne!(
+            up_a, down_a,
+            "the directions fed identical traffic must impair differently"
+        );
     }
 }

@@ -32,6 +32,16 @@ pub enum SessionItem {
         /// Number of consecutive lost messages.
         count: u32,
     },
+    /// A previously [`Lost`](SessionItem::Lost) message recovered from
+    /// a retransmission. Out of sequence order by construction: the
+    /// in-order stream already moved past it, so consumers must slot
+    /// it back by `msg_seq`, not append it.
+    Recovered {
+        /// Message sequence number it travelled under.
+        msg_seq: u32,
+        /// The recovered payload.
+        payload: Payload,
+    },
     /// A message that reassembled but failed to decode (truncated or
     /// malformed sender output). Carried as an item rather than an
     /// error so one bad message never discards the valid messages
@@ -66,9 +76,21 @@ impl SessionDecoder {
     ///
     /// [`WbsnError::InvalidParameter`] for a zero window.
     pub fn with_window(session: u64, window: u32) -> Result<Self> {
+        SessionDecoder::with_windows(session, window, 0)
+    }
+
+    /// Decoder with explicit reorder and recovery windows (see
+    /// [`Reassembler::with_windows`]); `recovery > 0` lets NACK-driven
+    /// retransmissions of declared-lost messages surface as
+    /// [`SessionItem::Recovered`] instead of being dropped stale.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] for a zero reorder window.
+    pub fn with_windows(session: u64, window: u32, recovery: u32) -> Result<Self> {
         Ok(SessionDecoder {
             session,
-            reassembler: Reassembler::with_window(window)?,
+            reassembler: Reassembler::with_windows(window, recovery)?,
         })
     }
 
@@ -80,6 +102,13 @@ impl SessionDecoder {
     /// Reassembly counters.
     pub fn stats(&self) -> ReassemblyStats {
         self.reassembler.stats()
+    }
+
+    /// Sequence number of the next in-order message to release —
+    /// every message below it has been released, recovered, or
+    /// declared lost.
+    pub fn next_seq(&self) -> u32 {
+        self.reassembler.next_seq()
     }
 
     /// Accepts one CRC-verified packet, appending every item that
@@ -123,6 +152,20 @@ impl SessionDecoder {
                     kind,
                     bytes,
                 } => out.push(Self::decode_message(msg_seq, kind, &bytes)),
+                LinkEvent::Recovered {
+                    msg_seq,
+                    kind,
+                    bytes,
+                } => out.push(match Self::decode_message(msg_seq, kind, &bytes) {
+                    // A recovered payload must stay distinguishable:
+                    // it is out of order relative to the released
+                    // stream. A recovered handshake or reject carries
+                    // that fact in its own variant already.
+                    SessionItem::Payload { msg_seq, payload } => {
+                        SessionItem::Recovered { msg_seq, payload }
+                    }
+                    other => other,
+                }),
             }
         }
     }
@@ -154,6 +197,7 @@ mod tests {
     #[test]
     fn decodes_handshake_then_payloads_in_order() {
         let hs = SessionHandshake {
+            version: wbsn_core::link::PROTOCOL_VERSION,
             session: 9,
             fs_hz: 250,
             n_leads: 3,

@@ -28,7 +28,9 @@ use wbsn_core::link::SessionHandshake;
 use wbsn_core::WbsnError;
 
 use crate::cache::{MatrixCache, MatrixCacheStats};
-use crate::gateway::{Gateway, GatewayConfig, GatewayEvent, GatewayStats, RhythmState};
+use crate::gateway::{
+    Gateway, GatewayConfig, GatewayEvent, GatewayStats, RhythmState, SessionReport,
+};
 use crate::Result;
 
 use super::router::GatewayRouter;
@@ -47,10 +49,12 @@ enum GwCmd {
         samples: Vec<f64>,
     },
     FlushAll,
+    PumpDownlink,
     Close {
         session: u64,
     },
     Stats,
+    SessionReports,
     Rhythm {
         session: u64,
     },
@@ -73,8 +77,10 @@ enum GwReply {
     Registered(Result<()>),
     ReferenceAttached(Result<()>),
     Flushed(Vec<(u64, Vec<GatewayEvent>)>),
+    Pumped(Vec<(u64, Vec<Vec<u8>>)>),
     Closed(Option<Vec<GatewayEvent>>),
     Stats(GatewayStats),
+    SessionReports(Vec<SessionReport>),
     Rhythm(Option<RhythmState>),
     Handshake(Option<SessionHandshake>),
     Windows(Vec<(u32, Vec<f64>)>),
@@ -101,8 +107,10 @@ fn worker_loop(mut gw: Gateway, cmds: Receiver<GwCmd>, replies: Sender<GwReply>)
                 samples,
             } => GwReply::ReferenceAttached(gw.attach_reference(session, lead, samples)),
             GwCmd::FlushAll => GwReply::Flushed(gw.flush_sessions_tagged()),
+            GwCmd::PumpDownlink => GwReply::Pumped(gw.pump_downlink()),
             GwCmd::Close { session } => GwReply::Closed(gw.close_session(session)),
             GwCmd::Stats => GwReply::Stats(gw.stats()),
+            GwCmd::SessionReports => GwReply::SessionReports(gw.session_reports()),
             GwCmd::Rhythm { session } => GwReply::Rhythm(gw.rhythm(session).cloned()),
             GwCmd::Handshake { session } => GwReply::Handshake(gw.handshake(session).copied()),
             GwCmd::Windows { session, lead } => GwReply::Windows(
@@ -409,6 +417,81 @@ impl ShardedGateway {
         Ok(out)
     }
 
+    /// One downlink pump across every worker, merged in ascending
+    /// session-id order — byte-identical to
+    /// [`Gateway::pump_downlink`] on a sequential gateway fed the
+    /// same packets, for any worker count (each session's feedback
+    /// state lives wholly on its owning worker, so the per-session
+    /// frame streams cannot interleave differently).
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead worker.
+    #[allow(clippy::type_complexity)]
+    pub fn pump_downlink(&mut self) -> Result<Vec<(u64, Vec<Vec<u8>>)>> {
+        let (dispatched, mut lost) = self.broadcast(|| GwCmd::PumpDownlink);
+        let mut out: Vec<(u64, Vec<Vec<u8>>)> = Vec::new();
+        for shard in dispatched {
+            match self.recv(shard) {
+                Ok(GwReply::Pumped(frames)) => out.extend(frames),
+                Ok(_) => {
+                    lost.get_or_insert(WbsnError::WorkerLost { shard });
+                }
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = lost {
+            return Err(e);
+        }
+        // Ascending id = the sequential gateway's pump order.
+        out.sort_unstable_by_key(|(id, _)| *id);
+        Ok(out)
+    }
+
+    /// Link-health report of one session — see
+    /// [`Gateway::session_report`].
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead worker.
+    pub fn session_report(&self, session: u64) -> Result<Option<SessionReport>> {
+        Ok(self
+            .session_reports()?
+            .into_iter()
+            .find(|r| r.session == session))
+    }
+
+    /// Link-health reports of every session across all workers, ids
+    /// ascending — identical to [`Gateway::session_reports`].
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] for a dead worker.
+    pub fn session_reports(&self) -> Result<Vec<SessionReport>> {
+        let (dispatched, mut lost) = self.broadcast(|| GwCmd::SessionReports);
+        let mut all = Vec::new();
+        for shard in dispatched {
+            match self.recv(shard) {
+                Ok(GwReply::SessionReports(reports)) => all.extend(reports),
+                Ok(_) => {
+                    lost.get_or_insert(WbsnError::WorkerLost { shard });
+                }
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        match lost {
+            Some(e) => Err(e),
+            None => {
+                all.sort_unstable_by_key(|r| r.session);
+                Ok(all)
+            }
+        }
+    }
+
     /// Closes one session on its worker — see
     /// [`Gateway::close_session`].
     ///
@@ -442,6 +525,11 @@ impl ShardedGateway {
                     total.items_rejected += s.items_rejected;
                     total.payloads += s.payloads;
                     total.messages_lost += s.messages_lost;
+                    total.messages_recovered += s.messages_recovered;
+                    total.acks_sent += s.acks_sent;
+                    total.nacks_sent += s.nacks_sent;
+                    total.retransmits_requested += s.retransmits_requested;
+                    total.directives_issued += s.directives_issued;
                     total.windows_reconstructed += s.windows_reconstructed;
                     total.solver_iters += s.solver_iters;
                 }

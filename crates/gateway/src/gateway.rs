@@ -26,11 +26,14 @@
 //! whole node→channel→gateway path bit-identically.
 
 use crate::cache::{MatrixCache, MatrixCacheStats, MatrixKey};
+use crate::controller::{ControllerConfig, LinkController};
 use crate::decoder::{SessionDecoder, SessionItem};
 use crate::Result;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use wbsn_core::link::{LinkError, LinkPacket, SessionHandshake};
+use wbsn_core::link::{
+    DirectiveFrame, DownlinkFrame, LinkError, LinkPacket, SessionHandshake, NACK_MAX_MISSING,
+};
 use wbsn_core::{Payload, WbsnError};
 use wbsn_cs::encoder::CsEncoder;
 use wbsn_cs::omp::{Omp, OmpConfig};
@@ -63,6 +66,19 @@ pub struct GatewayConfig {
     /// that quality is unaffected — exposed so benches can measure
     /// the cold baseline. Ignored by the OMP solver.
     pub warm_start: bool,
+    /// Recovery window of each session's reassembler: how many of the
+    /// most recently declared-lost sequence numbers stay eligible for
+    /// late recovery from NACK-driven retransmissions. Zero (the
+    /// default) disables both recovery *and* selective NACKs —
+    /// [`Gateway::pump_downlink`] then emits pure cumulative ACKs,
+    /// and the gateway behaves exactly as before the downlink existed.
+    pub recovery_window: u32,
+    /// Adaptive CR policy. `None` (the default) means no directives
+    /// are ever issued; `Some` gives every session a
+    /// [`LinkController`] that turns measured PRD/loss into
+    /// [`DirectiveAction::SetCr`](wbsn_core::link::DirectiveAction)
+    /// downlink frames at pump time.
+    pub controller: Option<ControllerConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -86,6 +102,8 @@ impl Default for GatewayConfig {
             }),
             reconstruct_cs: true,
             warm_start: true,
+            recovery_window: 0,
+            controller: None,
         }
     }
 }
@@ -167,6 +185,15 @@ pub enum GatewayEvent {
         /// Number of consecutive lost messages.
         count: u32,
     },
+    /// A previously lost message was recovered from a NACK-driven
+    /// retransmission and processed. It is out of sequence order by
+    /// construction — the in-order stream already moved past it.
+    MessageRecovered {
+        /// The session.
+        session: u64,
+        /// Recovered sequence number.
+        msg_seq: u32,
+    },
     /// A message reassembled but could not be decoded or processed
     /// (malformed sender output, or a CS window with no handshake to
     /// regenerate Φ from). Carried as an event so the valid messages
@@ -198,6 +225,17 @@ pub struct GatewayStats {
     pub payloads: u64,
     /// Messages proven lost across all sessions.
     pub messages_lost: u64,
+    /// Lost messages later recovered from retransmissions.
+    pub messages_recovered: u64,
+    /// Cumulative-ACK downlink frames emitted.
+    pub acks_sent: u64,
+    /// Selective-NACK downlink frames emitted.
+    pub nacks_sent: u64,
+    /// Individual message retransmissions requested across all NACKs
+    /// (repeat requests for the same stubborn sequence count again).
+    pub retransmits_requested: u64,
+    /// Adaptive-CR directives issued across all sessions.
+    pub directives_issued: u64,
     /// CS windows reconstructed.
     pub windows_reconstructed: u64,
     /// FISTA iterations spent across all reconstructions (0 under the
@@ -207,10 +245,108 @@ pub struct GatewayStats {
     pub solver_iters: u64,
 }
 
+/// Minimum pumps between repeat NACKs for the same missing sequence:
+/// the node resends on every request it hears, so re-asking every
+/// pump would burn its bounded retry budget before the first resend
+/// had a chance to arrive.
+const RENACK_INTERVAL_PUMPS: u64 = 2;
+
+/// Retransmission requests per missing sequence before the gateway
+/// gives up on it — the cumulative ACK then advances past the hole so
+/// neither side keeps state for an unrecoverable message.
+const MAX_RETRANSMIT_REQUESTS: u32 = 6;
+
+/// Request history of one still-missing sequence number.
+#[derive(Debug, Clone, Copy)]
+struct MissingState {
+    requests: u32,
+    last_pump: u64,
+}
+
+/// Per-session downlink feedback state: what is missing, what was
+/// already asked for, and the observation accumulators the adaptive
+/// controller reads at pump time.
+#[derive(Debug, Default)]
+struct LinkFeedback {
+    /// Still-missing sequence numbers → request history; bounded by
+    /// the configured recovery window, oldest evicted.
+    missing: BTreeMap<u32, MissingState>,
+    pump_idx: u64,
+    downlink_seq: u32,
+    directive_seq: u32,
+    acks_sent: u64,
+    nacks_sent: u64,
+    retransmits_requested: u64,
+    recovered: u64,
+    directives_issued: u64,
+    // Observations since the last pump.
+    prd_sum: f64,
+    prd_count: u64,
+    delivered_since: u64,
+    lost_since: u64,
+}
+
+impl LinkFeedback {
+    /// Records a lost run as retransmission candidates, keeping the
+    /// newest `bound` missing sequences (zero disables NACKs).
+    fn note_lost(&mut self, first_seq: u32, count: u32, bound: u32) {
+        self.lost_since += u64::from(count);
+        if bound == 0 || count == 0 {
+            return;
+        }
+        let end = u64::from(first_seq) + u64::from(count); // exclusive
+        let start = end - u64::from(count.min(bound));
+        for s in start..end {
+            self.missing.insert(
+                s as u32,
+                MissingState {
+                    requests: 0,
+                    last_pump: 0,
+                },
+            );
+        }
+        while self.missing.len() > bound as usize {
+            self.missing.pop_first();
+        }
+    }
+}
+
+/// Per-session link-health report (see [`Gateway::session_report`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// The session.
+    pub session: u64,
+    /// Messages released in order.
+    pub messages: u64,
+    /// Messages declared lost on the uplink.
+    pub lost: u64,
+    /// Lost messages later recovered from retransmissions.
+    pub recovered: u64,
+    /// Unrecovered loss as a fraction of all resolved messages
+    /// (`(lost − recovered) / (messages + lost)`), 0 for an idle
+    /// session.
+    pub loss_rate: f64,
+    /// Cumulative-ACK frames sent to this session.
+    pub acks_sent: u64,
+    /// Selective-NACK frames sent to this session.
+    pub nacks_sent: u64,
+    /// Individual retransmissions requested (repeats count).
+    pub retransmits_requested: u64,
+    /// Adaptive-CR directives issued to this session.
+    pub directives_issued: u64,
+    /// Sequence numbers currently missing and still being chased.
+    pub missing_now: u64,
+    /// Compression ratio of the installed handshake (percent), when
+    /// the session is open.
+    pub cr_percent: Option<f64>,
+}
+
 #[derive(Debug)]
 struct SessionState {
     decoder: SessionDecoder,
     handshake: Option<SessionHandshake>,
+    feedback: LinkFeedback,
+    controller: Option<LinkController>,
     rhythm: RhythmState,
     // Per-lead CS encoders, shared out of the gateway's MatrixCache
     // on first use (lead l seeds with seed + l, matching the node's
@@ -241,10 +377,12 @@ impl SessionState {
         self.handshake = Some(hs);
     }
 
-    fn new(session: u64, window: u32) -> Result<Self> {
+    fn new(session: u64, window: u32, recovery: u32) -> Result<Self> {
         Ok(SessionState {
-            decoder: SessionDecoder::with_window(session, window)?,
+            decoder: SessionDecoder::with_windows(session, window, recovery)?,
             handshake: None,
+            feedback: LinkFeedback::default(),
+            controller: None,
             rhythm: RhythmState::default(),
             encoders: Vec::new(),
             fista: Vec::new(),
@@ -352,19 +490,26 @@ impl Gateway {
     /// Opens (or re-opens) a session out of band (control plane), as
     /// an alternative to the in-band handshake message. Re-registering
     /// an existing session resets its link stream — fresh reassembler
-    /// at sequence 0, cleared CS state — which is how a node restart
-    /// (whose framer restarts at message 0) is recovered: without it,
-    /// a long-lived reassembler would treat the reborn stream as stale
-    /// stragglers forever. The rhythm/alert history is kept (it is an
-    /// audit log of the subject, not of the link).
+    /// at sequence 0, cleared CS state, and **cleared downlink
+    /// feedback** (missing set, downlink sequence, controller): stale
+    /// NACK state must never ask a rebooted node (whose retransmit
+    /// buffer is empty) for messages of its previous life, and the
+    /// reborn stream's sequence numbers must not collide with old
+    /// recovery bookkeeping. Without the reset, a long-lived
+    /// reassembler would treat the reborn stream as stale stragglers
+    /// forever. The rhythm/alert history is kept (it is an audit log
+    /// of the subject, not of the link).
     ///
     /// # Errors
     ///
     /// Propagates decoder construction failures.
     pub fn register(&mut self, hs: SessionHandshake) -> Result<()> {
         let window = self.cfg.reorder_window;
+        let recovery = self.cfg.recovery_window;
         let state = self.session_state(hs.session)?;
-        state.decoder = SessionDecoder::with_window(hs.session, window)?;
+        state.decoder = SessionDecoder::with_windows(hs.session, window, recovery)?;
+        state.feedback = LinkFeedback::default();
+        state.controller = None;
         state.install_handshake(hs);
         Ok(())
     }
@@ -482,6 +627,149 @@ impl Gateway {
             .collect()
     }
 
+    /// One downlink pump: for every session (ids ascending) emits the
+    /// feedback frames the node should hear *now*, as raw wire bytes
+    /// ready for the return channel.
+    ///
+    /// * Always one [`DownlinkFrame::Ack`] or [`DownlinkFrame::Nack`]
+    ///   carrying the cumulative ACK — the lowest still-missing
+    ///   sequence when one exists, else the reassembler's in-order
+    ///   cursor, so the node never trims a message the gateway may yet
+    ///   ask for. NACKs list up to [`NACK_MAX_MISSING`] missing
+    ///   sequences, pacing repeats (`RENACK_INTERVAL_PUMPS` pumps
+    ///   apart, capped at `MAX_RETRANSMIT_REQUESTS` per sequence —
+    ///   then the gateway gives the sequence up and the ACK advances
+    ///   past the hole).
+    /// * When a [`ControllerConfig`] is configured and the session is
+    ///   open, the per-session [`LinkController`] reads the window's
+    ///   observations (mean PRD, loss rate) and may append one
+    ///   [`DownlinkFrame::Directive`].
+    ///
+    /// Deterministic: same ingest history, same pump cadence → the
+    /// same frames, bit for bit. The sharded gateway merges its
+    /// workers' pumps by ascending session id into the identical
+    /// sequence.
+    pub fn pump_downlink(&mut self) -> Vec<(u64, Vec<Vec<u8>>)> {
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        let controller_cfg = self.cfg.controller.clone();
+        let mut out = Vec::new();
+        for id in ids {
+            let Some(state) = self.sessions.get_mut(&id) else {
+                continue;
+            };
+            let fb = &mut state.feedback;
+            fb.pump_idx += 1;
+            let pump = fb.pump_idx;
+            // Give up on sequences already asked for too often.
+            fb.missing
+                .retain(|_, m| m.requests < MAX_RETRANSMIT_REQUESTS);
+            let cum_ack = fb
+                .missing
+                .first_key_value()
+                .map(|(&s, _)| s)
+                .unwrap_or_else(|| state.decoder.next_seq());
+            let mut request: Vec<u32> = Vec::new();
+            for (&seq, m) in fb.missing.iter_mut() {
+                if request.len() >= NACK_MAX_MISSING {
+                    break;
+                }
+                if m.requests == 0 || pump.saturating_sub(m.last_pump) >= RENACK_INTERVAL_PUMPS {
+                    m.requests += 1;
+                    m.last_pump = pump;
+                    request.push(seq);
+                }
+            }
+            let mut frames = Vec::new();
+            let frame = if request.is_empty() {
+                fb.acks_sent += 1;
+                self.stats.acks_sent += 1;
+                DownlinkFrame::Ack { cum_ack }
+            } else {
+                fb.nacks_sent += 1;
+                fb.retransmits_requested += request.len() as u64;
+                self.stats.nacks_sent += 1;
+                self.stats.retransmits_requested += request.len() as u64;
+                DownlinkFrame::Nack {
+                    cum_ack,
+                    missing: request,
+                }
+            };
+            let seq = fb.downlink_seq;
+            fb.downlink_seq = fb.downlink_seq.wrapping_add(1);
+            frames.push(frame.to_wire(id, seq));
+            // Adaptive CR: one directive at most per pump, dwell-gated
+            // inside the controller.
+            if let (Some(cc), Some(hs)) = (&controller_cfg, state.handshake.as_ref()) {
+                let cr_now =
+                    100.0 * (1.0 - f64::from(hs.cs_measurements) / f64::from(hs.cs_window.max(1)));
+                let mean_prd = (fb.prd_count > 0).then(|| fb.prd_sum / fb.prd_count as f64);
+                let resolved = fb.delivered_since + fb.lost_since;
+                let loss_rate = (resolved > 0).then(|| fb.lost_since as f64 / resolved as f64);
+                let ctrl = state
+                    .controller
+                    .get_or_insert_with(|| LinkController::new(cc.clone()));
+                if let Some(action) = ctrl.observe(cr_now, mean_prd, loss_rate) {
+                    let fb = &mut state.feedback;
+                    let directive = DirectiveFrame {
+                        directive_seq: fb.directive_seq,
+                        action,
+                    };
+                    fb.directive_seq = fb.directive_seq.wrapping_add(1);
+                    fb.directives_issued += 1;
+                    self.stats.directives_issued += 1;
+                    let seq = fb.downlink_seq;
+                    fb.downlink_seq = fb.downlink_seq.wrapping_add(1);
+                    frames.push(DownlinkFrame::Directive(directive).to_wire(id, seq));
+                }
+            }
+            // The observation window closes with the pump.
+            let fb = &mut state.feedback;
+            fb.prd_sum = 0.0;
+            fb.prd_count = 0;
+            fb.delivered_since = 0;
+            fb.lost_since = 0;
+            out.push((id, frames));
+        }
+        out
+    }
+
+    /// Link-health report of one session, or `None` for a session this
+    /// gateway never saw.
+    pub fn session_report(&self, session: u64) -> Option<SessionReport> {
+        let state = self.sessions.get(&session)?;
+        let r = state.decoder.stats();
+        let fb = &state.feedback;
+        let resolved = r.messages + r.lost;
+        let unrecovered = r.lost.saturating_sub(r.recovered);
+        Some(SessionReport {
+            session,
+            messages: r.messages,
+            lost: r.lost,
+            recovered: r.recovered,
+            loss_rate: if resolved > 0 {
+                unrecovered as f64 / resolved as f64
+            } else {
+                0.0
+            },
+            acks_sent: fb.acks_sent,
+            nacks_sent: fb.nacks_sent,
+            retransmits_requested: fb.retransmits_requested,
+            directives_issued: fb.directives_issued,
+            missing_now: fb.missing.len() as u64,
+            cr_percent: state.handshake.as_ref().map(|hs| {
+                100.0 * (1.0 - f64::from(hs.cs_measurements) / f64::from(hs.cs_window.max(1)))
+            }),
+        })
+    }
+
+    /// Link-health reports of every session, ids ascending.
+    pub fn session_reports(&self) -> Vec<SessionReport> {
+        self.sessions
+            .keys()
+            .filter_map(|&id| self.session_report(id))
+            .collect()
+    }
+
     /// Closes one session: drains its reassembler tail, processes it,
     /// and drops all per-session state (decoder, rhythm log, warm
     /// solver state, reconstructed windows). Returns the tail's events,
@@ -497,10 +785,11 @@ impl Gateway {
 
     fn session_state(&mut self, session: u64) -> Result<&mut SessionState> {
         let window = self.cfg.reorder_window;
+        let recovery = self.cfg.recovery_window;
         Ok(match self.sessions.entry(session) {
             std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::btree_map::Entry::Vacant(v) => {
-                v.insert(SessionState::new(session, window)?)
+                v.insert(SessionState::new(session, window, recovery)?)
             }
         })
     }
@@ -511,6 +800,10 @@ impl Gateway {
             match item {
                 SessionItem::Lost { first_seq, count } => {
                     self.stats.messages_lost += u64::from(count);
+                    let bound = self.cfg.recovery_window;
+                    if let Some(state) = self.sessions.get_mut(&session) {
+                        state.feedback.note_lost(first_seq, count, bound);
+                    }
                     events.push(GatewayEvent::MessageLost {
                         session,
                         first_seq,
@@ -533,6 +826,27 @@ impl Gateway {
                 }
                 SessionItem::Payload { msg_seq, payload } => {
                     self.stats.payloads += 1;
+                    if let Some(state) = self.sessions.get_mut(&session) {
+                        state.feedback.delivered_since += 1;
+                    }
+                    if let Err(error) = self.handle_payload(session, msg_seq, payload, &mut events)
+                    {
+                        self.stats.items_rejected += 1;
+                        events.push(GatewayEvent::PayloadRejected {
+                            session,
+                            msg_seq,
+                            error,
+                        });
+                    }
+                }
+                SessionItem::Recovered { msg_seq, payload } => {
+                    self.stats.payloads += 1;
+                    self.stats.messages_recovered += 1;
+                    if let Some(state) = self.sessions.get_mut(&session) {
+                        state.feedback.recovered += 1;
+                        state.feedback.missing.remove(&msg_seq);
+                    }
+                    events.push(GatewayEvent::MessageRecovered { session, msg_seq });
                     if let Err(error) = self.handle_payload(session, msg_seq, payload, &mut events)
                     {
                         self.stats.items_rejected += 1;
@@ -642,6 +956,10 @@ impl Gateway {
                     let orig = reference.get(start..start + n)?;
                     Some(prd_percent(orig, &xr))
                 });
+                if let Some(p) = prd {
+                    state.feedback.prd_sum += p;
+                    state.feedback.prd_count += 1;
+                }
                 // Samples are retained only for leads with an attached
                 // reference (the evaluation harness needs them for
                 // PRD/replay queries); a production session would
@@ -821,6 +1139,7 @@ mod tests {
             af_active: false,
         };
         let hs = SessionHandshake {
+            version: wbsn_core::link::PROTOCOL_VERSION,
             session: 3,
             fs_hz: 250,
             n_leads: 3,
@@ -866,6 +1185,159 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, GatewayEvent::SessionOpened { session: 3 })));
+    }
+
+    #[test]
+    fn nack_driven_retransmission_recovers_a_lost_message() {
+        use wbsn_core::retransmit::{RetransmitBuffer, RetransmitConfig};
+
+        let hs = SessionHandshake {
+            version: wbsn_core::link::PROTOCOL_VERSION,
+            session: 6,
+            fs_hz: 250,
+            n_leads: 1,
+            cs_window: 256,
+            cs_measurements: 128,
+            cs_d_per_col: 4,
+            seed: 1,
+        };
+        let payload = Payload::Events {
+            n_beats: 2,
+            class_counts: [2, 0, 0, 0],
+            mean_hr_x10: 700,
+            af_burden_pct: 0,
+            af_active: false,
+        };
+        let mut gw = Gateway::new(GatewayConfig {
+            reorder_window: 4,
+            recovery_window: 16,
+            ..GatewayConfig::default()
+        });
+        let mut uplink = wbsn_core::link::Uplink::new();
+        let mut node_buf = RetransmitBuffer::new(RetransmitConfig::default()).unwrap();
+        let mut rt_events = Vec::new();
+        let mut wire = Vec::new();
+        uplink.open_session(&hs, &mut wire).unwrap();
+        for raw in wire.drain(..) {
+            gw.ingest(&raw).unwrap();
+        }
+        // 12 payload messages; message 5 is dropped by the "channel"
+        // but retained in the node's retransmit buffer.
+        for _ in 0..12 {
+            let mut pkts = Vec::new();
+            let msg_seq = uplink.frame_one(6, &payload, &mut pkts).unwrap();
+            node_buf.record(msg_seq, &pkts, &mut rt_events);
+            if msg_seq == 5 {
+                continue;
+            }
+            for raw in &pkts {
+                gw.ingest(raw).unwrap();
+            }
+        }
+        assert_eq!(gw.stats().messages_lost, 1);
+        assert_eq!(gw.stats().payloads, 11);
+        // First pump: a NACK naming message 5, cum-ack stuck below it.
+        let pumped = gw.pump_downlink();
+        assert_eq!(pumped.len(), 1);
+        let (session, frames) = &pumped[0];
+        assert_eq!(*session, 6);
+        assert_eq!(frames.len(), 1);
+        let frame = DownlinkFrame::from_wire(&frames[0]).unwrap();
+        assert_eq!(
+            frame,
+            DownlinkFrame::Nack {
+                cum_ack: 5,
+                missing: vec![5],
+            }
+        );
+        // The node hears it: everything below 5 is trimmed, message 5
+        // is resent.
+        let mut resent = Vec::new();
+        assert!(node_buf.on_frame(&frame, &mut resent, &mut rt_events));
+        assert!(!resent.is_empty());
+        assert_eq!(node_buf.buffered_messages(), 8, "0..5 trimmed, 5.. kept");
+        let mut events = Vec::new();
+        for raw in &resent {
+            events.extend(gw.ingest(raw).unwrap());
+        }
+        assert!(events.iter().any(|e| matches!(
+            e,
+            GatewayEvent::MessageRecovered {
+                session: 6,
+                msg_seq: 5
+            }
+        )));
+        assert_eq!(gw.stats().messages_recovered, 1);
+        assert_eq!(gw.stats().payloads, 12, "the recovered payload counts");
+        // Next pump: the hole is gone, the cumulative ACK covers the
+        // whole stream (handshake + 12 payloads = sequences 0..=12).
+        let pumped = gw.pump_downlink();
+        let frame = DownlinkFrame::from_wire(&pumped[0].1[0]).unwrap();
+        assert_eq!(frame, DownlinkFrame::Ack { cum_ack: 13 });
+        node_buf.on_frame(&frame, &mut resent, &mut rt_events);
+        assert_eq!(node_buf.buffered_messages(), 0);
+        // The report reflects the episode: one loss, fully recovered.
+        let report = gw.session_report(6).unwrap();
+        assert_eq!(report.lost, 1);
+        assert_eq!(report.recovered, 1);
+        assert_eq!(report.loss_rate, 0.0);
+        assert_eq!(report.nacks_sent, 1);
+        assert_eq!(report.acks_sent, 1);
+        assert_eq!(report.retransmits_requested, 1);
+        assert_eq!(report.directives_issued, 0);
+        assert_eq!(report.missing_now, 0);
+        assert_eq!(report.cr_percent, Some(50.0));
+    }
+
+    #[test]
+    fn reregistration_discards_stale_nack_state() {
+        let hs = SessionHandshake {
+            version: wbsn_core::link::PROTOCOL_VERSION,
+            session: 2,
+            fs_hz: 250,
+            n_leads: 1,
+            cs_window: 256,
+            cs_measurements: 128,
+            cs_d_per_col: 4,
+            seed: 3,
+        };
+        let payload = Payload::Events {
+            n_beats: 1,
+            class_counts: [1, 0, 0, 0],
+            mean_hr_x10: 600,
+            af_burden_pct: 0,
+            af_active: false,
+        };
+        let mut gw = Gateway::new(GatewayConfig {
+            reorder_window: 2,
+            recovery_window: 8,
+            ..GatewayConfig::default()
+        });
+        gw.register(hs).unwrap();
+        // First life: messages 0..6 with 2 dropped → a missing entry.
+        let mut framer = wbsn_core::link::LinkFramer::new(2);
+        let mut wire = Vec::new();
+        for _ in 0..6 {
+            framer.frame_payload(&payload, &mut wire).unwrap();
+        }
+        for (i, raw) in wire.iter().enumerate() {
+            if i != 2 {
+                gw.ingest(raw).unwrap();
+            }
+        }
+        let report = gw.session_report(2).unwrap();
+        assert_eq!(report.missing_now, 1);
+        // The node reboots mid-retransmission; re-registration clears
+        // the stale NACK state, so the first pump of the new life is a
+        // clean cumulative ACK at sequence 0 — the gateway never asks
+        // the reborn node (whose buffer is empty) for its old life.
+        gw.register(hs).unwrap();
+        let report = gw.session_report(2).unwrap();
+        assert_eq!(report.missing_now, 0);
+        assert_eq!(report.nacks_sent, 0);
+        let pumped = gw.pump_downlink();
+        let frame = DownlinkFrame::from_wire(&pumped[0].1[0]).unwrap();
+        assert_eq!(frame, DownlinkFrame::Ack { cum_ack: 0 });
     }
 
     #[test]

@@ -9,9 +9,17 @@
 //! unfillable gaps as [`LinkEvent::Lost`] instead of stalling the
 //! stream. Structural violations (conflicting fragments, inconsistent
 //! headers) surface as typed [`LinkError`]s.
+//!
+//! With the ACK/NACK downlink in play a declared loss is no longer
+//! final: the node retransmits NACKed messages, which by then sit
+//! *behind* the in-order cursor. A bounded **recovery window**
+//! ([`Reassembler::with_windows`]) keeps the newest lost sequence
+//! numbers eligible, surfacing their late arrivals as
+//! [`LinkEvent::Recovered`] instead of counting them stale. It is off
+//! by default, so feedback-free deployments behave exactly as before.
 
 use crate::Result;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use wbsn_core::link::{LinkError, LinkPacket};
 use wbsn_core::WbsnError;
 
@@ -38,6 +46,19 @@ pub enum LinkEvent {
         /// Number of consecutive lost messages.
         count: u32,
     },
+    /// A previously [`Lost`](LinkEvent::Lost) message whose
+    /// retransmission arrived inside the recovery window and
+    /// reassembled completely. Recovered messages are out of sequence
+    /// order by construction — the in-order stream already moved past
+    /// them — so consumers must treat them as fill-ins, not appends.
+    Recovered {
+        /// Message sequence number.
+        msg_seq: u32,
+        /// Kind byte carried by its packets.
+        kind: u8,
+        /// Reassembled message bytes.
+        bytes: Vec<u8>,
+    },
 }
 
 /// Reassembly counters.
@@ -53,6 +74,8 @@ pub struct ReassemblyStats {
     pub stale: u64,
     /// Messages declared lost.
     pub lost: u64,
+    /// Lost messages later recovered from retransmissions.
+    pub recovered: u64,
 }
 
 #[derive(Debug)]
@@ -88,17 +111,55 @@ impl Partial {
     }
 }
 
+/// Stores one fragment into a partial reassembly. `Ok(true)` means the
+/// fragment was new, `Ok(false)` an exact duplicate; mismatched
+/// headers or differing bodies for the same slot are conflicts.
+fn store_fragment(partial: &mut Partial, pkt: &LinkPacket) -> Result<bool> {
+    if partial.kind != pkt.kind || partial.frag_count != pkt.frag_count {
+        return Err(LinkError::FragmentConflict {
+            msg_seq: pkt.msg_seq,
+            frag_index: pkt.frag_index,
+        }
+        .into());
+    }
+    let slot = &mut partial.frags[pkt.frag_index as usize];
+    match slot {
+        Some(existing) if *existing == pkt.body => Ok(false),
+        Some(_) => Err(LinkError::FragmentConflict {
+            msg_seq: pkt.msg_seq,
+            frag_index: pkt.frag_index,
+        }
+        .into()),
+        None => {
+            *slot = Some(pkt.body.clone());
+            partial.received += 1;
+            Ok(true)
+        }
+    }
+}
+
 /// Default reorder window: how many message sequence numbers may be in
 /// flight before the oldest incomplete one is declared lost.
 pub const DEFAULT_REORDER_WINDOW: u32 = 64;
 
-/// Per-session fragment reassembly with in-order release and gap
-/// detection.
+/// Per-session fragment reassembly with in-order release, gap
+/// detection, and (optionally) late recovery of declared-lost
+/// messages from retransmissions.
 #[derive(Debug)]
 pub struct Reassembler {
     window: u32,
+    /// Recovery window: how many of the most recently lost sequence
+    /// numbers remain eligible for late recovery. Zero disables the
+    /// mechanism entirely (every late packet is stale).
+    recovery: u32,
     next_seq: u32,
     pending: BTreeMap<u32, Partial>,
+    /// Lost sequence numbers still eligible for recovery, oldest
+    /// evicted; bounded by `recovery`.
+    recoverable: BTreeSet<u32>,
+    /// Partial reassemblies of retransmitted lost messages; keys are
+    /// always a subset of `recoverable`.
+    late: BTreeMap<u32, Partial>,
     stats: ReassemblyStats,
 }
 
@@ -114,8 +175,11 @@ impl Reassembler {
     pub fn new() -> Self {
         Reassembler {
             window: DEFAULT_REORDER_WINDOW,
+            recovery: 0,
             next_seq: 0,
             pending: BTreeMap::new(),
+            recoverable: BTreeSet::new(),
+            late: BTreeMap::new(),
             stats: ReassemblyStats::default(),
         }
     }
@@ -126,6 +190,20 @@ impl Reassembler {
     ///
     /// [`WbsnError::InvalidParameter`] for a zero window.
     pub fn with_window(window: u32) -> Result<Self> {
+        Reassembler::with_windows(window, 0)
+    }
+
+    /// Reassembler with an explicit reorder window (≥ 1) and a
+    /// recovery window: up to `recovery` of the most recently
+    /// declared-lost sequence numbers stay eligible for late recovery
+    /// when their retransmissions arrive. Zero (the default) disables
+    /// recovery — every late packet counts as stale, exactly the
+    /// pre-downlink behavior.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::InvalidParameter`] for a zero reorder window.
+    pub fn with_windows(window: u32, recovery: u32) -> Result<Self> {
         if window == 0 {
             return Err(WbsnError::InvalidParameter {
                 what: "reorder_window",
@@ -134,6 +212,7 @@ impl Reassembler {
         }
         Ok(Reassembler {
             window,
+            recovery,
             ..Reassembler::new()
         })
     }
@@ -172,38 +251,15 @@ impl Reassembler {
         }
         let seq = pkt.msg_seq;
         if seq < self.next_seq {
-            // Released or declared lost already: a late straggler.
-            self.stats.stale += 1;
-            return Ok(());
+            return self.accept_late(pkt, out);
         }
         let partial = self
             .pending
             .entry(seq)
             .or_insert_with(|| Partial::new(pkt.kind, pkt.frag_count));
-        if partial.kind != pkt.kind || partial.frag_count != pkt.frag_count {
-            return Err(LinkError::FragmentConflict {
-                msg_seq: seq,
-                frag_index: pkt.frag_index,
-            }
-            .into());
-        }
-        let slot = &mut partial.frags[pkt.frag_index as usize];
-        match slot {
-            Some(existing) if *existing == pkt.body => {
-                self.stats.duplicates += 1;
-                return Ok(());
-            }
-            Some(_) => {
-                return Err(LinkError::FragmentConflict {
-                    msg_seq: seq,
-                    frag_index: pkt.frag_index,
-                }
-                .into());
-            }
-            None => {
-                *slot = Some(pkt.body.clone());
-                partial.received += 1;
-            }
+        if !store_fragment(partial, pkt)? {
+            self.stats.duplicates += 1;
+            return Ok(());
         }
         self.stats.packets += 1;
         // Gap detection: activity at `seq` proves every message below
@@ -217,6 +273,58 @@ impl Reassembler {
         }
         self.release_ready(out);
         Ok(())
+    }
+
+    /// A packet whose sequence number the in-order stream already
+    /// passed: a retransmission of a declared-lost message (recover it
+    /// if still inside the recovery window) or a mere straggler
+    /// (stale).
+    fn accept_late(&mut self, pkt: &LinkPacket, out: &mut Vec<LinkEvent>) -> Result<()> {
+        let seq = pkt.msg_seq;
+        if !self.recoverable.contains(&seq) {
+            self.stats.stale += 1;
+            return Ok(());
+        }
+        let partial = self
+            .late
+            .entry(seq)
+            .or_insert_with(|| Partial::new(pkt.kind, pkt.frag_count));
+        if !store_fragment(partial, pkt)? {
+            self.stats.duplicates += 1;
+            return Ok(());
+        }
+        self.stats.packets += 1;
+        if self.late.get(&seq).is_some_and(Partial::complete) {
+            if let Some(p) = self.late.remove(&seq) {
+                self.recoverable.remove(&seq);
+                self.stats.recovered += 1;
+                out.push(LinkEvent::Recovered {
+                    msg_seq: seq,
+                    kind: p.kind,
+                    bytes: p.into_bytes(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a lost run as recovery candidates: the newest
+    /// `recovery` lost sequence numbers stay eligible, older ones (and
+    /// their partial retransmissions) are evicted.
+    fn note_lost(&mut self, first_seq: u32, count: u32) {
+        if self.recovery == 0 || count == 0 {
+            return;
+        }
+        let end = first_seq as u64 + count as u64; // exclusive
+        let start = end - (count.min(self.recovery)) as u64;
+        for s in start..end {
+            self.recoverable.insert(s as u32);
+        }
+        while self.recoverable.len() > self.recovery as usize {
+            if let Some(oldest) = self.recoverable.pop_first() {
+                self.late.remove(&oldest);
+            }
+        }
     }
 
     /// End of stream: releases every remaining completed message in
@@ -242,6 +350,7 @@ impl Reassembler {
                 });
             } else {
                 self.stats.lost += 1;
+                self.note_lost(seq, 1);
                 out.push(LinkEvent::Lost {
                     first_seq: seq,
                     count: 1,
@@ -269,6 +378,7 @@ impl Reassembler {
                     if s > self.next_seq {
                         let count = s - self.next_seq;
                         self.stats.lost += count as u64;
+                        self.note_lost(self.next_seq, count);
                         out.push(LinkEvent::Lost {
                             first_seq: self.next_seq,
                             count,
@@ -285,6 +395,7 @@ impl Reassembler {
                             });
                         } else {
                             self.stats.lost += 1;
+                            self.note_lost(s, 1);
                             out.push(LinkEvent::Lost {
                                 first_seq: s,
                                 count: 1,
@@ -296,6 +407,7 @@ impl Reassembler {
                 None => {
                     let count = target - self.next_seq;
                     self.stats.lost += count as u64;
+                    self.note_lost(self.next_seq, count);
                     out.push(LinkEvent::Lost {
                         first_seq: self.next_seq,
                         count,
@@ -524,6 +636,107 @@ mod tests {
         assert!(matches!(out[2], LinkEvent::Message { msg_seq: 2, .. }));
         // A straggler for message 0 after the fact is stale, not an error.
         r.accept(&pkts[0], &mut out).unwrap();
+        assert_eq!(r.stats().stale, 1);
+    }
+
+    #[test]
+    fn a_retransmission_inside_the_recovery_window_is_recovered() {
+        let mut framer = LinkFramer::with_mtu(1, 30).unwrap(); // 7-byte bodies
+        let messages: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 20]).collect();
+        let refs: Vec<&[u8]> = messages.iter().map(Vec::as_slice).collect();
+        let pkts = packets_of(&mut framer, &refs); // 3 packets per message
+        let mut r = Reassembler::with_windows(4, 8).unwrap();
+        let mut out = Vec::new();
+        // Drop message 2 entirely; the rest arrives in order.
+        for p in pkts.iter().filter(|p| p.msg_seq != 2) {
+            r.accept(p, &mut out).unwrap();
+        }
+        assert!(out.iter().any(|e| matches!(
+            e,
+            LinkEvent::Lost {
+                first_seq: 2,
+                count: 1
+            }
+        )));
+        // The node answers the NACK: message 2's packets arrive late,
+        // themselves out of order.
+        out.clear();
+        let late: Vec<&LinkPacket> = pkts.iter().filter(|p| p.msg_seq == 2).collect();
+        r.accept(late[2], &mut out).unwrap();
+        r.accept(late[0], &mut out).unwrap();
+        assert!(out.is_empty(), "incomplete retransmission recovers nothing");
+        r.accept(late[1], &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        let LinkEvent::Recovered { msg_seq, bytes, .. } = &out[0] else {
+            panic!("expected a recovery, got {:?}", out[0]);
+        };
+        assert_eq!(*msg_seq, 2);
+        assert_eq!(bytes, &messages[2]);
+        assert_eq!(r.stats().recovered, 1);
+        assert_eq!(r.stats().stale, 0);
+        // A second copy of the same retransmission is stale again: the
+        // sequence left the recovery set when it recovered.
+        out.clear();
+        r.accept(late[0], &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(r.stats().stale, 1);
+    }
+
+    #[test]
+    fn the_recovery_window_is_bounded_and_evicts_oldest() {
+        let mut framer = LinkFramer::with_mtu(1, 30).unwrap();
+        let messages: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 4]).collect();
+        let refs: Vec<&[u8]> = messages.iter().map(Vec::as_slice).collect();
+        let pkts = packets_of(&mut framer, &refs); // 1 packet per message
+        let mut r = Reassembler::with_windows(2, 2).unwrap();
+        let mut out = Vec::new();
+        // Drop messages 3, 7 and 11; recovery window holds only two.
+        for p in pkts.iter().filter(|p| ![3, 7, 11].contains(&p.msg_seq)) {
+            r.accept(p, &mut out).unwrap();
+        }
+        out.clear();
+        // Message 3's retransmission was evicted by the later losses.
+        r.accept(&pkts[3], &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(r.stats().stale, 1);
+        // Messages 7 and 11 are still recoverable.
+        r.accept(&pkts[7], &mut out).unwrap();
+        r.accept(&pkts[11], &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], LinkEvent::Recovered { msg_seq: 7, .. }));
+        assert!(matches!(out[1], LinkEvent::Recovered { msg_seq: 11, .. }));
+    }
+
+    #[test]
+    fn a_giant_loss_run_keeps_recovery_state_bounded() {
+        // The recovery set must track the *newest* tail of a ranged
+        // loss, never materialize the whole run.
+        let mut framer = LinkFramer::with_mtu(1, 30).unwrap();
+        let mut raw = Vec::new();
+        framer.frame_message(0x01, &[7; 4], &mut raw).unwrap();
+        let mut pkt = LinkPacket::decode(&raw[0]).unwrap();
+        pkt.msg_seq = 10_000_000;
+        let mut r = Reassembler::with_windows(64, 8).unwrap();
+        let mut out = Vec::new();
+        r.accept(&pkt, &mut out).unwrap();
+        // Newest lost seq is 9_999_936; it must be recoverable, seq 0
+        // must not be.
+        out.clear();
+        let mut retx = pkt.clone();
+        retx.msg_seq = 9_999_936;
+        r.accept(&retx, &mut out).unwrap();
+        assert!(matches!(
+            out.as_slice(),
+            [LinkEvent::Recovered {
+                msg_seq: 9_999_936,
+                ..
+            }]
+        ));
+        out.clear();
+        let mut ancient = pkt.clone();
+        ancient.msg_seq = 0;
+        r.accept(&ancient, &mut out).unwrap();
+        assert!(out.is_empty());
         assert_eq!(r.stats().stale, 1);
     }
 }

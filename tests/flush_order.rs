@@ -21,6 +21,7 @@ const SESSIONS: [u64; 4] = [9, 3, 7, 1];
 
 fn handshake(session: u64) -> SessionHandshake {
     SessionHandshake {
+        version: wbsn_core::link::PROTOCOL_VERSION,
         session,
         fs_hz: 250,
         n_leads: 1,
@@ -94,6 +95,7 @@ fn session_of(ev: &GatewayEvent) -> u64 {
         | GatewayEvent::AfCleared { session, .. }
         | GatewayEvent::WindowReconstructed { session, .. }
         | GatewayEvent::MessageLost { session, .. }
+        | GatewayEvent::MessageRecovered { session, .. }
         | GatewayEvent::PayloadRejected { session, .. } => session,
     }
 }

@@ -11,6 +11,13 @@
 //! like-for-like by construction. The packet stream is built once
 //! (node fleet → uplink framer → seeded `LossyChannel`) and replayed
 //! into each driver.
+//!
+//! The downlink is live throughout: every batch is followed by a
+//! [`Gateway::pump_downlink`] whose ACK/NACK/directive frames go into
+//! the compared outcome byte for byte, and session 102 is re-registered
+//! mid-stream — a node reboot while NACKs for its earlier messages are
+//! still in flight — so the register-reset path (decoder, feedback and
+//! controller state) is pinned across worker counts too.
 
 use wbsn_core::level::ProcessingLevel;
 use wbsn_core::link::{SessionHandshake, Uplink};
@@ -20,7 +27,8 @@ use wbsn_ecg_synth::rhythm::RhythmPhase;
 use wbsn_ecg_synth::{Record, RecordBuilder, Rhythm};
 use wbsn_gateway::channel::{ChannelConfig, LossyChannel};
 use wbsn_gateway::{
-    Gateway, GatewayConfig, GatewayEvent, GatewayStats, MatrixCacheStats, ShardedGateway,
+    ControllerConfig, Gateway, GatewayConfig, GatewayEvent, GatewayStats, MatrixCacheStats,
+    ShardedGateway,
 };
 
 const CHANNEL_SEED: u64 = 0x5AD_0001;
@@ -32,6 +40,20 @@ const ROUNDS: usize = 10;
 const GARBAGE_AT: usize = 3; // a 3-byte runt injected post-channel
 const REGISTER_AT: usize = 5; // out-of-band handshake for session 106
 const CLOSE_AT: usize = 7; // session 104 closed mid-stream
+const REBOOT_AT: usize = 8; // session 102 re-registered (node reboot)
+
+/// Downlink on: a tight reorder window so the lossy link's gaps are
+/// declared (and NACKed) mid-run, a recovery window so late
+/// retransmissions would count, and the adaptive controller so
+/// directive frames ride the compared downlink too.
+fn shard_config() -> GatewayConfig {
+    GatewayConfig {
+        reorder_window: 4,
+        recovery_window: 8,
+        controller: Some(ControllerConfig::default()),
+        ..GatewayConfig::default()
+    }
+}
 
 /// Session ids chosen to spread across 1, 2 and 4 workers
 /// (`id % workers` hits every shard).
@@ -42,6 +64,9 @@ struct NodeSide {
     batches: Vec<Vec<Vec<u8>>>,
     /// The handshake registered out of band at `REGISTER_AT`.
     late_hs: SessionHandshake,
+    /// Session 102's handshake, re-registered at `REBOOT_AT` as a
+    /// node reboot mid-retransmission.
+    reboot_hs: SessionHandshake,
     /// Reference samples for session 102's PRD reporting.
     reference: Vec<f64>,
 }
@@ -203,6 +228,7 @@ fn build_input() -> NodeSide {
     NodeSide {
         batches,
         late_hs: SessionHandshake::for_config(IDS[5], monitors[5].config()),
+        reboot_hs: SessionHandshake::for_config(IDS[1], monitors[1].config()),
         reference: records[1].lead(0).iter().map(|&v| f64::from(v)).collect(),
     }
 }
@@ -217,8 +243,15 @@ enum Driver {
 impl Driver {
     fn new(workers: Option<usize>) -> Self {
         match workers {
-            None => Driver::Seq(Box::new(Gateway::new(GatewayConfig::default()))),
-            Some(w) => Driver::Sharded(ShardedGateway::new(GatewayConfig::default(), w).unwrap()),
+            None => Driver::Seq(Box::new(Gateway::new(shard_config()))),
+            Some(w) => Driver::Sharded(ShardedGateway::new(shard_config(), w).unwrap()),
+        }
+    }
+
+    fn pump(&mut self) -> Vec<(u64, Vec<Vec<u8>>)> {
+        match self {
+            Driver::Seq(g) => g.pump_downlink(),
+            Driver::Sharded(g) => g.pump_downlink().unwrap(),
         }
     }
 
@@ -309,6 +342,10 @@ impl Driver {
 #[derive(Debug, PartialEq)]
 struct Outcome {
     per_packet: Vec<Result<Vec<GatewayEvent>, String>>,
+    /// Downlink frames pumped after every batch: `(batch, session,
+    /// wire bytes)` — ACKs, selective NACKs and CR directives, byte
+    /// for byte.
+    downlink: Vec<(usize, u64, Vec<Vec<u8>>)>,
     closed_tail: Option<Vec<GatewayEvent>>,
     unknown_close: Option<Vec<GatewayEvent>>,
     flush: Vec<(u64, Vec<GatewayEvent>)>,
@@ -323,6 +360,7 @@ fn run(workers: Option<usize>, input: &NodeSide) -> Outcome {
     let mut drv = Driver::new(workers);
     drv.attach_reference(102, 0, input.reference.clone());
     let mut per_packet = Vec::new();
+    let mut downlink = Vec::new();
     let mut closed_tail = None;
     let mut unknown_close = None;
     for (i, batch) in input.batches.iter().enumerate() {
@@ -333,7 +371,19 @@ fn run(workers: Option<usize>, input: &NodeSide) -> Outcome {
             closed_tail = drv.close(104);
             unknown_close = drv.close(9_999);
         }
+        if i == REBOOT_AT {
+            // Node reboot mid-retransmission: 102 re-registers while
+            // NACKs for its earlier gaps are still being paced. The
+            // reset must discard decoder, feedback and controller
+            // state identically on every driver — 102's subsequent
+            // packets (the framer keeps counting) then look like one
+            // big future run to the fresh reassembler.
+            drv.register(input.reboot_hs);
+        }
         per_packet.extend(drv.ingest_batch(batch));
+        for (session, frames) in drv.pump() {
+            downlink.push((i, session, frames));
+        }
     }
     let flush = drv.flush_tagged();
     let mut windows = Vec::new();
@@ -344,6 +394,7 @@ fn run(workers: Option<usize>, input: &NodeSide) -> Outcome {
     }
     Outcome {
         per_packet,
+        downlink,
         closed_tail,
         unknown_close,
         flush,
@@ -371,6 +422,22 @@ fn sharded_gateway_matches_sequential_for_any_worker_count() {
     assert!(
         reference.closed_tail.is_some(),
         "mid-stream close must find the session"
+    );
+    // The downlink was not idling either: the lossy link forced
+    // selective NACKs (wire kind 0xF1) and the controller issued CR
+    // directives (0xF2) somewhere in the compared frame stream.
+    let downlink_kinds: Vec<u8> = reference
+        .downlink
+        .iter()
+        .flat_map(|(_, _, frames)| frames.iter().map(|f| f[0]))
+        .collect();
+    assert!(
+        downlink_kinds.contains(&0xF1),
+        "no NACK ever pumped — the downlink did nothing interesting"
+    );
+    assert!(
+        downlink_kinds.contains(&0xF2),
+        "no directive ever pumped — the controller did nothing"
     );
     assert_eq!(reference.unknown_close, None);
     assert!(reference.sessions.contains(&106), "late registration lost");

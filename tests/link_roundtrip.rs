@@ -128,6 +128,7 @@ fn every_flipped_bit_is_caught_and_typed() {
     framer
         .frame_handshake(
             &SessionHandshake {
+                version: wbsn_core::link::PROTOCOL_VERSION,
                 session: 17,
                 fs_hz: 250,
                 n_leads: 3,
