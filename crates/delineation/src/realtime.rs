@@ -189,6 +189,19 @@ impl StreamingDelineator {
         let seg_end = (r + self.post_samples).min(self.n);
         // Oldest sample still in the ring.
         let oldest = self.n.saturating_sub(ring_len);
+        if oldest > r {
+            // The R-peak itself has been evicted (a detector
+            // search-back after a long pause can land arbitrarily far
+            // in the past). No waveform context exists to delineate
+            // against — emit the bare R rather than fiducials measured
+            // on wrapped ring data.
+            self.last_t_off = None;
+            self.last_r = Some(r);
+            return BeatFiducials {
+                r_peak: r,
+                ..BeatFiducials::default()
+            };
+        }
         let seg_start = seg_start.max(oldest);
         self.seg_scratch.clear();
         self.seg_scratch

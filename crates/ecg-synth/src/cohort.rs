@@ -1,0 +1,579 @@
+//! Cohort generation: seeded populations of scripted patients.
+//!
+//! A [`CohortGenerator`] turns one `(cohort_seed, session_index)` pair
+//! into a [`PatientProfile`] — age band, rhythm burden, noise profile,
+//! baseline heart rate, lead count, uplink mode — drawn from the
+//! configurable distributions in [`CohortConfig`]. Each profile then
+//! expands into one [`Script`] per *modeled
+//! hour*: the cohort runs duty-cycled, synthesizing
+//! [`CohortConfig::segment_s`] seconds of signal to represent each
+//! hour, which is what makes 200 sessions × multi-day modeled time
+//! tractable while still exercising every adversity class.
+//!
+//! Everything is a pure function of the seed: `profile(i)` and
+//! `session_scripts(&profile)` consume fresh RNG streams keyed on
+//! `(cohort_seed, i)` and `(profile.seed, hour)`, so regenerating any
+//! one session never depends on how many others were generated first.
+
+use crate::noise::NoiseConfig;
+use crate::rhythm::Rhythm;
+use crate::scenario::{Adversity, Script};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Patient age band; fixes the baseline-heart-rate range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgeBand {
+    /// 18–35 years.
+    Young,
+    /// 36–55 years.
+    MidLife,
+    /// 56–70 years.
+    Older,
+    /// 71+ years.
+    Elderly,
+}
+
+impl AgeBand {
+    /// All bands, in distribution order.
+    pub const ALL: [AgeBand; 4] = [
+        AgeBand::Young,
+        AgeBand::MidLife,
+        AgeBand::Older,
+        AgeBand::Elderly,
+    ];
+
+    /// Resting-heart-rate range (bpm) for the band.
+    pub fn hr_range(self) -> (f64, f64) {
+        match self {
+            AgeBand::Young => (58.0, 82.0),
+            AgeBand::MidLife => (60.0, 84.0),
+            AgeBand::Older => (58.0, 80.0),
+            AgeBand::Elderly => (54.0, 76.0),
+        }
+    }
+}
+
+/// The dominant arrhythmia burden of a patient — the cohort stratum
+/// every report metric is grouped by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RhythmBurden {
+    /// Sinus rhythm throughout.
+    Quiet,
+    /// Sinus with frequent PVC/APC ectopy.
+    Ectopy,
+    /// Paroxysmal AF: distinct episodes with sinus in between.
+    ParoxysmalAf,
+    /// Persistent AF: fibrillating essentially the whole session.
+    PersistentAf,
+    /// Atrial flutter with fixed conduction (regular RR — the AF
+    /// detector's classic blind spot; scored as a non-AF stratum).
+    Flutter,
+    /// Ventricular bigeminy.
+    Bigeminy,
+    /// Brady–tachy (sick-sinus) alternation.
+    BradyTachy,
+}
+
+impl RhythmBurden {
+    /// All burdens, in the order [`CohortConfig::burden_weights`] uses.
+    pub const ALL: [RhythmBurden; 7] = [
+        RhythmBurden::Quiet,
+        RhythmBurden::Ectopy,
+        RhythmBurden::ParoxysmalAf,
+        RhythmBurden::PersistentAf,
+        RhythmBurden::Flutter,
+        RhythmBurden::Bigeminy,
+        RhythmBurden::BradyTachy,
+    ];
+
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RhythmBurden::Quiet => "quiet",
+            RhythmBurden::Ectopy => "ectopy",
+            RhythmBurden::ParoxysmalAf => "paroxysmal-af",
+            RhythmBurden::PersistentAf => "persistent-af",
+            RhythmBurden::Flutter => "flutter",
+            RhythmBurden::Bigeminy => "bigeminy",
+            RhythmBurden::BradyTachy => "brady-tachy",
+        }
+    }
+}
+
+/// The patient's ambient noise environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseProfile {
+    /// Mostly at rest; high SNR.
+    Clean,
+    /// Standard ambulatory mix.
+    Ambulatory,
+    /// Active patient: low SNR plus scripted motion-artifact bursts.
+    Motion,
+    /// Mains-dominated pickup (vehicle / non-contact scenario).
+    MainsDominated,
+}
+
+impl NoiseProfile {
+    /// All profiles, in the order [`CohortConfig::noise_weights`] uses.
+    pub const ALL: [NoiseProfile; 4] = [
+        NoiseProfile::Clean,
+        NoiseProfile::Ambulatory,
+        NoiseProfile::Motion,
+        NoiseProfile::MainsDominated,
+    ];
+
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NoiseProfile::Clean => "clean",
+            NoiseProfile::Ambulatory => "ambulatory",
+            NoiseProfile::Motion => "motion",
+            NoiseProfile::MainsDominated => "mains",
+        }
+    }
+}
+
+/// One sampled patient session: everything the runner needs to build
+/// the node and its scripts. Deterministic per
+/// `(cohort_seed, session_index)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatientProfile {
+    /// Index of this session within the cohort.
+    pub session_index: usize,
+    /// Base seed for this session's scripts (derived from the cohort
+    /// seed and the index).
+    pub seed: u64,
+    /// Age band.
+    pub age_band: AgeBand,
+    /// Rhythm burden (the report stratum).
+    pub burden: RhythmBurden,
+    /// Ambient noise environment.
+    pub noise: NoiseProfile,
+    /// Baseline (resting sinus) heart rate in bpm.
+    pub baseline_hr_bpm: f64,
+    /// Number of ECG leads worn (1 or 3).
+    pub n_leads: usize,
+    /// True if the node uplinks compressed-sensing windows instead of
+    /// processed events (always single-lead when set).
+    pub cs_uplink: bool,
+}
+
+/// Distributions and shape of a cohort. All weights are relative (they
+/// need not sum to 1); non-positive weight vectors fall back to
+/// uniform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortConfig {
+    /// Master seed: the whole cohort is a pure function of it.
+    pub cohort_seed: u64,
+    /// Number of patient sessions.
+    pub sessions: usize,
+    /// Modeled session length in hours (one script segment per hour).
+    pub modeled_hours: u32,
+    /// Synthesized seconds representing each modeled hour (≥ 30).
+    pub segment_s: f64,
+    /// Weights over [`AgeBand::ALL`].
+    pub age_weights: [f64; 4],
+    /// Weights over [`RhythmBurden::ALL`].
+    pub burden_weights: [f64; 7],
+    /// Weights over [`NoiseProfile::ALL`].
+    pub noise_weights: [f64; 4],
+    /// Fraction of (non-CS) patients wearing 3 leads instead of 1.
+    pub three_lead_fraction: f64,
+    /// Fraction of patients streaming compressed-sensing windows.
+    pub cs_fraction: f64,
+    /// Per-segment probability of a node reboot mid-segment.
+    pub reboot_rate: f64,
+    /// Per-segment probability of an electrode-dropout interval.
+    pub dropout_rate: f64,
+    /// Per-segment probability of a degraded channel regime.
+    pub regime_shift_rate: f64,
+}
+
+impl Default for CohortConfig {
+    fn default() -> Self {
+        CohortConfig {
+            cohort_seed: 0xC0_40_57,
+            sessions: 200,
+            modeled_hours: 48,
+            segment_s: 75.0,
+            age_weights: [0.22, 0.28, 0.30, 0.20],
+            burden_weights: [0.30, 0.15, 0.20, 0.10, 0.08, 0.09, 0.08],
+            noise_weights: [0.15, 0.55, 0.20, 0.10],
+            three_lead_fraction: 0.45,
+            cs_fraction: 0.06,
+            reboot_rate: 0.015,
+            dropout_rate: 0.05,
+            regime_shift_rate: 0.12,
+        }
+    }
+}
+
+impl CohortConfig {
+    /// The full acceptance cohort: 200 sessions × 48 modeled hours.
+    pub fn full() -> Self {
+        CohortConfig::default()
+    }
+
+    /// The CI smoke cohort: 24 sessions × 2 modeled hours.
+    pub fn smoke() -> Self {
+        CohortConfig {
+            sessions: 24,
+            modeled_hours: 2,
+            segment_s: 60.0,
+            ..CohortConfig::default()
+        }
+    }
+}
+
+/// Draws patient profiles and per-hour scripts from a [`CohortConfig`].
+#[derive(Debug, Clone)]
+pub struct CohortGenerator {
+    cfg: CohortConfig,
+}
+
+impl CohortGenerator {
+    /// New generator; out-of-range config fields are clamped to their
+    /// documented minimums rather than rejected.
+    pub fn new(mut cfg: CohortConfig) -> Self {
+        cfg.sessions = cfg.sessions.max(1);
+        cfg.modeled_hours = cfg.modeled_hours.max(1);
+        cfg.segment_s = cfg.segment_s.max(30.0);
+        cfg.three_lead_fraction = cfg.three_lead_fraction.clamp(0.0, 1.0);
+        cfg.cs_fraction = cfg.cs_fraction.clamp(0.0, 1.0);
+        cfg.reboot_rate = cfg.reboot_rate.clamp(0.0, 1.0);
+        cfg.dropout_rate = cfg.dropout_rate.clamp(0.0, 1.0);
+        cfg.regime_shift_rate = cfg.regime_shift_rate.clamp(0.0, 1.0);
+        CohortGenerator { cfg }
+    }
+
+    /// The (clamped) configuration.
+    pub fn config(&self) -> &CohortConfig {
+        &self.cfg
+    }
+
+    /// Samples the profile for `session_index`. Pure in
+    /// `(cohort_seed, session_index)`.
+    pub fn profile(&self, session_index: usize) -> PatientProfile {
+        let mut rng = StdRng::seed_from_u64(mix(
+            self.cfg.cohort_seed,
+            session_index as u64,
+            0x50_52_4F_46, // "PROF"
+        ));
+        let age_band = AgeBand::ALL[pick(&self.cfg.age_weights, &mut rng)];
+        let burden = RhythmBurden::ALL[pick(&self.cfg.burden_weights, &mut rng)];
+        let noise = NoiseProfile::ALL[pick(&self.cfg.noise_weights, &mut rng)];
+        let (lo, hi) = age_band.hr_range();
+        let baseline_hr_bpm = lo + (hi - lo) * rng.gen::<f64>();
+        let cs_uplink = rng.gen::<f64>() < self.cfg.cs_fraction;
+        let n_leads = if cs_uplink {
+            1 // the CS uplink path is single-lead by construction
+        } else if rng.gen::<f64>() < self.cfg.three_lead_fraction {
+            3
+        } else {
+            1
+        };
+        PatientProfile {
+            session_index,
+            seed: mix(self.cfg.cohort_seed, session_index as u64, 0x5E_55),
+            age_band,
+            burden,
+            noise,
+            baseline_hr_bpm,
+            n_leads,
+            cs_uplink,
+        }
+    }
+
+    /// The script for one modeled hour of `profile`'s session. Pure in
+    /// `(profile.seed, hour)`.
+    pub fn segment_script(&self, profile: &PatientProfile, hour: u32) -> Script {
+        let mut rng = StdRng::seed_from_u64(mix(profile.seed, hour as u64, 0x48_52)); // "HR"
+        let seg = self.cfg.segment_s;
+        let record_seed = mix(profile.seed, hour as u64, 0x52_45_43); // "REC"
+        let name = format!("p{:03}-h{:02}", profile.session_index, hour);
+        let mut script = Script::new(&name, record_seed)
+            .leads(profile.n_leads)
+            .noise(segment_noise(profile.noise, &mut rng));
+        script = add_burden_phases(script, profile, seg, &mut rng);
+        script = add_adversities(script, profile, &self.cfg, seg, &mut rng);
+        script
+    }
+
+    /// All per-hour scripts of one session, in modeled-time order.
+    pub fn session_scripts(&self, profile: &PatientProfile) -> Vec<Script> {
+        (0..self.cfg.modeled_hours)
+            .map(|h| self.segment_script(profile, h))
+            .collect()
+    }
+}
+
+/// Per-segment noise recipe for a profile (SNR jittered per hour).
+fn segment_noise(profile: NoiseProfile, rng: &mut StdRng) -> NoiseConfig {
+    match profile {
+        NoiseProfile::Clean => NoiseConfig::ambulatory(26.0 + 6.0 * rng.gen::<f64>()),
+        NoiseProfile::Ambulatory => NoiseConfig::ambulatory(16.0 + 6.0 * rng.gen::<f64>()),
+        NoiseProfile::Motion => NoiseConfig::ambulatory(12.0 + 4.0 * rng.gen::<f64>()),
+        NoiseProfile::MainsDominated => NoiseConfig::mains_dominated(14.0 + 6.0 * rng.gen::<f64>()),
+    }
+}
+
+/// Lays the segment's rhythm phases for the patient's burden.
+fn add_burden_phases(
+    script: Script,
+    profile: &PatientProfile,
+    seg: f64,
+    rng: &mut StdRng,
+) -> Script {
+    let hr = profile.baseline_hr_bpm * (0.92 + 0.12 * rng.gen::<f64>());
+    match profile.burden {
+        RhythmBurden::Quiet => script.phase(Rhythm::NormalSinus { mean_hr_bpm: hr }, seg),
+        RhythmBurden::Ectopy => script.phase(
+            Rhythm::SinusWithEctopy {
+                mean_hr_bpm: hr,
+                pvc_rate: 0.04 + 0.08 * rng.gen::<f64>(),
+                apc_rate: 0.02 + 0.04 * rng.gen::<f64>(),
+            },
+            seg,
+        ),
+        RhythmBurden::ParoxysmalAf => {
+            // Roughly 45% of hours carry one episode, long enough
+            // (≥ 45 s when the segment allows) for windowed detection.
+            if rng.gen_bool(0.45) {
+                let pre = seg * (0.10 + 0.15 * rng.gen::<f64>());
+                let want = (seg * (0.40 + 0.20 * rng.gen::<f64>())).max(45.0f64.min(0.6 * seg));
+                let af = want.min(seg - pre);
+                let post = (seg - pre - af).max(0.0);
+                let af_hr = (profile.baseline_hr_bpm * 1.45).clamp(95.0, 165.0);
+                script
+                    .phase(Rhythm::NormalSinus { mean_hr_bpm: hr }, pre)
+                    .phase(Rhythm::AtrialFibrillation { mean_hr_bpm: af_hr }, af)
+                    .phase(Rhythm::NormalSinus { mean_hr_bpm: hr }, post)
+            } else {
+                script.phase(Rhythm::NormalSinus { mean_hr_bpm: hr }, seg)
+            }
+        }
+        RhythmBurden::PersistentAf => {
+            let af_hr = (profile.baseline_hr_bpm * 1.35).clamp(90.0, 160.0);
+            script.phase(Rhythm::AtrialFibrillation { mean_hr_bpm: af_hr }, seg)
+        }
+        RhythmBurden::Flutter => {
+            let atrial = 270.0 + 60.0 * rng.gen::<f64>();
+            let block = if rng.gen_bool(0.6) { 2 } else { 4 };
+            script.phase(
+                Rhythm::AtrialFlutter {
+                    atrial_rate_bpm: atrial,
+                    conduction_block: block,
+                },
+                seg,
+            )
+        }
+        RhythmBurden::Bigeminy => {
+            if rng.gen_bool(0.7) {
+                script.phase(Rhythm::Bigeminy { mean_hr_bpm: hr }, seg)
+            } else {
+                script.phase(Rhythm::NormalSinus { mean_hr_bpm: hr }, seg)
+            }
+        }
+        RhythmBurden::BradyTachy => script.phase(
+            Rhythm::BradyTachy {
+                brady_hr_bpm: (profile.baseline_hr_bpm * 0.62).max(35.0),
+                tachy_hr_bpm: (profile.baseline_hr_bpm * 1.8).min(150.0),
+                alternation_s: seg / 4.0,
+            },
+            seg,
+        ),
+    }
+}
+
+/// Rolls the segment's adversities from the cohort rates.
+fn add_adversities(
+    mut script: Script,
+    profile: &PatientProfile,
+    cfg: &CohortConfig,
+    seg: f64,
+    rng: &mut StdRng,
+) -> Script {
+    if profile.noise == NoiseProfile::Motion {
+        let bursts = if rng.gen_bool(0.5) { 2 } else { 1 };
+        for _ in 0..bursts {
+            let start = rng.gen::<f64>() * (seg - 12.0).max(1.0);
+            let dur = 4.0 + 8.0 * rng.gen::<f64>();
+            let snr = 4.0 * rng.gen::<f64>();
+            script = script.adversity(start, dur, Adversity::MotionBurst { snr_db: snr });
+        }
+    }
+    if rng.gen_bool(cfg.dropout_rate) {
+        let lead = if profile.n_leads > 1 {
+            1 + (rng.gen::<f64>() * (profile.n_leads - 1) as f64) as usize
+        } else {
+            0
+        };
+        let start = rng.gen::<f64>() * (seg - 10.0).max(1.0);
+        let dur = 3.0 + 7.0 * rng.gen::<f64>();
+        script = script.adversity(start, dur, Adversity::ElectrodeDropout { lead });
+    }
+    if rng.gen_bool(cfg.reboot_rate) {
+        let at = seg * (0.3 + 0.4 * rng.gen::<f64>());
+        script = script.at(at, Adversity::NodeReboot);
+    }
+    if rng.gen_bool(cfg.regime_shift_rate) {
+        let start = rng.gen::<f64>() * (seg - 25.0).max(1.0);
+        let dur = 15.0 + 15.0 * rng.gen::<f64>();
+        script = script.adversity(
+            start,
+            dur,
+            Adversity::ChannelRegime {
+                drop_rate: 0.02 + 0.08 * rng.gen::<f64>(),
+                corrupt_rate: 0.002 + 0.006 * rng.gen::<f64>(),
+            },
+        );
+    }
+    script
+}
+
+/// Weighted index draw; non-positive weight vectors become uniform.
+fn pick(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if total <= 0.0 {
+        return (rng.gen::<f64>() * weights.len() as f64) as usize % weights.len();
+    }
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w.is_finite() && w > 0.0 {
+            u -= w;
+            if u <= 0.0 {
+                return i;
+            }
+        }
+    }
+    weights.len() - 1
+}
+
+/// SplitMix64-style mixer: decorrelates derived seeds so that
+/// `(cohort_seed, index, salt)` streams never overlap.
+fn mix(a: u64, b: u64, salt: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .wrapping_add(salt);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_deterministic_per_seed_and_index() {
+        let g = CohortGenerator::new(CohortConfig::smoke());
+        for i in 0..24 {
+            assert_eq!(g.profile(i), g.profile(i), "session {i}");
+        }
+        let other = CohortGenerator::new(CohortConfig {
+            cohort_seed: 1,
+            ..CohortConfig::smoke()
+        });
+        let differs = (0..24).any(|i| g.profile(i) != other.profile(i));
+        assert!(differs, "different cohort seeds must differ");
+    }
+
+    #[test]
+    fn profiles_are_independent_of_each_other() {
+        // profile(i) must not depend on which other profiles were drawn.
+        let g = CohortGenerator::new(CohortConfig::full());
+        let direct = g.profile(150);
+        for i in 0..10 {
+            let _ = g.profile(i);
+        }
+        assert_eq!(g.profile(150), direct);
+    }
+
+    #[test]
+    fn cohort_covers_every_stratum() {
+        let g = CohortGenerator::new(CohortConfig::full());
+        let profiles: Vec<_> = (0..200).map(|i| g.profile(i)).collect();
+        for burden in RhythmBurden::ALL {
+            assert!(
+                profiles.iter().any(|p| p.burden == burden),
+                "missing burden {burden:?}"
+            );
+        }
+        for noise in NoiseProfile::ALL {
+            assert!(
+                profiles.iter().any(|p| p.noise == noise),
+                "missing noise {noise:?}"
+            );
+        }
+        assert!(profiles.iter().any(|p| p.cs_uplink));
+        assert!(profiles.iter().any(|p| p.n_leads == 3));
+    }
+
+    #[test]
+    fn cs_patients_are_single_lead() {
+        let g = CohortGenerator::new(CohortConfig::full());
+        for i in 0..200 {
+            let p = g.profile(i);
+            if p.cs_uplink {
+                assert_eq!(p.n_leads, 1, "session {i}");
+            }
+            assert!(p.baseline_hr_bpm > 40.0 && p.baseline_hr_bpm < 100.0);
+        }
+    }
+
+    #[test]
+    fn scripts_cover_modeled_hours_and_are_deterministic() {
+        let g = CohortGenerator::new(CohortConfig::smoke());
+        let p = g.profile(3);
+        let scripts = g.session_scripts(&p);
+        assert_eq!(scripts.len(), 2);
+        for s in &scripts {
+            assert!((s.duration_s() - g.config().segment_s).abs() < 1e-9);
+            assert_eq!(s.n_leads(), p.n_leads.min(3));
+        }
+        assert_eq!(scripts, g.session_scripts(&p));
+        // Hours differ from each other (fresh seed per hour).
+        assert_ne!(scripts[0].seed(), scripts[1].seed());
+    }
+
+    #[test]
+    fn paroxysmal_af_sessions_contain_scorable_episodes() {
+        let g = CohortGenerator::new(CohortConfig::full());
+        let p = (0..200)
+            .map(|i| g.profile(i))
+            .find(|p| p.burden == RhythmBurden::ParoxysmalAf)
+            .expect("stratum populated");
+        let scripts = g.session_scripts(&p);
+        let af_hours = scripts
+            .iter()
+            .filter(|s| {
+                s.phases()
+                    .iter()
+                    .any(|ph| matches!(ph.rhythm, Rhythm::AtrialFibrillation { .. }))
+            })
+            .count();
+        assert!(af_hours > 5, "af hours {af_hours} of {}", scripts.len());
+    }
+
+    #[test]
+    fn degenerate_config_is_clamped_not_rejected() {
+        let g = CohortGenerator::new(CohortConfig {
+            sessions: 0,
+            modeled_hours: 0,
+            segment_s: 0.0,
+            age_weights: [0.0; 4],
+            burden_weights: [-1.0; 7],
+            noise_weights: [0.0; 4],
+            cs_fraction: 7.0,
+            ..CohortConfig::default()
+        });
+        assert_eq!(g.config().sessions, 1);
+        assert_eq!(g.config().modeled_hours, 1);
+        assert!(g.config().segment_s >= 30.0);
+        // Uniform fallback still yields a valid profile.
+        let p = g.profile(0);
+        assert!(p.n_leads == 1 || p.n_leads == 3);
+    }
+}

@@ -3,7 +3,7 @@
 use crate::model::{
     AdcModel, BeatMorphology, BeatType, LeadProjection, Wave, WaveKind, ONSET_SIGMAS,
 };
-use crate::noise::{fibrillatory_wave, NoiseConfig};
+use crate::noise::{fibrillatory_wave, flutter_wave, NoiseConfig};
 use crate::record::{Annotation, Beat, FiducialKind, Record, RhythmSpan};
 use crate::rhythm::{Rhythm, RhythmLabel, ScheduledBeat};
 use rand::rngs::StdRng;
@@ -198,6 +198,26 @@ impl RecordBuilder {
                 for span in rhythm_spans.iter().filter(|s| s.label == RhythmLabel::Af) {
                     for i in span.start_sample..span.end_sample.min(n) {
                         clean_mv[li][i] += gain * fw[i];
+                    }
+                }
+            }
+        }
+
+        // Flutter (sawtooth F) waves during flutter spans. The wave is
+        // deterministic — no RNG draw — so records without flutter
+        // spans are bit-identical to records built before this branch
+        // existed.
+        let has_flutter = rhythm_spans.iter().any(|s| s.label == RhythmLabel::Flutter);
+        if has_flutter && self.fwave_amplitude_mv > 0.0 {
+            let fl = flutter_wave(n, self.fs as f64, 1.4 * self.fwave_amplitude_mv, 5.0);
+            for (li, proj) in self.leads.iter().enumerate() {
+                let gain = proj.gain(WaveKind::P).abs().max(0.3);
+                for span in rhythm_spans
+                    .iter()
+                    .filter(|s| s.label == RhythmLabel::Flutter)
+                {
+                    for i in span.start_sample..span.end_sample.min(n) {
+                        clean_mv[li][i] += gain * fl[i];
                     }
                 }
             }

@@ -23,6 +23,12 @@
 //! A time-locked PPG channel with programmable pulse-transit time
 //! supports the multi-modal experiments (Section IV-C of the paper).
 //!
+//! On top of single records, the [`scenario`] module provides a
+//! composable session DSL (rhythm phases plus timed adversities:
+//! motion bursts, electrode dropout, node reboots, channel regime
+//! shifts), and the [`cohort`] module samples whole populations of
+//! scripted patients deterministically from one cohort seed.
+//!
 //! ## Example
 //!
 //! ```
@@ -41,16 +47,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cohort;
 pub mod generator;
 pub mod model;
 pub mod noise;
 pub mod ppg;
 pub mod record;
 pub mod rhythm;
+pub mod scenario;
 pub mod suite;
 
+pub use cohort::{
+    AgeBand, CohortConfig, CohortGenerator, NoiseProfile, PatientProfile, RhythmBurden,
+};
 pub use generator::RecordBuilder;
 pub use model::{AdcModel, BeatMorphology, BeatType, WaveKind};
 pub use ppg::{PpgConfig, PpgSignal};
 pub use record::{Annotation, Beat, FiducialKind, Record, RhythmSpan};
 pub use rhythm::{Rhythm, RhythmLabel, RhythmPhase};
+pub use scenario::{Adversity, Script, TimedAdversity};

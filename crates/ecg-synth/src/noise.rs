@@ -224,6 +224,27 @@ pub fn fibrillatory_wave(n: usize, fs_hz: f64, amplitude_mv: f64, rng: &mut StdR
         .collect()
 }
 
+/// Deterministic flutter ("sawtooth") wave at `rate_hz` — typically
+/// ~5 Hz, i.e. a 300/min atrial circuit. The first three harmonics of
+/// a sawtooth give the classic F-wave shape: periodic and phase-locked,
+/// unlike the frequency-wandering fibrillatory wave of AF. No RNG is
+/// consumed, so rendering it for flutter spans cannot perturb the
+/// random stream of records that contain none.
+pub fn flutter_wave(n: usize, fs_hz: f64, amplitude_mv: f64, rate_hz: f64) -> Vec<f64> {
+    let dt = 1.0 / fs_hz;
+    (0..n)
+        .map(|i| {
+            let t = i as f64 * dt;
+            let mut v = 0.0;
+            for k in 1..=3u32 {
+                let kf = k as f64;
+                v += (core::f64::consts::TAU * kf * rate_hz * t).sin() / kf;
+            }
+            amplitude_mv * core::f64::consts::FRAC_2_PI * v
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

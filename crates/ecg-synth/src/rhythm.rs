@@ -50,6 +50,32 @@ pub enum Rhythm {
         /// Mean heart rate in beats per minute.
         mean_hr_bpm: f64,
     },
+    /// Atrial flutter with fixed AV conduction: the atria re-enter at
+    /// ~300/min and every `conduction_block`-th impulse conducts, so
+    /// the ventricular response is fast but *regular* — the classic
+    /// blind spot of RR-irregularity AF detectors, which is why flutter
+    /// spans are labelled [`RhythmLabel::Flutter`], not `Af`.
+    AtrialFlutter {
+        /// Atrial (flutter-wave) rate in beats per minute, typically
+        /// 240–340. Clamped to `[200, 400]`.
+        atrial_rate_bpm: f64,
+        /// AV conduction ratio: 2 ⇒ 2:1 block (ventricular rate =
+        /// atrial / 2), 4 ⇒ 4:1. Clamped to at least 1.
+        conduction_block: u32,
+    },
+    /// Brady–tachy (sick-sinus) syndrome: sinus bradycardia alternating
+    /// with bursts of sinus tachycardia, with a conversion pause at each
+    /// tachy→brady transition. Both phases stay labelled
+    /// [`RhythmLabel::Sinus`] — the syndrome stresses rate-adaptive
+    /// processing without being an AF ground-truth episode.
+    BradyTachy {
+        /// Heart rate during bradycardic stretches (bpm).
+        brady_hr_bpm: f64,
+        /// Heart rate during tachycardic bursts (bpm).
+        tachy_hr_bpm: f64,
+        /// Mean length of each stretch in seconds (jittered ±30%).
+        alternation_s: f64,
+    },
     /// A scripted sequence of rhythm phases with exact boundaries —
     /// the controlled counterpart of [`Rhythm::EpisodicAf`] for
     /// closed-loop scenarios (e.g. the power governor's quiet night →
@@ -82,6 +108,10 @@ pub enum RhythmLabel {
     Sinus,
     /// Atrial fibrillation.
     Af,
+    /// Atrial flutter (regular ventricular response; *not* counted as
+    /// AF ground truth so RR-irregularity detectors are scored
+    /// honestly against it).
+    Flutter,
 }
 
 /// One scheduled beat produced by the rhythm process.
@@ -177,6 +207,15 @@ impl Rhythm {
                 fix_rr(&mut beats);
                 beats
             }
+            Rhythm::AtrialFlutter {
+                atrial_rate_bpm,
+                conduction_block,
+            } => flutter_schedule(duration_s, atrial_rate_bpm, conduction_block, rng),
+            Rhythm::BradyTachy {
+                brady_hr_bpm,
+                tachy_hr_bpm,
+                alternation_s,
+            } => brady_tachy_schedule(duration_s, brady_hr_bpm, tachy_hr_bpm, alternation_s, rng),
         }
     }
 }
@@ -256,6 +295,69 @@ fn af_schedule(
         rr_prev = rr;
         t += rr;
     }
+    fix_rr(&mut beats);
+    beats
+}
+
+/// Flutter RR process: near-metronomic ventricular response locked to
+/// the atrial rate divided by the conduction block. Conducted beats are
+/// P-less (`AfConducted` morphology) but the RR series is *regular* —
+/// CV ≈ 0.02 versus ≈ 0.24 for AF.
+fn flutter_schedule(
+    duration_s: f64,
+    atrial_rate_bpm: f64,
+    conduction_block: u32,
+    rng: &mut StdRng,
+) -> Vec<ScheduledBeat> {
+    let atrial = atrial_rate_bpm.clamp(200.0, 400.0);
+    let block = conduction_block.max(1) as f64;
+    let rr_mean = 60.0 * block / atrial;
+    let mut beats = Vec::new();
+    let mut t = 0.25 + rng.gen::<f64>() * rr_mean;
+    let mut rr_prev = rr_mean;
+    while t < duration_s {
+        // Conduction is locked to the flutter circuit: tiny jitter only.
+        let rr = (rr_mean * (1.0 + 0.02 * gauss(rng))).max(0.22);
+        beats.push(ScheduledBeat {
+            r_time_s: t,
+            rr_prev_s: rr_prev,
+            beat_type: BeatType::AfConducted,
+            label: RhythmLabel::Flutter,
+        });
+        rr_prev = rr;
+        t += rr;
+    }
+    fix_rr(&mut beats);
+    beats
+}
+
+/// Brady–tachy RR process: alternating sinus stretches at the brady and
+/// tachy rates (stretch lengths jittered ±30% around `alternation_s`),
+/// with the natural offset at each stretch start acting as the
+/// conversion pause after a tachycardic burst.
+fn brady_tachy_schedule(
+    duration_s: f64,
+    brady_hr_bpm: f64,
+    tachy_hr_bpm: f64,
+    alternation_s: f64,
+    rng: &mut StdRng,
+) -> Vec<ScheduledBeat> {
+    let alternation = alternation_s.max(5.0);
+    let mut beats = Vec::new();
+    let mut t = 0.0;
+    let mut tachy = false;
+    while t < duration_s {
+        let span = (alternation * (0.7 + 0.6 * rng.gen::<f64>())).min(duration_s - t);
+        let hr = if tachy { tachy_hr_bpm } else { brady_hr_bpm };
+        let mut chunk = sinus_schedule(span, hr, 0.0, 0.0, rng);
+        for b in &mut chunk {
+            b.r_time_s += t;
+        }
+        beats.extend(chunk);
+        t += span;
+        tachy = !tachy;
+    }
+    beats.sort_by(|a, b| a.r_time_s.partial_cmp(&b.r_time_s).expect("no NaN"));
     fix_rr(&mut beats);
     beats
 }
@@ -403,6 +505,151 @@ mod tests {
         )])
         .schedule(30.0, &mut rng(12));
         assert!(truncated.last().unwrap().r_time_s < 30.0);
+    }
+
+    #[test]
+    fn flutter_is_fast_and_regular() {
+        let beats = Rhythm::AtrialFlutter {
+            atrial_rate_bpm: 300.0,
+            conduction_block: 2,
+        }
+        .schedule(120.0, &mut rng(20));
+        let (mean_rr, sd) = rr_stats(&beats);
+        let hr = 60.0 / mean_rr;
+        // 2:1 conduction of a 300/min circuit → ~150 bpm ventricular.
+        assert!((hr - 150.0).abs() < 8.0, "hr {hr}");
+        // Near-metronomic: far below the AF CV of ~0.24.
+        assert!(sd / mean_rr < 0.05, "cv {}", sd / mean_rr);
+        assert!(beats
+            .iter()
+            .all(|b| b.label == RhythmLabel::Flutter && b.beat_type == BeatType::AfConducted));
+    }
+
+    #[test]
+    fn flutter_conduction_block_scales_rate() {
+        let two = Rhythm::AtrialFlutter {
+            atrial_rate_bpm: 300.0,
+            conduction_block: 2,
+        }
+        .schedule(120.0, &mut rng(21));
+        let four = Rhythm::AtrialFlutter {
+            atrial_rate_bpm: 300.0,
+            conduction_block: 4,
+        }
+        .schedule(120.0, &mut rng(21));
+        let (rr2, _) = rr_stats(&two);
+        let (rr4, _) = rr_stats(&four);
+        assert!((rr4 / rr2 - 2.0).abs() < 0.15, "ratio {}", rr4 / rr2);
+        // Degenerate block of 0 clamps to 1:1 and stays finite.
+        let one = Rhythm::AtrialFlutter {
+            atrial_rate_bpm: 300.0,
+            conduction_block: 0,
+        }
+        .schedule(10.0, &mut rng(22));
+        assert!(!one.is_empty());
+        assert!(one.windows(2).all(|w| w[1].r_time_s > w[0].r_time_s));
+    }
+
+    #[test]
+    fn flutter_is_not_labelled_af() {
+        let beats = Rhythm::AtrialFlutter {
+            atrial_rate_bpm: 280.0,
+            conduction_block: 2,
+        }
+        .schedule(60.0, &mut rng(23));
+        assert!(beats.iter().all(|b| b.label != RhythmLabel::Af));
+    }
+
+    #[test]
+    fn brady_tachy_alternates_rates() {
+        let beats = Rhythm::BradyTachy {
+            brady_hr_bpm: 40.0,
+            tachy_hr_bpm: 130.0,
+            alternation_s: 30.0,
+        }
+        .schedule(300.0, &mut rng(24));
+        assert!(beats.iter().all(|b| b.label == RhythmLabel::Sinus));
+        assert!(beats.windows(2).all(|w| w[1].r_time_s > w[0].r_time_s));
+        // Both regimes present: count RRs near each target.
+        let rrs: Vec<f64> = beats
+            .windows(2)
+            .map(|w| w[1].r_time_s - w[0].r_time_s)
+            .collect();
+        let brady = rrs.iter().filter(|&&r| r > 60.0 / 55.0).count();
+        let tachy = rrs.iter().filter(|&&r| r < 60.0 / 100.0).count();
+        assert!(brady > 20, "brady RRs {brady}");
+        assert!(tachy > 20, "tachy RRs {tachy}");
+    }
+
+    #[test]
+    fn phased_zero_length_phases_are_skipped() {
+        // A zero-length middle phase contributes no beats and does not
+        // shift the boundaries of its neighbours.
+        let beats = Rhythm::Phased(vec![
+            RhythmPhase::new(Rhythm::NormalSinus { mean_hr_bpm: 60.0 }, 30.0),
+            RhythmPhase::new(Rhythm::AtrialFibrillation { mean_hr_bpm: 110.0 }, 0.0),
+            RhythmPhase::new(Rhythm::NormalSinus { mean_hr_bpm: 60.0 }, 30.0),
+        ])
+        .schedule(60.0, &mut rng(25));
+        assert!(beats.iter().all(|b| b.label == RhythmLabel::Sinus));
+        assert!(beats.iter().all(|b| b.r_time_s < 60.0));
+        assert!(beats.windows(2).all(|w| w[1].r_time_s > w[0].r_time_s));
+        // An all-zero script yields an empty (but valid) schedule.
+        let empty = Rhythm::Phased(vec![RhythmPhase::new(
+            Rhythm::NormalSinus { mean_hr_bpm: 60.0 },
+            0.0,
+        )])
+        .schedule(0.0, &mut rng(26));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn phased_back_to_back_regime_boundaries() {
+        // Three regime changes with no sinus padding between them: every
+        // beat still lands inside its own phase and times are strictly
+        // increasing across all boundaries.
+        let beats = Rhythm::Phased(vec![
+            RhythmPhase::new(Rhythm::AtrialFibrillation { mean_hr_bpm: 120.0 }, 20.0),
+            RhythmPhase::new(
+                Rhythm::AtrialFlutter {
+                    atrial_rate_bpm: 300.0,
+                    conduction_block: 2,
+                },
+                20.0,
+            ),
+            RhythmPhase::new(Rhythm::AtrialFibrillation { mean_hr_bpm: 95.0 }, 20.0),
+        ])
+        .schedule(60.0, &mut rng(27));
+        for b in &beats {
+            let expect = if (20.0..40.0).contains(&b.r_time_s) {
+                RhythmLabel::Flutter
+            } else {
+                RhythmLabel::Af
+            };
+            assert_eq!(b.label, expect, "beat at {}", b.r_time_s);
+        }
+        assert!(beats.windows(2).all(|w| w[1].r_time_s > w[0].r_time_s));
+    }
+
+    #[test]
+    fn phased_boundary_on_cs_window_boundary() {
+        // 20.48 s at 250 Hz is exactly ten 512-sample CS windows; a
+        // regime boundary landing exactly there must split cleanly with
+        // no beat assigned to the wrong side.
+        let boundary_s = 512.0 * 10.0 / 250.0;
+        let beats = Rhythm::Phased(vec![
+            RhythmPhase::new(Rhythm::NormalSinus { mean_hr_bpm: 70.0 }, boundary_s),
+            RhythmPhase::new(
+                Rhythm::AtrialFibrillation { mean_hr_bpm: 110.0 },
+                boundary_s,
+            ),
+        ])
+        .schedule(2.0 * boundary_s, &mut rng(28));
+        assert!(beats
+            .iter()
+            .all(|b| (b.label == RhythmLabel::Af) == (b.r_time_s >= boundary_s)));
+        assert!(beats.iter().any(|b| b.label == RhythmLabel::Af));
+        assert!(beats.iter().any(|b| b.label == RhythmLabel::Sinus));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::generator::RecordBuilder;
 use crate::noise::NoiseConfig;
 use crate::record::Record;
 use crate::rhythm::Rhythm;
+use crate::scenario::Script;
 
 /// Normal-sinus-rhythm records with varying heart rate and ambulatory
 /// noise between 15 and 30 dB SNR. Stand-in for "clean" holter data.
@@ -115,21 +116,28 @@ pub const GOVERNOR_SCENARIO_PHASES_S: (f64, f64, f64) = (240.0, 120.0, 240.0);
 /// Both `examples/power_governor.rs` and `tests/governor_scenario.rs`
 /// in the workspace root consume *this* function, so the demo output
 /// and the pinned lifetime ordering can never drift apart.
+///
+/// The trace is now defined once as a scenario-DSL script
+/// ([`governor_scenario_script`]); this function simply compiles it.
+/// A script with no signal adversities renders bit-identically to the
+/// old direct [`RecordBuilder`] chain, so every number pinned against
+/// this record is unchanged.
 pub fn governor_scenario() -> Record {
+    governor_scenario_script().record()
+}
+
+/// The power governor's acceptance trace as a named scenario-DSL
+/// [`Script`] — the shared definition consumed by both the legacy
+/// single-trace acceptance path ([`governor_scenario`]) and the cohort
+/// engine.
+pub fn governor_scenario_script() -> Script {
     let (quiet_s, af_s, recovery_s) = GOVERNOR_SCENARIO_PHASES_S;
-    RecordBuilder::new(0xD1A6)
-        .duration_s(quiet_s + af_s + recovery_s)
-        .n_leads(3)
-        .rhythm(Rhythm::Phased(vec![
-            crate::rhythm::RhythmPhase::new(Rhythm::NormalSinus { mean_hr_bpm: 52.0 }, quiet_s),
-            crate::rhythm::RhythmPhase::new(
-                Rhythm::AtrialFibrillation { mean_hr_bpm: 115.0 },
-                af_s,
-            ),
-            crate::rhythm::RhythmPhase::new(Rhythm::NormalSinus { mean_hr_bpm: 68.0 }, recovery_s),
-        ]))
+    Script::new("governor-three-act", 0xD1A6)
+        .leads(3)
         .noise(NoiseConfig::ambulatory(22.0))
-        .build()
+        .phase(Rhythm::NormalSinus { mean_hr_bpm: 52.0 }, quiet_s)
+        .phase(Rhythm::AtrialFibrillation { mean_hr_bpm: 115.0 }, af_s)
+        .phase(Rhythm::NormalSinus { mean_hr_bpm: 68.0 }, recovery_s)
 }
 
 /// Records for the compressed-sensing SNR-vs-CR sweep (Figure 5):
@@ -188,6 +196,37 @@ mod tests {
             .filter(|b| b.label == RhythmLabel::Sinus && b.beat_type != crate::BeatType::Normal)
             .count();
         assert!(ectopic > 3, "ectopic beats: {ectopic}");
+    }
+
+    #[test]
+    fn governor_scenario_script_is_bit_identical_to_legacy_builder() {
+        // The DSL migration must not move a single sample: rebuild the
+        // trace with the original direct RecordBuilder chain and compare
+        // every lead bit-for-bit.
+        let (quiet_s, af_s, recovery_s) = GOVERNOR_SCENARIO_PHASES_S;
+        let legacy = RecordBuilder::new(0xD1A6)
+            .duration_s(quiet_s + af_s + recovery_s)
+            .n_leads(3)
+            .rhythm(Rhythm::Phased(vec![
+                crate::rhythm::RhythmPhase::new(Rhythm::NormalSinus { mean_hr_bpm: 52.0 }, quiet_s),
+                crate::rhythm::RhythmPhase::new(
+                    Rhythm::AtrialFibrillation { mean_hr_bpm: 115.0 },
+                    af_s,
+                ),
+                crate::rhythm::RhythmPhase::new(
+                    Rhythm::NormalSinus { mean_hr_bpm: 68.0 },
+                    recovery_s,
+                ),
+            ]))
+            .noise(NoiseConfig::ambulatory(22.0))
+            .build();
+        let scripted = governor_scenario();
+        for l in 0..3 {
+            assert_eq!(scripted.lead(l), legacy.lead(l), "lead {l}");
+        }
+        assert_eq!(scripted.beats(), legacy.beats());
+        assert_eq!(scripted.rhythm_spans(), legacy.rhythm_spans());
+        assert_eq!(governor_scenario_script().name(), "governor-three-act");
     }
 
     #[test]

@@ -42,6 +42,17 @@ pub enum SessionItem {
         /// The recovered payload.
         payload: Payload,
     },
+    /// A recovered message that decoded as a (re-announced) session
+    /// handshake rather than a payload — e.g. a rebooted node's
+    /// sequence-0 handshake lost and NACK-repaired. Distinguished from
+    /// [`Handshake`](SessionItem::Handshake) so the recovery stays
+    /// visible to event consumers, not just to the loss counters.
+    RecoveredHandshake {
+        /// Message sequence number it travelled under.
+        msg_seq: u32,
+        /// The recovered handshake.
+        hs: SessionHandshake,
+    },
     /// A message that reassembled but failed to decode (truncated or
     /// malformed sender output). Carried as an item rather than an
     /// error so one bad message never discards the valid messages
@@ -157,13 +168,16 @@ impl SessionDecoder {
                     kind,
                     bytes,
                 } => out.push(match Self::decode_message(msg_seq, kind, &bytes) {
-                    // A recovered payload must stay distinguishable:
-                    // it is out of order relative to the released
-                    // stream. A recovered handshake or reject carries
-                    // that fact in its own variant already.
+                    // A recovered payload or handshake must stay
+                    // distinguishable: it is out of order relative to
+                    // the released stream, and the recovery itself is
+                    // an observable the consumer must not lose. A
+                    // recovered reject carries that fact in its own
+                    // variant already.
                     SessionItem::Payload { msg_seq, payload } => {
                         SessionItem::Recovered { msg_seq, payload }
                     }
+                    SessionItem::Handshake(hs) => SessionItem::RecoveredHandshake { msg_seq, hs },
                     other => other,
                 }),
             }

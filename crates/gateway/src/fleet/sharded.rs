@@ -46,6 +46,7 @@ enum GwCmd {
     AttachReference {
         session: u64,
         lead: u8,
+        offset_samples: u64,
         samples: Vec<f64>,
     },
     FlushAll,
@@ -104,8 +105,14 @@ fn worker_loop(mut gw: Gateway, cmds: Receiver<GwCmd>, replies: Sender<GwReply>)
             GwCmd::AttachReference {
                 session,
                 lead,
+                offset_samples,
                 samples,
-            } => GwReply::ReferenceAttached(gw.attach_reference(session, lead, samples)),
+            } => GwReply::ReferenceAttached(gw.attach_reference_at(
+                session,
+                lead,
+                offset_samples,
+                samples,
+            )),
             GwCmd::FlushAll => GwReply::Flushed(gw.flush_sessions_tagged()),
             GwCmd::PumpDownlink => GwReply::Pumped(gw.pump_downlink()),
             GwCmd::Close { session } => GwReply::Closed(gw.close_session(session)),
@@ -358,12 +365,30 @@ impl ShardedGateway {
     /// As [`Gateway::attach_reference`], plus
     /// [`WbsnError::WorkerLost`].
     pub fn attach_reference(&mut self, session: u64, lead: u8, samples: Vec<f64>) -> Result<()> {
+        self.attach_reference_at(session, lead, 0, samples)
+    }
+
+    /// Attaches a mid-stream reference starting at `offset_samples` of
+    /// the session's CS stream — see [`Gateway::attach_reference_at`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::attach_reference_at`], plus
+    /// [`WbsnError::WorkerLost`].
+    pub fn attach_reference_at(
+        &mut self,
+        session: u64,
+        lead: u8,
+        offset_samples: u64,
+        samples: Vec<f64>,
+    ) -> Result<()> {
         let shard = self.router.route(session);
         self.send(
             shard,
             GwCmd::AttachReference {
                 session,
                 lead,
+                offset_samples,
                 samples,
             },
         )?;
@@ -531,6 +556,7 @@ impl ShardedGateway {
                     total.retransmits_requested += s.retransmits_requested;
                     total.directives_issued += s.directives_issued;
                     total.windows_reconstructed += s.windows_reconstructed;
+                    total.windows_skipped += s.windows_skipped;
                     total.solver_iters += s.solver_iters;
                 }
                 Ok(_) => {

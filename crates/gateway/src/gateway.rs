@@ -79,6 +79,15 @@ pub struct GatewayConfig {
     /// [`DirectiveAction::SetCr`](wbsn_core::link::DirectiveAction)
     /// downlink frames at pump time.
     pub controller: Option<ControllerConfig>,
+    /// Solve only every k-th CS window (by `window_seq`); the rest are
+    /// counted as skipped and never reach the solver. `1` (the
+    /// default) reconstructs everything; larger values turn full
+    /// reconstruction into periodic quality *probing* — what a cohort
+    /// harness needs to keep hundreds of CS sessions affordable while
+    /// still sampling PRD. Values of 0 are clamped to 1. The decision
+    /// depends only on `window_seq`, so it is invariant to packet
+    /// arrival order and to the gateway's worker count.
+    pub reconstruct_every: u32,
 }
 
 impl Default for GatewayConfig {
@@ -104,6 +113,7 @@ impl Default for GatewayConfig {
             warm_start: true,
             recovery_window: 0,
             controller: None,
+            reconstruct_every: 1,
         }
     }
 }
@@ -238,6 +248,9 @@ pub struct GatewayStats {
     pub directives_issued: u64,
     /// CS windows reconstructed.
     pub windows_reconstructed: u64,
+    /// CS windows skipped by [`GatewayConfig::reconstruct_every`]
+    /// (decoded and counted, never solved).
+    pub windows_skipped: u64,
     /// FISTA iterations spent across all reconstructions (0 under the
     /// OMP solver). Deterministic for a given packet stream, so the
     /// shard-determinism suite can pin that parallel decode does not
@@ -341,6 +354,16 @@ pub struct SessionReport {
     pub cr_percent: Option<f64>,
 }
 
+/// One lead's attached PRD reference: `samples[0]` corresponds to
+/// sample `offset` of the session's CS sample stream, i.e. window
+/// `w` compares against `samples[w·n − offset ..][..n]`. Windows
+/// outside the covered span simply report no PRD.
+#[derive(Debug)]
+struct LeadReference {
+    offset: u64,
+    samples: Vec<f64>,
+}
+
 #[derive(Debug)]
 struct SessionState {
     decoder: SessionDecoder,
@@ -358,7 +381,7 @@ struct SessionState {
     // Reconstructed windows, keyed by (lead, window_seq).
     windows: BTreeMap<(u8, u32), Vec<f64>>,
     // Optional per-lead reference signals for PRD reporting.
-    references: BTreeMap<u8, Vec<f64>>,
+    references: BTreeMap<u8, LeadReference>,
     // Reused measurement buffer.
     y_scratch: Vec<i64>,
 }
@@ -452,6 +475,7 @@ impl Gateway {
     /// rebuilding identical Φ per worker.
     pub fn with_cache(mut cfg: GatewayConfig, cache: Arc<MatrixCache>) -> Self {
         cfg.reorder_window = cfg.reorder_window.max(1);
+        cfg.reconstruct_every = cfg.reconstruct_every.max(1);
         let solver = match cfg.solver {
             ReconstructionSolver::Fista(f) => SolverImpl::Fista(Fista::new(f)),
             ReconstructionSolver::Omp(o) => SolverImpl::Omp(Omp::new(o)),
@@ -516,14 +540,54 @@ impl Gateway {
 
     /// Attaches the transmitted original of one lead so reconstructed
     /// windows report PRD against it (evaluation harnesses only — a
-    /// production gateway has no original to compare with).
+    /// production gateway has no original to compare with). The
+    /// reference starts at sample 0 of the CS stream; see
+    /// [`Gateway::attach_reference_at`] for mid-stream references.
     ///
     /// # Errors
     ///
     /// Propagates decoder construction failures for a new session.
     pub fn attach_reference(&mut self, session: u64, lead: u8, samples: Vec<f64>) -> Result<()> {
+        self.attach_reference_at(session, lead, 0, samples)
+    }
+
+    /// Attaches a PRD reference whose first sample corresponds to
+    /// sample `offset_samples` of the session's CS stream: window `w`
+    /// (of `n` samples) compares against
+    /// `samples[w·n − offset_samples ..][..n]`, and windows outside
+    /// the covered span report no PRD. This is what lets a long-running
+    /// harness probe reconstruction quality segment by segment without
+    /// ever holding the whole session's original in memory. Attaching
+    /// replaces the lead's previous reference and prunes retained
+    /// windows from before the new span, so per-session sample history
+    /// stays bounded by one reference span per lead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder construction failures for a new session.
+    pub fn attach_reference_at(
+        &mut self,
+        session: u64,
+        lead: u8,
+        offset_samples: u64,
+        samples: Vec<f64>,
+    ) -> Result<()> {
         let state = self.session_state(session)?;
-        state.references.insert(lead, samples);
+        if offset_samples > 0 {
+            if let Some(hs) = state.handshake {
+                let n = hs.cs_window as u64;
+                state
+                    .windows
+                    .retain(|&(l, seq), _| l != lead || seq as u64 * n >= offset_samples);
+            }
+        }
+        state.references.insert(
+            lead,
+            LeadReference {
+                offset: offset_samples,
+                samples,
+            },
+        );
         Ok(())
     }
 
@@ -839,6 +903,16 @@ impl Gateway {
                         });
                     }
                 }
+                SessionItem::RecoveredHandshake { msg_seq, hs } => {
+                    self.stats.messages_recovered += 1;
+                    if let Some(state) = self.sessions.get_mut(&session) {
+                        state.feedback.recovered += 1;
+                        state.feedback.missing.remove(&msg_seq);
+                        events.push(GatewayEvent::MessageRecovered { session, msg_seq });
+                        state.install_handshake(hs);
+                        events.push(GatewayEvent::SessionOpened { session });
+                    }
+                }
                 SessionItem::Recovered { msg_seq, payload } => {
                     self.stats.payloads += 1;
                     self.stats.messages_recovered += 1;
@@ -918,6 +992,14 @@ impl Gateway {
                 let Some(hs) = state.handshake else {
                     return Err(LinkError::NoHandshake { session }.into());
                 };
+                let every = self.cfg.reconstruct_every.max(1);
+                if every > 1 && window_seq % every != 0 {
+                    // Periodic probing: the skip decision depends only
+                    // on window_seq, so it is invariant to arrival
+                    // order and worker count.
+                    self.stats.windows_skipped += 1;
+                    return Ok(());
+                }
                 if state.encoders.len() <= lead as usize {
                     state.encoders.resize(lead as usize + 1, None);
                     state.fista.resize(lead as usize + 1, FistaState::new());
@@ -952,19 +1034,30 @@ impl Gateway {
                 self.stats.solver_iters += iters as u64;
                 let n = hs.cs_window as usize;
                 let prd = state.references.get(&lead).and_then(|reference| {
-                    let start = window_seq as usize * n;
-                    let orig = reference.get(start..start + n)?;
+                    let start =
+                        (window_seq as u64 * n as u64).checked_sub(reference.offset)? as usize;
+                    let orig = reference.samples.get(start..start + n)?;
+                    // A zero-energy reference window (a dropped
+                    // electrode reads a flat baseline) has no defined
+                    // PRD; report the window unscored instead of
+                    // letting `prd_percent`'s zero-signal assert kill
+                    // the worker.
+                    if orig.iter().all(|&v| v == 0.0) {
+                        return None;
+                    }
                     Some(prd_percent(orig, &xr))
                 });
                 if let Some(p) = prd {
                     state.feedback.prd_sum += p;
                     state.feedback.prd_count += 1;
                 }
-                // Samples are retained only for leads with an attached
-                // reference (the evaluation harness needs them for
-                // PRD/replay queries); a production session would
-                // otherwise grow ~4 kB per window forever.
-                if state.references.contains_key(&lead) {
+                // Samples are retained only for windows the attached
+                // reference actually covers (the evaluation harness
+                // needs them for PRD/replay queries); a production
+                // session would otherwise grow ~4 kB per window
+                // forever, and a segment-probing harness would grow by
+                // every window outside its current reference span.
+                if prd.is_some() {
                     state.windows.insert((lead, window_seq), xr);
                 }
                 self.stats.windows_reconstructed += 1;
@@ -1081,6 +1174,149 @@ mod tests {
         );
     }
 
+    /// Shared setup for the reconstruct_every / mid-stream-reference
+    /// tests: one clean single-lead CS session, framed and ready to
+    /// ingest, with its original lead returned for references.
+    fn cs_session_packets(session: u64) -> (Vec<Vec<u8>>, Vec<f64>) {
+        let rec = RecordBuilder::new(21)
+            .duration_s(10.0)
+            .n_leads(1)
+            .noise(NoiseConfig::clean())
+            .build();
+        let mut node = MonitorBuilder::new()
+            .level(ProcessingLevel::CompressedSingleLead)
+            .n_leads(1)
+            .cs_compression_ratio(50.0)
+            .build()
+            .unwrap();
+        let payloads = node.process_record(&rec).unwrap();
+        let mut uplink = Uplink::new();
+        let mut packets = Vec::new();
+        uplink
+            .open_session(
+                &SessionHandshake::for_config(session, node.config()),
+                &mut packets,
+            )
+            .unwrap();
+        uplink.frame(session, &payloads, &mut packets).unwrap();
+        let original = rec.lead(0).iter().map(|&v| v as f64).collect();
+        (packets, original)
+    }
+
+    fn run_cs(gw: &mut Gateway, packets: &[Vec<u8>]) -> Vec<GatewayEvent> {
+        let mut events = Vec::new();
+        for p in packets {
+            events.extend(gw.ingest(p).unwrap());
+        }
+        events.extend(gw.flush_sessions());
+        events
+    }
+
+    #[test]
+    fn reconstruct_every_probes_periodically() {
+        // Cold solves on both sides: skipping windows changes the
+        // warm-start chain, so exact PRD equality only holds cold.
+        let (packets, original) = cs_session_packets(6);
+        let mut full = Gateway::new(GatewayConfig {
+            warm_start: false,
+            ..GatewayConfig::default()
+        });
+        full.attach_reference(6, 0, original.clone()).unwrap();
+        let full_events = run_cs(&mut full, &packets);
+        let total = full.stats().windows_reconstructed;
+        assert!(total >= 4);
+
+        let mut probing = Gateway::new(GatewayConfig {
+            reconstruct_every: 3,
+            warm_start: false,
+            ..GatewayConfig::default()
+        });
+        probing.attach_reference(6, 0, original).unwrap();
+        let probe_events = run_cs(&mut probing, &packets);
+        // Every window was either solved or counted as skipped…
+        let s = probing.stats();
+        assert_eq!(s.windows_reconstructed + s.windows_skipped, total);
+        assert!(s.windows_skipped > 0);
+        // …and solved windows are exactly the window_seq multiples of
+        // 3, with PRDs identical to the full run's (cold-solve inputs
+        // are unchanged; only which windows get solved differs).
+        let pick = |events: &[GatewayEvent]| -> Vec<(u32, Option<f64>)> {
+            events
+                .iter()
+                .filter_map(|e| match e {
+                    GatewayEvent::WindowReconstructed {
+                        window_seq,
+                        prd_percent,
+                        ..
+                    } => Some((*window_seq, *prd_percent)),
+                    _ => None,
+                })
+                .collect()
+        };
+        let probed = pick(&probe_events);
+        assert!(probed.iter().all(|(seq, _)| seq % 3 == 0));
+        let full_map: Vec<(u32, Option<f64>)> = pick(&full_events)
+            .into_iter()
+            .filter(|(seq, _)| seq % 3 == 0)
+            .collect();
+        assert_eq!(probed.len(), full_map.len());
+        for ((sa, pa), (sb, pb)) in probed.iter().zip(&full_map) {
+            assert_eq!(sa, sb);
+            assert_eq!(pa.unwrap(), pb.unwrap(), "window {sa}");
+        }
+        // Zero clamps to 1 — everything reconstructs.
+        let mut clamped = Gateway::new(GatewayConfig {
+            reconstruct_every: 0,
+            ..GatewayConfig::default()
+        });
+        run_cs(&mut clamped, &packets);
+        assert_eq!(clamped.stats().windows_reconstructed, total);
+        assert_eq!(clamped.stats().windows_skipped, 0);
+    }
+
+    #[test]
+    fn mid_stream_reference_scopes_prd_and_retention() {
+        let (packets, original) = cs_session_packets(8);
+        // Full reference for ground truth.
+        let mut full = Gateway::default();
+        full.attach_reference(8, 0, original.clone()).unwrap();
+        let full_events = run_cs(&mut full, &packets);
+        let n = 512usize;
+        // Mid-stream reference covering only windows 2 and 3.
+        let offset = 2 * n as u64;
+        let mut gw = Gateway::default();
+        gw.attach_reference_at(8, 0, offset, original[2 * n..4 * n].to_vec())
+            .unwrap();
+        let events = run_cs(&mut gw, &packets);
+        let prd_of = |events: &[GatewayEvent], want: u32| -> Option<f64> {
+            events.iter().find_map(|e| match e {
+                GatewayEvent::WindowReconstructed {
+                    window_seq,
+                    prd_percent,
+                    ..
+                } if *window_seq == want => Some(*prd_percent),
+                _ => None,
+            })?
+        };
+        // Windows outside the span report no PRD; inside, the PRD is
+        // exactly what the full reference reports.
+        assert_eq!(prd_of(&events, 0), None);
+        assert_eq!(prd_of(&events, 1), None);
+        for w in 2..4u32 {
+            let scoped = prd_of(&events, w).expect("covered window has PRD");
+            assert_eq!(scoped, prd_of(&full_events, w).unwrap(), "window {w}");
+        }
+        // Retention is scoped the same way — memory stays bounded by
+        // the reference span.
+        assert!(gw.reconstructed_window(8, 0, 0).is_none());
+        assert!(gw.reconstructed_window(8, 0, 2).is_some());
+        // Re-attaching a later span prunes the old one's windows.
+        gw.attach_reference_at(8, 0, 3 * n as u64, original[3 * n..4 * n].to_vec())
+            .unwrap();
+        assert!(gw.reconstructed_window(8, 0, 2).is_none());
+        assert!(gw.reconstructed_window(8, 0, 3).is_some());
+    }
+
     #[test]
     fn omp_solver_reconstructs_too() {
         let rec = RecordBuilder::new(21)
@@ -1127,6 +1363,49 @@ mod tests {
         // it is an ablation, not the production decoder, so the bar is
         // looser than FISTA's.
         assert!(prds.iter().all(|&p| p < 40.0), "{prds:?}");
+    }
+
+    #[test]
+    fn zero_energy_reference_window_reports_no_prd() {
+        // A dropped electrode reads a flat baseline: the reference
+        // window has zero signal energy and PRD is undefined there.
+        // The window must come back unscored — not kill the worker
+        // through `prd_percent`'s zero-signal assert.
+        let rec = RecordBuilder::new(23)
+            .duration_s(4.1)
+            .n_leads(1)
+            .noise(NoiseConfig::clean())
+            .build();
+        let mut node = MonitorBuilder::new()
+            .level(ProcessingLevel::CompressedSingleLead)
+            .n_leads(1)
+            .cs_compression_ratio(50.0)
+            .build()
+            .unwrap();
+        let payloads = node.process_record(&rec).unwrap();
+        let mut uplink = Uplink::new();
+        let mut packets = Vec::new();
+        uplink
+            .open_session(
+                &SessionHandshake::for_config(5, node.config()),
+                &mut packets,
+            )
+            .unwrap();
+        uplink.frame(5, &payloads, &mut packets).unwrap();
+        let mut gw = Gateway::default();
+        gw.attach_reference(5, 0, vec![0.0; rec.n_samples()])
+            .unwrap();
+        let mut windows = 0;
+        for p in &packets {
+            for ev in gw.ingest(p).unwrap() {
+                if let GatewayEvent::WindowReconstructed { prd_percent, .. } = ev {
+                    assert_eq!(prd_percent, None);
+                    windows += 1;
+                }
+            }
+        }
+        assert_eq!(windows, 2);
+        assert_eq!(gw.stats().windows_reconstructed, 2);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Cohort evaluation: 200 scripted patients × 2 modeled days, end to
+//! end.
+//!
+//! Paper context: the DAC'14 claims — detection quality vs. power at
+//! each processing level — only mean something over a *population* of
+//! patients and operating conditions, not one trace. This example is
+//! the acceptance run behind the checked-in `COHORT_report.json`
+//! artifact: [`CohortGenerator`](wbsn_ecg_synth::cohort::CohortGenerator)
+//! samples 200 patient profiles (age band, rhythm burden, noise
+//! profile, lead count, CS uplink) from the default distributions and
+//! expands each into 48 per-hour scenario [`Script`]s carrying timed
+//! adversities — motion bursts, electrode dropouts, degraded channel
+//! regimes, mid-session node reboots. [`CohortRunner`] then drives
+//! every session through the full system:
+//!
+//! ```text
+//!   scripted ECG ─► GovernedMonitor ─► Uplink framer ─► DuplexChannel ─► ShardedGateway
+//!   (per-hour       (tiered node       (MTU packets,    (seeded drops    (reassembly, AF
+//!    scripts)        pipeline)          retransmit       both ways)       alerts, FISTA
+//!                                       buffer)                           PRD probing)
+//! ```
+//!
+//! and folds everything into one typed
+//! [`CohortReport`](wbsn::cohort::CohortReport): detection latency,
+//! mean/p95 PRD, false-alert rate, modeled battery-days, link-health
+//! rollups, per-burden strata. The report is a pure function of the
+//! plans — `--sweep` proves it by replaying the whole cohort at 1, 2
+//! and 4 gateway decode workers and demanding bit-identical artifacts.
+//!
+//! Flags: `--smoke` runs the 24-session CI cohort instead of the full
+//! 200; `--sweep` adds the worker-count replay; `--out <path>` moves
+//! the JSON artifact (default `COHORT_report.json`).
+//!
+//! Run with: `cargo run --release --example cohort`
+
+use wbsn::cohort::{CohortReport, CohortRunConfig, CohortRunner};
+
+fn run_at(cfg: &CohortRunConfig, workers: usize) -> CohortReport {
+    let mut cfg = cfg.clone();
+    cfg.workers = workers;
+    CohortRunner::new(cfg).run().expect("cohort run failed")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let sweep = args.iter().any(|a| a == "--sweep");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "COHORT_report.json".to_string());
+
+    let cfg = if smoke {
+        CohortRunConfig::smoke()
+    } else {
+        CohortRunConfig::default()
+    };
+    println!(
+        "cohort: {} sessions x {} modeled hours ({} s synthesized per hour), seed {:#x}",
+        cfg.cohort.sessions, cfg.cohort.modeled_hours, cfg.cohort.segment_s, cfg.cohort.cohort_seed
+    );
+
+    let report = run_at(&cfg, cfg.workers);
+
+    // ---- the headline numbers ----
+    let d = &report.detection;
+    println!("\n== detection ==");
+    println!(
+        "  AF episodes {:>5}   detected {:>5} ({:.1}%)",
+        d.episodes,
+        d.detected,
+        if d.episodes > 0 {
+            100.0 * d.detected as f64 / d.episodes as f64
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "  latency mean {:.1} s   p95 {:.1} s   false alerts/day {:.3}",
+        d.latency_mean_s, d.latency_p95_s, d.false_alerts_per_day
+    );
+    println!("== compressed sensing ==");
+    println!(
+        "  {} PRD-scored windows   mean {:.2}%   p95 {:.2}%   ({} skipped under probing)",
+        report.prd.windows, report.prd.mean_percent, report.prd.p95_percent, report.windows_skipped
+    );
+    let l = &report.link;
+    println!("== link ==");
+    println!(
+        "  {} messages   {} lost   {} recovered   {} ACKs   {} NACKs   {} directives",
+        l.messages, l.lost, l.recovered, l.acks_sent, l.nacks_sent, l.directives_issued
+    );
+    println!(
+        "  node-side: {} expired unacknowledged, {} NACKed-but-evicted   reboots survived: {}",
+        l.expired, l.unavailable, report.reboots
+    );
+    println!("== energy ==");
+    println!(
+        "  modeled battery life: mean {:.1} days, worst {:.1} days over {:.1} patient-days",
+        report.battery_days_mean, report.battery_days_min, report.modeled_days
+    );
+    println!("== strata ==");
+    for s in &report.strata {
+        println!(
+            "  {:<16} {:>4} sessions   {:>4}/{:<4} episodes detected   {:>6.1} battery-days",
+            s.burden, s.sessions, s.detection.detected, s.detection.episodes, s.battery_days_mean
+        );
+    }
+
+    if sweep {
+        println!("\nreplaying at 1/2/4 gateway workers...");
+        for workers in [1usize, 2, 4] {
+            let replay = run_at(&cfg, workers);
+            assert_eq!(
+                report, replay,
+                "cohort report diverged at {workers} workers"
+            );
+            assert_eq!(report.to_json(), replay.to_json());
+            println!("  workers={workers}: bit-identical");
+        }
+    }
+
+    std::fs::write(&out, report.to_json() + "\n").expect("failed to write artifact");
+    println!("\nwrote {out}");
+}

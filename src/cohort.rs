@@ -1,0 +1,1096 @@
+//! Cohort engine: drives whole populations of scripted patients
+//! through the full system — governed node pipeline → uplink framing →
+//! lossy duplex channel → sharded gateway — and folds the result into
+//! one typed [`CohortReport`].
+//!
+//! The sessions come from
+//! [`CohortGenerator`]: each
+//! patient is a seeded [`PatientProfile`] expanded into one scenario
+//! [`Script`] per *modeled hour* (duty-cycled — every hour is
+//! represented by [`CohortConfig::segment_s`] seconds of synthesized
+//! signal, which is what makes 200 sessions × multi-day modeled time
+//! tractable). Scripts carry both signal adversities (motion bursts,
+//! electrode dropout — baked into the record) and runtime adversities,
+//! which this runner enacts live:
+//!
+//! * [`Adversity::NodeReboot`] — the node loses its monitor, framer,
+//!   retransmit buffer and directive state mid-session; the gateway is
+//!   re-registered out of band and must treat stragglers from the dead
+//!   incarnation as stale.
+//! * [`Adversity::ChannelRegime`] — a timed degraded-link interval;
+//!   the drop and corruption probabilities are folded into one drop
+//!   rate on both directions of the node's
+//!   [`DuplexChannel`] (a
+//!   corrupted packet fails the CRC and is indistinguishable from a
+//!   loss end to end).
+//!
+//! Everything is deterministic: the entire run — gateway events,
+//! downlink bytes, retransmit accounting, every report number — is a
+//! pure function of the plans, and replays bit-identically at any
+//! gateway worker count (`tests/cohort_determinism.rs` pins 1/2/4).
+//!
+//! Memory stays bounded by construction: sessions run in batches of
+//! [`CohortRunConfig::batch_sessions`], each node holds only its
+//! current hour's record, per-segment PRD references supersede each
+//! other on the gateway
+//! ([`attach_reference_at`](wbsn_gateway::ShardedGateway::attach_reference_at)
+//! prunes windows behind the new offset), and finished sessions are
+//! [`close_session`](wbsn_gateway::ShardedGateway::close_session)ed
+//! before the next batch starts.
+
+use wbsn_core::governor::{GovernedMonitor, GovernorConfig};
+use wbsn_core::level::{OperatingMode, ProcessingLevel};
+use wbsn_core::link::{DownlinkFrame, SessionHandshake, Uplink};
+use wbsn_core::monitor::MonitorBuilder;
+use wbsn_core::retransmit::{
+    DirectiveHandler, RetransmitBuffer, RetransmitConfig, RetransmitEvent,
+};
+use wbsn_core::Result;
+use wbsn_ecg_synth::cohort::{CohortConfig, CohortGenerator, PatientProfile, RhythmBurden};
+use wbsn_ecg_synth::scenario::{Adversity, Script};
+use wbsn_ecg_synth::{Record, RhythmLabel};
+use wbsn_gateway::channel::{ChannelConfig, DuplexChannel};
+use wbsn_gateway::controller::ControllerConfig;
+use wbsn_gateway::gateway::{GatewayConfig, GatewayEvent, SessionReport};
+use wbsn_gateway::ShardedGateway;
+use wbsn_platform::battery::Battery;
+use wbsn_platform::NodeModel;
+
+/// Link-pump cadence: the runner frames, sends and pumps the downlink
+/// once per this many seconds of signal. The governed monitor handles
+/// its own epoch boundaries internally, so this cadence never changes
+/// node-side numbers — only how often the link machinery turns over.
+const PUMP_S: u64 = 10;
+
+/// Maximum gap (seconds) between ground-truth AF spans merged into one
+/// scorable episode (spans are per-hour; adjacent hours of persistent
+/// AF fuse across the segment boundary).
+const EPISODE_MERGE_GAP_S: f64 = 2.0;
+
+/// One planned patient session: the sampled profile plus its per-hour
+/// scenario scripts, in modeled-time order.
+#[derive(Debug, Clone)]
+pub struct SessionPlan {
+    /// The sampled patient.
+    pub profile: PatientProfile,
+    /// One script per modeled hour.
+    pub scripts: Vec<Script>,
+}
+
+/// Configuration of a cohort run: the cohort itself plus the runner's
+/// link/gateway parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortRunConfig {
+    /// The cohort to generate (see [`CohortConfig`]).
+    pub cohort: CohortConfig,
+    /// Gateway decode workers (≥ 1). The report is invariant in this.
+    pub workers: usize,
+    /// Sessions run concurrently per batch (bounds peak memory).
+    pub batch_sessions: usize,
+    /// Gateway PRD probing period: solve every N-th CS window
+    /// ([`GatewayConfig::reconstruct_every`]).
+    pub reconstruct_every: u32,
+    /// CS window length for compressed-uplink patients.
+    pub cs_window: usize,
+    /// Starting CS compression ratio (percent).
+    pub cs_cr_percent: f64,
+    /// Ground-truth AF spans shorter than this are not scorable
+    /// episodes (seconds).
+    pub min_episode_s: f64,
+    /// An alert up to this long after an episode ends still counts as
+    /// detecting it (seconds) — covers payload/link latency.
+    pub alert_grace_s: f64,
+}
+
+impl Default for CohortRunConfig {
+    fn default() -> Self {
+        CohortRunConfig {
+            cohort: CohortConfig::full(),
+            workers: 2,
+            batch_sessions: 16,
+            reconstruct_every: 6,
+            cs_window: 512,
+            cs_cr_percent: 50.0,
+            min_episode_s: 20.0,
+            alert_grace_s: 45.0,
+        }
+    }
+}
+
+impl CohortRunConfig {
+    /// The CI smoke configuration: [`CohortConfig::smoke`] (24 sessions
+    /// × 2 modeled hours) with the default runner parameters.
+    pub fn smoke() -> Self {
+        CohortRunConfig {
+            cohort: CohortConfig::smoke(),
+            ..CohortRunConfig::default()
+        }
+    }
+}
+
+/// Episode-detection metrics of one cohort (or stratum).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DetectionStats {
+    /// Scorable ground-truth AF episodes.
+    pub episodes: u64,
+    /// Episodes with at least one gateway alert inside
+    /// `[onset, offset + grace]`.
+    pub detected: u64,
+    /// Mean alert latency from episode onset, seconds (0 when none).
+    pub latency_mean_s: f64,
+    /// 95th-percentile alert latency, seconds (0 when none).
+    pub latency_p95_s: f64,
+    /// Alerts raised outside every AF episode and flutter span.
+    pub false_alerts: u64,
+    /// False alerts per *synthesized* patient-day (the duty-cycled
+    /// signal actually driven through the system — see
+    /// [`CohortReport::modeled_days`]).
+    pub false_alerts_per_day: f64,
+}
+
+/// CS reconstruction-quality metrics of one cohort.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PrdStats {
+    /// Windows reconstructed *with* a covering PRD reference.
+    pub windows: u64,
+    /// Mean PRD, percent (0 when no windows).
+    pub mean_percent: f64,
+    /// 95th-percentile PRD, percent (0 when no windows).
+    pub p95_percent: f64,
+}
+
+/// Link-health rollup across all sessions. `lost`/`recovered` come
+/// from the per-session gateway reports; `lost_events` /
+/// `recovered_events` re-derive the same truth from the observed
+/// [`GatewayEvent`] stream, so a silently dropped event shows up as a
+/// mismatch (the test suite pins them equal).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinkRollup {
+    /// Messages released in order across all sessions.
+    pub messages: u64,
+    /// Messages declared lost (per-session reports).
+    pub lost: u64,
+    /// Lost messages recovered by retransmission (per-session reports).
+    pub recovered: u64,
+    /// Lost messages summed from [`GatewayEvent::MessageLost`] ranges.
+    pub lost_events: u64,
+    /// [`GatewayEvent::MessageRecovered`] events observed.
+    pub recovered_events: u64,
+    /// Cumulative-ACK downlink frames sent.
+    pub acks_sent: u64,
+    /// Selective-NACK downlink frames sent.
+    pub nacks_sent: u64,
+    /// Individual retransmissions requested.
+    pub retransmits_requested: u64,
+    /// Adaptive-CR directives issued by the gateway controller.
+    pub directives_issued: u64,
+    /// Node-side messages abandoned unacknowledged
+    /// ([`RetransmitEvent::Expired`]).
+    pub expired: u64,
+    /// NACKs for messages the node no longer buffers
+    /// ([`RetransmitEvent::Unavailable`]).
+    pub unavailable: u64,
+}
+
+/// Per-stratum (rhythm-burden) slice of the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratumReport {
+    /// Stable stratum label ([`RhythmBurden::label`]).
+    pub burden: &'static str,
+    /// Sessions in the stratum.
+    pub sessions: u64,
+    /// Detection metrics over the stratum's sessions.
+    pub detection: DetectionStats,
+    /// Mean modeled battery lifetime, days.
+    pub battery_days_mean: f64,
+}
+
+/// The one artifact of a cohort run. Deliberately carries **no**
+/// worker count, wall-clock, or host detail: two runs of the same
+/// plans must compare equal ([`PartialEq`]) at any parallelism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortReport {
+    /// Sessions run.
+    pub sessions: u64,
+    /// Modeled hours per session (longest plan).
+    pub modeled_hours: u32,
+    /// Synthesized patient-days actually driven through the system.
+    /// Duty-cycled: each modeled hour is represented by
+    /// [`CohortConfig::segment_s`] seconds of signal, so this is the
+    /// rate denominator, not `sessions × modeled_hours / 24`.
+    pub modeled_days: f64,
+    /// Node reboots enacted mid-session.
+    pub reboots: u64,
+    /// Cohort-wide detection metrics.
+    pub detection: DetectionStats,
+    /// Cohort-wide CS reconstruction quality.
+    pub prd: PrdStats,
+    /// CS windows the gateway skipped under periodic probing
+    /// ([`GatewayConfig::reconstruct_every`]).
+    pub windows_skipped: u64,
+    /// Link-health rollup (with event-derived cross-checks).
+    pub link: LinkRollup,
+    /// Mean modeled battery lifetime across sessions, days.
+    pub battery_days_mean: f64,
+    /// Worst modeled battery lifetime, days.
+    pub battery_days_min: f64,
+    /// Populated strata in [`RhythmBurden::ALL`] order.
+    pub strata: Vec<StratumReport>,
+}
+
+impl CohortReport {
+    /// Serializes the report as deterministic JSON (stable key order,
+    /// shortest-roundtrip float formatting) — the checked-in artifact
+    /// format of `examples/cohort.rs`.
+    pub fn to_json(&self) -> String {
+        fn det(d: &DetectionStats) -> String {
+            format!(
+                "{{\"episodes\":{},\"detected\":{},\"latency_mean_s\":{},\
+                 \"latency_p95_s\":{},\"false_alerts\":{},\"false_alerts_per_day\":{}}}",
+                d.episodes,
+                d.detected,
+                d.latency_mean_s,
+                d.latency_p95_s,
+                d.false_alerts,
+                d.false_alerts_per_day
+            )
+        }
+        let strata: Vec<String> = self
+            .strata
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"burden\":\"{}\",\"sessions\":{},\"detection\":{},\
+                     \"battery_days_mean\":{}}}",
+                    s.burden,
+                    s.sessions,
+                    det(&s.detection),
+                    s.battery_days_mean
+                )
+            })
+            .collect();
+        format!(
+            "{{\"sessions\":{},\"modeled_hours\":{},\"modeled_days\":{},\"reboots\":{},\
+             \"detection\":{},\
+             \"prd\":{{\"windows\":{},\"mean_percent\":{},\"p95_percent\":{}}},\
+             \"windows_skipped\":{},\
+             \"link\":{{\"messages\":{},\"lost\":{},\"recovered\":{},\"lost_events\":{},\
+             \"recovered_events\":{},\"acks_sent\":{},\"nacks_sent\":{},\
+             \"retransmits_requested\":{},\"directives_issued\":{},\"expired\":{},\
+             \"unavailable\":{}}},\
+             \"battery_days_mean\":{},\"battery_days_min\":{},\"strata\":[{}]}}",
+            self.sessions,
+            self.modeled_hours,
+            self.modeled_days,
+            self.reboots,
+            det(&self.detection),
+            self.prd.windows,
+            self.prd.mean_percent,
+            self.prd.p95_percent,
+            self.windows_skipped,
+            self.link.messages,
+            self.link.lost,
+            self.link.recovered,
+            self.link.lost_events,
+            self.link.recovered_events,
+            self.link.acks_sent,
+            self.link.nacks_sent,
+            self.link.retransmits_requested,
+            self.link.directives_issued,
+            self.link.expired,
+            self.link.unavailable,
+            self.battery_days_mean,
+            self.battery_days_min,
+            strata.join(",")
+        )
+    }
+}
+
+/// Drives a cohort end to end and produces the [`CohortReport`].
+#[derive(Debug, Clone)]
+pub struct CohortRunner {
+    cfg: CohortRunConfig,
+}
+
+impl CohortRunner {
+    /// New runner; out-of-range fields are clamped to their documented
+    /// minimums rather than rejected.
+    pub fn new(mut cfg: CohortRunConfig) -> Self {
+        cfg.workers = cfg.workers.max(1);
+        cfg.batch_sessions = cfg.batch_sessions.max(1);
+        cfg.reconstruct_every = cfg.reconstruct_every.max(1);
+        cfg.cs_window = cfg.cs_window.max(64);
+        cfg.cs_cr_percent = cfg.cs_cr_percent.clamp(30.0, 60.0);
+        cfg.min_episode_s = cfg.min_episode_s.max(1.0);
+        cfg.alert_grace_s = cfg.alert_grace_s.max(1.0);
+        CohortRunner { cfg }
+    }
+
+    /// The (clamped) configuration.
+    pub fn config(&self) -> &CohortRunConfig {
+        &self.cfg
+    }
+
+    /// Expands the configured cohort into session plans (profiles plus
+    /// per-hour scripts). Pure in the cohort seed.
+    pub fn plans(&self) -> Vec<SessionPlan> {
+        let generator = CohortGenerator::new(self.cfg.cohort.clone());
+        (0..generator.config().sessions)
+            .map(|i| {
+                let profile = generator.profile(i);
+                let scripts = generator.session_scripts(&profile);
+                SessionPlan { profile, scripts }
+            })
+            .collect()
+    }
+
+    /// Runs the configured cohort.
+    ///
+    /// # Errors
+    ///
+    /// Monitor/gateway construction or processing failures — all
+    /// configuration-shaped; a valid config never errors mid-run.
+    pub fn run(&self) -> Result<CohortReport> {
+        self.run_plans(&self.plans())
+    }
+
+    /// Runs an explicit set of plans (the acceptance path and the
+    /// adversity regression tests share this entry).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_plans(&self, plans: &[SessionPlan]) -> Result<CohortReport> {
+        let mut gw = ShardedGateway::new(
+            GatewayConfig {
+                reorder_window: 3,
+                recovery_window: 12,
+                reconstruct_every: self.cfg.reconstruct_every,
+                controller: Some(ControllerConfig::default()),
+                ..GatewayConfig::default()
+            },
+            self.cfg.workers,
+        )?;
+        let mut outcomes = Vec::with_capacity(plans.len());
+        let mut base = 0usize;
+        for batch in plans.chunks(self.cfg.batch_sessions) {
+            self.run_batch(&mut gw, batch, base, &mut outcomes)?;
+            base += batch.len();
+        }
+        let stats = gw.stats()?;
+        Ok(self.aggregate(plans, &outcomes, stats.windows_skipped))
+    }
+
+    /// Runs one batch of sessions in lockstep against the shared
+    /// gateway, closing each session afterwards.
+    fn run_batch(
+        &self,
+        gw: &mut ShardedGateway,
+        batch: &[SessionPlan],
+        first_index: usize,
+        outcomes: &mut Vec<SessionOutcome>,
+    ) -> Result<()> {
+        let mut nodes = Vec::with_capacity(batch.len());
+        for (k, plan) in batch.iter().enumerate() {
+            nodes.push(NodeState::new(
+                (first_index + k + 1) as u64,
+                plan,
+                &self.cfg,
+            )?);
+        }
+        let hours = batch.iter().map(|p| p.scripts.len()).max().unwrap_or(0);
+
+        for hour in 0..hours {
+            // Load the hour's segment on every node that still has one.
+            for (node, plan) in nodes.iter_mut().zip(batch) {
+                if let Some(script) = plan.scripts.get(hour) {
+                    node.load_segment(script, gw)?;
+                }
+            }
+            let pumps = nodes
+                .iter()
+                .map(|n| n.seg_frames.div_ceil(n.pump_frames()))
+                .max()
+                .unwrap_or(0);
+            for pump in 0..pumps {
+                let mut up = Vec::new();
+                for node in &mut nodes {
+                    node.pump_uplink(pump, gw, &mut up)?;
+                }
+                let mut alerts = Vec::new();
+                // Transport errors are channel damage, not harness
+                // bugs — the loss shows up in the link rollup.
+                for events in gw.ingest_batch(&up)?.into_iter().flatten() {
+                    collect_events(&events, &mut nodes, &mut alerts);
+                }
+                note_alerts(&alerts, &mut nodes);
+                for (session, frames) in gw.pump_downlink()? {
+                    let Some(node) = nodes.iter_mut().find(|n| n.session == session) else {
+                        continue;
+                    };
+                    node.take_downlink(&frames)?;
+                }
+            }
+            for node in &mut nodes {
+                node.end_segment();
+            }
+        }
+
+        // Drain: flush every node's partial stage, deliver it over a
+        // clean link, and release the gateway's pending windows.
+        let mut up = Vec::new();
+        for node in &mut nodes {
+            node.drain(&mut up)?;
+        }
+        let mut alerts = Vec::new();
+        for events in gw.ingest_batch(&up)?.into_iter().flatten() {
+            collect_events(&events, &mut nodes, &mut alerts);
+        }
+        note_alerts(&alerts, &mut nodes);
+        for node in &mut nodes {
+            if let Some(report) = gw.session_report(node.session)? {
+                node.outcome.report = Some(report);
+            }
+            if let Some(events) = gw.close_session(node.session)? {
+                let end = node.abs_seconds();
+                for ev in events {
+                    match ev {
+                        GatewayEvent::WindowReconstructed {
+                            prd_percent: Some(prd),
+                            ..
+                        } => node.outcome.prds.push(prd),
+                        GatewayEvent::AfAlert { .. } => node.outcome.alerts.push(end),
+                        GatewayEvent::MessageLost { count, .. } => {
+                            node.outcome.lost_events += u64::from(count);
+                        }
+                        GatewayEvent::MessageRecovered { .. } => {
+                            node.outcome.recovered_events += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            outcomes.push(node.finish(self.cfg.min_episode_s));
+        }
+        Ok(())
+    }
+
+    /// Folds per-session outcomes into the report.
+    fn aggregate(
+        &self,
+        plans: &[SessionPlan],
+        outcomes: &[SessionOutcome],
+        windows_skipped: u64,
+    ) -> CohortReport {
+        let modeled_hours = plans.iter().map(|p| p.scripts.len()).max().unwrap_or(0) as u32;
+        let modeled_days: f64 = outcomes.iter().map(|o| o.modeled_s).sum::<f64>() / 86_400.0;
+
+        let mut link = LinkRollup::default();
+        let mut prds = Vec::new();
+        let mut battery = Vec::new();
+        let mut reboots = 0u64;
+        for o in outcomes {
+            if let Some(r) = &o.report {
+                link.messages += r.messages;
+                link.lost += r.lost;
+                link.recovered += r.recovered;
+                link.acks_sent += r.acks_sent;
+                link.nacks_sent += r.nacks_sent;
+                link.retransmits_requested += r.retransmits_requested;
+                link.directives_issued += r.directives_issued;
+            }
+            link.lost_events += o.lost_events;
+            link.recovered_events += o.recovered_events;
+            link.expired += o.expired;
+            link.unavailable += o.unavailable;
+            prds.extend_from_slice(&o.prds);
+            battery.push(o.battery_days);
+            reboots += o.reboots;
+        }
+
+        let mut strata = Vec::new();
+        for burden in RhythmBurden::ALL {
+            let members: Vec<&SessionOutcome> =
+                outcomes.iter().filter(|o| o.burden == burden).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let days: f64 = members.iter().map(|o| o.modeled_s).sum::<f64>() / 86_400.0;
+            let mean_batt =
+                members.iter().map(|o| o.battery_days).sum::<f64>() / members.len() as f64;
+            strata.push(StratumReport {
+                burden: burden.label(),
+                sessions: members.len() as u64,
+                detection: score_detection(&members, days, &self.cfg),
+                battery_days_mean: mean_batt,
+            });
+        }
+
+        let all: Vec<&SessionOutcome> = outcomes.iter().collect();
+        let battery_days_mean = if battery.is_empty() {
+            0.0
+        } else {
+            battery.iter().sum::<f64>() / battery.len() as f64
+        };
+        let battery_days_min = battery
+            .iter()
+            .copied()
+            .min_by(f64::total_cmp)
+            .unwrap_or(0.0);
+        CohortReport {
+            sessions: outcomes.len() as u64,
+            modeled_hours,
+            modeled_days,
+            reboots,
+            detection: score_detection(&all, modeled_days, &self.cfg),
+            prd: prd_stats(&prds),
+            windows_skipped,
+            link,
+            battery_days_mean,
+            battery_days_min,
+            strata,
+        }
+    }
+}
+
+/// Routes a gateway event burst to the owning nodes' outcomes; AF
+/// alerts are returned session-tagged so the caller can timestamp them
+/// with the node's position.
+fn collect_events(events: &[GatewayEvent], nodes: &mut [NodeState], alerts: &mut Vec<u64>) {
+    for ev in events {
+        match *ev {
+            GatewayEvent::AfAlert { session, .. } => alerts.push(session),
+            GatewayEvent::WindowReconstructed {
+                session,
+                prd_percent: Some(prd),
+                ..
+            } => {
+                if let Some(n) = nodes.iter_mut().find(|n| n.session == session) {
+                    n.outcome.prds.push(prd);
+                }
+            }
+            GatewayEvent::MessageLost { session, count, .. } => {
+                if let Some(n) = nodes.iter_mut().find(|n| n.session == session) {
+                    n.outcome.lost_events += u64::from(count);
+                }
+            }
+            GatewayEvent::MessageRecovered { session, .. } => {
+                if let Some(n) = nodes.iter_mut().find(|n| n.session == session) {
+                    n.outcome.recovered_events += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Stamps collected alerts with each node's current absolute time.
+fn note_alerts(alerts: &[u64], nodes: &mut [NodeState]) {
+    for &session in alerts {
+        if let Some(n) = nodes.iter_mut().find(|n| n.session == session) {
+            let t = n.abs_seconds();
+            n.outcome.alerts.push(t);
+        }
+    }
+}
+
+/// Scores detection over a set of session outcomes.
+fn score_detection(
+    outcomes: &[&SessionOutcome],
+    modeled_days: f64,
+    cfg: &CohortRunConfig,
+) -> DetectionStats {
+    let grace = cfg.alert_grace_s;
+    let mut episodes = 0u64;
+    let mut detected = 0u64;
+    let mut latencies = Vec::new();
+    let mut false_alerts = 0u64;
+    for o in outcomes {
+        for &(start, end) in &o.episodes {
+            episodes += 1;
+            let hit = o
+                .alerts
+                .iter()
+                .copied()
+                .filter(|&t| t >= start && t <= end + grace)
+                .min_by(f64::total_cmp);
+            if let Some(t) = hit {
+                detected += 1;
+                latencies.push((t - start).max(0.0));
+            }
+        }
+        for &t in &o.alerts {
+            let excused = o
+                .episodes
+                .iter()
+                .chain(&o.flutter)
+                .any(|&(s, e)| t >= s && t <= e + grace);
+            if !excused {
+                false_alerts += 1;
+            }
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+    let latency_mean_s = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    let latency_p95_s = percentile95(&latencies);
+    DetectionStats {
+        episodes,
+        detected,
+        latency_mean_s,
+        latency_p95_s,
+        false_alerts,
+        false_alerts_per_day: if modeled_days > 0.0 {
+            false_alerts as f64 / modeled_days
+        } else {
+            0.0
+        },
+    }
+}
+
+/// PRD summary of the collected per-window values.
+fn prd_stats(prds: &[f64]) -> PrdStats {
+    if prds.is_empty() {
+        return PrdStats::default();
+    }
+    let mut sorted = prds.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    PrdStats {
+        windows: prds.len() as u64,
+        mean_percent: prds.iter().sum::<f64>() / prds.len() as f64,
+        p95_percent: percentile95(&sorted),
+    }
+}
+
+/// Nearest-rank 95th percentile of an ascending-sorted slice.
+fn percentile95(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * 0.95).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Per-session result accumulator.
+#[derive(Debug)]
+struct SessionOutcome {
+    burden: RhythmBurden,
+    /// Ground-truth AF episodes, absolute seconds (merged, filtered).
+    episodes: Vec<(f64, f64)>,
+    /// Atrial-flutter spans (alerts here are excused, not rewarded —
+    /// flutter is the AF detector's documented blind spot).
+    flutter: Vec<(f64, f64)>,
+    /// Gateway AF-alert times, absolute seconds.
+    alerts: Vec<f64>,
+    prds: Vec<f64>,
+    report: Option<SessionReport>,
+    lost_events: u64,
+    recovered_events: u64,
+    expired: u64,
+    unavailable: u64,
+    battery_days: f64,
+    reboots: u64,
+    modeled_s: f64,
+}
+
+/// One live node of a batch: the governed monitor plus the full link
+/// stack, mirroring the closed-loop acceptance harness.
+struct NodeState {
+    session: u64,
+    cs: bool,
+    builder: MonitorBuilder,
+    gov_cfg: GovernorConfig,
+    gm: GovernedMonitor,
+    uplink: Uplink,
+    buf: RetransmitBuffer,
+    directives: DirectiveHandler,
+    duplex: DuplexChannel,
+    pending_tx: Vec<Vec<u8>>,
+    rt_events: Vec<RetransmitEvent>,
+    /// Energy drained by dead incarnations (J) and their seconds.
+    spent_j: f64,
+    spent_s: f64,
+    /// Scheduled reboot times, absolute seconds, ascending.
+    reboots: Vec<f64>,
+    next_reboot: usize,
+    /// Degraded-channel intervals: (start, end, folded drop rate).
+    regimes: Vec<(f64, f64, f64)>,
+    /// Current segment, frame-major interleaved samples.
+    seg: Vec<i32>,
+    seg_frames: usize,
+    /// Absolute frame index of the current segment's first sample.
+    seg_base_frames: u64,
+    /// Frames pushed since session start (all incarnations).
+    abs_frames: u64,
+    /// Absolute frame where the current incarnation's CS window 0
+    /// starts — the reference-offset anchor.
+    window_base_abs: u64,
+    fs: u32,
+    outcome: SessionOutcome,
+}
+
+impl NodeState {
+    fn new(session: u64, plan: &SessionPlan, cfg: &CohortRunConfig) -> Result<NodeState> {
+        let p = &plan.profile;
+        let mut builder = MonitorBuilder::new().n_leads(p.n_leads);
+        let gov_cfg = if p.cs_uplink {
+            builder = builder
+                .cs_window(cfg.cs_window)
+                .cs_compression_ratio(cfg.cs_cr_percent);
+            GovernorConfig::pinned(OperatingMode::new(ProcessingLevel::CompressedSingleLead, 1))
+        } else {
+            GovernorConfig::for_leads(p.n_leads)
+        };
+        let gm = GovernedMonitor::new(builder.clone(), gov_cfg.clone(), NodeModel::default())?;
+        let fs = gm.monitor().config().fs_hz;
+        let mut uplink = Uplink::new();
+        let mut pending_tx = Vec::new();
+        let hs = SessionHandshake::for_config(session, gm.monitor().config());
+        uplink.open_session(&hs, &mut pending_tx)?;
+        let mut rt_events = Vec::new();
+        // Ack-timeout above the NACK round trip, as in the closed-loop
+        // harness, so selective NACK stays the primary repair path.
+        let mut buf = RetransmitBuffer::new(RetransmitConfig {
+            ack_timeout_epochs: 6,
+            max_backoff_epochs: 12,
+            ..RetransmitConfig::default()
+        })?;
+        // The handshake rides sequence 0; record it so a lossy channel
+        // regime can't permanently orphan the session open.
+        buf.record(0, &pending_tx, &mut rt_events);
+
+        // Runtime adversities at absolute times (scripts are per-hour).
+        let mut reboots = Vec::new();
+        let mut regimes = Vec::new();
+        let mut base_s = 0.0;
+        for script in &plan.scripts {
+            for ta in script.runtime_adversities() {
+                match ta.adversity {
+                    Adversity::NodeReboot => reboots.push(base_s + ta.start_s),
+                    Adversity::ChannelRegime {
+                        drop_rate,
+                        corrupt_rate,
+                    } => {
+                        // Corruption is folded into drop: a flipped bit
+                        // fails the CRC, which is a loss end to end.
+                        let drop = (drop_rate + corrupt_rate).clamp(0.0, 0.9);
+                        regimes.push((
+                            base_s + ta.start_s,
+                            base_s + ta.start_s + ta.duration_s,
+                            drop,
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            base_s += script.duration_s();
+        }
+        reboots.sort_by(f64::total_cmp);
+        regimes.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        Ok(NodeState {
+            session,
+            cs: p.cs_uplink,
+            builder,
+            gov_cfg,
+            gm,
+            uplink,
+            buf,
+            directives: DirectiveHandler::new(),
+            duplex: DuplexChannel::symmetric(ChannelConfig {
+                seed: p
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0x4C49_4E4B),
+                ..ChannelConfig::ideal()
+            })?,
+            pending_tx,
+            rt_events,
+            spent_j: 0.0,
+            spent_s: 0.0,
+            reboots,
+            next_reboot: 0,
+            regimes,
+            seg: Vec::new(),
+            seg_frames: 0,
+            seg_base_frames: 0,
+            abs_frames: 0,
+            window_base_abs: 0,
+            fs,
+            outcome: SessionOutcome {
+                burden: p.burden,
+                episodes: Vec::new(),
+                flutter: Vec::new(),
+                alerts: Vec::new(),
+                prds: Vec::new(),
+                report: None,
+                lost_events: 0,
+                recovered_events: 0,
+                expired: 0,
+                unavailable: 0,
+                battery_days: 0.0,
+                reboots: 0,
+                modeled_s: 0.0,
+            },
+        })
+    }
+
+    fn pump_frames(&self) -> usize {
+        (self.fs as usize) * (PUMP_S as usize)
+    }
+
+    /// Absolute modeled seconds at the node's current position.
+    fn abs_seconds(&self) -> f64 {
+        self.abs_frames as f64 / f64::from(self.fs)
+    }
+
+    /// Synthesizes the hour's record, harvests ground truth, and
+    /// (re-)anchors the gateway PRD reference.
+    fn load_segment(&mut self, script: &Script, gw: &mut ShardedGateway) -> Result<()> {
+        let rec = script.record();
+        let base_s = self.abs_seconds();
+        self.harvest_truth(&rec, base_s);
+        self.seg = rec.interleaved_frames();
+        self.seg_frames = rec.n_samples();
+        self.seg_base_frames = self.abs_frames;
+        if self.cs && self.seg_base_frames >= self.window_base_abs {
+            // Window w of the current incarnation covers absolute
+            // samples [window_base_abs + w·n ..); the segment record
+            // covers [seg_base_frames ..). attach_reference_at maps
+            // between the two and prunes windows behind the offset.
+            gw.attach_reference_at(
+                self.session,
+                0,
+                self.seg_base_frames - self.window_base_abs,
+                rec.lead(0).iter().map(|&v| f64::from(v)).collect(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Extends the session ground truth with the segment's AF and
+    /// flutter spans (merged across adjacent spans later, at finish).
+    fn harvest_truth(&mut self, rec: &Record, base_s: f64) {
+        let fs = f64::from(rec.fs());
+        for span in rec.rhythm_spans() {
+            let s = base_s + span.start_sample as f64 / fs;
+            let e = base_s + span.end_sample as f64 / fs;
+            match span.label {
+                RhythmLabel::Af => self.outcome.episodes.push((s, e)),
+                RhythmLabel::Flutter => self.outcome.flutter.push((s, e)),
+                _ => {}
+            }
+        }
+    }
+
+    /// One uplink turn: enact due reboots and channel regimes, push the
+    /// pump's block through the governed monitor, frame and send.
+    fn pump_uplink(
+        &mut self,
+        pump: usize,
+        gw: &mut ShardedGateway,
+        up: &mut Vec<Vec<u8>>,
+    ) -> Result<()> {
+        let lo = pump * self.pump_frames();
+        if lo >= self.seg_frames {
+            return Ok(());
+        }
+        let hi = (lo + self.pump_frames()).min(self.seg_frames);
+        let t0 = (self.seg_base_frames + lo as u64) as f64 / f64::from(self.fs);
+        let t1 = (self.seg_base_frames + hi as u64) as f64 / f64::from(self.fs);
+
+        while self.next_reboot < self.reboots.len() && self.reboots[self.next_reboot] <= t0 {
+            self.reboot(gw)?;
+            self.next_reboot += 1;
+        }
+
+        let mut drop = 0.0f64;
+        for &(s, e, d) in &self.regimes {
+            if s < t1 && t0 < e {
+                drop = drop.max(d);
+            }
+        }
+        self.duplex.up().set_drop_rate(drop)?;
+        self.duplex.down().set_drop_rate(drop)?;
+
+        let n_leads = self.gm.monitor().config().n_leads;
+        let block = &self.seg[lo * n_leads..hi * n_leads];
+        let payloads = self.gm.push_block(block, hi - lo)?;
+        self.abs_frames += (hi - lo) as u64;
+
+        let mut tx = std::mem::take(&mut self.pending_tx);
+        for payload in &payloads {
+            let mut pk = Vec::new();
+            let seq = self.uplink.frame_one(self.session, payload, &mut pk)?;
+            self.buf.record(seq, &pk, &mut self.rt_events);
+            tx.extend(pk);
+        }
+        self.buf.tick(&mut tx, &mut self.rt_events);
+        up.extend(self.duplex.up().send_all(tx));
+        Ok(())
+    }
+
+    /// Handles a downlink frame burst: ACK/NACK bookkeeping first, then
+    /// ordered directives (CS sessions renegotiate their CR in place
+    /// and re-announce the handshake).
+    fn take_downlink(&mut self, frames: &[Vec<u8>]) -> Result<()> {
+        for wire in frames {
+            for delivered in self.duplex.down().send(wire.clone()) {
+                let Ok(frame) = DownlinkFrame::from_wire(&delivered) else {
+                    continue;
+                };
+                if self
+                    .buf
+                    .on_frame(&frame, &mut self.pending_tx, &mut self.rt_events)
+                {
+                    continue;
+                }
+                let DownlinkFrame::Directive(df) = frame else {
+                    continue;
+                };
+                let Some(action) = self.directives.accept(&df) else {
+                    continue;
+                };
+                if !self.cs {
+                    // The controller only steers the CS ladder; an
+                    // events-mode node has no CR to renegotiate.
+                    continue;
+                }
+                let flushed = self.gm.apply_directive(action)?;
+                for payload in &flushed {
+                    let mut pk = Vec::new();
+                    let seq = self.uplink.frame_one(self.session, payload, &mut pk)?;
+                    self.buf.record(seq, &pk, &mut self.rt_events);
+                    self.pending_tx.extend(pk);
+                }
+                let hs = SessionHandshake::for_config(self.session, self.gm.monitor().config());
+                let mut pk = Vec::new();
+                let seq = self.uplink.announce_handshake(&hs, &mut pk)?;
+                self.buf.record(seq, &pk, &mut self.rt_events);
+                self.pending_tx.extend(pk);
+            }
+        }
+        Ok(())
+    }
+
+    /// A mid-session node reboot: every volatile piece dies (monitor,
+    /// framer, retransmit buffer, directive state, queued packets); the
+    /// dead incarnation's energy is banked, the gateway is
+    /// re-registered out of band, and a fresh handshake restarts the
+    /// stream at sequence 0.
+    fn reboot(&mut self, gw: &mut ShardedGateway) -> Result<()> {
+        self.spent_j += self.gm.average_power_w() * self.gm.monitor().counters().seconds;
+        self.spent_s += self.gm.monitor().counters().seconds;
+        self.gm = GovernedMonitor::new(
+            self.builder.clone(),
+            self.gov_cfg.clone(),
+            NodeModel::default(),
+        )?;
+        self.uplink = Uplink::new();
+        self.buf.reset();
+        self.directives.reset();
+        self.pending_tx.clear();
+        let hs = SessionHandshake::for_config(self.session, self.gm.monitor().config());
+        gw.register(hs)?;
+        self.uplink.open_session(&hs, &mut self.pending_tx)?;
+        // The fresh incarnation's handshake rides sequence 0 again;
+        // record it so a loss during a degraded regime is repairable.
+        self.buf.record(0, &self.pending_tx, &mut self.rt_events);
+        // CS window numbering restarts with the monitor: window 0 of
+        // the new incarnation begins at the current absolute frame.
+        // The incumbent reference is indexed by the dead incarnation's
+        // sample counter, so it would score the reborn stream's
+        // windows against the wrong signal — blank it until the next
+        // segment boundary attaches one with a matching offset.
+        if self.cs {
+            gw.attach_reference_at(self.session, 0, 0, Vec::new())?;
+        }
+        self.window_base_abs = self.abs_frames;
+        self.outcome.reboots += 1;
+        Ok(())
+    }
+
+    fn end_segment(&mut self) {
+        self.seg = Vec::new();
+        self.seg_frames = 0;
+    }
+
+    /// Flushes the node's partial stage over a clean link.
+    fn drain(&mut self, up: &mut Vec<Vec<u8>>) -> Result<()> {
+        self.duplex.up().set_drop_rate(0.0)?;
+        self.duplex.down().set_drop_rate(0.0)?;
+        let payloads = self.gm.finish()?;
+        let mut tx = std::mem::take(&mut self.pending_tx);
+        for payload in &payloads {
+            let mut pk = Vec::new();
+            let seq = self.uplink.frame_one(self.session, payload, &mut pk)?;
+            self.buf.record(seq, &pk, &mut self.rt_events);
+            tx.extend(pk);
+        }
+        up.extend(self.duplex.up().send_all(tx));
+        Ok(())
+    }
+
+    /// Seals the session: merges ground-truth spans (dropping episodes
+    /// shorter than `min_episode_s`), tallies node-side retransmit
+    /// failures, prices the battery.
+    fn finish(&mut self, min_episode_s: f64) -> SessionOutcome {
+        self.spent_j += self.gm.average_power_w() * self.gm.monitor().counters().seconds;
+        self.spent_s += self.gm.monitor().counters().seconds;
+        let avg_w = if self.spent_s > 0.0 {
+            self.spent_j / self.spent_s
+        } else {
+            0.0
+        };
+        let mut outcome = std::mem::replace(
+            &mut self.outcome,
+            SessionOutcome {
+                burden: RhythmBurden::Quiet,
+                episodes: Vec::new(),
+                flutter: Vec::new(),
+                alerts: Vec::new(),
+                prds: Vec::new(),
+                report: None,
+                lost_events: 0,
+                recovered_events: 0,
+                expired: 0,
+                unavailable: 0,
+                battery_days: 0.0,
+                reboots: 0,
+                modeled_s: 0.0,
+            },
+        );
+        outcome.battery_days = Battery::default().lifetime_days(avg_w);
+        outcome.modeled_s = self.abs_seconds();
+        for ev in &self.rt_events {
+            match ev {
+                RetransmitEvent::Expired { .. } => outcome.expired += 1,
+                RetransmitEvent::Unavailable { .. } => outcome.unavailable += 1,
+            }
+        }
+        outcome.episodes = merge_spans(std::mem::take(&mut outcome.episodes), EPISODE_MERGE_GAP_S);
+        outcome.episodes.retain(|&(s, e)| e - s >= min_episode_s);
+        outcome.flutter = merge_spans(std::mem::take(&mut outcome.flutter), EPISODE_MERGE_GAP_S);
+        outcome.alerts.sort_by(f64::total_cmp);
+        outcome
+    }
+}
+
+/// Merges overlapping/adjacent `(start, end)` spans (gap ≤ `gap_s`).
+fn merge_spans(mut spans: Vec<(f64, f64)>, gap_s: f64) -> Vec<(f64, f64)> {
+    spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for &(s, e) in spans.iter() {
+        if let Some(last) = out.last_mut() {
+            if s <= last.1 + gap_s {
+                last.1 = last.1.max(e);
+                continue;
+            }
+        }
+        out.push((s, e));
+    }
+    out
+}

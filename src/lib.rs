@@ -23,11 +23,18 @@
 //! * [`gateway`] — the base-station side: lossy-channel simulation,
 //!   per-session reassembly/decoding, rhythm/alert state and CS
 //!   reconstruction ([`gateway::Gateway`]).
+//!
+//! On top of the re-exports, the umbrella owns the [`cohort`] module —
+//! the population-scale evaluation engine that drives 200+ scripted
+//! patients end to end and folds the run into one
+//! [`cohort::CohortReport`].
 
 // Every public item carries documentation; rustdoc runs with
 // `-D warnings` in CI, so a gap fails the build.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod cohort;
 
 pub use wbsn_classify as classify;
 pub use wbsn_core as core;

@@ -1,0 +1,89 @@
+//! The CI cohort smoke run: 24 scripted patients × 2 modeled hours
+//! through the full node → channel → sharded-gateway loop, checking
+//! the report is populated and internally consistent. The full
+//! 200 × 48 h acceptance cohort runs in `examples/cohort.rs`.
+
+use wbsn::cohort::{CohortReport, CohortRunConfig, CohortRunner};
+
+fn smoke_report() -> CohortReport {
+    CohortRunner::new(CohortRunConfig::smoke()).run().unwrap()
+}
+
+#[test]
+fn smoke_cohort_completes_and_reports() {
+    let report = smoke_report();
+    assert_eq!(report.sessions, 24);
+    assert_eq!(report.modeled_hours, 2);
+    assert!(report.modeled_days > 0.0);
+
+    // Every session carried traffic and the link stayed mostly whole.
+    assert!(
+        report.link.messages > 24,
+        "messages {}",
+        report.link.messages
+    );
+    assert!(report.link.acks_sent > 0);
+    assert!(
+        report.link.lost <= report.link.messages / 2,
+        "loss dominated the smoke run: {:?}",
+        report.link
+    );
+
+    // Battery pricing produced sane lifetimes for every session.
+    assert!(report.battery_days_min > 0.0);
+    assert!(report.battery_days_mean >= report.battery_days_min);
+
+    // Strata cover the sampled burdens and session counts add up.
+    let stratum_sessions: u64 = report.strata.iter().map(|s| s.sessions).sum();
+    assert_eq!(stratum_sessions, report.sessions);
+    assert!(!report.strata.is_empty());
+}
+
+#[test]
+fn smoke_cohort_event_counts_reconcile_with_reports() {
+    // No Lost/Recovered event may be silently dropped: the counts
+    // re-derived from the observed GatewayEvent stream must equal the
+    // per-session gateway reports.
+    let report = smoke_report();
+    assert_eq!(
+        report.link.lost_events, report.link.lost,
+        "MessageLost events diverge from session reports: {:?}",
+        report.link
+    );
+    assert_eq!(
+        report.link.recovered_events, report.link.recovered,
+        "MessageRecovered events diverge from session reports: {:?}",
+        report.link
+    );
+    // A recovery implies a preceding loss.
+    assert!(report.link.recovered <= report.link.lost);
+}
+
+#[test]
+fn smoke_cohort_detects_af_where_it_exists() {
+    let report = smoke_report();
+    // The smoke cohort samples AF strata (seeded, so this is stable).
+    let af_strata: Vec<_> = report
+        .strata
+        .iter()
+        .filter(|s| s.burden == "paroxysmal-af" || s.burden == "persistent-af")
+        .collect();
+    assert!(!af_strata.is_empty(), "smoke cohort sampled no AF patients");
+    let episodes: u64 = af_strata.iter().map(|s| s.detection.episodes).sum();
+    let detected: u64 = af_strata.iter().map(|s| s.detection.detected).sum();
+    assert!(episodes > 0, "no scorable AF episodes in the AF strata");
+    assert!(
+        detected * 2 >= episodes,
+        "AF detection collapsed: {detected}/{episodes} episodes detected"
+    );
+    // Quiet patients must not drown the cohort in false alerts.
+    for s in &report.strata {
+        if s.burden == "quiet" {
+            assert!(
+                s.detection.false_alerts_per_day < 24.0,
+                "quiet stratum false-alert storm: {:?}",
+                s.detection
+            );
+        }
+    }
+}
