@@ -1,0 +1,125 @@
+//! The streaming archive writer.
+//!
+//! [`ArchiveWriter`] assembles each block — header, payload, CRC — in
+//! one reused scratch buffer and hands the sink a single `write_all`
+//! per block. Memory is therefore bounded by the largest single block
+//! ever written (O(epoch)), never by recording length, and after the
+//! scratch buffers have grown to their steady-state capacity an epoch
+//! append performs **zero heap allocation** — pinned by the workspace
+//! counting-allocator harness (`tests/alloc_steady_state.rs`).
+
+use crate::format::{
+    kind, CodecStats, EpochRecord, RunMeta, RunTrailer, SessionEnd, SessionMeta, BLOCK_HEADER_LEN,
+    FORMAT_VERSION, MAGIC, MAX_BLOCK_LEN,
+};
+use crate::{ArchiveError, Result};
+use std::io::Write;
+use wbsn_core::link::crc32;
+
+/// Streaming epoch-block writer over any [`Write`] sink.
+#[derive(Debug)]
+pub struct ArchiveWriter<W: Write> {
+    sink: W,
+    /// Whole-block assembly buffer (header + payload + CRC), reused.
+    scratch: Vec<u8>,
+    /// Payload assembly buffer, reused.
+    payload: Vec<u8>,
+    bytes_written: u64,
+    blocks_written: u64,
+    stats: CodecStats,
+}
+
+impl<W: Write> ArchiveWriter<W> {
+    /// Opens a new archive on `sink`, writing the stream header.
+    pub fn new(mut sink: W, meta: &RunMeta) -> Result<Self> {
+        let mut scratch = Vec::with_capacity(256);
+        scratch.extend_from_slice(&MAGIC);
+        scratch.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        let mut payload = Vec::with_capacity(128);
+        meta.encode(&mut payload);
+        scratch.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        scratch.extend_from_slice(&payload);
+        let crc = crc32(&scratch);
+        scratch.extend_from_slice(&crc.to_le_bytes());
+        sink.write_all(&scratch)?;
+        let bytes_written = scratch.len() as u64;
+        Ok(ArchiveWriter {
+            sink,
+            scratch,
+            payload,
+            bytes_written,
+            blocks_written: 0,
+            stats: CodecStats::default(),
+        })
+    }
+
+    /// Frames whatever sits in `self.payload` as one block and writes
+    /// it with a single `write_all`.
+    fn emit(&mut self, block_kind: u8, session: u64, epoch: u32) -> Result<()> {
+        let len = self.payload.len();
+        if len as u64 > u64::from(MAX_BLOCK_LEN) {
+            return Err(ArchiveError::Malformed {
+                what: "block payload",
+                detail: format!("{len} bytes exceeds the {MAX_BLOCK_LEN}-byte block limit"),
+            });
+        }
+        self.scratch.clear();
+        self.scratch.reserve(BLOCK_HEADER_LEN + len + 4);
+        self.scratch.push(block_kind);
+        self.scratch.extend_from_slice(&session.to_le_bytes());
+        self.scratch.extend_from_slice(&epoch.to_le_bytes());
+        self.scratch.extend_from_slice(&(len as u32).to_le_bytes());
+        self.scratch.extend_from_slice(&self.payload);
+        let crc = crc32(&self.scratch);
+        self.scratch.extend_from_slice(&crc.to_le_bytes());
+        self.sink.write_all(&self.scratch)?;
+        self.bytes_written += self.scratch.len() as u64;
+        self.blocks_written += 1;
+        Ok(())
+    }
+
+    /// Records a session joining the recording.
+    pub fn session_meta(&mut self, session: u64, meta: &SessionMeta) -> Result<()> {
+        self.payload.clear();
+        meta.encode_payload(&mut self.payload);
+        self.emit(kind::SESSION_META, session, 0)
+    }
+
+    /// Appends one epoch of one session.
+    pub fn epoch(&mut self, rec: &EpochRecord) -> Result<()> {
+        self.payload.clear();
+        rec.encode_payload(&mut self.payload, &mut self.stats);
+        self.emit(kind::EPOCH, rec.session, rec.epoch)
+    }
+
+    /// Records a session's closing summary.
+    pub fn session_end(&mut self, session: u64, end: &SessionEnd) -> Result<()> {
+        self.payload.clear();
+        end.encode_payload(&mut self.payload);
+        self.emit(kind::SESSION_END, session, 0)
+    }
+
+    /// Writes the run trailer, flushes, and returns the sink.
+    pub fn finish(mut self, trailer: &RunTrailer) -> Result<W> {
+        self.payload.clear();
+        trailer.encode_payload(&mut self.payload);
+        self.emit(kind::TRAILER, 0, 0)?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    /// Total bytes written so far (header included).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Blocks written so far (header excluded).
+    pub fn blocks_written(&self) -> u64 {
+        self.blocks_written
+    }
+
+    /// Raw-vs-coded byte totals of the signal-section codecs.
+    pub fn codec_stats(&self) -> CodecStats {
+        self.stats
+    }
+}

@@ -31,6 +31,7 @@ use crate::cache::{MatrixCache, MatrixCacheStats};
 use crate::gateway::{
     Gateway, GatewayConfig, GatewayEvent, GatewayStats, RhythmState, SessionReport,
 };
+use crate::record::TapItem;
 use crate::Result;
 
 use super::router::GatewayRouter;
@@ -54,6 +55,7 @@ enum GwCmd {
     Close {
         session: u64,
     },
+    DrainTap,
     Stats,
     SessionReports,
     Rhythm {
@@ -80,6 +82,7 @@ enum GwReply {
     Flushed(Vec<(u64, Vec<GatewayEvent>)>),
     Pumped(Vec<(u64, Vec<Vec<u8>>)>),
     Closed(Option<Vec<GatewayEvent>>),
+    Tapped(Vec<(u64, Vec<TapItem>)>),
     Stats(GatewayStats),
     SessionReports(Vec<SessionReport>),
     Rhythm(Option<RhythmState>),
@@ -116,6 +119,7 @@ fn worker_loop(mut gw: Gateway, cmds: Receiver<GwCmd>, replies: Sender<GwReply>)
             GwCmd::FlushAll => GwReply::Flushed(gw.flush_sessions_tagged()),
             GwCmd::PumpDownlink => GwReply::Pumped(gw.pump_downlink()),
             GwCmd::Close { session } => GwReply::Closed(gw.close_session(session)),
+            GwCmd::DrainTap => GwReply::Tapped(gw.drain_tap()),
             GwCmd::Stats => GwReply::Stats(gw.stats()),
             GwCmd::SessionReports => GwReply::SessionReports(gw.session_reports()),
             GwCmd::Rhythm { session } => GwReply::Rhythm(gw.rhythm(session).cloned()),
@@ -438,6 +442,35 @@ impl ShardedGateway {
             return Err(e);
         }
         // Ascending id = the sequential gateway's flush order.
+        out.sort_unstable_by_key(|(id, _)| *id);
+        Ok(out)
+    }
+
+    /// Drains every worker's recording tap, merged in ascending
+    /// session-id order. Each session lives wholly on one worker, so
+    /// the merged per-session item streams are byte-identical to a
+    /// sequential [`Gateway::drain_tap`] at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`WbsnError::WorkerLost`] when a worker thread has died.
+    pub fn drain_tap(&mut self) -> Result<Vec<(u64, Vec<TapItem>)>> {
+        let (dispatched, mut lost) = self.broadcast(|| GwCmd::DrainTap);
+        let mut out: Vec<(u64, Vec<TapItem>)> = Vec::new();
+        for shard in dispatched {
+            match self.recv(shard) {
+                Ok(GwReply::Tapped(tagged)) => out.extend(tagged),
+                Ok(_) => {
+                    lost.get_or_insert(WbsnError::WorkerLost { shard });
+                }
+                Err(e) => {
+                    lost.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = lost {
+            return Err(e);
+        }
         out.sort_unstable_by_key(|(id, _)| *id);
         Ok(out)
     }

@@ -28,6 +28,7 @@
 use crate::cache::{MatrixCache, MatrixCacheStats, MatrixKey};
 use crate::controller::{ControllerConfig, LinkController};
 use crate::decoder::{SessionDecoder, SessionItem};
+use crate::record::TapItem;
 use crate::Result;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -88,6 +89,12 @@ pub struct GatewayConfig {
     /// depends only on `window_seq`, so it is invariant to packet
     /// arrival order and to the gateway's worker count.
     pub reconstruct_every: u32,
+    /// Buffer a [`TapItem`] per decoded
+    /// observation for an external recorder to drain
+    /// ([`Gateway::drain_tap`]). Off by default: with the flag off no
+    /// item is ever constructed and the gateway's numeric behaviour
+    /// is unchanged.
+    pub tap: bool,
 }
 
 impl Default for GatewayConfig {
@@ -114,6 +121,7 @@ impl Default for GatewayConfig {
             recovery_window: 0,
             controller: None,
             reconstruct_every: 1,
+            tap: false,
         }
     }
 }
@@ -453,6 +461,11 @@ pub struct Gateway {
     cache: Arc<MatrixCache>,
     sessions: BTreeMap<u64, SessionState>,
     stats: GatewayStats,
+    /// Recording tap ([`GatewayConfig::tap`]): decoded observations
+    /// awaiting [`Gateway::drain_tap`]. Gateway-level (not
+    /// per-session) so items surfaced by a session's closing flush
+    /// survive the session-state teardown.
+    tap: Vec<(u64, TapItem)>,
 }
 
 impl Default for Gateway {
@@ -486,7 +499,19 @@ impl Gateway {
             cache,
             sessions: BTreeMap::new(),
             stats: GatewayStats::default(),
+            tap: Vec::new(),
         }
+    }
+
+    /// Drains the recording tap: every buffered [`TapItem`] grouped
+    /// by session, ascending by session id, items of one session in
+    /// processing order. Empty unless [`GatewayConfig::tap`] is on.
+    pub fn drain_tap(&mut self) -> Vec<(u64, Vec<TapItem>)> {
+        let mut by_session: BTreeMap<u64, Vec<TapItem>> = BTreeMap::new();
+        for (session, item) in self.tap.drain(..) {
+            by_session.entry(session).or_default().push(item);
+        }
+        by_session.into_iter().collect()
     }
 
     /// Counters so far.
@@ -873,6 +898,9 @@ impl Gateway {
                         first_seq,
                         count,
                     });
+                    if self.cfg.tap {
+                        self.tap.push((session, TapItem::Lost { first_seq, count }));
+                    }
                 }
                 SessionItem::Rejected { msg_seq, error } => {
                     self.stats.items_rejected += 1;
@@ -886,6 +914,9 @@ impl Gateway {
                     if let Some(state) = self.sessions.get_mut(&session) {
                         state.install_handshake(hs);
                         events.push(GatewayEvent::SessionOpened { session });
+                        if self.cfg.tap {
+                            self.tap.push((session, TapItem::Handshake(hs)));
+                        }
                     }
                 }
                 SessionItem::Payload { msg_seq, payload } => {
@@ -911,6 +942,10 @@ impl Gateway {
                         events.push(GatewayEvent::MessageRecovered { session, msg_seq });
                         state.install_handshake(hs);
                         events.push(GatewayEvent::SessionOpened { session });
+                        if self.cfg.tap {
+                            self.tap.push((session, TapItem::Recovered { msg_seq }));
+                            self.tap.push((session, TapItem::Handshake(hs)));
+                        }
                     }
                 }
                 SessionItem::Recovered { msg_seq, payload } => {
@@ -919,6 +954,9 @@ impl Gateway {
                     if let Some(state) = self.sessions.get_mut(&session) {
                         state.feedback.recovered += 1;
                         state.feedback.missing.remove(&msg_seq);
+                    }
+                    if self.cfg.tap {
+                        self.tap.push((session, TapItem::Recovered { msg_seq }));
                     }
                     events.push(GatewayEvent::MessageRecovered { session, msg_seq });
                     if let Err(error) = self.handle_payload(session, msg_seq, payload, &mut events)
@@ -958,6 +996,18 @@ impl Gateway {
                 af_active,
                 ..
             } => {
+                if self.cfg.tap {
+                    self.tap.push((
+                        session,
+                        TapItem::Rhythm {
+                            msg_seq,
+                            n_beats,
+                            mean_hr_x10,
+                            af_burden_pct,
+                            af_active,
+                        },
+                    ));
+                }
                 let was_active = state.rhythm.af_active;
                 state.rhythm.af_active = af_active;
                 state.rhythm.af_burden_pct = af_burden_pct;
@@ -980,6 +1030,9 @@ impl Gateway {
             }
             Payload::Beats { beats } => {
                 state.rhythm.beats_received += beats.len() as u64;
+                if self.cfg.tap {
+                    self.tap.push((session, TapItem::Beats { msg_seq, beats }));
+                }
             }
             Payload::CsWindow {
                 lead,
@@ -998,6 +1051,20 @@ impl Gateway {
                     // on window_seq, so it is invariant to arrival
                     // order and worker count.
                     self.stats.windows_skipped += 1;
+                    if self.cfg.tap {
+                        // Skipped windows are still archived — the
+                        // measurements are what replay re-solves from.
+                        self.tap.push((
+                            session,
+                            TapItem::CsWindow {
+                                lead,
+                                window_seq,
+                                prd: None,
+                                measurements,
+                                samples: Vec::new(),
+                            },
+                        ));
+                    }
                     return Ok(());
                 }
                 if state.encoders.len() <= lead as usize {
@@ -1050,6 +1117,21 @@ impl Gateway {
                 if let Some(p) = prd {
                     state.feedback.prd_sum += p;
                     state.feedback.prd_count += 1;
+                }
+                if self.cfg.tap {
+                    // Archive the full observation: raw measurements
+                    // (replay's solver input), the reconstruction, and
+                    // the live PRD (replay's comparison baseline).
+                    self.tap.push((
+                        session,
+                        TapItem::CsWindow {
+                            lead,
+                            window_seq,
+                            prd,
+                            measurements,
+                            samples: xr.clone(),
+                        },
+                    ));
                 }
                 // Samples are retained only for windows the attached
                 // reference actually covers (the evaluation harness

@@ -38,6 +38,10 @@
 //! [`close_session`](wbsn_gateway::ShardedGateway::close_session)ed
 //! before the next batch starts.
 
+use std::io::Write;
+use wbsn_archive::{
+    ArchiveWriter, EpochItem, EpochRecord, RunMeta, RunTrailer, SessionEnd, SessionMeta,
+};
 use wbsn_core::governor::{GovernedMonitor, GovernorConfig};
 use wbsn_core::level::{OperatingMode, ProcessingLevel};
 use wbsn_core::link::{DownlinkFrame, SessionHandshake, Uplink};
@@ -46,12 +50,13 @@ use wbsn_core::retransmit::{
     DirectiveHandler, RetransmitBuffer, RetransmitConfig, RetransmitEvent,
 };
 use wbsn_core::Result;
+use wbsn_cs::solver::FistaConfig;
 use wbsn_ecg_synth::cohort::{CohortConfig, CohortGenerator, PatientProfile, RhythmBurden};
 use wbsn_ecg_synth::scenario::{Adversity, Script};
 use wbsn_ecg_synth::{Record, RhythmLabel};
 use wbsn_gateway::channel::{ChannelConfig, DuplexChannel};
 use wbsn_gateway::controller::ControllerConfig;
-use wbsn_gateway::gateway::{GatewayConfig, GatewayEvent, SessionReport};
+use wbsn_gateway::gateway::{GatewayConfig, GatewayEvent, ReconstructionSolver, SessionReport};
 use wbsn_gateway::ShardedGateway;
 use wbsn_platform::battery::Battery;
 use wbsn_platform::NodeModel;
@@ -361,34 +366,114 @@ impl CohortRunner {
     ///
     /// As [`Self::run`].
     pub fn run_plans(&self, plans: &[SessionPlan]) -> Result<CohortReport> {
-        let mut gw = ShardedGateway::new(
-            GatewayConfig {
-                reorder_window: 3,
-                recovery_window: 12,
-                reconstruct_every: self.cfg.reconstruct_every,
-                controller: Some(ControllerConfig::default()),
-                ..GatewayConfig::default()
-            },
-            self.cfg.workers,
-        )?;
+        self.run_plans_inner(plans, None::<&mut ArchiveWriter<std::io::Sink>>)
+    }
+
+    /// Runs the configured cohort while recording everything the
+    /// gateway and the runner observe into `sink` as a `wbsn-archive`
+    /// epoch-block stream. Returns the report and the sink; the
+    /// recorded stream replays to a bit-identical [`CohortReport`]
+    /// through [`crate::replay::CohortReplayer`], and the archive
+    /// bytes are invariant in [`CohortRunConfig::workers`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`], plus sink write failures.
+    pub fn run_recorded<W: Write>(&self, sink: W) -> Result<(CohortReport, W)> {
+        self.run_plans_recorded(&self.plans(), sink)
+    }
+
+    /// [`Self::run_recorded`] over an explicit set of plans.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run_recorded`].
+    pub fn run_plans_recorded<W: Write>(
+        &self,
+        plans: &[SessionPlan],
+        sink: W,
+    ) -> Result<(CohortReport, W)> {
+        let mut writer = ArchiveWriter::new(sink, &self.run_meta())?;
+        let report = self.run_plans_inner(plans, Some(&mut writer))?;
+        let trailer = RunTrailer {
+            sessions: report.sessions,
+            modeled_hours: report.modeled_hours,
+            windows_skipped: report.windows_skipped,
+        };
+        let sink = writer.finish(&trailer)?;
+        Ok((report, sink))
+    }
+
+    /// The archive header metadata a recorded run writes: the scoring
+    /// parameters and the exact gateway solver settings, everything
+    /// replay needs without access to this configuration.
+    pub fn run_meta(&self) -> RunMeta {
+        let gw_cfg = self.gateway_config(false);
+        let solver = match gw_cfg.solver {
+            ReconstructionSolver::Fista(f) => f,
+            // The cohort gateway always runs FISTA; the arm exists
+            // only because the enum does.
+            ReconstructionSolver::Omp(_) => FistaConfig::default(),
+        };
+        RunMeta {
+            alert_grace_s: self.cfg.alert_grace_s,
+            min_episode_s: self.cfg.min_episode_s,
+            reconstruct_every: self.cfg.reconstruct_every,
+            warm_start: gw_cfg.warm_start,
+            solver,
+        }
+    }
+
+    /// The gateway configuration of every cohort run (recorded runs
+    /// additionally enable the observability tap, which changes no
+    /// numeric behaviour).
+    fn gateway_config(&self, tap: bool) -> GatewayConfig {
+        GatewayConfig {
+            reorder_window: 3,
+            recovery_window: 12,
+            reconstruct_every: self.cfg.reconstruct_every,
+            controller: Some(ControllerConfig::default()),
+            tap,
+            ..GatewayConfig::default()
+        }
+    }
+
+    /// The shared body of [`Self::run_plans`] and
+    /// [`Self::run_plans_recorded`].
+    fn run_plans_inner<W: Write>(
+        &self,
+        plans: &[SessionPlan],
+        mut rec: Option<&mut ArchiveWriter<W>>,
+    ) -> Result<CohortReport> {
+        let mut gw = ShardedGateway::new(self.gateway_config(rec.is_some()), self.cfg.workers)?;
         let mut outcomes = Vec::with_capacity(plans.len());
         let mut base = 0usize;
         for batch in plans.chunks(self.cfg.batch_sessions) {
-            self.run_batch(&mut gw, batch, base, &mut outcomes)?;
+            self.run_batch(&mut gw, batch, base, &mut outcomes, rec.as_deref_mut())?;
             base += batch.len();
         }
         let stats = gw.stats()?;
-        Ok(self.aggregate(plans, &outcomes, stats.windows_skipped))
+        let modeled_hours = plans.iter().map(|p| p.scripts.len()).max().unwrap_or(0) as u32;
+        Ok(aggregate(
+            &outcomes,
+            modeled_hours,
+            stats.windows_skipped,
+            self.cfg.alert_grace_s,
+        ))
     }
 
     /// Runs one batch of sessions in lockstep against the shared
-    /// gateway, closing each session afterwards.
-    fn run_batch(
+    /// gateway, closing each session afterwards. When recording, the
+    /// gateway tap is drained every pump and each node's observations
+    /// are flushed as one epoch block per modeled hour, so writer
+    /// memory stays O(epoch) at any recording length.
+    fn run_batch<W: Write>(
         &self,
         gw: &mut ShardedGateway,
         batch: &[SessionPlan],
         first_index: usize,
         outcomes: &mut Vec<SessionOutcome>,
+        mut rec: Option<&mut ArchiveWriter<W>>,
     ) -> Result<()> {
         let mut nodes = Vec::with_capacity(batch.len());
         for (k, plan) in batch.iter().enumerate() {
@@ -396,7 +481,19 @@ impl CohortRunner {
                 (first_index + k + 1) as u64,
                 plan,
                 &self.cfg,
+                rec.is_some(),
             )?);
+        }
+        if let Some(w) = rec.as_deref_mut() {
+            for (node, plan) in nodes.iter().zip(batch) {
+                w.session_meta(
+                    node.session,
+                    &SessionMeta {
+                        cs: node.cs,
+                        burden: plan.profile.burden.label().to_string(),
+                    },
+                )?;
+            }
         }
         let hours = batch.iter().map(|p| p.scripts.len()).max().unwrap_or(0);
 
@@ -430,9 +527,18 @@ impl CohortRunner {
                     };
                     node.take_downlink(&frames)?;
                 }
+                if rec.is_some() {
+                    distribute_tap(gw.drain_tap()?, &mut nodes);
+                }
             }
             for node in &mut nodes {
                 node.end_segment();
+            }
+            if let Some(w) = rec.as_deref_mut() {
+                for node in &mut nodes {
+                    node.flush_rt_log();
+                    node.flush_epoch(hour as u32, w)?;
+                }
             }
         }
 
@@ -459,7 +565,12 @@ impl CohortRunner {
                             prd_percent: Some(prd),
                             ..
                         } => node.outcome.prds.push(prd),
-                        GatewayEvent::AfAlert { .. } => node.outcome.alerts.push(end),
+                        GatewayEvent::AfAlert { .. } => {
+                            node.outcome.alerts.push(end);
+                            if node.recording {
+                                node.log.push(EpochItem::Alert { t_s: end });
+                            }
+                        }
                         GatewayEvent::MessageLost { count, .. } => {
                             node.outcome.lost_events += u64::from(count);
                         }
@@ -470,85 +581,116 @@ impl CohortRunner {
                     }
                 }
             }
-            outcomes.push(node.finish(self.cfg.min_episode_s));
+        }
+        if rec.is_some() {
+            // Closing a session flushes its pending windows through
+            // the tap; pick them up before sealing the final epochs.
+            distribute_tap(gw.drain_tap()?, &mut nodes);
+        }
+        for node in &mut nodes {
+            let outcome = node.finish(self.cfg.min_episode_s);
+            if let Some(w) = rec.as_deref_mut() {
+                node.flush_rt_log();
+                node.flush_epoch(hours as u32, w)?;
+                w.session_end(
+                    node.session,
+                    &SessionEnd {
+                        modeled_s: outcome.modeled_s,
+                        battery_days: outcome.battery_days,
+                        report: outcome.report.clone(),
+                    },
+                )?;
+            }
+            outcomes.push(outcome);
         }
         Ok(())
     }
+}
 
-    /// Folds per-session outcomes into the report.
-    fn aggregate(
-        &self,
-        plans: &[SessionPlan],
-        outcomes: &[SessionOutcome],
-        windows_skipped: u64,
-    ) -> CohortReport {
-        let modeled_hours = plans.iter().map(|p| p.scripts.len()).max().unwrap_or(0) as u32;
-        let modeled_days: f64 = outcomes.iter().map(|o| o.modeled_s).sum::<f64>() / 86_400.0;
+/// Folds per-session outcomes into the report. Free-standing (and
+/// crate-visible) because the live runner and the archive replayer
+/// ([`crate::replay::CohortReplayer`]) must fold identically — down to
+/// floating-point summation order — for replayed reports to compare
+/// bit-identical to live ones.
+pub(crate) fn aggregate(
+    outcomes: &[SessionOutcome],
+    modeled_hours: u32,
+    windows_skipped: u64,
+    alert_grace_s: f64,
+) -> CohortReport {
+    let modeled_days: f64 = outcomes.iter().map(|o| o.modeled_s).sum::<f64>() / 86_400.0;
 
-        let mut link = LinkRollup::default();
-        let mut prds = Vec::new();
-        let mut battery = Vec::new();
-        let mut reboots = 0u64;
-        for o in outcomes {
-            if let Some(r) = &o.report {
-                link.messages += r.messages;
-                link.lost += r.lost;
-                link.recovered += r.recovered;
-                link.acks_sent += r.acks_sent;
-                link.nacks_sent += r.nacks_sent;
-                link.retransmits_requested += r.retransmits_requested;
-                link.directives_issued += r.directives_issued;
-            }
-            link.lost_events += o.lost_events;
-            link.recovered_events += o.recovered_events;
-            link.expired += o.expired;
-            link.unavailable += o.unavailable;
-            prds.extend_from_slice(&o.prds);
-            battery.push(o.battery_days);
-            reboots += o.reboots;
+    let mut link = LinkRollup::default();
+    let mut prds = Vec::new();
+    let mut battery = Vec::new();
+    let mut reboots = 0u64;
+    for o in outcomes {
+        if let Some(r) = &o.report {
+            link.messages += r.messages;
+            link.lost += r.lost;
+            link.recovered += r.recovered;
+            link.acks_sent += r.acks_sent;
+            link.nacks_sent += r.nacks_sent;
+            link.retransmits_requested += r.retransmits_requested;
+            link.directives_issued += r.directives_issued;
         }
+        link.lost_events += o.lost_events;
+        link.recovered_events += o.recovered_events;
+        link.expired += o.expired;
+        link.unavailable += o.unavailable;
+        prds.extend_from_slice(&o.prds);
+        battery.push(o.battery_days);
+        reboots += o.reboots;
+    }
 
-        let mut strata = Vec::new();
-        for burden in RhythmBurden::ALL {
-            let members: Vec<&SessionOutcome> =
-                outcomes.iter().filter(|o| o.burden == burden).collect();
-            if members.is_empty() {
-                continue;
-            }
-            let days: f64 = members.iter().map(|o| o.modeled_s).sum::<f64>() / 86_400.0;
-            let mean_batt =
-                members.iter().map(|o| o.battery_days).sum::<f64>() / members.len() as f64;
-            strata.push(StratumReport {
-                burden: burden.label(),
-                sessions: members.len() as u64,
-                detection: score_detection(&members, days, &self.cfg),
-                battery_days_mean: mean_batt,
-            });
+    let mut strata = Vec::new();
+    for burden in RhythmBurden::ALL {
+        let members: Vec<&SessionOutcome> =
+            outcomes.iter().filter(|o| o.burden == burden).collect();
+        if members.is_empty() {
+            continue;
         }
+        let days: f64 = members.iter().map(|o| o.modeled_s).sum::<f64>() / 86_400.0;
+        let mean_batt = members.iter().map(|o| o.battery_days).sum::<f64>() / members.len() as f64;
+        strata.push(StratumReport {
+            burden: burden.label(),
+            sessions: members.len() as u64,
+            detection: score_detection(&members, days, alert_grace_s),
+            battery_days_mean: mean_batt,
+        });
+    }
 
-        let all: Vec<&SessionOutcome> = outcomes.iter().collect();
-        let battery_days_mean = if battery.is_empty() {
-            0.0
-        } else {
-            battery.iter().sum::<f64>() / battery.len() as f64
-        };
-        let battery_days_min = battery
-            .iter()
-            .copied()
-            .min_by(f64::total_cmp)
-            .unwrap_or(0.0);
-        CohortReport {
-            sessions: outcomes.len() as u64,
-            modeled_hours,
-            modeled_days,
-            reboots,
-            detection: score_detection(&all, modeled_days, &self.cfg),
-            prd: prd_stats(&prds),
-            windows_skipped,
-            link,
-            battery_days_mean,
-            battery_days_min,
-            strata,
+    let all: Vec<&SessionOutcome> = outcomes.iter().collect();
+    let battery_days_mean = if battery.is_empty() {
+        0.0
+    } else {
+        battery.iter().sum::<f64>() / battery.len() as f64
+    };
+    let battery_days_min = battery
+        .iter()
+        .copied()
+        .min_by(f64::total_cmp)
+        .unwrap_or(0.0);
+    CohortReport {
+        sessions: outcomes.len() as u64,
+        modeled_hours,
+        modeled_days,
+        reboots,
+        detection: score_detection(&all, modeled_days, alert_grace_s),
+        prd: prd_stats(&prds),
+        windows_skipped,
+        link,
+        battery_days_mean,
+        battery_days_min,
+        strata,
+    }
+}
+
+/// Routes drained gateway tap items to the owning nodes' epoch logs.
+fn distribute_tap(tapped: Vec<(u64, Vec<wbsn_gateway::TapItem>)>, nodes: &mut [NodeState]) {
+    for (session, items) in tapped {
+        if let Some(node) = nodes.iter_mut().find(|n| n.session == session) {
+            node.log.extend(items.into_iter().map(EpochItem::from));
         }
     }
 }
@@ -590,17 +732,15 @@ fn note_alerts(alerts: &[u64], nodes: &mut [NodeState]) {
         if let Some(n) = nodes.iter_mut().find(|n| n.session == session) {
             let t = n.abs_seconds();
             n.outcome.alerts.push(t);
+            if n.recording {
+                n.log.push(EpochItem::Alert { t_s: t });
+            }
         }
     }
 }
 
 /// Scores detection over a set of session outcomes.
-fn score_detection(
-    outcomes: &[&SessionOutcome],
-    modeled_days: f64,
-    cfg: &CohortRunConfig,
-) -> DetectionStats {
-    let grace = cfg.alert_grace_s;
+fn score_detection(outcomes: &[&SessionOutcome], modeled_days: f64, grace: f64) -> DetectionStats {
     let mut episodes = 0u64;
     let mut detected = 0u64;
     let mut latencies = Vec::new();
@@ -674,26 +814,60 @@ fn percentile95(sorted: &[f64]) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-/// Per-session result accumulator.
-#[derive(Debug)]
-struct SessionOutcome {
-    burden: RhythmBurden,
+/// Per-session result accumulator. Crate-visible so the archive
+/// replayer can rebuild the exact same accumulators from recorded
+/// blocks and feed them through the same [`aggregate`] fold.
+#[derive(Debug, Clone)]
+pub(crate) struct SessionOutcome {
+    pub(crate) burden: RhythmBurden,
     /// Ground-truth AF episodes, absolute seconds (merged, filtered).
-    episodes: Vec<(f64, f64)>,
+    pub(crate) episodes: Vec<(f64, f64)>,
     /// Atrial-flutter spans (alerts here are excused, not rewarded —
     /// flutter is the AF detector's documented blind spot).
-    flutter: Vec<(f64, f64)>,
+    pub(crate) flutter: Vec<(f64, f64)>,
     /// Gateway AF-alert times, absolute seconds.
-    alerts: Vec<f64>,
-    prds: Vec<f64>,
-    report: Option<SessionReport>,
-    lost_events: u64,
-    recovered_events: u64,
-    expired: u64,
-    unavailable: u64,
-    battery_days: f64,
-    reboots: u64,
-    modeled_s: f64,
+    pub(crate) alerts: Vec<f64>,
+    pub(crate) prds: Vec<f64>,
+    pub(crate) report: Option<SessionReport>,
+    pub(crate) lost_events: u64,
+    pub(crate) recovered_events: u64,
+    pub(crate) expired: u64,
+    pub(crate) unavailable: u64,
+    pub(crate) battery_days: f64,
+    pub(crate) reboots: u64,
+    pub(crate) modeled_s: f64,
+}
+
+impl SessionOutcome {
+    /// A fresh, empty accumulator for one session.
+    pub(crate) fn new(burden: RhythmBurden) -> SessionOutcome {
+        SessionOutcome {
+            burden,
+            episodes: Vec::new(),
+            flutter: Vec::new(),
+            alerts: Vec::new(),
+            prds: Vec::new(),
+            report: None,
+            lost_events: 0,
+            recovered_events: 0,
+            expired: 0,
+            unavailable: 0,
+            battery_days: 0.0,
+            reboots: 0,
+            modeled_s: 0.0,
+        }
+    }
+
+    /// The scoring-side seal: merges ground-truth spans, drops
+    /// episodes shorter than `min_episode_s`, sorts alerts. Shared by
+    /// the live `NodeState::finish` and the archive replayer so both
+    /// produce identical accumulators.
+    pub(crate) fn finalize(&mut self, min_episode_s: f64) {
+        self.episodes = merge_spans(std::mem::take(&mut self.episodes), EPISODE_MERGE_GAP_S);
+        self.episodes.retain(|&(s, e)| e - s >= min_episode_s);
+        self.flutter = merge_spans(std::mem::take(&mut self.flutter), EPISODE_MERGE_GAP_S);
+        self.alerts.sort_by(f64::total_cmp);
+    }
 }
 
 /// One live node of a batch: the governed monitor plus the full link
@@ -730,10 +904,23 @@ struct NodeState {
     window_base_abs: u64,
     fs: u32,
     outcome: SessionOutcome,
+    /// Whether this run is being recorded (enables the epoch log).
+    recording: bool,
+    /// The current epoch's archive items (gateway tap plus
+    /// runner-side observations), flushed each modeled hour.
+    log: Vec<EpochItem>,
+    /// Watermark into `rt_events`: entries before this are already in
+    /// a flushed epoch.
+    rt_logged: usize,
 }
 
 impl NodeState {
-    fn new(session: u64, plan: &SessionPlan, cfg: &CohortRunConfig) -> Result<NodeState> {
+    fn new(
+        session: u64,
+        plan: &SessionPlan,
+        cfg: &CohortRunConfig,
+        recording: bool,
+    ) -> Result<NodeState> {
         let p = &plan.profile;
         let mut builder = MonitorBuilder::new().n_leads(p.n_leads);
         let gov_cfg = if p.cs_uplink {
@@ -820,21 +1007,10 @@ impl NodeState {
             abs_frames: 0,
             window_base_abs: 0,
             fs,
-            outcome: SessionOutcome {
-                burden: p.burden,
-                episodes: Vec::new(),
-                flutter: Vec::new(),
-                alerts: Vec::new(),
-                prds: Vec::new(),
-                report: None,
-                lost_events: 0,
-                recovered_events: 0,
-                expired: 0,
-                unavailable: 0,
-                battery_days: 0.0,
-                reboots: 0,
-                modeled_s: 0.0,
-            },
+            outcome: SessionOutcome::new(p.burden),
+            recording,
+            log: Vec::new(),
+            rt_logged: 0,
         })
     }
 
@@ -867,6 +1043,13 @@ impl NodeState {
                 self.seg_base_frames - self.window_base_abs,
                 rec.lead(0).iter().map(|&v| f64::from(v)).collect(),
             )?;
+            if self.recording {
+                self.log.push(EpochItem::Reference {
+                    lead: 0,
+                    offset: self.seg_base_frames - self.window_base_abs,
+                    samples: rec.lead(0).to_vec(),
+                });
+            }
         }
         Ok(())
     }
@@ -878,10 +1061,23 @@ impl NodeState {
         for span in rec.rhythm_spans() {
             let s = base_s + span.start_sample as f64 / fs;
             let e = base_s + span.end_sample as f64 / fs;
-            match span.label {
-                RhythmLabel::Af => self.outcome.episodes.push((s, e)),
-                RhythmLabel::Flutter => self.outcome.flutter.push((s, e)),
-                _ => {}
+            let flutter = match span.label {
+                RhythmLabel::Af => {
+                    self.outcome.episodes.push((s, e));
+                    false
+                }
+                RhythmLabel::Flutter => {
+                    self.outcome.flutter.push((s, e));
+                    true
+                }
+                _ => continue,
+            };
+            if self.recording {
+                self.log.push(EpochItem::Truth {
+                    flutter,
+                    start_s: s,
+                    end_s: e,
+                });
             }
         }
     }
@@ -1010,6 +1206,22 @@ impl NodeState {
         }
         self.window_base_abs = self.abs_frames;
         self.outcome.reboots += 1;
+        if self.recording {
+            // The gateway-side register() is out of band (no packet,
+            // no tap), so the runner logs the reborn handshake and the
+            // reference blanking itself; replay re-enacts both.
+            self.log.push(EpochItem::Reboot {
+                t_s: self.abs_seconds(),
+            });
+            self.log.push(EpochItem::Handshake(hs));
+            if self.cs {
+                self.log.push(EpochItem::Reference {
+                    lead: 0,
+                    offset: 0,
+                    samples: Vec::new(),
+                });
+            }
+        }
         Ok(())
     }
 
@@ -1045,24 +1257,8 @@ impl NodeState {
         } else {
             0.0
         };
-        let mut outcome = std::mem::replace(
-            &mut self.outcome,
-            SessionOutcome {
-                burden: RhythmBurden::Quiet,
-                episodes: Vec::new(),
-                flutter: Vec::new(),
-                alerts: Vec::new(),
-                prds: Vec::new(),
-                report: None,
-                lost_events: 0,
-                recovered_events: 0,
-                expired: 0,
-                unavailable: 0,
-                battery_days: 0.0,
-                reboots: 0,
-                modeled_s: 0.0,
-            },
-        );
+        let mut outcome =
+            std::mem::replace(&mut self.outcome, SessionOutcome::new(RhythmBurden::Quiet));
         outcome.battery_days = Battery::default().lifetime_days(avg_w);
         outcome.modeled_s = self.abs_seconds();
         for ev in &self.rt_events {
@@ -1071,11 +1267,43 @@ impl NodeState {
                 RetransmitEvent::Unavailable { .. } => outcome.unavailable += 1,
             }
         }
-        outcome.episodes = merge_spans(std::mem::take(&mut outcome.episodes), EPISODE_MERGE_GAP_S);
-        outcome.episodes.retain(|&(s, e)| e - s >= min_episode_s);
-        outcome.flutter = merge_spans(std::mem::take(&mut outcome.flutter), EPISODE_MERGE_GAP_S);
-        outcome.alerts.sort_by(f64::total_cmp);
+        outcome.finalize(min_episode_s);
         outcome
+    }
+
+    /// Logs node-side retransmit failures the epoch watermark has not
+    /// covered yet (each event is archived exactly once).
+    fn flush_rt_log(&mut self) {
+        if !self.recording {
+            return;
+        }
+        for ev in &self.rt_events[self.rt_logged..] {
+            match *ev {
+                RetransmitEvent::Expired { msg_seq, .. } => {
+                    self.log.push(EpochItem::Expired { msg_seq });
+                }
+                RetransmitEvent::Unavailable { msg_seq } => {
+                    self.log.push(EpochItem::Unavailable { msg_seq });
+                }
+            }
+        }
+        self.rt_logged = self.rt_events.len();
+    }
+
+    /// Writes the accumulated epoch log as one archive block (nothing
+    /// is written for an empty epoch) and clears it, keeping writer
+    /// memory O(epoch) regardless of recording length.
+    fn flush_epoch<W: Write>(&mut self, epoch: u32, w: &mut ArchiveWriter<W>) -> Result<()> {
+        if self.log.is_empty() {
+            return Ok(());
+        }
+        let rec = EpochRecord {
+            session: self.session,
+            epoch,
+            items: std::mem::take(&mut self.log),
+        };
+        w.epoch(&rec)?;
+        Ok(())
     }
 }
 

@@ -24,10 +24,17 @@
 //!   per-session reassembly/decoding, rhythm/alert state and CS
 //!   reconstruction ([`gateway::Gateway`]).
 //!
+//! * [`archive`] — gateway recording: a streaming, CRC-protected
+//!   epoch-block archive format with lossless delta/varint signal
+//!   codecs, plus solver and policy replay straight off a recording.
+//!
 //! On top of the re-exports, the umbrella owns the [`cohort`] module —
 //! the population-scale evaluation engine that drives 200+ scripted
 //! patients end to end and folds the run into one
-//! [`cohort::CohortReport`].
+//! [`cohort::CohortReport`] — and the [`replay`] module, which
+//! regenerates that report **bit-identically** from a recorded run
+//! ([`cohort::CohortRunner::run_recorded`] →
+//! [`replay::CohortReplayer`]).
 
 // Every public item carries documentation; rustdoc runs with
 // `-D warnings` in CI, so a gap fails the build.
@@ -35,7 +42,9 @@
 #![warn(missing_docs)]
 
 pub mod cohort;
+pub mod replay;
 
+pub use wbsn_archive as archive;
 pub use wbsn_classify as classify;
 pub use wbsn_core as core;
 pub use wbsn_cs as cs;

@@ -11,7 +11,12 @@
 //! directly, so a stray `Vec::new()` sneaking into a kernel fails CI
 //! rather than showing up as a bench regression three PRs later.
 //!
-//! Both scenarios live in ONE `#[test]` so the counter is never
+//! The archive writer (`wbsn-archive`) makes the same promise at the
+//! recording layer: after its scratch buffers reach steady-state
+//! capacity, appending an epoch block performs zero heap allocations,
+//! so memory stays O(epoch) at any recording length.
+//!
+//! All scenarios live in ONE `#[test]` so the counter is never
 //! polluted by a concurrently running test.
 //!
 //! This file is the single workspace-wide exception to the
@@ -24,6 +29,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use wbsn_archive::{ArchiveWriter, EpochItem, EpochRecord, RunMeta};
 use wbsn_core::fleet::NodeFleet;
 use wbsn_core::level::ProcessingLevel;
 use wbsn_core::monitor::MonitorBuilder;
@@ -126,5 +132,62 @@ fn steady_state_ingest_is_allocation_free() {
         (active_allocs as usize) < n_frames / 10,
         "active ingest allocated {active_allocs} times for {n_frames} frames — \
          that is per-frame allocation, not per-beat"
+    );
+
+    // ---- 3. Archive writer: appending a warm epoch block allocates
+    // exactly zero times, so recorder memory is O(epoch) at any
+    // recording length. ----
+    let epoch = EpochRecord {
+        session: 7,
+        epoch: 0,
+        items: vec![
+            EpochItem::Rhythm {
+                msg_seq: 42,
+                n_beats: 11,
+                mean_hr_x10: 734,
+                af_burden_pct: 3,
+                af_active: false,
+            },
+            EpochItem::Beats {
+                msg_seq: 42,
+                beats: (0..12)
+                    .map(|i| wbsn_delineation::BeatFiducials::new(200 * i + 40))
+                    .collect(),
+            },
+            EpochItem::CsWindow {
+                lead: 0,
+                window_seq: 9,
+                prd: Some(4.5),
+                measurements: (0..192).map(|i| (i as i16) * 13 - 700).collect(),
+                samples: (0..512).map(|i| (i as f64 * 0.21).sin() * 350.0).collect(),
+            },
+            EpochItem::Reference {
+                lead: 0,
+                offset: 4608,
+                samples: (0..512i32).map(|i| (i * 29) % 803 - 400).collect(),
+            },
+        ],
+    };
+    let meta = RunMeta {
+        alert_grace_s: 30.0,
+        min_episode_s: 20.0,
+        reconstruct_every: 8,
+        warm_start: true,
+        solver: wbsn_cs::solver::FistaConfig::default(),
+    };
+    let mut w = ArchiveWriter::new(std::io::sink(), &meta).expect("writer opens");
+    // Warm-up: grows scratch + payload buffers to their final size.
+    for _ in 0..8 {
+        w.epoch(&epoch).expect("epoch writes");
+    }
+    let before = allocs();
+    for _ in 0..16 {
+        w.epoch(&epoch).expect("epoch writes");
+    }
+    let writer_allocs = allocs() - before;
+    assert_eq!(
+        writer_allocs, 0,
+        "steady-state ArchiveWriter::epoch allocated {writer_allocs} times over 16 \
+         appends; the recording hot path must reuse its scratch buffers"
     );
 }
